@@ -1,0 +1,94 @@
+// E6 - cost-based physical selection for similarity operators (Sec. V):
+// measures the semantic join under brute-force, LSH, and IVF physical
+// strategies across cardinalities, prints the measured crossover, and
+// checks it against the optimizer cost model's predicted choice.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/timer.h"
+#include "datagen/corpus.h"
+#include "datagen/vocabulary.h"
+#include "embed/structured_model.h"
+#include "optimizer/cost_model.h"
+#include "semantic/semantic_join.h"
+
+namespace cre {
+namespace {
+
+void RunIndexSelection() {
+  bench::PrintHeader(
+      "E6 - semantic join physical strategy: brute vs LSH vs IVF\n"
+      "threshold 0.9, dim 100; optimizer prediction vs measured winner");
+
+  VocabularyOptions vo;
+  vo.num_groups = 3000;
+  vo.words_per_group = 4;
+  vo.num_singletons = 30000;
+  auto groups = GenerateVocabulary(vo);
+  SynonymStructuredModel::Options mo;
+  mo.subword_noise = false;
+  SynonymStructuredModel model(groups, mo);
+  CorpusGenerator gen(AllWords(groups), CorpusGenerator::Options{1.0, 0.0, 3});
+
+  CostModel cost(nullptr);
+
+  std::printf("%8s %12s %12s %12s %12s | %10s %10s\n", "n/side", "brute[s]",
+              "lsh[s]", "ivf[s]", "matches", "predicted", "measured");
+
+  const std::size_t max_n = bench::EnvSize("CRE_E6_MAX_N", 8000);
+  for (std::size_t n = 500; n <= max_n; n *= 2) {
+    auto left = gen.Sample(n);
+    auto right = gen.Sample(n);
+
+    double times[3] = {0, 0, 0};
+    std::size_t matches[3] = {0, 0, 0};
+    const SemanticJoinStrategy strategies[3] = {
+        SemanticJoinStrategy::kBruteForce, SemanticJoinStrategy::kLsh,
+        SemanticJoinStrategy::kIvf};
+    for (int s = 0; s < 3; ++s) {
+      SemanticJoinOptions options;
+      options.threshold = 0.9f;
+      options.strategy = strategies[s];
+      options.ivf.num_centroids = std::max<std::size_t>(16, n / 64);
+      options.ivf.nprobe = 8;
+      Timer t;
+      auto result = SemanticStringJoin(left, right, model, options);
+      times[s] = t.Seconds();
+      matches[s] = result.size();
+    }
+    int measured_best = 0;
+    for (int s = 1; s < 3; ++s) {
+      if (times[s] < times[measured_best]) measured_best = s;
+    }
+    int predicted_best = 0;
+    double best_cost = -1;
+    for (int s = 0; s < 3; ++s) {
+      const double c = cost.SemanticJoinStrategyCost(
+          strategies[s], static_cast<double>(n), static_cast<double>(n));
+      if (best_cost < 0 || c < best_cost) {
+        best_cost = c;
+        predicted_best = s;
+      }
+    }
+    std::printf("%8zu %12.4f %12.4f %12.4f %12zu | %10s %10s\n", n, times[0],
+                times[1], times[2], matches[0],
+                SemanticJoinStrategyName(strategies[predicted_best]),
+                SemanticJoinStrategyName(strategies[measured_best]));
+  }
+  std::printf(
+      "\nexpected shape: brute force wins at small n; an index strategy\n"
+      "overtakes as n grows (quadratic vs ~linear probing), and the cost\n"
+      "model's predicted winner tracks the measured winner near the\n"
+      "crossover.\n");
+}
+
+}  // namespace
+}  // namespace cre
+
+int main() {
+  cre::RunIndexSelection();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E5 - kernel-variant ablation (Sec. VI hardware-conscious claims):
+// google-benchmark over the similarity kernel in scalar / unrolled / AVX2
+// / FP16 variants across embedding dimensionalities, plus the embedding
+// batch lookup with and without software prefetch.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "datagen/vocabulary.h"
+#include "embed/structured_model.h"
+#include "vecsim/fp16.h"
+#include "vecsim/kernels.h"
+
+namespace cre {
+namespace {
+
+std::vector<float> RandomMatrix(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> m(n * dim);
+  for (auto& x : m) x = rng.NextFloat() - 0.5f;
+  for (std::size_t i = 0; i < n; ++i) NormalizeInPlace(m.data() + i * dim, dim);
+  return m;
+}
+
+void BM_DotKernel(benchmark::State& state) {
+  const auto variant = static_cast<KernelVariant>(state.range(0));
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = 256;
+  auto a = RandomMatrix(n, dim, 1);
+  auto b = RandomMatrix(n, dim, 2);
+  const DotFn fn = GetDotKernel(variant);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fn(a.data() + (i % n) * dim, b.data() + ((i * 7) % n) * dim, dim));
+    ++i;
+  }
+  state.SetLabel(KernelVariantName(variant));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DotKernel)
+    ->ArgsProduct({{static_cast<long>(KernelVariant::kScalar),
+                    static_cast<long>(KernelVariant::kUnrolled),
+                    static_cast<long>(KernelVariant::kAvx2)},
+                   {64, 100, 128, 256}});
+
+void BM_DotHalfKernel(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 256;
+  auto a = RandomMatrix(n, dim, 3);
+  auto b = RandomMatrix(n, dim, 4);
+  std::vector<std::uint16_t> ha(a.size()), hb(b.size());
+  FloatsToHalves(a.data(), ha.data(), a.size());
+  FloatsToHalves(b.data(), hb.data(), b.size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotHalf(ha.data() + (i % n) * dim,
+                                     hb.data() + ((i * 7) % n) * dim, dim));
+    ++i;
+  }
+  state.SetLabel("fp16");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DotHalfKernel)->Arg(64)->Arg(100)->Arg(128)->Arg(256);
+
+/// Embedding batch lookup over a large vocabulary, prefetch on/off — the
+/// data-access optimization of Figure 4 isolated.
+void BM_EmbedBatchLookup(benchmark::State& state) {
+  const bool prefetch = state.range(0) != 0;
+  static SynonymStructuredModel* model = [] {
+    VocabularyOptions vo;
+    vo.num_groups = 4000;
+    vo.words_per_group = 4;
+    vo.num_singletons = 100000;
+    SynonymStructuredModel::Options mo;
+    mo.subword_noise = false;
+    return new SynonymStructuredModel(GenerateVocabulary(vo), mo);
+  }();
+  // Many distinct batches, cycled across iterations: each lookup touches
+  // cold vocabulary-matrix rows (the 56MB matrix does not fit in cache),
+  // which is the regime where software prefetch matters.
+  Rng rng(9);
+  constexpr std::size_t kBatches = 64;
+  constexpr std::size_t kBatchSize = 4096;
+  static std::vector<std::vector<std::string>>* batches = [&] {
+    auto* b = new std::vector<std::vector<std::string>>(kBatches);
+    Rng gen(9);
+    for (auto& batch : *b) {
+      batch.reserve(kBatchSize);
+      for (std::size_t i = 0; i < kBatchSize; ++i) {
+        batch.push_back(
+            model->vocabulary()[gen.Uniform(model->vocab_size())]);
+      }
+    }
+    return b;
+  }();
+  std::vector<float> out(kBatchSize * model->dim());
+  std::size_t cursor = prefetch ? kBatches / 2 : 0;  // disjoint start sets
+  for (auto _ : state) {
+    model->EmbedBatchPrefetch((*batches)[cursor], out.data(), prefetch);
+    cursor = (cursor + 1) % kBatches;
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(prefetch ? "prefetch" : "no-prefetch");
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatchSize));
+}
+BENCHMARK(BM_EmbedBatchLookup)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,134 @@
+// E8 - optimizer rule ablation (Sec. V): runs the Fig. 2 motivating query
+// with each optimizer rule toggled off individually (and all off / all
+// on), reporting estimated plan cost, measured wall time, detector
+// invocations, and result agreement. Shows which rule buys what.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/timer.h"
+#include "datagen/shop.h"
+#include "engine/engine.h"
+#include "engine/query_builder.h"
+
+namespace cre {
+namespace {
+
+PlanPtr BuildQuery(Engine* engine) {
+  return QueryBuilder(engine)
+      .Scan("products")
+      .Filter(Gt(Col("price"), Lit(20.0)))
+      .SemanticJoinWith(QueryBuilder(engine)
+                            .Scan("kb_category")
+                            .Filter(Eq(Col("object"), Lit("clothes"))),
+                        "type_label", "subject", "shop", 0.80f)
+      .SemanticJoinWith(
+          QueryBuilder(engine)
+              .DetectScan("shop_images")
+              .Filter(And(Gt(Col("date_taken"), Lit(Value::Date(19450))),
+                          Gt(Col("objects_in_image"), Lit(2)))),
+          "type_label", "object_label", "shop", 0.80f)
+      .plan();
+}
+
+struct Config {
+  const char* name;
+  OptimizerOptions options;
+};
+
+void RunRuleAblation() {
+  const std::size_t n_products = bench::EnvSize("CRE_E8_PRODUCTS", 3000);
+  const std::size_t n_images = bench::EnvSize("CRE_E8_IMAGES", 2000);
+  bench::PrintHeader("E8 - optimizer rule ablation on the Fig. 2 query\n"
+                     "products=" + std::to_string(n_products) +
+                     ", images=" + std::to_string(n_images));
+
+  ShopOptions so;
+  so.num_products = n_products;
+  so.num_images = n_images;
+  so.num_transactions = 100;
+  ShopDataset ds = GenerateShopDataset(so);
+
+  Engine engine;
+  engine.catalog().Put("products", ds.products);
+  engine.catalog().Put("kb_category", ds.kb.Export("category"));
+  engine.models().Put("shop", ds.model);
+  ObjectDetector detector(ObjectDetector::Options{500.0, 77});
+  engine.detectors().Put("shop_images", {&ds.images, &detector});
+
+  PlanPtr plan = BuildQuery(&engine);
+
+  OptimizerOptions all_on;
+  OptimizerOptions all_off;
+  all_off.enable_filter_pushdown = false;
+  all_off.enable_join_reorder = false;
+  all_off.enable_data_induced_predicates = false;
+  all_off.enable_index_selection = false;
+  all_off.enable_column_pruning = false;
+
+  std::vector<Config> configs;
+  configs.push_back({"all rules OFF", all_off});
+  {
+    OptimizerOptions o = all_on;
+    o.enable_filter_pushdown = false;
+    configs.push_back({"no filter pushdown", o});
+  }
+  {
+    OptimizerOptions o = all_on;
+    o.enable_join_reorder = false;
+    configs.push_back({"no join reorder", o});
+  }
+  {
+    OptimizerOptions o = all_on;
+    o.enable_data_induced_predicates = false;
+    configs.push_back({"no data-induced preds", o});
+  }
+  {
+    OptimizerOptions o = all_on;
+    o.enable_index_selection = false;
+    configs.push_back({"no index selection", o});
+  }
+  {
+    OptimizerOptions o = all_on;
+    o.enable_column_pruning = false;
+    configs.push_back({"no column pruning", o});
+  }
+  configs.push_back({"all rules ON", all_on});
+
+  std::printf("%-24s %14s %12s %10s %8s\n", "configuration", "est. cost",
+              "time [s]", "images", "rows");
+  std::size_t reference_rows = 0;
+  bool have_reference = false;
+  for (const auto& config : configs) {
+    engine.set_optimizer_options(config.options);
+    Optimizer optimizer = engine.MakeOptimizer();
+    auto optimized = optimizer.Optimize(plan).ValueOrDie();
+    detector.ResetCounter();
+    Timer t;
+    auto result = engine.ExecuteUnoptimized(optimized).ValueOrDie();
+    const double seconds = t.Seconds();
+    if (!have_reference) {
+      reference_rows = result->num_rows();
+      have_reference = true;
+    } else if (result->num_rows() != reference_rows) {
+      std::printf("!! result mismatch under '%s'\n", config.name);
+    }
+    std::printf("%-24s %14.0f %12.4f %10zu %8zu\n", config.name,
+                optimized->est_cost, seconds, detector.images_processed(),
+                result->num_rows());
+  }
+  std::printf(
+      "\nexpected shape: filter pushdown is the dominant rule (it gates\n"
+      "object detection); DIP and reorder trim the semantic joins; all\n"
+      "configurations must return identical results.\n");
+}
+
+}  // namespace
+}  // namespace cre
+
+int main() {
+  cre::RunRuleAblation();
+  return 0;
+}

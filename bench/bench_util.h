@@ -1,0 +1,26 @@
+#ifndef CRE_BENCH_BENCH_UTIL_H_
+#define CRE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cre::bench {
+
+/// Reads a size_t override from the environment (scaling knob for the
+/// harnesses), falling back to `def`.
+inline std::size_t EnvSize(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cre::bench
+
+#endif  // CRE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,153 @@
+// Reproduces Figure 3: automated, on-the-fly result consolidation. Dirty
+// labels arriving from multiple sources (different aliases of the same
+// concepts plus misspellings) are consolidated at query time by
+// model-assisted clustering, compared against the methods a traditional
+// engine could use: exact matching and edit-distance similarity.
+//
+// Reported per method: clusters produced (vs ground-truth concepts),
+// cluster purity, pairwise precision/recall/F1 against ground truth, and
+// throughput.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/rng.h"
+#include "core/timer.h"
+#include "datagen/shop.h"
+#include "datagen/vocabulary.h"
+#include "semantic/consolidation.h"
+
+namespace cre {
+namespace {
+
+struct LabeledData {
+  std::vector<std::string> labels;
+  std::vector<std::string> truth;  // concept per label
+};
+
+LabeledData MakeDirtyLabels(const ShopDataset& ds, std::size_t n,
+                            double misspell_prob) {
+  LabeledData out;
+  Rng rng(4242);
+  const auto* label_col =
+      ds.products->ColumnByName("type_label").ValueOrDie();
+  const auto* concept_col = ds.products->ColumnByName("concept").ValueOrDie();
+  const std::size_t rows = ds.products->num_rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rng.Uniform(rows);
+    std::string label = label_col->strings()[r];
+    if (rng.Bernoulli(misspell_prob)) label = Misspell(label, rng);
+    out.labels.push_back(std::move(label));
+    out.truth.push_back(concept_col->strings()[r]);
+  }
+  return out;
+}
+
+struct Quality {
+  std::size_t clusters = 0;
+  double purity = 0;       // fraction of clusters containing one concept
+  double precision = 0;    // pairwise same-cluster => same-concept
+  double recall = 0;       // pairwise same-concept => same-cluster
+  double f1 = 0;
+  double seconds = 0;
+};
+
+Quality Evaluate(const ConsolidationResult& result, const LabeledData& data,
+                 double seconds) {
+  Quality q;
+  q.clusters = result.num_clusters();
+  q.seconds = seconds;
+
+  std::map<std::uint32_t, std::set<std::string>> concepts_in_cluster;
+  for (std::size_t i = 0; i < data.labels.size(); ++i) {
+    concepts_in_cluster[result.cluster_of[i]].insert(data.truth[i]);
+  }
+  std::size_t pure = 0;
+  for (const auto& [cid, cs] : concepts_in_cluster) {
+    if (cs.size() == 1) ++pure;
+  }
+  q.purity = q.clusters ? static_cast<double>(pure) / q.clusters : 1.0;
+
+  // Pairwise precision/recall on a bounded sample of pairs.
+  const std::size_t n = data.labels.size();
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_cluster =
+          result.cluster_of[i] == result.cluster_of[j];
+      const bool same_concept = data.truth[i] == data.truth[j];
+      if (same_cluster && same_concept) ++tp;
+      if (same_cluster && !same_concept) ++fp;
+      if (!same_cluster && same_concept) ++fn;
+    }
+  }
+  q.precision = tp + fp ? static_cast<double>(tp) / (tp + fp) : 1.0;
+  q.recall = tp + fn ? static_cast<double>(tp) / (tp + fn) : 1.0;
+  q.f1 = (q.precision + q.recall) > 0
+             ? 2 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+void Report(const char* name, const Quality& q, std::size_t n) {
+  std::printf("%-24s %9zu %8.2f %10.3f %8.3f %8.3f %9.4f %12.0f\n", name,
+              q.clusters, q.purity, q.precision, q.recall, q.f1, q.seconds,
+              q.seconds > 0 ? n / q.seconds : 0.0);
+}
+
+void RunConsolidation() {
+  const std::size_t n = bench::EnvSize("CRE_FIG3_N", 1500);
+  bench::PrintHeader(
+      "Figure 3 - on-the-fly result consolidation (dedup / entity "
+      "resolution)\nN=" + std::to_string(n) +
+      " dirty labels (aliases + 15% misspellings), 16 ground-truth "
+      "concepts");
+
+  ShopOptions so;
+  so.num_products = 2000;
+  so.num_images = 10;
+  so.num_transactions = 10;
+  ShopDataset ds = GenerateShopDataset(so);
+  LabeledData data = MakeDirtyLabels(ds, n, 0.15);
+
+  std::printf("%-24s %9s %8s %10s %8s %8s %9s %12s\n", "method", "clusters",
+              "purity", "precision", "recall", "f1", "time[s]", "labels/s");
+
+  {
+    Timer t;
+    auto r = ConsolidateLabelsExact(data.labels);
+    Report("exact match", Evaluate(r, data, t.Seconds()), n);
+  }
+  {
+    Timer t;
+    auto r = ConsolidateLabelsEditDistance(data.labels, 0.75);
+    Report("edit distance >= 0.75", Evaluate(r, data, t.Seconds()), n);
+  }
+  {
+    Timer t;
+    auto r = ConsolidateLabels(data.labels, *ds.model, 0.80f);
+    Report("semantic (model) @0.80", Evaluate(r, data, t.Seconds()), n);
+  }
+  {
+    Timer t;
+    auto r = ConsolidateLabels(data.labels, *ds.model, 0.70f);
+    Report("semantic (model) @0.70", Evaluate(r, data, t.Seconds()), n);
+  }
+  std::printf(
+      "\nexpected shape: exact matching fragments aliases (many clusters,\n"
+      "high precision / low recall); edit distance merges typos only;\n"
+      "the model-assisted consolidation approaches the 16 true concepts\n"
+      "with high precision AND recall - automated Fig. 3 consolidation.\n");
+}
+
+}  // namespace
+}  // namespace cre
+
+int main() {
+  cre::RunConsolidation();
+  return 0;
+}

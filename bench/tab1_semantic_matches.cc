@@ -1,0 +1,100 @@
+// Reproduces Table I: context-rich text labels and the semantic matches a
+// representation model yields for them. For each category word (dog, cat,
+// animal, shoes, jacket, clothes) we print the top-4 vocabulary matches in
+// the model's latent space (the word itself excluded for umbrella
+// categories, as in the paper's table) and check them against the paper's
+// published rows.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/vocabulary.h"
+#include "embed/structured_model.h"
+#include "vecsim/brute_force.h"
+
+namespace cre {
+namespace {
+
+void RunTableOne() {
+  bench::PrintHeader("Table I - semantic matches from the representation model");
+
+  SynonymStructuredModel model(TableOneGroups(),
+                               SynonymStructuredModel::Options{});
+  // Index the whole vocabulary once.
+  std::vector<float> matrix(model.vocab_size() * model.dim());
+  for (std::size_t i = 0; i < model.vocab_size(); ++i) {
+    model.Embed(model.vocabulary()[i], matrix.data() + i * model.dim());
+  }
+  FlatIndex index;
+  index.Build(matrix.data(), model.vocab_size(), model.dim()).Check();
+
+  const auto categories = TableOneCategories();
+  const auto expected = TableOneExpectedMatches();
+  const auto groups = TableOneGroups();
+
+  // Valid family per category: every word sharing a group with it.
+  auto family_of = [&](const std::string& cat) {
+    std::set<std::string> family;
+    for (const auto& g : groups) {
+      bool contains = false;
+      for (const auto& w : g.words) contains |= (w == cat);
+      if (!contains) continue;
+      family.insert(g.words.begin(), g.words.end());
+    }
+    return family;
+  };
+
+  std::printf("%-10s | %-48s | %-6s | %s\n", "category",
+              "semantic matches (top-4)", "valid", "paper overlap");
+  std::size_t valid_total = 0, overlap_total = 0, slots_total = 0;
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    const auto& cat = categories[c];
+    std::set<std::string> paper_row(expected[c].begin(), expected[c].end());
+    const bool paper_excludes_self = paper_row.count(cat) == 0;
+    const auto family = family_of(cat);
+
+    std::vector<float> q(model.dim());
+    model.Embed(cat, q.data());
+    // Top-5 so we can drop the query word itself when the paper does.
+    auto hits = index.TopK(q.data(), 5);
+    std::vector<std::string> matches;
+    for (const auto& h : hits) {
+      const std::string& word = model.vocabulary()[h.id];
+      if (paper_excludes_self && word == cat) continue;
+      if (matches.size() < 4) matches.push_back(word);
+    }
+
+    std::size_t valid = 0, overlap = 0;
+    std::string joined;
+    for (const auto& m : matches) {
+      if (!joined.empty()) joined += ", ";
+      joined += m;
+      if (family.count(m)) ++valid;
+      if (paper_row.count(m)) ++overlap;
+    }
+    valid_total += valid;
+    overlap_total += overlap;
+    slots_total += matches.size();
+    std::printf("%-10s | %-48s | %zu/4    | %zu/4\n", cat.c_str(),
+                joined.c_str(), valid, overlap);
+  }
+  std::printf("\nsemantic validity (matches within the right concept "
+              "family): %zu/%zu\n", valid_total, slots_total);
+  std::printf("exact overlap with the paper's illustrative rows: %zu/%zu\n",
+              overlap_total, slots_total);
+  std::printf("note: the paper's rows are illustrative unordered samples of\n"
+              "each family; validity is the reproduction criterion, overlap\n"
+              "is reported for reference.\n");
+}
+
+}  // namespace
+}  // namespace cre
+
+int main() {
+  cre::RunTableOne();
+  return 0;
+}

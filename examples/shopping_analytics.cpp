@@ -1,0 +1,77 @@
+// The paper's motivating example (Sec. II / Fig. 2), end to end: an online
+// shopping platform combining
+//   1. an RDBMS (products, transactions),
+//   2. a knowledge base supplementing product information, and
+//   3. an image store analyzed by a (simulated) object-detection model,
+// in one declarative query: clothing products priced over 20 that appear
+// in recent customer images containing more than two objects.
+
+#include <cstdio>
+
+#include "datagen/shop.h"
+#include "engine/engine.h"
+#include "engine/query_builder.h"
+#include "vision/object_detector.h"
+
+using namespace cre;
+
+int main() {
+  // Generate the three sources (see src/datagen/shop.h for the schema).
+  ShopOptions options;
+  options.num_products = 1000;
+  options.num_images = 400;
+  ShopDataset shop = GenerateShopDataset(options);
+
+  Engine engine;
+  engine.catalog().Put("products", shop.products);
+  engine.catalog().Put("transactions", shop.transactions);
+  engine.catalog().Put("kb_category", shop.kb.Export("category"));
+  engine.models().Put("shop", shop.model);
+  ObjectDetector detector(ObjectDetector::Options{/*cost_per_image_us=*/30.0,
+                                                  77});
+  engine.detectors().Put("shop_images", {&shop.images, &detector});
+
+  // The Fig. 2 query. Note what the user does NOT say: no join order, no
+  // filter placement, no decision about when to run the detector, no
+  // similarity index choice — the optimizer owns all of it.
+  QueryBuilder query(&engine);
+  query.Scan("products")
+      .Filter(Gt(Col("price"), Lit(20.0)))
+      .SemanticJoinWith(QueryBuilder(&engine)
+                            .Scan("kb_category")
+                            .Filter(Eq(Col("object"), Lit("clothes"))),
+                        "type_label", "subject", "shop", 0.80f)
+      .SemanticJoinWith(
+          QueryBuilder(&engine)
+              .DetectScan("shop_images")
+              .Filter(And(Gt(Col("date_taken"), Lit(Value::Date(19300))),
+                          Gt(Col("objects_in_image"), Lit(2)))),
+          "type_label", "object_label", "shop", 0.80f)
+      .Project({"name", "type_label", "price", "image_id", "similarity"});
+
+  std::printf("=== optimized plan ===\n%s\n",
+              query.Explain().ValueOrDie().c_str());
+
+  auto result = query.Execute().ValueOrDie();
+  std::printf("=== clothing products in recent busy customer images ===\n%s",
+              result->ToString(15).c_str());
+  std::printf("\nimages run through the detector: %zu of %zu "
+              "(date filter applied before inference)\n",
+              detector.images_processed(), shop.images.size());
+
+  // Follow-up analytics on the same engine: revenue per concept for the
+  // products that matched.
+  auto revenue = QueryBuilder(&engine)
+                     .Scan("transactions")
+                     .JoinWith(QueryBuilder(&engine).Scan("products"),
+                               "product_id", "product_id")
+                     .SemanticSelect("type_label", "clothes", "shop", 0.50f)
+                     .Aggregate({"concept"},
+                                {{AggKind::kCount, "", "purchases"},
+                                 {AggKind::kSum, "price", "revenue"}})
+                     .Execute()
+                     .ValueOrDie();
+  std::printf("\n=== clothing revenue by concept ===\n%s",
+              revenue->ToString(20).c_str());
+  return 0;
+}

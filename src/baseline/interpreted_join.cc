@@ -1,0 +1,133 @@
+#include "baseline/interpreted_join.h"
+
+#include <memory>
+
+#include "embed/structured_model.h"
+
+namespace cre {
+
+double InterpretedDot(const float* a, const float* b, std::size_t dim,
+                      const std::function<double(double, double)>& mul,
+                      const std::function<double(double, double)>& add) {
+  // Boxed accumulator: each step allocates, as an interpreter would.
+  auto acc = std::make_unique<double>(0.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto term = std::make_unique<double>(
+        mul(static_cast<double>(a[d]), static_cast<double>(b[d])));
+    acc = std::make_unique<double>(add(*acc, *term));
+  }
+  return *acc;
+}
+
+namespace {
+
+std::vector<StringRow> ApplyFilter(const std::vector<StringRow>& rows,
+                                   std::int64_t attr_cutoff) {
+  std::vector<StringRow> out;
+  for (const auto& r : rows) {
+    if (r.attr < attr_cutoff) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MatchPair> InterpretedSimilarityJoin(
+    const std::vector<StringRow>& left, const std::vector<StringRow>& right,
+    const EmbeddingModel& model, float threshold, std::int64_t attr_cutoff,
+    const InterpretedOptions& options, InterpretedJoinStats* stats) {
+  InterpretedJoinStats local_stats;
+  InterpretedJoinStats* st = stats ? stats : &local_stats;
+  *st = InterpretedJoinStats{};
+
+  const std::vector<StringRow>* lp = &left;
+  const std::vector<StringRow>* rp = &right;
+  std::vector<StringRow> lf, rf;
+  if (options.filter_pushdown) {
+    lf = ApplyFilter(left, attr_cutoff);
+    rf = ApplyFilter(right, attr_cutoff);
+    lp = &lf;
+    rp = &rf;
+  }
+  const auto& l = *lp;
+  const auto& r = *rp;
+  const std::size_t dim = model.dim();
+
+  // Per-element interpreted ops: the std::function indirection is the
+  // point — it models opcode dispatch per arithmetic step.
+  const std::function<double(double, double)> mul =
+      [](double x, double y) { return x * y; };
+  const std::function<double(double, double)> add =
+      [](double x, double y) { return x + y; };
+
+  std::vector<float> left_cache, right_cache;
+  if (options.cache_embeddings) {
+    left_cache.resize(l.size() * dim);
+    right_cache.resize(r.size() * dim);
+    std::vector<std::string> lw, rw;
+    lw.reserve(l.size());
+    rw.reserve(r.size());
+    for (const auto& row : l) lw.push_back(row.word);
+    for (const auto& row : r) rw.push_back(row.word);
+    // The prefetch toggle exercises the vocabulary-table/matrix prefetch
+    // path when the model supports it.
+    const auto* structured =
+        dynamic_cast<const SynonymStructuredModel*>(&model);
+    if (structured != nullptr) {
+      structured->EmbedBatchPrefetch(lw, left_cache.data(), options.prefetch);
+      structured->EmbedBatchPrefetch(rw, right_cache.data(),
+                                     options.prefetch);
+    } else {
+      model.EmbedBatch(lw, left_cache.data());
+      model.EmbedBatch(rw, right_cache.data());
+    }
+    st->rows_embedded += l.size() + r.size();
+  }
+
+  std::vector<MatchPair> matches;
+  std::vector<float> va(dim), vb(dim);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    const float* a;
+    if (options.cache_embeddings) {
+      a = left_cache.data() + i * dim;
+    } else {
+      // Eager per-iteration embedding: the library-call-in-a-loop pattern.
+      model.Embed(l[i].word, va.data());
+      ++st->rows_embedded;
+      a = va.data();
+    }
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      const float* b;
+      if (options.cache_embeddings) {
+        b = right_cache.data() + j * dim;
+      } else {
+        model.Embed(r[j].word, vb.data());
+        ++st->rows_embedded;
+        b = vb.data();
+      }
+      ++st->pairs_evaluated;
+      const double sim = InterpretedDot(a, b, dim, mul, add);
+      if (sim >= threshold) {
+        matches.push_back({static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j),
+                           static_cast<float>(sim)});
+      }
+    }
+  }
+
+  if (!options.filter_pushdown) {
+    // Late filter: discard matches whose rows fail the predicate — all the
+    // join work on non-qualifying rows was wasted.
+    std::vector<MatchPair> kept;
+    for (const auto& m : matches) {
+      if (left[m.left].attr < attr_cutoff && right[m.right].attr < attr_cutoff) {
+        kept.push_back(m);
+      }
+    }
+    matches.swap(kept);
+  }
+  st->matches = matches.size();
+  return matches;
+}
+
+}  // namespace cre

@@ -1,0 +1,62 @@
+#ifndef CRE_BASELINE_INTERPRETED_JOIN_H_
+#define CRE_BASELINE_INTERPRETED_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "embed/embedding_model.h"
+#include "vecsim/brute_force.h"
+
+namespace cre {
+
+/// One row of the Figure 4 workload: a string join key plus a numeric
+/// attribute used by the 1%-selectivity filter.
+struct StringRow {
+  std::string word;
+  std::int64_t attr = 0;
+};
+
+/// Emulation knobs for the "data analyst takes the first tool at their
+/// disposal" baseline (paper Sec. V): tuple-at-a-time evaluation with
+/// per-element indirect calls and per-pair temporary allocations — the
+/// overhead class of an interpreted (Python-like) pipeline. Each flag is
+/// one additive optimization rung of Figure 4.
+struct InterpretedOptions {
+  /// Apply the attribute filter BEFORE the join (the classic pushdown
+  /// rule). When false the join runs on the full inputs and the filter is
+  /// applied to the join result — the analyst's mistake in Sec. II.
+  bool filter_pushdown = false;
+  /// Embed each distinct row once up front instead of re-embedding inside
+  /// the pair loop (the "optimize data access" rung).
+  bool cache_embeddings = false;
+  /// With cache_embeddings: use the software-prefetching batch lookup.
+  bool prefetch = false;
+};
+
+struct InterpretedJoinStats {
+  std::size_t pairs_evaluated = 0;
+  std::size_t rows_embedded = 0;
+  std::size_t matches = 0;
+};
+
+/// Interpreted-style semantic similarity join with an optional attribute
+/// filter (attr < attr_cutoff on both sides). Results are identical to the
+/// compiled path on the same filtered inputs; only the execution strategy
+/// (and hence cost) differs.
+std::vector<MatchPair> InterpretedSimilarityJoin(
+    const std::vector<StringRow>& left, const std::vector<StringRow>& right,
+    const EmbeddingModel& model, float threshold, std::int64_t attr_cutoff,
+    const InterpretedOptions& options, InterpretedJoinStats* stats = nullptr);
+
+/// The interpreted inner product: per-element multiply/add through
+/// std::function indirection, accumulating in boxed doubles. Exposed for
+/// the microbench that isolates interpretation overhead.
+double InterpretedDot(const float* a, const float* b, std::size_t dim,
+                      const std::function<double(double, double)>& mul,
+                      const std::function<double(double, double)>& add);
+
+}  // namespace cre
+
+#endif  // CRE_BASELINE_INTERPRETED_JOIN_H_

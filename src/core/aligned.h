@@ -1,0 +1,78 @@
+#ifndef CRE_CORE_ALIGNED_H_
+#define CRE_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <utility>
+
+namespace cre {
+
+/// Owning, cache/SIMD-aligned flat buffer of trivially-copyable T.
+/// Embedding matrices and vector batches use 64-byte alignment so AVX loads
+/// never straddle cache lines.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n, std::size_t alignment = 64) {
+    Allocate(n, alignment);
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  /// (Re)allocates to hold n elements; contents are uninitialized.
+  void Allocate(std::size_t n, std::size_t alignment = 64) {
+    std::free(data_);
+    size_ = n;
+    if (n == 0) {
+      data_ = nullptr;
+      return;
+    }
+    std::size_t bytes = n * sizeof(T);
+    // aligned_alloc requires size to be a multiple of alignment.
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Issues a read prefetch for the cache line containing `p`.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace cre
+
+#endif  // CRE_CORE_ALIGNED_H_

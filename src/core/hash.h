@@ -1,0 +1,44 @@
+#ifndef CRE_CORE_HASH_H_
+#define CRE_CORE_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace cre {
+
+/// 64-bit FNV-1a over arbitrary bytes. Stable across platforms; used for
+/// dictionary and vocabulary hashing (determinism matters for repro).
+inline std::uint64_t Fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t HashString(std::string_view s,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Strong 64-bit integer mixer (final step of murmur3 / splitmix).
+inline std::uint64_t MixHash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return MixHash(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace cre
+
+#endif  // CRE_CORE_HASH_H_

@@ -1,0 +1,57 @@
+#ifndef CRE_CORE_LOGGING_H_
+#define CRE_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cre {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log emitter: destructor writes one line to stderr.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CRE_LOG(level)                                             \
+  ::cre::internal::LogMessage(::cre::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+/// Internal invariant check that aborts on failure (active in all builds).
+#define CRE_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      CRE_LOG(Error) << "CHECK failed: " #cond;                           \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define CRE_DCHECK(cond) CRE_CHECK(cond)
+
+}  // namespace cre
+
+#endif  // CRE_CORE_LOGGING_H_

@@ -1,0 +1,73 @@
+#ifndef CRE_CORE_RESULT_H_
+#define CRE_CORE_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "core/status.h"
+
+namespace cre {
+
+/// Holds either a value of type T or an error Status. The engine's public
+/// APIs return Result<T> instead of throwing exceptions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value without checking. Only for use directly
+  /// after an ok() check (e.g. in CRE_ASSIGN_OR_RETURN).
+  T ValueUnsafe() && { return std::move(*value_); }
+  const T& ValueUnsafe() const& { return *value_; }
+
+  /// Returns the value or `alternative` when this holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_CORE_RESULT_H_

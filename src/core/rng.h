@@ -1,0 +1,121 @@
+#ifndef CRE_CORE_RNG_H_
+#define CRE_CORE_RNG_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cre {
+
+/// Deterministic, fast PRNG (splitmix64 seeded xoshiro256**). Used for all
+/// synthetic data generation so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t Uniform(std::uint64_t bound) {
+    return bound ? Next() % bound : 0;
+  }
+
+  /// Uniform in [lo, hi].
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Standard normal via Box-Muller (one value per call; no caching).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+inline double Rng::NextGaussian() {
+  // Box-Muller; avoid log(0) by offsetting the uniform draw.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  constexpr double kTwoPi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+/// Zipfian distribution over [0, n) with exponent `s` (default 1.0).
+/// Precomputes the harmonic CDF for O(log n) sampling.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s = 1.0);
+
+  /// Draws one rank in [0, n); rank 0 is the most frequent.
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+inline Zipf::Zipf(std::size_t n, double s) {
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (std::size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+inline std::size_t Zipf::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  std::size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+}  // namespace cre
+
+#endif  // CRE_CORE_RNG_H_

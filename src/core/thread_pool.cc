@@ -1,0 +1,83 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace cre {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++outstanding_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_chunk) {
+  if (n == 0) return;
+  const std::size_t threads = num_threads();
+  if (threads <= 1 || n <= min_chunk) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(threads * 4, (n + min_chunk - 1) / min_chunk);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace cre

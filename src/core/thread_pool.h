@@ -1,0 +1,59 @@
+#ifndef CRE_CORE_THREAD_POOL_H_
+#define CRE_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cre {
+
+/// Fixed-size worker pool used by the morsel-driven parallel executor.
+/// Tasks are std::function<void()>; Wait() blocks until all submitted tasks
+/// have finished.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: splits [0, n) into contiguous chunks and runs
+  /// fn(begin, end) on the pool, blocking until done. Falls back to a
+  /// direct call when n is small or the pool has one thread.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   std::size_t min_chunk = 1024);
+
+  /// Shared process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::size_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cre
+
+#endif  // CRE_CORE_THREAD_POOL_H_

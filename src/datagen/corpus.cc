@@ -1,0 +1,28 @@
+#include "datagen/corpus.h"
+
+#include "datagen/vocabulary.h"
+
+namespace cre {
+
+std::vector<std::string> CorpusGenerator::Sample(std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string w = vocabulary_[zipf_.Sample(rng_)];
+    if (options_.misspell_prob > 0 && rng_.Bernoulli(options_.misspell_prob)) {
+      w = Misspell(w, rng_);
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+TablePtr CorpusGenerator::ToTable(const std::vector<std::string>& words,
+                                  const std::string& column) {
+  auto table = Table::Make(Schema({{column, DataType::kString, 0}}));
+  table->Reserve(words.size());
+  for (const auto& w : words) table->column(0).AppendString(w);
+  return table;
+}
+
+}  // namespace cre

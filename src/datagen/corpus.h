@@ -1,0 +1,49 @@
+#ifndef CRE_DATAGEN_CORPUS_H_
+#define CRE_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "embed/structured_model.h"
+#include "storage/table.h"
+
+namespace cre {
+
+/// Samples word corpora from a structured vocabulary with a Zipfian
+/// frequency distribution and a controlled misspelling rate — the
+/// Wikipedia-10k-strings substitution for Figure 4 (see DESIGN.md).
+class CorpusGenerator {
+ public:
+  struct Options {
+    double zipf_s = 1.0;          ///< frequency skew
+    double misspell_prob = 0.0;   ///< per-sample chance of one edit
+    std::uint64_t seed = 99;
+  };
+
+  CorpusGenerator(std::vector<std::string> vocabulary, Options options)
+      : vocabulary_(std::move(vocabulary)),
+        options_(options),
+        zipf_(vocabulary_.size(), options.zipf_s),
+        rng_(options.seed) {}
+
+  /// Draws `n` words (with repetition, Zipf-distributed ranks).
+  std::vector<std::string> Sample(std::size_t n);
+
+  /// Wraps a word list into a single-string-column table named `column`.
+  static TablePtr ToTable(const std::vector<std::string>& words,
+                          const std::string& column = "word");
+
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  std::vector<std::string> vocabulary_;
+  Options options_;
+  Zipf zipf_;
+  Rng rng_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_DATAGEN_CORPUS_H_

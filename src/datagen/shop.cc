@@ -1,0 +1,161 @@
+#include "datagen/shop.h"
+
+#include "core/rng.h"
+#include "datagen/vocabulary.h"
+
+namespace cre {
+
+namespace {
+
+struct Concept {
+  const char* name;
+  const char* family;
+  std::vector<const char*> aliases;
+};
+
+const std::vector<Concept>& ConceptCatalog() {
+  static const std::vector<Concept>* kConcepts = new std::vector<Concept>{
+      {"jacket", "clothes", {"blazer", "parka", "windbreaker", "coat", "anorak"}},
+      {"shoes", "clothes", {"sneakers", "boots", "loafers", "sandals", "trainers"}},
+      {"tshirt", "clothes", {"tee", "polo", "jersey", "tanktop", "singlet"}},
+      {"dress", "clothes", {"gown", "frock", "sundress", "tunic", "kaftan"}},
+      {"hat", "clothes", {"cap", "beanie", "fedora", "beret", "bonnet"}},
+      {"sweater", "clothes", {"pullover", "cardigan", "jumper", "hoodie", "fleece"}},
+      {"jeans", "clothes", {"denims", "chinos", "trousers", "slacks", "corduroys"}},
+      {"scarf", "clothes", {"shawl", "muffler", "stole", "bandana", "pashmina"}},
+      {"phone", "electronics", {"smartphone", "handset", "mobile", "cellphone", "flipphone"}},
+      {"laptop", "electronics", {"notebook", "ultrabook", "chromebook", "netbook", "workstation"}},
+      {"blender", "home", {"mixer", "juicer", "foodprocessor", "grinder", "whisker"}},
+      {"sofa", "home", {"couch", "settee", "loveseat", "divan", "futon"}},
+      {"lamp", "home", {"lantern", "sconce", "torchiere", "nightlight", "floorlight"}},
+      {"bicycle", "leisure", {"bike", "tandem", "ebike", "roadster", "velocipede"}},
+      {"book", "leisure", {"novel", "paperback", "hardcover", "tome", "anthology"}},
+      {"toy", "leisure", {"doll", "figurine", "puzzle", "plushie", "playset"}},
+  };
+  return *kConcepts;
+}
+
+const std::vector<const char*>& GenericObjects() {
+  static const std::vector<const char*>* kObjects =
+      new std::vector<const char*>{
+          "person", "tree",   "car",    "window", "grass",
+          "sky",    "street", "mirror", "plant",  "curtain"};
+  return *kObjects;
+}
+
+}  // namespace
+
+ShopDataset GenerateShopDataset(const ShopOptions& options) {
+  ShopDataset ds;
+  Rng rng(options.seed);
+  const auto& concepts = ConceptCatalog();
+
+  // ---- vocabulary / model ----
+  for (const auto& c : concepts) {
+    SynonymGroup g;
+    g.name = c.name;
+    g.weight = 3.0f;
+    g.words.push_back(c.name);
+    for (const auto* a : c.aliases) g.words.push_back(a);
+    ds.groups.push_back(std::move(g));
+    ds.all_concepts.push_back(c.name);
+    if (std::string(c.family) == "clothes") {
+      ds.clothing_concepts.push_back(c.name);
+    }
+  }
+  // Umbrella group linking clothing aliases to the word "clothes" itself
+  // (semantic select "type ~ Clothes" relies on it).
+  {
+    SynonymGroup umbrella;
+    umbrella.name = "clothes_family";
+    // Strong enough that cos(alias, "clothes") ~ 0.55-0.6, while
+    // cross-concept clothing aliases stay well under the 0.8 join
+    // threshold.
+    umbrella.weight = 2.5f;
+    umbrella.words.push_back("clothes");
+    for (const auto& c : concepts) {
+      if (std::string(c.family) != "clothes") continue;
+      umbrella.words.push_back(c.name);
+      for (const auto* a : c.aliases) umbrella.words.push_back(a);
+    }
+    ds.groups.push_back(std::move(umbrella));
+  }
+  // Generic scene objects: weight-0 singletons (no semantic neighbours).
+  for (const auto* obj : GenericObjects()) {
+    ds.groups.push_back({std::string("scene_") + obj, 0.0f, {obj}});
+  }
+
+  SynonymStructuredModel::Options model_options;
+  model_options.dim = options.dim;
+  model_options.seed = options.seed ^ 0xfeedULL;
+  ds.model = std::make_shared<SynonymStructuredModel>(ds.groups,
+                                                      model_options);
+
+  // ---- products (labels use ALIASES only, never the canonical name) ----
+  ds.products = Table::Make(Schema({{"product_id", DataType::kInt64, 0},
+                                    {"name", DataType::kString, 0},
+                                    {"type_label", DataType::kString, 0},
+                                    {"price", DataType::kFloat64, 0},
+                                    {"concept", DataType::kString, 0}}));
+  ds.products->Reserve(options.num_products);
+  for (std::size_t i = 0; i < options.num_products; ++i) {
+    const Concept& c = concepts[rng.Uniform(concepts.size())];
+    const char* alias = c.aliases[rng.Uniform(c.aliases.size())];
+    const double price = 5.0 + rng.NextDouble() * 195.0;
+    ds.products->column(0).AppendInt64(static_cast<std::int64_t>(i));
+    ds.products->column(1).AppendString(std::string(alias) + "-" +
+                                        std::to_string(i));
+    ds.products->column(2).AppendString(alias);
+    ds.products->column(3).AppendFloat64(price);
+    ds.products->column(4).AppendString(c.name);
+  }
+
+  // ---- transactions ----
+  ds.transactions = Table::Make(Schema({{"txn_id", DataType::kInt64, 0},
+                                        {"product_id", DataType::kInt64, 0},
+                                        {"user_id", DataType::kInt64, 0},
+                                        {"quantity", DataType::kInt64, 0},
+                                        {"txn_date", DataType::kDate, 0}}));
+  ds.transactions->Reserve(options.num_transactions);
+  for (std::size_t i = 0; i < options.num_transactions; ++i) {
+    ds.transactions->column(0).AppendInt64(static_cast<std::int64_t>(i));
+    ds.transactions->column(1).AppendInt64(
+        static_cast<std::int64_t>(rng.Uniform(options.num_products)));
+    ds.transactions->column(2).AppendInt64(
+        static_cast<std::int64_t>(rng.Uniform(options.num_products / 4 + 1)));
+    ds.transactions->column(3).AppendInt64(1 + rng.UniformInt(0, 4));
+    ds.transactions->column(4).AppendInt64(
+        rng.UniformInt(options.date_min, options.date_max));
+  }
+
+  // ---- knowledge base (uses CANONICAL concept names as subjects) ----
+  for (const auto& c : concepts) {
+    ds.kb.AddTriple(c.name, "category", c.family);
+    for (const auto* a : c.aliases) {
+      ds.kb.AddTriple(a, "is_a", c.name);
+    }
+  }
+
+  // ---- images ----
+  for (std::size_t i = 0; i < options.num_images; ++i) {
+    SyntheticImage img;
+    img.image_id = static_cast<std::int64_t>(i);
+    img.date_taken = rng.UniformInt(options.date_min, options.date_max);
+    const std::size_t num_objects =
+        1 + rng.Uniform(options.max_objects_per_image);
+    for (std::size_t o = 0; o < num_objects; ++o) {
+      if (rng.Bernoulli(0.55)) {
+        const Concept& c = concepts[rng.Uniform(concepts.size())];
+        img.objects.push_back(c.aliases[rng.Uniform(c.aliases.size())]);
+      } else {
+        const auto& generic = GenericObjects();
+        img.objects.push_back(generic[rng.Uniform(generic.size())]);
+      }
+    }
+    ds.images.AddImage(std::move(img));
+  }
+
+  return ds;
+}
+
+}  // namespace cre

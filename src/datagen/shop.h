@@ -1,0 +1,58 @@
+#ifndef CRE_DATAGEN_SHOP_H_
+#define CRE_DATAGEN_SHOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/structured_model.h"
+#include "kb/knowledge_base.h"
+#include "storage/table.h"
+#include "vision/image_store.h"
+
+namespace cre {
+
+/// Parameters for the online-shopping dataset of the motivating example
+/// (paper Sec. II / Fig. 2).
+struct ShopOptions {
+  std::size_t num_products = 2000;
+  std::size_t num_transactions = 8000;
+  std::size_t num_images = 1200;
+  std::size_t max_objects_per_image = 5;
+  std::int64_t date_min = 19100;  ///< days since epoch (~2022-04)
+  std::int64_t date_max = 19500;
+  std::uint64_t seed = 2024;
+  std::size_t dim = 100;
+};
+
+/// The three data sources of Fig. 2 plus the representation model that
+/// bridges them. Product type labels, KB subjects, and image object labels
+/// are drawn from *different aliases* of the same concepts, so exact-match
+/// joins under-produce and only the semantic join recovers the
+/// concept-level matches (ground truth kept in `concept` columns for
+/// precision/recall evaluation).
+struct ShopDataset {
+  std::vector<SynonymGroup> groups;
+  std::shared_ptr<SynonymStructuredModel> model;
+
+  /// {product_id:int64, name:string, type_label:string, price:float64,
+  ///  concept:string}  (concept = hidden ground truth)
+  TablePtr products;
+  /// {txn_id:int64, product_id:int64, user_id:int64, quantity:int64,
+  ///  txn_date:date}
+  TablePtr transactions;
+  /// Triples (concept, "category", family) with family in
+  /// {"clothes", "electronics", "home", "leisure"}.
+  KnowledgeBase kb;
+  ImageStore images;
+
+  std::vector<std::string> clothing_concepts;
+  std::vector<std::string> all_concepts;
+};
+
+ShopDataset GenerateShopDataset(const ShopOptions& options);
+
+}  // namespace cre
+
+#endif  // CRE_DATAGEN_SHOP_H_

@@ -1,0 +1,122 @@
+#include "datagen/vocabulary.h"
+
+#include <set>
+
+namespace cre {
+
+std::vector<SynonymGroup> TableOneGroups() {
+  // Weights: tight groups at 3.0 (within-group cosine ~0.9); umbrella
+  // categories at 1.2 so members relate to the category word without
+  // collapsing cross-category distances.
+  return {
+      {"dog", 3.0f, {"dog", "canine", "golden retriever", "puppy"}},
+      {"cat", 3.0f, {"cat", "maine coon", "feline", "kitten"}},
+      {"animal", 1.2f,
+       {"animal", "dog", "canine", "golden retriever", "puppy", "cat",
+        "maine coon", "feline", "kitten"}},
+      {"shoes", 3.0f, {"shoes", "boots", "sneakers", "oxfords", "lace-ups"}},
+      {"jacket", 3.0f, {"jacket", "blazer", "coat", "parka", "windbreaker"}},
+      {"clothes", 1.2f,
+       {"clothes", "shoes", "boots", "sneakers", "oxfords", "lace-ups",
+        "jacket", "blazer", "coat", "parka", "windbreaker"}},
+  };
+}
+
+std::vector<std::string> TableOneCategories() {
+  return {"dog", "cat", "animal", "shoes", "jacket", "clothes"};
+}
+
+std::vector<std::vector<std::string>> TableOneExpectedMatches() {
+  return {
+      {"dog", "canine", "golden retriever", "puppy"},
+      {"cat", "maine coon", "feline", "kitten"},
+      {"cat", "dog", "golden retriever", "feline"},
+      {"boots", "sneakers", "oxfords", "lace-ups"},
+      {"blazer", "coat", "parka", "windbreaker"},
+      {"boots", "parka", "windbreaker", "coat"},
+  };
+}
+
+std::string RandomWord(Rng& rng, std::size_t min_len, std::size_t max_len) {
+  static constexpr char kConsonants[] = "bcdfghjklmnprstvwz";
+  static constexpr char kVowels[] = "aeiou";
+  const std::size_t len =
+      min_len + rng.Uniform(max_len - min_len + 1);
+  std::string w;
+  w.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % 2 == 0) {
+      w.push_back(kConsonants[rng.Uniform(sizeof(kConsonants) - 1)]);
+    } else {
+      w.push_back(kVowels[rng.Uniform(sizeof(kVowels) - 1)]);
+    }
+  }
+  return w;
+}
+
+std::string Misspell(const std::string& word, Rng& rng) {
+  if (word.empty()) return word;
+  std::string out = word;
+  const std::size_t pos = rng.Uniform(out.size());
+  switch (rng.Uniform(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng.Uniform(26));
+      break;
+    case 1:  // swap with next
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+    case 2:  // drop
+      if (out.size() > 2) out.erase(pos, 1);
+      break;
+    case 3:  // duplicate
+      out.insert(out.begin() + pos, out[pos]);
+      break;
+  }
+  return out;
+}
+
+std::vector<SynonymGroup> GenerateVocabulary(
+    const VocabularyOptions& options) {
+  Rng rng(options.seed);
+  std::vector<SynonymGroup> groups;
+  groups.reserve(options.num_groups + options.num_singletons);
+  std::set<std::string> used;
+
+  auto fresh_word = [&]() {
+    for (;;) {
+      std::string w = RandomWord(rng);
+      if (used.insert(w).second) return w;
+    }
+  };
+
+  for (std::size_t g = 0; g < options.num_groups; ++g) {
+    SynonymGroup group;
+    group.name = "grp_" + std::to_string(g);
+    group.weight = options.group_weight;
+    for (std::size_t w = 0; w < options.words_per_group; ++w) {
+      group.words.push_back(fresh_word());
+    }
+    groups.push_back(std::move(group));
+  }
+  for (std::size_t s = 0; s < options.num_singletons; ++s) {
+    SynonymGroup group;
+    group.name = "single_" + std::to_string(s);
+    group.weight = 0.0f;  // pure noise embedding: no semantic neighbours
+    group.words.push_back(fresh_word());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<std::string> AllWords(const std::vector<SynonymGroup>& groups) {
+  std::vector<std::string> words;
+  std::set<std::string> seen;
+  for (const auto& g : groups) {
+    for (const auto& w : g.words) {
+      if (seen.insert(w).second) words.push_back(w);
+    }
+  }
+  return words;
+}
+
+}  // namespace cre

@@ -1,0 +1,53 @@
+#ifndef CRE_DATAGEN_VOCABULARY_H_
+#define CRE_DATAGEN_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "embed/structured_model.h"
+
+namespace cre {
+
+/// The exact vocabulary of the paper's Table I: tight synonym groups for
+/// dog/cat/shoes/jacket plus the umbrella categories animal and clothes
+/// (lower weight, shared members). Reproduced by bench/tab1.
+std::vector<SynonymGroup> TableOneGroups();
+
+/// Queries (left column of Table I) in paper order.
+std::vector<std::string> TableOneCategories();
+
+/// Expected semantic matches per category, as printed in Table I.
+std::vector<std::vector<std::string>> TableOneExpectedMatches();
+
+/// Generates a pronounceable synthetic word (alternating consonant/vowel)
+/// of the given length.
+std::string RandomWord(Rng& rng, std::size_t min_len = 4,
+                       std::size_t max_len = 10);
+
+/// Applies one random edit (substitute/swap/drop/duplicate a character) —
+/// the misspelling generator for robustness tests and dirty corpora.
+std::string Misspell(const std::string& word, Rng& rng);
+
+/// Options for synthesizing a large structured vocabulary (the Wikipedia
+/// substitution for Figure 4: what matters is vocabulary scale, hash-table
+/// behaviour, and a controlled fraction of semantically matching words).
+struct VocabularyOptions {
+  std::size_t num_groups = 2000;       ///< tight synonym groups
+  std::size_t words_per_group = 4;
+  std::size_t num_singletons = 20000;  ///< words with no synonyms
+  float group_weight = 3.0f;
+  std::uint64_t seed = 1234;
+};
+
+/// Generates groups + singleton words (each singleton is a group of one
+/// with weight 0 so it keeps a pure noise embedding).
+std::vector<SynonymGroup> GenerateVocabulary(const VocabularyOptions& options);
+
+/// Flattens group members into a single word list.
+std::vector<std::string> AllWords(const std::vector<SynonymGroup>& groups);
+
+}  // namespace cre
+
+#endif  // CRE_DATAGEN_VOCABULARY_H_

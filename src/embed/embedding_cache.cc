@@ -1,0 +1,36 @@
+#include "embed/embedding_cache.h"
+
+#include <cstring>
+
+namespace cre {
+
+void CachingEmbeddingModel::Embed(std::string_view text, float* out) const {
+  const std::string key(text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      std::memcpy(out, it->second->vec.data(), dim() * sizeof(float));
+      return;
+    }
+  }
+  // Miss: compute outside the lock (inner model is thread-safe).
+  std::vector<float> vec(dim());
+  inner_->Embed(text, vec.data());
+  std::memcpy(out, vec.data(), dim() * sizeof(float));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  auto it = map_.find(key);
+  if (it != map_.end()) return;  // raced with another thread: keep theirs
+  lru_.push_front({key, std::move(vec)});
+  map_[key] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace cre

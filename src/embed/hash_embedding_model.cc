@@ -1,0 +1,70 @@
+#include "embed/hash_embedding_model.h"
+
+#include <cstring>
+
+#include "core/hash.h"
+#include "vecsim/kernels.h"
+
+namespace cre {
+
+namespace {
+
+/// Cheap deterministic "gaussian-ish" component from a mixed hash: sum of
+/// two uniform [-1,1) draws, giving a triangular distribution — good
+/// enough isotropy for random direction vectors, much cheaper than
+/// Box-Muller on the hot embedding path.
+inline float ComponentFromHash(std::uint64_t h) {
+  const std::uint32_t a = static_cast<std::uint32_t>(h);
+  const std::uint32_t b = static_cast<std::uint32_t>(h >> 32);
+  const float ua = static_cast<float>(a) * (2.0f / 4294967296.0f) - 1.0f;
+  const float ub = static_cast<float>(b) * (2.0f / 4294967296.0f) - 1.0f;
+  return ua + ub;
+}
+
+}  // namespace
+
+void HashEmbeddingModel::BucketVector(std::uint64_t bucket_hash,
+                                      float* out) const {
+  std::uint64_t state = MixHash(bucket_hash ^ options_.bucket_seed);
+  for (std::size_t d = 0; d < options_.dim; ++d) {
+    state = MixHash(state + 0x9e3779b97f4a7c15ULL);
+    out[d] = ComponentFromHash(state);
+  }
+  NormalizeInPlace(out, options_.dim);
+}
+
+void HashEmbeddingModel::Embed(std::string_view text, float* out) const {
+  const std::size_t dim = options_.dim;
+  std::memset(out, 0, dim * sizeof(float));
+
+  // Boundary-marked word, as in fastText: "<word>".
+  std::string marked;
+  marked.reserve(text.size() + 2);
+  marked.push_back('<');
+  marked.append(text.data(), text.size());
+  marked.push_back('>');
+
+  std::vector<float> tmp(dim);
+
+  // Whole-word bucket (weighted relative to individual n-grams).
+  BucketVector(HashString(marked), tmp.data());
+  for (std::size_t d = 0; d < dim; ++d) {
+    out[d] += options_.word_weight * tmp[d];
+  }
+
+  // Character n-grams.
+  const std::size_t len = marked.size();
+  for (std::size_t n = options_.min_ngram;
+       n <= options_.max_ngram && n <= len; ++n) {
+    for (std::size_t i = 0; i + n <= len; ++i) {
+      const std::uint64_t h =
+          Fnv1a64(marked.data() + i, n, /*seed=*/0x9ae16a3b2f90404fULL);
+      BucketVector(h, tmp.data());
+      for (std::size_t d = 0; d < dim; ++d) out[d] += tmp[d];
+    }
+  }
+
+  NormalizeInPlace(out, dim);
+}
+
+}  // namespace cre

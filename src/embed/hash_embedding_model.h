@@ -1,0 +1,50 @@
+#ifndef CRE_EMBED_HASH_EMBEDDING_MODEL_H_
+#define CRE_EMBED_HASH_EMBEDDING_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "embed/embedding_model.h"
+
+namespace cre {
+
+/// fastText-style subword embedding: a word's vector is the normalized sum
+/// of deterministic pseudo-random bucket vectors for its character n-grams
+/// (with boundary markers) plus the whole word. Shared n-grams make
+/// misspellings and inflections land close in the latent space — the
+/// syntactic half of context similarity [14][17]. Bucket vectors are
+/// generated on the fly from the bucket hash, so the model needs no
+/// training and no storage.
+class HashEmbeddingModel : public EmbeddingModel {
+ public:
+  struct Options {
+    std::size_t dim = 100;
+    /// Short n-grams maximize overlap under single-character edits, which
+    /// is where the misspelling tolerance comes from.
+    std::size_t min_ngram = 2;
+    std::size_t max_ngram = 4;
+    /// Relative weight of the whole-word bucket vs one n-gram.
+    float word_weight = 1.5f;
+    std::uint64_t bucket_seed = 0x5eed;
+  };
+
+  HashEmbeddingModel() = default;
+  explicit HashEmbeddingModel(Options options) : options_(options) {}
+
+  std::size_t dim() const override { return options_.dim; }
+  void Embed(std::string_view text, float* out) const override;
+  std::string name() const override { return "hash_subword"; }
+  double cost_ns_per_embedding() const override { return 900.0; }
+
+  /// Writes the deterministic unit vector for one hashed bucket. Exposed
+  /// for the structured model, which reuses the generator for noise.
+  void BucketVector(std::uint64_t bucket_hash, float* out) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EMBED_HASH_EMBEDDING_MODEL_H_

@@ -1,0 +1,54 @@
+#include "embed/model_registry.h"
+
+#include <vector>
+
+#include "vecsim/kernels.h"
+
+namespace cre {
+
+float EmbeddingModel::Similarity(std::string_view a, std::string_view b) const {
+  std::vector<float> va(dim()), vb(dim());
+  Embed(a, va.data());
+  Embed(b, vb.data());
+  // Embeddings are unit-normalized by contract, so dot == cosine.
+  return DotUnrolled(va.data(), vb.data(), dim());
+}
+
+Status ModelRegistry::Register(const std::string& name,
+                               EmbeddingModelPtr model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.count(name)) {
+    return Status::AlreadyExists("model '" + name + "' already registered");
+  }
+  models_[name] = std::move(model);
+  return Status::OK();
+}
+
+void ModelRegistry::Put(const std::string& name, EmbeddingModelPtr model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = std::move(model);
+}
+
+Result<EmbeddingModelPtr> ModelRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not in registry");
+  }
+  return it->second;
+}
+
+bool ModelRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.count(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::ListModels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, _] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cre

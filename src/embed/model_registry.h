@@ -1,0 +1,37 @@
+#ifndef CRE_EMBED_MODEL_REGISTRY_H_
+#define CRE_EMBED_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "embed/embedding_model.h"
+
+namespace cre {
+
+using EmbeddingModelPtr = std::shared_ptr<const EmbeddingModel>;
+
+/// Name -> model registry, the model analogue of the table Catalog.
+/// Semantic operators reference models by name ("using model M", Sec. IV);
+/// the optimizer resolves names here to read cost annotations.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  Status Register(const std::string& name, EmbeddingModelPtr model);
+  void Put(const std::string& name, EmbeddingModelPtr model);
+  Result<EmbeddingModelPtr> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListModels() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, EmbeddingModelPtr> models_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EMBED_MODEL_REGISTRY_H_

@@ -1,0 +1,60 @@
+#include "embed/vocab_hash_table.h"
+
+#include "core/aligned.h"
+
+namespace cre {
+
+bool VocabHashTable::Insert(std::string_view word, std::uint32_t row) {
+  if ((size_ + 1) * 10 >= slots_.size() * 7) {  // keep load factor <= 0.7
+    Rehash(slots_.size() * 2);
+  }
+  const std::uint64_t h = HashString(word);
+  std::size_t i = ProbeStart(h);
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (!slot.occupied) {
+      slot.hash = h;
+      slot.row = row;
+      slot.key.assign(word.data(), word.size());
+      slot.occupied = true;
+      ++size_;
+      return true;
+    }
+    if (slot.hash == h && slot.key == word) return false;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+std::uint32_t VocabHashTable::Lookup(std::string_view word) const {
+  return LookupWithHash(word, HashString(word));
+}
+
+std::uint32_t VocabHashTable::LookupWithHash(std::string_view word,
+                                             std::uint64_t h) const {
+  std::size_t i = ProbeStart(h);
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (!slot.occupied) return kNotFound;
+    if (slot.hash == h && slot.key == word) return slot.row;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+void VocabHashTable::PrefetchWord(std::string_view word) const {
+  PrefetchHash(HashString(word));
+}
+
+void VocabHashTable::PrefetchHash(std::uint64_t h) const {
+  PrefetchRead(&slots_[ProbeStart(h)]);
+}
+
+void VocabHashTable::Rehash(std::size_t new_capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  size_ = 0;
+  for (auto& slot : old) {
+    if (slot.occupied) Insert(slot.key, slot.row);
+  }
+}
+
+}  // namespace cre

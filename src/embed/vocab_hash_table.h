@@ -1,0 +1,62 @@
+#ifndef CRE_EMBED_VOCAB_HASH_TABLE_H_
+#define CRE_EMBED_VOCAB_HASH_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace cre {
+
+/// Open-addressing (linear probing) string -> row-id hash table modeling
+/// the fastText vocabulary table. Exposes the probe-slot address so callers
+/// can software-prefetch upcoming lookups — the "prefetching necessary
+/// data" rung of Figure 4.
+class VocabHashTable {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  VocabHashTable() { Rehash(1024); }
+
+  /// Inserts `word` -> `row`; returns false when the word already exists.
+  bool Insert(std::string_view word, std::uint32_t row);
+
+  /// Returns the row id for `word`, or kNotFound.
+  std::uint32_t Lookup(std::string_view word) const;
+
+  /// Lookup with a precomputed HashString(word) value — lets batch callers
+  /// hash once, prefetch, then probe without rehashing.
+  std::uint32_t LookupWithHash(std::string_view word,
+                               std::uint64_t hash) const;
+
+  /// Issues a prefetch for the first probe slot of `word`'s bucket chain.
+  void PrefetchWord(std::string_view word) const;
+
+  /// Prefetches the probe slot for a precomputed hash.
+  void PrefetchHash(std::uint64_t hash) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t row = kNotFound;
+    std::string key;  ///< empty means vacant
+    bool occupied = false;
+  };
+
+  void Rehash(std::size_t new_capacity);
+  std::size_t ProbeStart(std::uint64_t h) const {
+    return h & (slots_.size() - 1);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EMBED_VOCAB_HASH_TABLE_H_

@@ -1,0 +1,165 @@
+#include "engine/engine.h"
+
+#include <thread>
+
+#include "core/timer.h"
+#include "exec/aggregate.h"
+#include "exec/filter.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "semantic/semantic_group_by.h"
+#include "semantic/semantic_join.h"
+#include "semantic/semantic_select.h"
+
+namespace cre {
+
+Engine::Engine() : Engine(EngineOptions{}) {}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  std::size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Optimizer Engine::MakeOptimizer() const {
+  auto* self = const_cast<Engine*>(this);
+  SubplanExecutor executor = [self](const PlanPtr& subplan) {
+    return self->ExecuteUnoptimized(subplan);
+  };
+  return Optimizer(&catalog_, &models_, &detectors_, options_.optimizer,
+                   std::move(executor));
+}
+
+Result<OperatorPtr> Engine::Lower(const PlanNode& node) {
+  CRE_ASSIGN_OR_RETURN(OperatorPtr op, LowerImpl(node));
+  if (active_stats_ != nullptr) {
+    OperatorStats* slot = active_stats_->AddSlot(op->name());
+    op = std::make_unique<InstrumentedOperator>(std::move(op), slot);
+  }
+  return op;
+}
+
+Result<OperatorPtr> Engine::LowerImpl(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      CRE_ASSIGN_OR_RETURN(TablePtr table, catalog_.Get(node.table_name));
+      OperatorPtr scan = std::make_unique<TableScanOperator>(table);
+      if (node.predicate) {
+        scan = std::make_unique<FilterOperator>(std::move(scan),
+                                                node.predicate);
+      }
+      return scan;
+    }
+    case PlanKind::kDetectScan: {
+      CRE_ASSIGN_OR_RETURN(DetectorBinding binding,
+                           detectors_.Get(node.table_name));
+      return OperatorPtr(std::make_unique<DetectionScanOperator>(
+          binding.store, binding.detector, node.predicate));
+    }
+    case PlanKind::kFilter: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      return OperatorPtr(
+          std::make_unique<FilterOperator>(std::move(child), node.predicate));
+    }
+    case PlanKind::kProject: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      return OperatorPtr(std::make_unique<ProjectOperator>(std::move(child),
+                                                           node.projections));
+    }
+    case PlanKind::kJoin: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*node.children[0]));
+      CRE_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*node.children[1]));
+      return OperatorPtr(std::make_unique<HashJoinOperator>(
+          std::move(left), std::move(right), node.left_key, node.right_key));
+    }
+    case PlanKind::kSemanticSelect: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
+                           models_.Get(node.model_name));
+      if (!node.queries.empty()) {
+        return OperatorPtr(std::make_unique<SemanticMultiSelectOperator>(
+            std::move(child), node.column, node.queries, std::move(model),
+            node.threshold));
+      }
+      return OperatorPtr(std::make_unique<SemanticSelectOperator>(
+          std::move(child), node.column, node.query, std::move(model),
+          node.threshold));
+    }
+    case PlanKind::kSemanticJoin: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*node.children[0]));
+      CRE_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*node.children[1]));
+      CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
+                           models_.Get(node.model_name));
+      SemanticJoinOptions options;
+      options.threshold = node.threshold;
+      options.strategy = node.strategy;
+      options.top_k = node.top_k;
+      options.variant = options_.kernel_variant;
+      options.pool = pool_.get();
+      return OperatorPtr(std::make_unique<SemanticJoinOperator>(
+          std::move(left), std::move(right), node.left_key, node.right_key,
+          std::move(model), std::move(options)));
+    }
+    case PlanKind::kSemanticGroupBy: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
+                           models_.Get(node.model_name));
+      return OperatorPtr(std::make_unique<SemanticGroupByOperator>(
+          std::move(child), node.column, std::move(model), node.threshold));
+    }
+    case PlanKind::kAggregate: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      return OperatorPtr(std::make_unique<AggregateOperator>(
+          std::move(child), node.group_keys, node.aggs));
+    }
+    case PlanKind::kSort: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      return OperatorPtr(std::make_unique<SortOperator>(
+          std::move(child), node.sort_key, node.sort_ascending));
+    }
+    case PlanKind::kLimit: {
+      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+      return OperatorPtr(
+          std::make_unique<LimitOperator>(std::move(child), node.limit));
+    }
+  }
+  return Status::Internal("unreachable plan kind in Lower");
+}
+
+Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan) {
+  CRE_ASSIGN_OR_RETURN(OperatorPtr root, Lower(*plan));
+  return ExecuteToTable(root.get());
+}
+
+Result<TablePtr> Engine::Execute(const PlanPtr& plan) {
+  Optimizer optimizer = MakeOptimizer();
+  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+  return ExecuteUnoptimized(optimized);
+}
+
+Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(const PlanPtr& plan) {
+  Optimizer optimizer = MakeOptimizer();
+  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+
+  AnalyzedResult out;
+  out.stats = std::make_shared<StatsCollector>();
+  active_stats_ = out.stats.get();
+  Timer timer;
+  auto result = ExecuteUnoptimized(optimized);
+  out.total_seconds = timer.Seconds();
+  active_stats_ = nullptr;
+  if (!result.ok()) return result.status();
+  out.table = std::move(result).ValueUnsafe();
+  return out;
+}
+
+Result<std::string> Engine::Explain(const PlanPtr& plan) {
+  Optimizer optimizer = MakeOptimizer();
+  return optimizer.Explain(plan);
+}
+
+}  // namespace cre

@@ -1,0 +1,94 @@
+#ifndef CRE_ENGINE_ENGINE_H_
+#define CRE_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/thread_pool.h"
+#include "embed/model_registry.h"
+#include "exec/operator.h"
+#include "exec/stats.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_node.h"
+#include "storage/catalog.h"
+#include "vecsim/kernels.h"
+#include "vision/detection_scan.h"
+
+namespace cre {
+
+/// Top-level engine options.
+struct EngineOptions {
+  OptimizerOptions optimizer;
+  /// Worker threads for parallel operators (0 = hardware concurrency,
+  /// 1 = single-threaded).
+  std::size_t num_threads = 0;
+  /// Kernel variant for similarity operators.
+  KernelVariant kernel_variant = BestKernelVariant();
+};
+
+/// The context-rich analytical engine: a catalog of relational tables, a
+/// registry of representation models, detector bindings for image stores,
+/// a holistic optimizer over all of them, and a vectorized executor. This
+/// is the declarative entry point the paper envisions — users state what
+/// to compute (a logical plan, usually via QueryBuilder) and the engine
+/// decides how.
+class Engine {
+ public:
+  Engine();
+  explicit Engine(EngineOptions options);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  ModelRegistry& models() { return models_; }
+  const ModelRegistry& models() const { return models_; }
+  DetectorRegistry& detectors() { return detectors_; }
+  const DetectorRegistry& detectors() const { return detectors_; }
+
+  ThreadPool* pool() { return pool_.get(); }
+  const EngineOptions& options() const { return options_; }
+  void set_optimizer_options(const OptimizerOptions& o) {
+    options_.optimizer = o;
+  }
+
+  /// Optimizes and executes a logical plan.
+  Result<TablePtr> Execute(const PlanPtr& plan);
+
+  /// Execution result with per-operator counters (EXPLAIN ANALYZE).
+  struct AnalyzedResult {
+    TablePtr table;
+    std::shared_ptr<StatsCollector> stats;
+    double total_seconds = 0;
+  };
+
+  /// Optimizes and executes with per-operator instrumentation.
+  Result<AnalyzedResult> ExecuteWithStats(const PlanPtr& plan);
+
+  /// Executes the plan exactly as written (the "analyst's hand-rolled
+  /// pipeline") — the baseline side of E3/E8.
+  Result<TablePtr> ExecuteUnoptimized(const PlanPtr& plan);
+
+  /// Optimized plan rendering with cardinality and cost annotations.
+  Result<std::string> Explain(const PlanPtr& plan);
+
+  /// Lowers a logical node to a physical operator tree.
+  Result<OperatorPtr> Lower(const PlanNode& node);
+
+  /// An optimizer bound to this engine's catalog/models/detectors, with
+  /// subplan execution enabled for data-induced predicates.
+  Optimizer MakeOptimizer() const;
+
+ private:
+  Result<OperatorPtr> LowerImpl(const PlanNode& node);
+
+  EngineOptions options_;
+  Catalog catalog_;
+  ModelRegistry models_;
+  DetectorRegistry detectors_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Non-null while lowering under ExecuteWithStats.
+  StatsCollector* active_stats_ = nullptr;
+};
+
+}  // namespace cre
+
+#endif  // CRE_ENGINE_ENGINE_H_

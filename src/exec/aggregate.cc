@@ -1,0 +1,149 @@
+#include "exec/aggregate.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cre {
+
+namespace {
+
+/// Serializes one row's group-key cells into a collision-free map key.
+std::string MakeGroupKey(const Table& batch,
+                         const std::vector<std::size_t>& key_cols,
+                         std::size_t row) {
+  std::string key;
+  for (const std::size_t c : key_cols) {
+    const Value v = batch.GetValue(row, c);
+    key += v.ToString();
+    key.push_back('\x1f');  // unit separator avoids value-concat collisions
+  }
+  return key;
+}
+
+}  // namespace
+
+AggregateOperator::AggregateOperator(OperatorPtr child,
+                                     std::vector<std::string> group_keys,
+                                     std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_keys_(std::move(group_keys)),
+      aggs_(std::move(aggs)) {}
+
+Status AggregateOperator::Open() {
+  CRE_RETURN_NOT_OK(child_->Open());
+  const Schema& in = child_->output_schema();
+  for (const auto& k : group_keys_) {
+    CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(k));
+    schema_.AddField(in.field(idx));
+  }
+  for (const auto& a : aggs_) {
+    if (a.kind != AggKind::kCount) {
+      CRE_RETURN_NOT_OK(in.RequireField(a.column).status());
+    }
+    const DataType out_type =
+        a.kind == AggKind::kCount ? DataType::kInt64 : DataType::kFloat64;
+    schema_.AddField({a.output_name, out_type, 0});
+  }
+  return Status::OK();
+}
+
+Status AggregateOperator::Consume(const Table& batch) {
+  const Schema& in = batch.schema();
+  std::vector<std::size_t> key_cols;
+  for (const auto& k : group_keys_) {
+    CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(k));
+    key_cols.push_back(idx);
+  }
+  std::vector<int> agg_cols(aggs_.size(), -1);
+  for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    if (aggs_[a].kind != AggKind::kCount) {
+      CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(aggs_[a].column));
+      agg_cols[a] = static_cast<int>(idx);
+    }
+  }
+
+  const std::size_t n = batch.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    std::string key = MakeGroupKey(batch, key_cols, r);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      GroupState state;
+      state.key_values.reserve(key_cols.size());
+      for (const std::size_t c : key_cols) {
+        state.key_values.push_back(batch.GetValue(r, c));
+      }
+      state.acc.resize(aggs_.size(), 0.0);
+      state.counts.resize(aggs_.size(), 0);
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].kind == AggKind::kMin) {
+          state.acc[a] = std::numeric_limits<double>::max();
+        } else if (aggs_[a].kind == AggKind::kMax) {
+          state.acc[a] = std::numeric_limits<double>::lowest();
+        }
+      }
+      it = groups_.emplace(std::move(key), std::move(state)).first;
+    }
+    GroupState& g = it->second;
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      ++g.counts[a];
+      if (aggs_[a].kind == AggKind::kCount) continue;
+      const double v = batch.GetValue(r, agg_cols[a]).AsNumeric();
+      switch (aggs_[a].kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          g.acc[a] += v;
+          break;
+        case AggKind::kMin:
+          g.acc[a] = std::min(g.acc[a], v);
+          break;
+        case AggKind::kMax:
+          g.acc[a] = std::max(g.acc[a], v);
+          break;
+        case AggKind::kCount:
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> AggregateOperator::Next() {
+  if (done_) return TablePtr(nullptr);
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+    if (batch == nullptr) break;
+    CRE_RETURN_NOT_OK(Consume(*batch));
+  }
+  done_ = true;
+
+  // SQL semantics: a global aggregate (no grouping keys) over empty input
+  // yields exactly one row of identity values (COUNT = 0, sums = 0).
+  if (groups_.empty() && group_keys_.empty()) {
+    GroupState zero;
+    zero.acc.resize(aggs_.size(), 0.0);
+    zero.counts.resize(aggs_.size(), 0);
+    groups_.emplace("", std::move(zero));
+  }
+
+  auto out = Table::Make(schema_);
+  for (const auto& [key, g] : groups_) {
+    std::vector<Value> row = g.key_values;
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].kind) {
+        case AggKind::kCount:
+          row.push_back(Value(g.counts[a]));
+          break;
+        case AggKind::kAvg:
+          row.push_back(Value(g.counts[a] ? g.acc[a] / g.counts[a] : 0.0));
+          break;
+        default:
+          row.push_back(Value(g.acc[a]));
+          break;
+      }
+    }
+    CRE_RETURN_NOT_OK(out->AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace cre

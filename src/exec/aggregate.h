@@ -1,0 +1,54 @@
+#ifndef CRE_EXEC_AGGREGATE_H_
+#define CRE_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace cre {
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate to compute: e.g. {kSum, "price", "total_price"}.
+/// `column` is ignored for kCount.
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  std::string column;
+  std::string output_name;
+};
+
+/// Hash group-by with streaming accumulation; emits one batch of group
+/// results at end of input. Group keys may be int64/date/string/bool.
+class AggregateOperator : public PhysicalOperator {
+ public:
+  AggregateOperator(OperatorPtr child, std::vector<std::string> group_keys,
+                    std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override { return "Aggregate"; }
+
+ private:
+  struct GroupState {
+    std::vector<Value> key_values;
+    std::vector<double> acc;      ///< sum/min/max accumulator per agg
+    std::vector<std::int64_t> counts;  ///< per-agg row counts
+  };
+
+  Status Consume(const Table& batch);
+
+  OperatorPtr child_;
+  std::vector<std::string> group_keys_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  std::unordered_map<std::string, GroupState> groups_;
+  bool done_ = false;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_AGGREGATE_H_

@@ -1,0 +1,16 @@
+#include "exec/filter.h"
+
+namespace cre {
+
+Result<TablePtr> FilterOperator::Next() {
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+    if (batch == nullptr) return TablePtr(nullptr);
+    CRE_ASSIGN_OR_RETURN(auto indices, FilterIndices(*batch, *predicate_));
+    if (indices.empty()) continue;  // fully filtered batch: pull again
+    if (indices.size() == batch->num_rows()) return batch;
+    return batch->Take(indices);
+  }
+}
+
+}  // namespace cre

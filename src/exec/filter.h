@@ -1,0 +1,35 @@
+#ifndef CRE_EXEC_FILTER_H_
+#define CRE_EXEC_FILTER_H_
+
+#include <string>
+#include <utility>
+
+#include "exec/operator.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace cre {
+
+/// Vectorized selection: emits rows of the child satisfying `predicate`.
+class FilterOperator : public PhysicalOperator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override { return child_->Open(); }
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_FILTER_H_

@@ -1,0 +1,53 @@
+#ifndef CRE_EXEC_HASH_JOIN_H_
+#define CRE_EXEC_HASH_JOIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace cre {
+
+/// Inner equi-join: builds a hash table on the right input (assumed the
+/// smaller side; the optimizer is responsible for choosing sides), then
+/// probes with left batches. Duplicate output names from the right side
+/// get an "_r" suffix.
+class HashJoinOperator : public PhysicalOperator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right, std::string left_key,
+                   std::string right_key);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return "HashJoin(" + left_key_ + " = " + right_key_ + ")";
+  }
+
+  /// Rows in the build-side hash table (exposed for tests/benches).
+  std::size_t build_rows() const {
+    return build_ ? build_->num_rows() : 0;
+  }
+
+ private:
+  Status BuildSide();
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::string left_key_;
+  std::string right_key_;
+
+  Schema schema_;
+  TablePtr build_;  ///< materialized right side
+  // Key maps: exactly one is used, depending on the key column type.
+  std::unordered_multimap<std::int64_t, std::uint32_t> int_index_;
+  std::unordered_multimap<std::string, std::uint32_t> str_index_;
+  bool key_is_string_ = false;
+  bool opened_ = false;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_HASH_JOIN_H_

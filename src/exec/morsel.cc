@@ -1,0 +1,59 @@
+#include "exec/morsel.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace cre {
+
+Result<TablePtr> MorselParallelExecute(const TablePtr& table,
+                                       const MorselPipelineFactory& factory,
+                                       const MorselOptions& options) {
+  const std::size_t n = table->num_rows();
+  const std::size_t morsel = std::max<std::size_t>(1, options.morsel_rows);
+  const std::size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
+
+  if (num_morsels <= 1 || options.pool == nullptr ||
+      options.pool->num_threads() <= 1) {
+    CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, factory(table));
+    return ExecuteToTable(pipeline.get());
+  }
+
+  std::vector<Result<TablePtr>> results(
+      num_morsels, Result<TablePtr>(Status::Internal("morsel not run")));
+  std::mutex results_mu;  // guards only the Result assignment slots
+
+  options.pool->ParallelFor(
+      num_morsels,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t m = begin; m < end; ++m) {
+          TablePtr slice = table->Slice(m * morsel, morsel);
+          Result<TablePtr> r = [&]() -> Result<TablePtr> {
+            CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, factory(slice));
+            return ExecuteToTable(pipeline.get());
+          }();
+          std::lock_guard<std::mutex> lock(results_mu);
+          results[m] = std::move(r);
+        }
+      },
+      /*min_chunk=*/1);
+
+  // Concatenate in morsel order; propagate the first error.
+  TablePtr out;
+  for (auto& r : results) {
+    if (!r.ok()) return r.status();
+    TablePtr part = std::move(r).ValueUnsafe();
+    if (out == nullptr) {
+      out = Table::Make(part->schema());
+    }
+    CRE_RETURN_NOT_OK(out->AppendTable(*part));
+  }
+  if (out == nullptr) {
+    // Zero-row input: run the pipeline once to learn the output schema.
+    CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, factory(table));
+    return ExecuteToTable(pipeline.get());
+  }
+  return out;
+}
+
+}  // namespace cre

@@ -1,0 +1,35 @@
+#ifndef CRE_EXEC_MORSEL_H_
+#define CRE_EXEC_MORSEL_H_
+
+#include <functional>
+
+#include "core/result.h"
+#include "core/thread_pool.h"
+#include "exec/operator.h"
+
+namespace cre {
+
+/// Morsel-driven parallel table processing: splits a base table into
+/// contiguous morsels, runs a per-morsel operator pipeline built by
+/// `pipeline_factory` on the worker pool, and concatenates results in
+/// morsel order (deterministic output). The factory receives the morsel
+/// table and must return a self-contained operator tree over it.
+///
+/// This is the scale-up mechanism for relational portions of a query; the
+/// semantic join parallelizes internally (vecsim already splits the probe
+/// side across the pool).
+struct MorselOptions {
+  std::size_t morsel_rows = 16 * 1024;
+  ThreadPool* pool = nullptr;  ///< nullptr = run serially
+};
+
+using MorselPipelineFactory =
+    std::function<Result<OperatorPtr>(const TablePtr& morsel)>;
+
+Result<TablePtr> MorselParallelExecute(const TablePtr& table,
+                                       const MorselPipelineFactory& factory,
+                                       const MorselOptions& options = {});
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_MORSEL_H_

@@ -1,0 +1,20 @@
+#include "exec/operator.h"
+
+namespace cre {
+
+Result<TablePtr> CollectAll(PhysicalOperator* op) {
+  auto out = Table::Make(op->output_schema());
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, op->Next());
+    if (batch == nullptr) break;
+    CRE_RETURN_NOT_OK(out->AppendTable(*batch));
+  }
+  return out;
+}
+
+Result<TablePtr> ExecuteToTable(PhysicalOperator* root) {
+  CRE_RETURN_NOT_OK(root->Open());
+  return CollectAll(root);
+}
+
+}  // namespace cre

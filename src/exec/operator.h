@@ -1,0 +1,45 @@
+#ifndef CRE_EXEC_OPERATOR_H_
+#define CRE_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/result.h"
+#include "storage/table.h"
+
+namespace cre {
+
+/// Default number of rows per exchanged batch.
+inline constexpr std::size_t kDefaultBatchSize = 4096;
+
+/// Pull-based physical operator working on column batches (each batch is a
+/// small Table). Next() returns nullptr at end-of-stream. This is the
+/// compiled/vectorized execution path; the tuple-at-a-time interpreted
+/// path lives in src/baseline for the Figure 4 comparison.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Schema of batches produced by Next().
+  virtual const Schema& output_schema() const = 0;
+
+  /// Prepares execution (e.g. builds join hash tables). Called once.
+  virtual Status Open() = 0;
+
+  /// Produces the next batch, or nullptr when exhausted.
+  virtual Result<TablePtr> Next() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Drives `op` to completion and concatenates all batches into one table.
+Result<TablePtr> CollectAll(PhysicalOperator* op);
+
+/// Opens, drives, and returns the full result of an operator tree.
+Result<TablePtr> ExecuteToTable(PhysicalOperator* root);
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_OPERATOR_H_

@@ -1,0 +1,56 @@
+#include "exec/project.h"
+
+#include "expr/evaluator.h"
+
+namespace cre {
+
+ProjectOperator::ProjectOperator(OperatorPtr child,
+                                 std::vector<ProjectionItem> items)
+    : child_(std::move(child)), items_(std::move(items)) {}
+
+OperatorPtr ProjectOperator::KeepColumns(
+    OperatorPtr child, const std::vector<std::string>& names) {
+  std::vector<ProjectionItem> items;
+  items.reserve(names.size());
+  for (const auto& n : names) items.push_back({n, Col(n)});
+  return std::make_unique<ProjectOperator>(std::move(child),
+                                           std::move(items));
+}
+
+Status ProjectOperator::Open() {
+  CRE_RETURN_NOT_OK(child_->Open());
+  // Resolve the output schema from the child schema: bare column refs keep
+  // the child type; computed expressions are typed by evaluating over an
+  // empty prototype batch.
+  const Schema& in = child_->output_schema();
+  Schema out;
+  Table proto(in);
+  for (const auto& item : items_) {
+    if (item.expr->kind() == ExprKind::kColumnRef) {
+      CRE_ASSIGN_OR_RETURN(std::size_t idx,
+                           in.RequireField(item.expr->column_name()));
+      Field f = in.field(idx);
+      f.name = item.name;
+      out.AddField(std::move(f));
+    } else {
+      CRE_ASSIGN_OR_RETURN(Column col, EvaluateExpr(*item.expr, proto));
+      out.AddField({item.name, col.type(), col.vector_dim()});
+    }
+  }
+  schema_ = std::move(out);
+  schema_resolved_ = true;
+  return Status::OK();
+}
+
+Result<TablePtr> ProjectOperator::Next() {
+  CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+  if (batch == nullptr) return TablePtr(nullptr);
+  auto out = Table::Make(schema_);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    CRE_ASSIGN_OR_RETURN(Column col, EvaluateExpr(*items_[i].expr, *batch));
+    out->column(i) = std::move(col);
+  }
+  return out;
+}
+
+}  // namespace cre

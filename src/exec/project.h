@@ -1,0 +1,43 @@
+#ifndef CRE_EXEC_PROJECT_H_
+#define CRE_EXEC_PROJECT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expr.h"
+
+namespace cre {
+
+/// One projected output column: a name plus the expression computing it.
+/// A bare column reference projects (and possibly renames) a child column.
+struct ProjectionItem {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// Computes a new batch with exactly the projected columns.
+class ProjectOperator : public PhysicalOperator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ProjectionItem> items);
+
+  /// Convenience: keep the named child columns as-is.
+  static OperatorPtr KeepColumns(OperatorPtr child,
+                                 const std::vector<std::string>& names);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override { return "Project"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ProjectionItem> items_;
+  Schema schema_;
+  bool schema_resolved_ = false;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_PROJECT_H_

@@ -1,0 +1,37 @@
+#include "exec/sample.h"
+
+namespace cre {
+
+Result<TablePtr> SampleOperator::Next() {
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+    if (batch == nullptr) return TablePtr(nullptr);
+    std::vector<std::uint32_t> keep;
+    const std::size_t n = batch->num_rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_.Bernoulli(rate_)) keep.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (keep.empty()) continue;
+    if (keep.size() == n) return batch;
+    return batch->Take(keep);
+  }
+}
+
+TablePtr ReservoirSample(const Table& table, std::size_t k,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = table.num_rows();
+  std::vector<std::uint32_t> reservoir;
+  reservoir.reserve(std::min(k, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      const std::size_t j = rng.Uniform(i + 1);
+      if (j < k) reservoir[j] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return table.Take(reservoir);
+}
+
+}  // namespace cre

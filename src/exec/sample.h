@@ -1,0 +1,46 @@
+#ifndef CRE_EXEC_SAMPLE_H_
+#define CRE_EXEC_SAMPLE_H_
+
+#include <string>
+
+#include "core/rng.h"
+#include "exec/operator.h"
+
+namespace cre {
+
+/// Bernoulli sampling operator: keeps each input row independently with
+/// probability `rate`. Deterministic given the seed. Supports the
+/// sampling-based AQP / cardinality-estimation style of processing the
+/// paper leans on for adaptive optimization (Sec. VI, [28]).
+class SampleOperator : public PhysicalOperator {
+ public:
+  SampleOperator(OperatorPtr child, double rate, std::uint64_t seed = 17)
+      : child_(std::move(child)), rate_(rate), seed_(seed), rng_(seed) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override {
+    rng_ = Rng(seed_);
+    return child_->Open();
+  }
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return "Sample(" + std::to_string(rate_) + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  double rate_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Uniform reservoir sample of exactly min(k, rows) rows from `table`
+/// (single pass, deterministic given the seed).
+TablePtr ReservoirSample(const Table& table, std::size_t k,
+                         std::uint64_t seed = 29);
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_SAMPLE_H_

@@ -1,0 +1,33 @@
+#ifndef CRE_EXEC_SCAN_H_
+#define CRE_EXEC_SCAN_H_
+
+#include <string>
+
+#include "exec/operator.h"
+
+namespace cre {
+
+/// Produces a base table in batches of `batch_size` rows.
+class TableScanOperator : public PhysicalOperator {
+ public:
+  explicit TableScanOperator(TablePtr table,
+                             std::size_t batch_size = kDefaultBatchSize)
+      : table_(std::move(table)), batch_size_(batch_size) {}
+
+  const Schema& output_schema() const override { return table_->schema(); }
+  Status Open() override {
+    offset_ = 0;
+    return Status::OK();
+  }
+  Result<TablePtr> Next() override;
+  std::string name() const override { return "Scan"; }
+
+ private:
+  TablePtr table_;
+  std::size_t batch_size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_SCAN_H_

@@ -1,0 +1,70 @@
+#include "exec/sort_limit.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cre {
+
+Result<TablePtr> SortOperator::Next() {
+  if (done_) return TablePtr(nullptr);
+  done_ = true;
+  CRE_ASSIGN_OR_RETURN(TablePtr all, CollectAll(child_.get()));
+  CRE_ASSIGN_OR_RETURN(std::size_t key_idx,
+                       all->schema().RequireField(key_));
+  const Column& key = all->column(key_idx);
+  std::vector<std::uint32_t> order(all->num_rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  auto sort_by = [&](auto cmp) {
+    std::stable_sort(order.begin(), order.end(), cmp);
+  };
+  switch (key.type()) {
+    case DataType::kInt64:
+    case DataType::kDate: {
+      const auto& d = key.i64();
+      sort_by([&](std::uint32_t a, std::uint32_t b) {
+        return ascending_ ? d[a] < d[b] : d[a] > d[b];
+      });
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto& d = key.f64();
+      sort_by([&](std::uint32_t a, std::uint32_t b) {
+        return ascending_ ? d[a] < d[b] : d[a] > d[b];
+      });
+      break;
+    }
+    case DataType::kString: {
+      const auto& d = key.strings();
+      sort_by([&](std::uint32_t a, std::uint32_t b) {
+        return ascending_ ? d[a] < d[b] : d[a] > d[b];
+      });
+      break;
+    }
+    case DataType::kBool: {
+      const auto& d = key.bools();
+      sort_by([&](std::uint32_t a, std::uint32_t b) {
+        return ascending_ ? d[a] < d[b] : d[a] > d[b];
+      });
+      break;
+    }
+    default:
+      return Status::TypeError("cannot sort on vector column");
+  }
+  return all->Take(order);
+}
+
+Result<TablePtr> LimitOperator::Next() {
+  if (emitted_ >= limit_) return TablePtr(nullptr);
+  CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+  if (batch == nullptr) return TablePtr(nullptr);
+  const std::size_t remaining = limit_ - emitted_;
+  if (batch->num_rows() <= remaining) {
+    emitted_ += batch->num_rows();
+    return batch;
+  }
+  emitted_ = limit_;
+  return batch->Slice(0, remaining);
+}
+
+}  // namespace cre

@@ -1,0 +1,57 @@
+#ifndef CRE_EXEC_SORT_LIMIT_H_
+#define CRE_EXEC_SORT_LIMIT_H_
+
+#include <string>
+#include <utility>
+
+#include "exec/operator.h"
+
+namespace cre {
+
+/// Full-materialize sort on a single key column (ascending or descending).
+class SortOperator : public PhysicalOperator {
+ public:
+  SortOperator(OperatorPtr child, std::string key, bool ascending = true)
+      : child_(std::move(child)), key_(std::move(key)), ascending_(ascending) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override { return child_->Open(); }
+  Result<TablePtr> Next() override;
+  std::string name() const override { return "Sort(" + key_ + ")"; }
+
+ private:
+  OperatorPtr child_;
+  std::string key_;
+  bool ascending_;
+  bool done_ = false;
+};
+
+/// Emits at most `limit` rows from the child.
+class LimitOperator : public PhysicalOperator {
+ public:
+  LimitOperator(OperatorPtr child, std::size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return "Limit(" + std::to_string(limit_) + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  std::size_t limit_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_SORT_LIMIT_H_

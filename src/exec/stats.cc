@@ -1,0 +1,42 @@
+#include "exec/stats.h"
+
+#include <sstream>
+
+#include "core/timer.h"
+
+namespace cre {
+
+Status InstrumentedOperator::Open() {
+  Timer t;
+  Status s = child_->Open();
+  stats_->open_seconds += t.Seconds();
+  return s;
+}
+
+Result<TablePtr> InstrumentedOperator::Next() {
+  Timer t;
+  auto r = child_->Next();
+  stats_->next_seconds += t.Seconds();
+  if (r.ok() && r.ValueUnsafe() != nullptr) {
+    ++stats_->batches;
+    stats_->rows += r.ValueUnsafe()->num_rows();
+  }
+  return r;
+}
+
+std::string StatsCollector::ToString() const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-52s %10s %8s %12s %12s\n", "operator",
+                "rows", "batches", "open [ms]", "next [ms]");
+  os << line;
+  for (const auto& s : slots_) {
+    std::snprintf(line, sizeof(line), "%-52s %10zu %8zu %12.3f %12.3f\n",
+                  s->name.substr(0, 52).c_str(), s->rows, s->batches,
+                  s->open_seconds * 1e3, s->next_seconds * 1e3);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace cre

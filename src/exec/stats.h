@@ -1,0 +1,63 @@
+#ifndef CRE_EXEC_STATS_H_
+#define CRE_EXEC_STATS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace cre {
+
+/// Execution counters for one operator instance.
+struct OperatorStats {
+  std::string name;
+  std::size_t batches = 0;
+  std::size_t rows = 0;
+  double open_seconds = 0;
+  double next_seconds = 0;  ///< cumulative time spent inside Next()
+};
+
+/// Collects stats from a tree of instrumented operators (in wrap order).
+class StatsCollector {
+ public:
+  OperatorStats* AddSlot(std::string name) {
+    slots_.push_back(std::make_unique<OperatorStats>());
+    slots_.back()->name = std::move(name);
+    return slots_.back().get();
+  }
+
+  /// Per-operator rows/time rendering (EXPLAIN ANALYZE output).
+  std::string ToString() const;
+
+  const std::vector<std::unique_ptr<OperatorStats>>& slots() const {
+    return slots_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<OperatorStats>> slots_;
+};
+
+/// Decorator measuring a child operator's Open/Next time and output rows.
+/// The engine wraps every lowered operator with one of these when a
+/// query runs under ExecuteWithStats.
+class InstrumentedOperator : public PhysicalOperator {
+ public:
+  InstrumentedOperator(OperatorPtr child, OperatorStats* stats)
+      : child_(std::move(child)), stats_(stats) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override { return child_->name(); }
+
+ private:
+  OperatorPtr child_;
+  OperatorStats* stats_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_STATS_H_

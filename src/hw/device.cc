@@ -1,0 +1,38 @@
+#include "hw/device.h"
+
+namespace cre {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return "cpu";
+    case DeviceKind::kGpuSim:
+      return "gpu-sim";
+    case DeviceKind::kTpuSim:
+      return "tpu-sim";
+  }
+  return "?";
+}
+
+DeviceRegistry DeviceRegistry::Default() {
+  DeviceRegistry registry;
+  registry.Add({"cpu", DeviceKind::kCpu, /*compute_gflops=*/60.0,
+                /*kernel_startup_us=*/0.0, /*transfer_gbps=*/0.0,
+                /*model_load_us_per_mb=*/0.0});
+  registry.Add({"gpu0", DeviceKind::kGpuSim, /*compute_gflops=*/900.0,
+                /*kernel_startup_us=*/35.0, /*transfer_gbps=*/12.0,
+                /*model_load_us_per_mb=*/150.0});
+  registry.Add({"tpu0", DeviceKind::kTpuSim, /*compute_gflops=*/2200.0,
+                /*kernel_startup_us=*/120.0, /*transfer_gbps=*/8.0,
+                /*model_load_us_per_mb=*/300.0});
+  return registry;
+}
+
+Result<DeviceDescriptor> DeviceRegistry::Get(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d.name == name) return d;
+  }
+  return Status::NotFound("device '" + name + "' not registered");
+}
+
+}  // namespace cre

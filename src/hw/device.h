@@ -1,0 +1,51 @@
+#ifndef CRE_HW_DEVICE_H_
+#define CRE_HW_DEVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+
+namespace cre {
+
+enum class DeviceKind { kCpu = 0, kGpuSim, kTpuSim };
+
+const char* DeviceKindName(DeviceKind kind);
+
+/// A compute device in the simulated heterogeneous topology of paper
+/// Fig. 5. The CPU entry describes the host; accelerator entries are
+/// simulated with calibrated throughput/latency parameters (see DESIGN.md
+/// substitutions): placement *decisions* are what the paper reasons
+/// about, and those depend only on these parameters.
+struct DeviceDescriptor {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+  /// Sustained compute throughput for similarity/inference kernels.
+  double compute_gflops = 50.0;
+  /// Per-kernel-launch startup latency (us). Zero for the host CPU.
+  double kernel_startup_us = 0.0;
+  /// Host<->device interconnect bandwidth (GB/s). Ignored for the CPU.
+  double transfer_gbps = 16.0;
+  /// One-time cost to ship and initialize model parameters (us per MB) —
+  /// the Sec. VI "cost of shipping and initializing model parameters".
+  double model_load_us_per_mb = 120.0;
+};
+
+/// The available devices. Defaults model one host CPU, one PCIe GPU-like
+/// accelerator, and one inference-oriented TPU-like accelerator.
+class DeviceRegistry {
+ public:
+  /// Registry with the default simulated topology.
+  static DeviceRegistry Default();
+
+  void Add(DeviceDescriptor device) { devices_.push_back(std::move(device)); }
+  const std::vector<DeviceDescriptor>& devices() const { return devices_; }
+  Result<DeviceDescriptor> Get(const std::string& name) const;
+
+ private:
+  std::vector<DeviceDescriptor> devices_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_HW_DEVICE_H_

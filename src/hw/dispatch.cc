@@ -1,0 +1,51 @@
+#include "hw/dispatch.h"
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/timer.h"
+
+namespace cre {
+
+void AdaptiveKernelDispatcher::Calibrate() {
+  const KernelVariant variants[3] = {KernelVariant::kScalar,
+                                     KernelVariant::kUnrolled,
+                                     KernelVariant::kAvx2};
+  // Synthetic operands; enough reps to dominate timer noise.
+  Rng rng(123);
+  std::vector<float> a(dim_), b(dim_);
+  for (auto& x : a) x = rng.NextFloat() - 0.5f;
+  for (auto& x : b) x = rng.NextFloat() - 0.5f;
+
+  const std::size_t reps = 20000;
+  double best = -1;
+  volatile float sink = 0;
+  for (int v = 0; v < 3; ++v) {
+    if (variants[v] == KernelVariant::kAvx2 && !CpuSupportsAvx2()) {
+      measured_ns_[v] = -1;
+      continue;
+    }
+    const DotFn fn = GetDotKernel(variants[v]);
+    // Warmup.
+    for (std::size_t i = 0; i < 100; ++i) sink += fn(a.data(), b.data(), dim_);
+    Timer t;
+    for (std::size_t i = 0; i < reps; ++i) {
+      sink += fn(a.data(), b.data(), dim_);
+    }
+    measured_ns_[v] = t.Seconds() * 1e9 / static_cast<double>(reps);
+    if (best < 0 || measured_ns_[v] < best) {
+      best = measured_ns_[v];
+      chosen_ = variants[v];
+      resolved_ = fn;
+    }
+  }
+  (void)sink;
+  calibrated_ = true;
+}
+
+DotFn AdaptiveKernelDispatcher::Resolve() {
+  if (!calibrated_) Calibrate();
+  return resolved_;
+}
+
+}  // namespace cre

@@ -1,0 +1,42 @@
+#ifndef CRE_HW_DISPATCH_H_
+#define CRE_HW_DISPATCH_H_
+
+#include <string>
+
+#include "vecsim/kernels.h"
+
+namespace cre {
+
+/// JIT-lite late binding (paper Sec. VI): instead of committing to a code
+/// path at compile time, the dispatcher microbenchmarks every available
+/// kernel variant on first use ("after the model outputs first data") and
+/// binds the fastest for the rest of the query. Thread-compatible: bind
+/// once before sharing.
+class AdaptiveKernelDispatcher {
+ public:
+  explicit AdaptiveKernelDispatcher(std::size_t dim) : dim_(dim) {}
+
+  /// Calibrates (first call) and returns the chosen kernel.
+  DotFn Resolve();
+
+  /// Variant chosen by calibration (valid after Resolve()).
+  KernelVariant chosen_variant() const { return chosen_; }
+  bool calibrated() const { return calibrated_; }
+
+  /// Calibration measurements in ns/op, indexed like kernel variants
+  /// (scalar, unrolled, avx2). Valid after Resolve().
+  const double* measurements() const { return measured_ns_; }
+
+ private:
+  void Calibrate();
+
+  std::size_t dim_;
+  bool calibrated_ = false;
+  KernelVariant chosen_ = KernelVariant::kUnrolled;
+  DotFn resolved_ = nullptr;
+  double measured_ns_[3] = {0, 0, 0};
+};
+
+}  // namespace cre
+
+#endif  // CRE_HW_DISPATCH_H_

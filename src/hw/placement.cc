@@ -1,0 +1,74 @@
+#include "hw/placement.h"
+
+namespace cre {
+
+PlacementDecision PlacementOptimizer::EstimateOn(
+    const DeviceDescriptor& device, const WorkloadProfile& w) {
+  PlacementDecision d;
+  d.device = device;
+  d.compute_seconds = w.flops / (device.compute_gflops * 1e9);
+  if (device.kind != DeviceKind::kCpu) {
+    d.transfer_seconds =
+        (w.bytes_in + w.bytes_out) / (device.transfer_gbps * 1e9);
+    d.startup_seconds =
+        static_cast<double>(w.kernel_launches) * device.kernel_startup_us *
+        1e-6;
+    d.model_load_seconds = (w.model_param_bytes / 1e6) *
+                           device.model_load_us_per_mb * 1e-6;
+  }
+  d.est_seconds = d.compute_seconds + d.transfer_seconds +
+                  d.startup_seconds + d.model_load_seconds;
+  return d;
+}
+
+PlacementDecision PlacementOptimizer::Place(const WorkloadProfile& w) const {
+  PlacementDecision best;
+  bool first = true;
+  for (const auto& dev : registry_.devices()) {
+    PlacementDecision d = EstimateOn(dev, w);
+    if (first || d.est_seconds < best.est_seconds) {
+      best = d;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<PlacementDecision> PlacementOptimizer::EstimateAll(
+    const WorkloadProfile& w) const {
+  std::vector<PlacementDecision> out;
+  out.reserve(registry_.devices().size());
+  for (const auto& dev : registry_.devices()) {
+    out.push_back(EstimateOn(dev, w));
+  }
+  return out;
+}
+
+WorkloadProfile SimilarityJoinProfile(std::size_t n_left, std::size_t n_right,
+                                      std::size_t dim, bool ship_model,
+                                      std::size_t model_bytes) {
+  WorkloadProfile w;
+  w.flops = 2.0 * static_cast<double>(n_left) *
+            static_cast<double>(n_right) * static_cast<double>(dim);
+  w.bytes_in = static_cast<double>((n_left + n_right) * dim * sizeof(float));
+  // Assume ~0.1% match rate for result shipping.
+  w.bytes_out = 0.001 * static_cast<double>(n_left) *
+                static_cast<double>(n_right) * 12.0;
+  w.model_param_bytes = ship_model ? static_cast<double>(model_bytes) : 0.0;
+  w.kernel_launches = 1;
+  return w;
+}
+
+WorkloadProfile InferenceProfile(std::size_t batch, double flops_per_item,
+                                 double bytes_per_item,
+                                 std::size_t model_bytes) {
+  WorkloadProfile w;
+  w.flops = static_cast<double>(batch) * flops_per_item;
+  w.bytes_in = static_cast<double>(batch) * bytes_per_item;
+  w.bytes_out = static_cast<double>(batch) * 64.0;
+  w.model_param_bytes = static_cast<double>(model_bytes);
+  w.kernel_launches = 1;
+  return w;
+}
+
+}  // namespace cre

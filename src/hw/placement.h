@@ -1,0 +1,69 @@
+#ifndef CRE_HW_PLACEMENT_H_
+#define CRE_HW_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+
+namespace cre {
+
+/// Resource profile of one operator instance, in device-independent
+/// terms. The placement optimizer turns this into per-device time.
+struct WorkloadProfile {
+  double flops = 0;             ///< total floating point work
+  double bytes_in = 0;          ///< operand bytes shipped to the device
+  double bytes_out = 0;         ///< result bytes shipped back
+  double model_param_bytes = 0; ///< parameters to load (0 if cached)
+  std::size_t kernel_launches = 1;
+};
+
+struct PlacementDecision {
+  DeviceDescriptor device;
+  double est_seconds = 0;
+  /// Breakdown for EXPLAIN and the E7 bench.
+  double compute_seconds = 0;
+  double transfer_seconds = 0;
+  double startup_seconds = 0;
+  double model_load_seconds = 0;
+};
+
+/// Chooses the device minimizing estimated execution time:
+///   compute + transfers + kernel startup + model shipping
+/// — the just-in-time placement decision of paper Sec. VI.
+class PlacementOptimizer {
+ public:
+  explicit PlacementOptimizer(DeviceRegistry registry)
+      : registry_(std::move(registry)) {}
+
+  /// Estimated wall time of `w` on `device`.
+  static PlacementDecision EstimateOn(const DeviceDescriptor& device,
+                                      const WorkloadProfile& w);
+
+  /// Best device for `w` across the registry.
+  PlacementDecision Place(const WorkloadProfile& w) const;
+
+  /// Per-device estimates (sorted registry order), for benches.
+  std::vector<PlacementDecision> EstimateAll(const WorkloadProfile& w) const;
+
+  const DeviceRegistry& registry() const { return registry_; }
+
+ private:
+  DeviceRegistry registry_;
+};
+
+/// Profile of a brute-force semantic similarity join (helper for benches
+/// and the adaptive executor).
+WorkloadProfile SimilarityJoinProfile(std::size_t n_left, std::size_t n_right,
+                                      std::size_t dim,
+                                      bool ship_model = false,
+                                      std::size_t model_bytes = 0);
+
+/// Profile of batch model inference (e.g. object detection or embedding).
+WorkloadProfile InferenceProfile(std::size_t batch, double flops_per_item,
+                                 double bytes_per_item,
+                                 std::size_t model_bytes);
+
+}  // namespace cre
+
+#endif  // CRE_HW_PLACEMENT_H_

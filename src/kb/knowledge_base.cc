@@ -1,0 +1,57 @@
+#include "kb/knowledge_base.h"
+
+namespace cre {
+
+void KnowledgeBase::AddTriple(std::string subject, std::string predicate,
+                              std::string object) {
+  triples_.push_back(
+      {std::move(subject), std::move(predicate), std::move(object)});
+}
+
+std::vector<std::string> KnowledgeBase::Objects(
+    const std::string& subject, const std::string& predicate) const {
+  std::vector<std::string> out;
+  for (const auto& t : triples_) {
+    if (t.subject == subject && t.predicate == predicate) {
+      out.push_back(t.object);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> KnowledgeBase::Subjects(
+    const std::string& predicate, const std::string& object) const {
+  std::vector<std::string> out;
+  for (const auto& t : triples_) {
+    if (t.predicate == predicate && t.object == object) {
+      out.push_back(t.subject);
+    }
+  }
+  return out;
+}
+
+TablePtr KnowledgeBase::Export(const std::string& predicate) const {
+  auto table = Table::Make(Schema({{"subject", DataType::kString, 0},
+                                   {"object", DataType::kString, 0}}));
+  for (const auto& t : triples_) {
+    if (t.predicate == predicate) {
+      table->column(0).AppendString(t.subject);
+      table->column(1).AppendString(t.object);
+    }
+  }
+  return table;
+}
+
+TablePtr KnowledgeBase::AsTable() const {
+  auto table = Table::Make(Schema({{"subject", DataType::kString, 0},
+                                   {"predicate", DataType::kString, 0},
+                                   {"object", DataType::kString, 0}}));
+  for (const auto& t : triples_) {
+    table->column(0).AppendString(t.subject);
+    table->column(1).AppendString(t.predicate);
+    table->column(2).AppendString(t.object);
+  }
+  return table;
+}
+
+}  // namespace cre

@@ -1,0 +1,54 @@
+#ifndef CRE_KB_KNOWLEDGE_BASE_H_
+#define CRE_KB_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cre {
+
+/// A (subject, predicate, object) fact.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// Minimal in-memory triple store standing in for the general knowledge
+/// base of the motivating example (Fig. 2, source 2). Curated on a
+/// *broader* vocabulary than the RDBMS, so its labels only match product
+/// labels semantically — exactly the integration gap the paper's semantic
+/// join closes.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  void AddTriple(std::string subject, std::string predicate,
+                 std::string object);
+
+  std::size_t size() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// All objects o with (subject, predicate, o).
+  std::vector<std::string> Objects(const std::string& subject,
+                                   const std::string& predicate) const;
+
+  /// All subjects s with (s, predicate, object).
+  std::vector<std::string> Subjects(const std::string& predicate,
+                                    const std::string& object) const;
+
+  /// Relational export of one predicate: {subject:string, object:string}.
+  /// This is how KB facts enter the engine's holistic plan.
+  TablePtr Export(const std::string& predicate) const;
+
+  /// Full relational view {subject, predicate, object}.
+  TablePtr AsTable() const;
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,63 @@
+#ifndef CRE_OPTIMIZER_CARDINALITY_H_
+#define CRE_OPTIMIZER_CARDINALITY_H_
+
+#include "core/status.h"
+#include "embed/model_registry.h"
+#include "plan/plan_node.h"
+#include "storage/catalog.h"
+#include "vision/detection_scan.h"
+
+namespace cre {
+
+/// Tunables for the estimator.
+struct CardinalityOptions {
+  std::size_t sample_size = 256;
+  /// Default match probability for a semantic pair when sampling is not
+  /// possible.
+  double default_semantic_match_prob = 2e-4;
+  /// Default selectivity of a semantic select without a sample.
+  double default_semantic_select_sel = 0.05;
+  /// Average detected objects per image (detection fan-out).
+  double avg_objects_per_image = 3.0;
+};
+
+/// Estimates output cardinalities bottom-up and writes them into
+/// PlanNode::est_rows. Model operators are estimated *with the model*
+/// (sampling base-table strings and probing the embedding space), the
+/// paper's requirement that model operators expose cardinality effects to
+/// the optimizer (Sec. IV: "include high-level cost information, such as
+/// the effect on the input/output cardinality").
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const Catalog* catalog, const ModelRegistry* models,
+                       const DetectorRegistry* detectors,
+                       CardinalityOptions options = {})
+      : catalog_(catalog),
+        models_(models),
+        detectors_(detectors),
+        options_(options) {}
+
+  /// Fills est_rows on every node of the tree.
+  Status Annotate(PlanNode* node) const;
+
+  /// Heuristic selectivity of a relational predicate (no data access).
+  static double HeuristicSelectivity(const Expr& predicate);
+
+ private:
+  Result<double> Estimate(PlanNode* node) const;
+  /// Sample-based selectivity when the child is a base-table scan.
+  Result<double> SemanticSelectSelectivity(const PlanNode& node) const;
+  Result<double> SemanticJoinMatchProb(const PlanNode& node) const;
+  /// Returns the base table when `node` bottoms out at a plain scan chain
+  /// (scan / filter / semantic-select over scan), else nullptr.
+  TablePtr BaseTableOf(const PlanNode& node) const;
+
+  const Catalog* catalog_;
+  const ModelRegistry* models_;
+  const DetectorRegistry* detectors_;
+  CardinalityOptions options_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,110 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cre {
+
+double CostModel::EmbedCost(const std::string& model_name) const {
+  if (models_ != nullptr && models_->Contains(model_name)) {
+    return models_->Get(model_name).ValueOrDie()->cost_ns_per_embedding();
+  }
+  return params_.embed;
+}
+
+double CostModel::SemanticJoinStrategyCost(SemanticJoinStrategy strategy,
+                                           double left_rows,
+                                           double right_rows) const {
+  const double dim = params_.vector_dim;
+  const double dot = dim * params_.dot_per_dim;
+  switch (strategy) {
+    case SemanticJoinStrategy::kBruteForce:
+      return left_rows * right_rows * dot;
+    case SemanticJoinStrategy::kLsh: {
+      // Build: hash every base vector into every table; probe: signature
+      // computation + exact verification of the candidate fraction.
+      const double sig = params_.lsh_tables * params_.lsh_bits * dot;
+      const double build = right_rows * sig;
+      const double probe =
+          left_rows *
+          (sig + right_rows * params_.lsh_candidate_fraction *
+                     params_.lsh_candidate_cost_multiplier * dot);
+      return build + probe;
+    }
+    case SemanticJoinStrategy::kIvf: {
+      const double build = right_rows * params_.ivf_centroids * dot *
+                           params_.ivf_kmeans_iters;
+      const double scanned_fraction =
+          std::min(1.0, params_.ivf_nprobe / params_.ivf_centroids);
+      const double probe =
+          left_rows * (params_.ivf_centroids * dot +
+                       right_rows * scanned_fraction * dot);
+      return build + probe;
+    }
+  }
+  return 0;
+}
+
+double CostModel::SelfCost(const PlanNode& node) const {
+  const double out_rows = std::max(0.0, node.est_rows);
+  const double in_rows =
+      node.children.empty() ? out_rows
+                            : std::max(0.0, node.children[0]->est_rows);
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      double c = out_rows * params_.row_scan;
+      if (node.predicate) c += out_rows * params_.expr_eval;
+      return c;
+    }
+    case PlanKind::kDetectScan: {
+      const double images = out_rows / params_.avg_objects_per_image;
+      return images * params_.detect_per_image;
+    }
+    case PlanKind::kFilter:
+      return in_rows * params_.expr_eval;
+    case PlanKind::kProject:
+      return in_rows * params_.materialize;
+    case PlanKind::kSort:
+      return in_rows * params_.hash_build *
+             std::max(1.0, std::log2(std::max(2.0, in_rows)) / 4.0);
+    case PlanKind::kLimit:
+      return out_rows * params_.row_scan;
+    case PlanKind::kSemanticSelect: {
+      const double queries =
+          node.queries.empty() ? 1.0 : static_cast<double>(node.queries.size());
+      return in_rows * (EmbedCost(node.model_name) +
+                        queries * params_.vector_dim * params_.dot_per_dim);
+    }
+    case PlanKind::kJoin: {
+      const double l = node.children[0]->est_rows;
+      const double r = node.children[1]->est_rows;
+      return r * params_.hash_build + l * params_.hash_probe +
+             out_rows * params_.materialize;
+    }
+    case PlanKind::kSemanticJoin: {
+      const double l = node.children[0]->est_rows;
+      const double r = node.children[1]->est_rows;
+      const double embed = (l + r) * EmbedCost(node.model_name);
+      return embed + SemanticJoinStrategyCost(node.strategy, l, r) +
+             out_rows * params_.materialize;
+    }
+    case PlanKind::kSemanticGroupBy: {
+      // Clusters grow with distinct semantic groups; assume sqrt scaling.
+      const double clusters = std::max(4.0, std::sqrt(in_rows));
+      return in_rows * (EmbedCost(node.model_name) +
+                        clusters * params_.vector_dim * params_.dot_per_dim);
+    }
+    case PlanKind::kAggregate:
+      return in_rows * params_.hash_build + out_rows * params_.materialize;
+  }
+  return 0;
+}
+
+double CostModel::Annotate(PlanNode* node) const {
+  double total = SelfCost(*node);
+  for (auto& c : node->children) total += Annotate(c.get());
+  node->est_cost = total;
+  return total;
+}
+
+}  // namespace cre

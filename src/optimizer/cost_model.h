@@ -1,0 +1,71 @@
+#ifndef CRE_OPTIMIZER_COST_MODEL_H_
+#define CRE_OPTIMIZER_COST_MODEL_H_
+
+#include "embed/model_registry.h"
+#include "plan/plan_node.h"
+
+namespace cre {
+
+/// Abstract cost units (~nanoseconds of single-threaded work). Relational
+/// and model-based operators are costed in the same currency, which is
+/// what lets one optimizer choose across them (paper Sec. V).
+struct CostParams {
+  double row_scan = 2.0;
+  double expr_eval = 6.0;
+  double hash_build = 30.0;
+  double hash_probe = 15.0;
+  double materialize = 10.0;
+  /// Per-row embedding lookup (overridden by the model's own annotation
+  /// when the model is registered).
+  double embed = 300.0;
+  /// Per (pair, dimension) similarity cost.
+  double dot_per_dim = 0.35;
+  double vector_dim = 100.0;
+  /// Simulated per-image inference (kept consistent with
+  /// ObjectDetector::Options::cost_per_image_us = 30us).
+  double detect_per_image = 30000.0;
+  double avg_objects_per_image = 3.0;
+  // Index strategy parameters (mirror LshOptions/IvfOptions defaults).
+  double lsh_tables = 8.0;
+  double lsh_bits = 12.0;
+  /// Calibrated on Zipfian corpora: duplicate strings collapse into hot
+  /// buckets, so multiprobe candidate lists are a large fraction of the
+  /// base set...
+  double lsh_candidate_fraction = 0.35;
+  /// ...and each candidate costs more than one dot (bucket lookup, dedup
+  /// sort, verification).
+  double lsh_candidate_cost_multiplier = 2.5;
+  double ivf_centroids = 64.0;
+  double ivf_nprobe = 8.0;
+  double ivf_kmeans_iters = 10.0;
+};
+
+/// Computes cumulative plan costs bottom-up into PlanNode::est_cost.
+/// Requires est_rows to be annotated first (CardinalityEstimator).
+class CostModel {
+ public:
+  explicit CostModel(const ModelRegistry* models, CostParams params = {})
+      : models_(models), params_(params) {}
+
+  /// Annotates est_cost over the whole tree; returns the root cost.
+  double Annotate(PlanNode* node) const;
+
+  /// Cost of just the semantic-join probe phase under a given strategy,
+  /// for `left_rows` probes against `right_rows` base vectors. Exposed for
+  /// the index-selection rule and its ablation bench (E6).
+  double SemanticJoinStrategyCost(SemanticJoinStrategy strategy,
+                                  double left_rows, double right_rows) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  double EmbedCost(const std::string& model_name) const;
+  double SelfCost(const PlanNode& node) const;
+
+  const ModelRegistry* models_;
+  CostParams params_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_OPTIMIZER_COST_MODEL_H_

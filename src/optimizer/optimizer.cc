@@ -1,0 +1,45 @@
+#include "optimizer/optimizer.h"
+
+namespace cre {
+
+Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan) const {
+  PlanPtr p = plan->Clone();
+
+  if (options_.enable_filter_pushdown) {
+    CRE_ASSIGN_OR_RETURN(p, RulePushDownFilters(p, *catalog_));
+  }
+  CRE_RETURN_NOT_OK(estimator_.Annotate(p.get()));
+
+  if (options_.enable_join_reorder) {
+    CRE_ASSIGN_OR_RETURN(p, RuleReorderJoinInputs(p, *catalog_));
+  }
+  if (options_.enable_data_induced_predicates && subplan_executor_) {
+    CRE_ASSIGN_OR_RETURN(p, RuleDataInducedPredicates(
+                                p, subplan_executor_,
+                                options_.dip_max_inducing_rows));
+    // DIP inserts nodes; refresh cardinalities for the strategy rule.
+    CRE_RETURN_NOT_OK(estimator_.Annotate(p.get()));
+  }
+  if (options_.enable_index_selection &&
+      options_.allow_approximate_similarity) {
+    p = RulePickSemanticJoinStrategy(p, cost_);
+  }
+  if (options_.enable_column_pruning) {
+    CRE_ASSIGN_OR_RETURN(p, RulePruneColumns(p, *catalog_));
+  }
+  CRE_RETURN_NOT_OK(Annotate(p.get()));
+  return p;
+}
+
+Status Optimizer::Annotate(PlanNode* plan) const {
+  CRE_RETURN_NOT_OK(estimator_.Annotate(plan));
+  cost_.Annotate(plan);
+  return Status::OK();
+}
+
+Result<std::string> Optimizer::Explain(const PlanPtr& plan) const {
+  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(plan));
+  return optimized->ToString();
+}
+
+}  // namespace cre

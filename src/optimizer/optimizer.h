@@ -1,0 +1,66 @@
+#ifndef CRE_OPTIMIZER_OPTIMIZER_H_
+#define CRE_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/rules.h"
+
+namespace cre {
+
+/// Per-rule toggles, used both for configuration and for the rule
+/// ablation experiment (E8).
+struct OptimizerOptions {
+  bool enable_filter_pushdown = true;
+  bool enable_join_reorder = true;
+  bool enable_data_induced_predicates = true;
+  bool enable_index_selection = true;
+  bool enable_column_pruning = true;
+  /// LSH/IVF similarity strategies can (rarely) miss borderline matches.
+  /// When false, index selection only ever picks exact strategies.
+  bool allow_approximate_similarity = true;
+  std::size_t dip_max_inducing_rows = 64;
+};
+
+/// The holistic rule- and cost-based optimizer spanning relational and
+/// model-based operators (paper Sec. V). Rules run in a fixed sequence:
+/// pushdown -> cardinality annotation -> join reorder -> DIP -> strategy
+/// selection -> pruning -> final annotation.
+class Optimizer {
+ public:
+  Optimizer(const Catalog* catalog, const ModelRegistry* models,
+            const DetectorRegistry* detectors, OptimizerOptions options = {},
+            SubplanExecutor subplan_executor = nullptr)
+      : catalog_(catalog),
+        models_(models),
+        options_(options),
+        estimator_(catalog, models, detectors),
+        cost_(models),
+        subplan_executor_(std::move(subplan_executor)) {}
+
+  /// Produces an optimized copy of `plan` (the input is not modified).
+  Result<PlanPtr> Optimize(const PlanPtr& plan) const;
+
+  /// Annotates est_rows and est_cost in place.
+  Status Annotate(PlanNode* plan) const;
+
+  /// EXPLAIN text: the optimized plan tree with annotations.
+  Result<std::string> Explain(const PlanPtr& plan) const;
+
+  const CostModel& cost_model() const { return cost_; }
+  const CardinalityEstimator& estimator() const { return estimator_; }
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  const ModelRegistry* models_;
+  OptimizerOptions options_;
+  CardinalityEstimator estimator_;
+  CostModel cost_;
+  SubplanExecutor subplan_executor_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_OPTIMIZER_OPTIMIZER_H_

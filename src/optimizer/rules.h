@@ -1,0 +1,54 @@
+#ifndef CRE_OPTIMIZER_RULES_H_
+#define CRE_OPTIMIZER_RULES_H_
+
+#include <functional>
+
+#include "core/result.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "plan/plan_node.h"
+#include "storage/catalog.h"
+
+namespace cre {
+
+/// Callback the DIP rule uses to execute a small subplan at optimization
+/// time (the predicates are induced from *data*, so deriving them requires
+/// evaluating the inducing side). Provided by the engine.
+using SubplanExecutor =
+    std::function<Result<TablePtr>(const PlanPtr& subplan)>;
+
+/// Rule 1 — filter pushdown (incl. across semantic operators and into
+/// scans/detect-scans). Splits conjunctions and pushes each term to the
+/// deepest node whose schema binds all referenced columns. Pushing a date
+/// filter below the object detector is the paper's motivating
+/// optimization (Sec. II step 3).
+Result<PlanPtr> RulePushDownFilters(PlanPtr plan, const Catalog& catalog);
+
+/// Rule 2 — join input ordering: puts the smaller estimated side on the
+/// build (right) position of hash joins and semantic joins. Requires
+/// cardinality annotations. Only fires when the two sides share no column
+/// names (a collision would re-bind names across the swap).
+Result<PlanPtr> RuleReorderJoinInputs(PlanPtr plan, const Catalog& catalog);
+
+/// Rule 3 — data-induced predicates (paper Sec. IV, [23]): when one side
+/// of a semantic join is estimated tiny, executes it, collects the
+/// distinct join-key strings, and inserts a semantic multi-select with
+/// those strings on the other (large) side, shrinking it before expensive
+/// work. `max_inducing_rows` bounds the executed side.
+Result<PlanPtr> RuleDataInducedPredicates(PlanPtr plan,
+                                          const SubplanExecutor& executor,
+                                          std::size_t max_inducing_rows = 64);
+
+/// Rule 4 — cost-based physical strategy selection for semantic joins
+/// (brute force vs LSH vs IVF), the similarity analogue of index
+/// selection (Sec. V). Requires cardinality annotations; skips nodes with
+/// strategy_pinned.
+PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost);
+
+/// Rule 5 — projection pruning: narrows scans to the columns actually
+/// referenced above them (reduces materialization and join copying).
+Result<PlanPtr> RulePruneColumns(PlanPtr plan, const Catalog& catalog);
+
+}  // namespace cre
+
+#endif  // CRE_OPTIMIZER_RULES_H_

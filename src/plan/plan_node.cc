@@ -1,0 +1,226 @@
+#include "plan/plan_node.h"
+
+#include <sstream>
+
+namespace cre {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kDetectScan:
+      return "DetectScan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kSemanticSelect:
+      return "SemanticSelect";
+    case PlanKind::kSemanticJoin:
+      return "SemanticJoin";
+    case PlanKind::kSemanticGroupBy:
+      return "SemanticGroupBy";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+PlanPtr PlanNode::Scan(std::string table) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kScan;
+  n->table_name = std::move(table);
+  return n;
+}
+
+PlanPtr PlanNode::DetectScan(std::string store) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kDetectScan;
+  n->table_name = std::move(store);
+  return n;
+}
+
+PlanPtr PlanNode::Filter(PlanPtr child, ExprPtr predicate) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kFilter;
+  n->children = {std::move(child)};
+  n->predicate = std::move(predicate);
+  return n;
+}
+
+PlanPtr PlanNode::Project(PlanPtr child, std::vector<ProjectionItem> items) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kProject;
+  n->children = {std::move(child)};
+  n->projections = std::move(items);
+  return n;
+}
+
+PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right, std::string left_key,
+                       std::string right_key) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kJoin;
+  n->children = {std::move(left), std::move(right)};
+  n->left_key = std::move(left_key);
+  n->right_key = std::move(right_key);
+  return n;
+}
+
+PlanPtr PlanNode::SemanticSelect(PlanPtr child, std::string column,
+                                 std::string query, std::string model,
+                                 float threshold) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSemanticSelect;
+  n->children = {std::move(child)};
+  n->column = std::move(column);
+  n->query = std::move(query);
+  n->model_name = std::move(model);
+  n->threshold = threshold;
+  return n;
+}
+
+PlanPtr PlanNode::SemanticJoin(PlanPtr left, PlanPtr right,
+                               std::string left_key, std::string right_key,
+                               std::string model, float threshold) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSemanticJoin;
+  n->children = {std::move(left), std::move(right)};
+  n->left_key = std::move(left_key);
+  n->right_key = std::move(right_key);
+  n->model_name = std::move(model);
+  n->threshold = threshold;
+  return n;
+}
+
+PlanPtr PlanNode::SemanticGroupBy(PlanPtr child, std::string column,
+                                  std::string model, float threshold) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSemanticGroupBy;
+  n->children = {std::move(child)};
+  n->column = std::move(column);
+  n->model_name = std::move(model);
+  n->threshold = threshold;
+  return n;
+}
+
+PlanPtr PlanNode::Aggregate(PlanPtr child, std::vector<std::string> group_keys,
+                            std::vector<AggSpec> aggs) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kAggregate;
+  n->children = {std::move(child)};
+  n->group_keys = std::move(group_keys);
+  n->aggs = std::move(aggs);
+  return n;
+}
+
+PlanPtr PlanNode::Sort(PlanPtr child, std::string key, bool ascending) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSort;
+  n->children = {std::move(child)};
+  n->sort_key = std::move(key);
+  n->sort_ascending = ascending;
+  return n;
+}
+
+PlanPtr PlanNode::Limit(PlanPtr child, std::size_t limit) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kLimit;
+  n->children = {std::move(child)};
+  n->limit = limit;
+  return n;
+}
+
+PlanPtr PlanNode::Clone() const {
+  auto n = std::make_shared<PlanNode>(*this);
+  for (auto& c : n->children) c = c->Clone();
+  return n;
+}
+
+std::string PlanNode::Describe() const {
+  std::ostringstream os;
+  os << PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+    case PlanKind::kDetectScan:
+      os << "(" << table_name;
+      if (predicate) os << ", pushed: " << predicate->ToString();
+      os << ")";
+      break;
+    case PlanKind::kFilter:
+      os << "(" << predicate->ToString() << ")";
+      break;
+    case PlanKind::kProject: {
+      os << "(";
+      for (std::size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << projections[i].name;
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kJoin:
+      os << "(" << left_key << " = " << right_key << ")";
+      break;
+    case PlanKind::kSemanticSelect:
+      if (!queries.empty()) {
+        os << "(" << column << " ~ any of " << queries.size()
+           << " induced values >= " << threshold << ", model=" << model_name
+           << ")";
+      } else {
+        os << "(" << column << " ~ '" << query << "' >= " << threshold
+           << ", model=" << model_name << ")";
+      }
+      break;
+    case PlanKind::kSemanticJoin:
+      os << "(" << left_key << " ~ " << right_key << " >= " << threshold
+         << ", model=" << model_name << ", strategy="
+         << SemanticJoinStrategyName(strategy) << ")";
+      break;
+    case PlanKind::kSemanticGroupBy:
+      os << "(" << column << " @ " << threshold << ", model=" << model_name
+         << ")";
+      break;
+    case PlanKind::kAggregate: {
+      os << "(keys: ";
+      for (std::size_t i = 0; i < group_keys.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << group_keys[i];
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kSort:
+      os << "(" << sort_key << (sort_ascending ? " asc" : " desc") << ")";
+      break;
+    case PlanKind::kLimit:
+      os << "(" << limit << ")";
+      break;
+  }
+  if (est_rows >= 0) os << "  [~" << static_cast<long long>(est_rows)
+                        << " rows";
+  if (est_cost >= 0) os << ", cost " << static_cast<long long>(est_cost);
+  if (est_rows >= 0 || est_cost >= 0) os << "]";
+  return os.str();
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << Describe() << "\n";
+  for (const auto& c : children) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+std::size_t PlanSize(const PlanNode& node) {
+  std::size_t n = 1;
+  for (const auto& c : node.children) n += PlanSize(*c);
+  return n;
+}
+
+}  // namespace cre

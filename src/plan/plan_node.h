@@ -1,0 +1,128 @@
+#ifndef CRE_PLAN_PLAN_NODE_H_
+#define CRE_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/model_registry.h"
+#include "exec/aggregate.h"
+#include "exec/project.h"
+#include "expr/expr.h"
+#include "semantic/semantic_join.h"
+#include "storage/catalog.h"
+
+namespace cre {
+
+/// Logical operator kinds. Relational and semantic/model operators live in
+/// the same IR so one rule set optimizes across them — the central design
+/// requirement of paper Sec. IV ("a common intermediate representation").
+enum class PlanKind {
+  kScan = 0,        ///< catalog table scan
+  kDetectScan,      ///< simulated object-detection over an image store
+  kFilter,          ///< relational predicate
+  kProject,         ///< projection / computed columns
+  kJoin,            ///< hash equi-join
+  kSemanticSelect,  ///< model-assisted context filter
+  kSemanticJoin,    ///< model-assisted latent-space join
+  kSemanticGroupBy, ///< on-the-fly clustering
+  kAggregate,       ///< hash group-by aggregation
+  kSort,
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// A mutable logical plan node. Optimizer rules rewrite trees of these;
+/// the physical planner then lowers them to PhysicalOperators. Fields are
+/// public by design (the node is a passive IR record, not an invariant-
+/// holding class); only the fields relevant to `kind` are meaningful.
+class PlanNode {
+ public:
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanPtr> children;
+
+  // kScan / kDetectScan
+  std::string table_name;
+
+  // kFilter (and pushed-into-scan predicates for kScan/kDetectScan)
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ProjectionItem> projections;
+
+  // kJoin
+  std::string left_key;
+  std::string right_key;
+
+  // Semantic operators.
+  std::string column;      ///< input string column (select/group-by; also
+                           ///< left key of semantic join via left_key)
+  std::string query;       ///< semantic select query text
+  /// Data-induced predicate form of semantic select: match ANY of these
+  /// (populated by the optimizer's DIP rule; overrides `query` when
+  /// non-empty).
+  std::vector<std::string> queries;
+  std::string model_name;  ///< registry name of the model to use
+  float threshold = 0.9f;
+  SemanticJoinStrategy strategy = SemanticJoinStrategy::kBruteForce;
+  /// When false, the physical planner may re-pick the strategy by cost.
+  bool strategy_pinned = false;
+  /// Semantic join top-k mode (0 = threshold range join).
+  std::size_t top_k = 0;
+
+  // kAggregate
+  std::vector<std::string> group_keys;
+  std::vector<AggSpec> aggs;
+
+  // kSort
+  std::string sort_key;
+  bool sort_ascending = true;
+
+  // kLimit
+  std::size_t limit = 0;
+
+  /// Optimizer annotation: estimated output rows (-1 = not yet estimated).
+  double est_rows = -1;
+  /// Optimizer annotation: estimated cumulative cost (abstract units).
+  double est_cost = -1;
+
+  // ---- construction helpers ----
+  static PlanPtr Scan(std::string table);
+  static PlanPtr DetectScan(std::string store);
+  static PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr child, std::vector<ProjectionItem> items);
+  static PlanPtr Join(PlanPtr left, PlanPtr right, std::string left_key,
+                      std::string right_key);
+  static PlanPtr SemanticSelect(PlanPtr child, std::string column,
+                                std::string query, std::string model,
+                                float threshold);
+  static PlanPtr SemanticJoin(PlanPtr left, PlanPtr right,
+                              std::string left_key, std::string right_key,
+                              std::string model, float threshold);
+  static PlanPtr SemanticGroupBy(PlanPtr child, std::string column,
+                                 std::string model, float threshold);
+  static PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_keys,
+                           std::vector<AggSpec> aggs);
+  static PlanPtr Sort(PlanPtr child, std::string key, bool ascending);
+  static PlanPtr Limit(PlanPtr child, std::size_t n);
+
+  /// Deep copy (children cloned recursively).
+  PlanPtr Clone() const;
+
+  /// Indented tree rendering with annotations, for EXPLAIN.
+  std::string ToString(int indent = 0) const;
+
+  /// Single-line description of this node only.
+  std::string Describe() const;
+};
+
+/// Total number of nodes in the tree (for tests and rule fixpoint checks).
+std::size_t PlanSize(const PlanNode& node);
+
+}  // namespace cre
+
+#endif  // CRE_PLAN_PLAN_NODE_H_

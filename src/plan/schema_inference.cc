@@ -1,0 +1,101 @@
+#include "plan/schema_inference.h"
+
+#include <set>
+
+#include "expr/evaluator.h"
+#include "vision/object_detector.h"
+
+namespace cre {
+
+namespace {
+
+Schema CombineJoinSchemas(const Schema& left, const Schema& right,
+                          bool add_score, const std::string& score_name) {
+  Schema out;
+  std::set<std::string> names;
+  for (const auto& f : left.fields()) {
+    out.AddField(f);
+    names.insert(f.name);
+  }
+  for (const auto& f : right.fields()) {
+    Field nf = f;
+    while (names.count(nf.name)) nf.name += "_r";
+    names.insert(nf.name);
+    out.AddField(std::move(nf));
+  }
+  if (add_score) {
+    std::string score = score_name;
+    while (names.count(score)) score += "_";
+    out.AddField({score, DataType::kFloat64, 0});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> InferSchema(const PlanNode& node, const Catalog& catalog) {
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      CRE_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(node.table_name));
+      return table->schema();
+    }
+    case PlanKind::kDetectScan:
+      return ObjectDetector::DetectionSchema();
+    case PlanKind::kFilter:
+    case PlanKind::kSemanticSelect:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return InferSchema(*node.children[0], catalog);
+    case PlanKind::kProject: {
+      CRE_ASSIGN_OR_RETURN(Schema in, InferSchema(*node.children[0], catalog));
+      Schema out;
+      Table proto(in);
+      for (const auto& item : node.projections) {
+        if (item.expr->kind() == ExprKind::kColumnRef) {
+          CRE_ASSIGN_OR_RETURN(std::size_t idx,
+                               in.RequireField(item.expr->column_name()));
+          Field f = in.field(idx);
+          f.name = item.name;
+          out.AddField(std::move(f));
+        } else {
+          CRE_ASSIGN_OR_RETURN(Column col, EvaluateExpr(*item.expr, proto));
+          out.AddField({item.name, col.type(), col.vector_dim()});
+        }
+      }
+      return out;
+    }
+    case PlanKind::kJoin: {
+      CRE_ASSIGN_OR_RETURN(Schema l, InferSchema(*node.children[0], catalog));
+      CRE_ASSIGN_OR_RETURN(Schema r, InferSchema(*node.children[1], catalog));
+      return CombineJoinSchemas(l, r, /*add_score=*/false, "");
+    }
+    case PlanKind::kSemanticJoin: {
+      CRE_ASSIGN_OR_RETURN(Schema l, InferSchema(*node.children[0], catalog));
+      CRE_ASSIGN_OR_RETURN(Schema r, InferSchema(*node.children[1], catalog));
+      return CombineJoinSchemas(l, r, /*add_score=*/true, "similarity");
+    }
+    case PlanKind::kSemanticGroupBy: {
+      CRE_ASSIGN_OR_RETURN(Schema s, InferSchema(*node.children[0], catalog));
+      s.AddField({"cluster_id", DataType::kInt64, 0});
+      s.AddField({"cluster_rep", DataType::kString, 0});
+      return s;
+    }
+    case PlanKind::kAggregate: {
+      CRE_ASSIGN_OR_RETURN(Schema in, InferSchema(*node.children[0], catalog));
+      Schema out;
+      for (const auto& k : node.group_keys) {
+        CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(k));
+        out.AddField(in.field(idx));
+      }
+      for (const auto& a : node.aggs) {
+        const DataType t =
+            a.kind == AggKind::kCount ? DataType::kInt64 : DataType::kFloat64;
+        out.AddField({a.output_name, t, 0});
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind in InferSchema");
+}
+
+}  // namespace cre

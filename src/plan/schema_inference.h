@@ -1,0 +1,20 @@
+#ifndef CRE_PLAN_SCHEMA_INFERENCE_H_
+#define CRE_PLAN_SCHEMA_INFERENCE_H_
+
+#include "core/result.h"
+#include "plan/plan_node.h"
+#include "storage/catalog.h"
+#include "types/schema.h"
+
+namespace cre {
+
+/// Computes the output schema of a logical plan node, mirroring exactly
+/// what the physical lowering will produce (join duplicate-name suffixing,
+/// semantic-join score column, group-by appended columns). The optimizer's
+/// pushdown rules rely on this to know which side of a join provides which
+/// columns.
+Result<Schema> InferSchema(const PlanNode& node, const Catalog& catalog);
+
+}  // namespace cre
+
+#endif  // CRE_PLAN_SCHEMA_INFERENCE_H_

@@ -1,0 +1,107 @@
+#include "semantic/consolidation.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "semantic/semantic_group_by.h"
+
+namespace cre {
+
+ConsolidationResult ConsolidateLabels(const std::vector<std::string>& labels,
+                                      const EmbeddingModel& model,
+                                      float threshold) {
+  const std::size_t dim = model.dim();
+  std::vector<float> matrix(labels.size() * dim);
+  model.EmbedBatch(labels, matrix.data());
+
+  OnlineClusterer clusterer(dim, threshold);
+  ConsolidationResult out;
+  out.cluster_of.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::uint32_t cid = clusterer.Assign(matrix.data() + i * dim);
+    if (cid == out.representatives.size()) {
+      out.representatives.push_back(labels[i]);
+    }
+    out.cluster_of.push_back(cid);
+  }
+  return out;
+}
+
+namespace {
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+}  // namespace
+
+ConsolidationResult ConsolidateLabelsExact(
+    const std::vector<std::string>& labels) {
+  ConsolidationResult out;
+  std::vector<std::string> canon;
+  out.cluster_of.reserve(labels.size());
+  for (const auto& label : labels) {
+    const std::string key = ToLower(label);
+    std::size_t cid = canon.size();
+    for (std::size_t c = 0; c < canon.size(); ++c) {
+      if (canon[c] == key) {
+        cid = c;
+        break;
+      }
+    }
+    if (cid == canon.size()) {
+      canon.push_back(key);
+      out.representatives.push_back(label);
+    }
+    out.cluster_of.push_back(static_cast<std::uint32_t>(cid));
+  }
+  return out;
+}
+
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+ConsolidationResult ConsolidateLabelsEditDistance(
+    const std::vector<std::string>& labels, double threshold) {
+  ConsolidationResult out;
+  out.cluster_of.reserve(labels.size());
+  for (const auto& label : labels) {
+    std::size_t cid = out.representatives.size();
+    for (std::size_t c = 0; c < out.representatives.size(); ++c) {
+      const std::string& rep = out.representatives[c];
+      const std::size_t max_len = std::max(rep.size(), label.size());
+      if (max_len == 0) {
+        cid = c;
+        break;
+      }
+      const double sim =
+          1.0 - static_cast<double>(EditDistance(rep, label)) / max_len;
+      if (sim >= threshold) {
+        cid = c;
+        break;
+      }
+    }
+    if (cid == out.representatives.size()) {
+      out.representatives.push_back(label);
+    }
+    out.cluster_of.push_back(static_cast<std::uint32_t>(cid));
+  }
+  return out;
+}
+
+}  // namespace cre

@@ -1,0 +1,44 @@
+#ifndef CRE_SEMANTIC_CONSOLIDATION_H_
+#define CRE_SEMANTIC_CONSOLIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embed/embedding_model.h"
+
+namespace cre {
+
+/// Result of consolidating a dirty label set (Fig. 3): each input label is
+/// mapped to a canonical representative chosen as the first-seen member of
+/// its semantic cluster.
+struct ConsolidationResult {
+  std::vector<std::uint32_t> cluster_of;   ///< per input label
+  std::vector<std::string> representatives;  ///< per cluster
+  std::size_t num_clusters() const { return representatives.size(); }
+};
+
+/// Model-assisted deduplication / entity resolution: clusters `labels` at
+/// the given cosine threshold. Automated replacement for the
+/// domain-expert cleaning loop the paper motivates (Sec. III/IV).
+ConsolidationResult ConsolidateLabels(const std::vector<std::string>& labels,
+                                      const EmbeddingModel& model,
+                                      float threshold);
+
+/// Syntactic baseline used in E4: clusters labels by case-insensitive
+/// exact match only (what a traditional engine could do without a model).
+ConsolidationResult ConsolidateLabelsExact(
+    const std::vector<std::string>& labels);
+
+/// Edit-distance baseline used in E4: clusters labels whose normalized
+/// Levenshtein similarity is >= `threshold`. Captures misspellings but not
+/// synonyms — the contrast the paper draws with LSH/edit-distance methods.
+ConsolidationResult ConsolidateLabelsEditDistance(
+    const std::vector<std::string>& labels, double threshold);
+
+/// Levenshtein distance (exposed for tests and the baseline above).
+std::size_t EditDistance(const std::string& a, const std::string& b);
+
+}  // namespace cre
+
+#endif  // CRE_SEMANTIC_CONSOLIDATION_H_

@@ -1,0 +1,204 @@
+#include "semantic/semantic_join.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cre {
+
+const char* SemanticJoinStrategyName(SemanticJoinStrategy s) {
+  switch (s) {
+    case SemanticJoinStrategy::kBruteForce:
+      return "brute";
+    case SemanticJoinStrategy::kLsh:
+      return "lsh";
+    case SemanticJoinStrategy::kIvf:
+      return "ivf";
+  }
+  return "?";
+}
+
+SemanticJoinOperator::SemanticJoinOperator(OperatorPtr left, OperatorPtr right,
+                                           std::string left_key,
+                                           std::string right_key,
+                                           EmbeddingModelPtr model,
+                                           SemanticJoinOptions options)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      model_(std::move(model)),
+      options_(std::move(options)) {}
+
+Status SemanticJoinOperator::Open() {
+  if (opened_) return Status::OK();
+  opened_ = true;
+  CRE_RETURN_NOT_OK(left_->Open());
+  CRE_RETURN_NOT_OK(right_->Open());
+  CRE_RETURN_NOT_OK(BuildRightSide());
+
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  std::set<std::string> names;
+  for (const auto& f : ls.fields()) {
+    schema_.AddField(f);
+    names.insert(f.name);
+  }
+  for (const auto& f : rs.fields()) {
+    Field nf = f;
+    while (names.count(nf.name)) nf.name += "_r";
+    names.insert(nf.name);
+    schema_.AddField(std::move(nf));
+  }
+  std::string score = options_.score_column;
+  while (names.count(score)) score += "_";
+  schema_.AddField({score, DataType::kFloat64, 0});
+  return Status::OK();
+}
+
+Status SemanticJoinOperator::BuildRightSide() {
+  CRE_ASSIGN_OR_RETURN(build_, CollectAll(right_.get()));
+  CRE_ASSIGN_OR_RETURN(const Column* key, build_->ColumnByName(right_key_));
+  if (key->type() != DataType::kString) {
+    return Status::TypeError("semantic join right key must be string");
+  }
+  const auto& words = key->strings();
+  const std::size_t dim = model_->dim();
+  right_matrix_.resize(words.size() * dim);
+  model_->EmbedBatch(words, right_matrix_.data());
+
+  switch (options_.strategy) {
+    case SemanticJoinStrategy::kBruteForce:
+      index_.reset();
+      return Status::OK();
+    case SemanticJoinStrategy::kLsh:
+      index_ = std::make_unique<LshIndex>(options_.lsh);
+      break;
+    case SemanticJoinStrategy::kIvf:
+      index_ = std::make_unique<IvfIndex>(options_.ivf);
+      break;
+  }
+  return index_->Build(right_matrix_.data(), words.size(), dim);
+}
+
+Result<TablePtr> SemanticJoinOperator::Next() {
+  const std::size_t dim = model_->dim();
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, left_->Next());
+    if (batch == nullptr) return TablePtr(nullptr);
+    CRE_ASSIGN_OR_RETURN(const Column* key, batch->ColumnByName(left_key_));
+    if (key->type() != DataType::kString) {
+      return Status::TypeError("semantic join left key must be string");
+    }
+    const auto& words = key->strings();
+    std::vector<float> left_matrix(words.size() * dim);
+    model_->EmbedBatch(words, left_matrix.data());
+
+    std::vector<MatchPair> matches;
+    if (options_.top_k > 0) {
+      // Top-k mode: per left row, the k best right rows above threshold.
+      const DotFn dot = GetDotKernel(options_.variant);
+      const std::size_t n_right = right_matrix_.size() / dim;
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        const float* q = left_matrix.data() + i * dim;
+        std::vector<ScoredId> hits;
+        if (index_ == nullptr) {
+          TopKCollector collector(options_.top_k);
+          for (std::size_t j = 0; j < n_right; ++j) {
+            collector.Offer(static_cast<std::uint32_t>(j),
+                            dot(q, right_matrix_.data() + j * dim, dim));
+          }
+          hits = collector.TakeSorted();
+        } else {
+          hits = index_->TopK(q, options_.top_k);
+        }
+        for (const auto& h : hits) {
+          if (h.score < options_.threshold) continue;
+          matches.push_back({static_cast<std::uint32_t>(i), h.id, h.score});
+        }
+      }
+    } else if (index_ == nullptr) {
+      BruteForceOptions bf;
+      bf.variant = options_.variant;
+      bf.pool = options_.pool;
+      matches = SimilarityJoinBrute(left_matrix.data(), words.size(),
+                                    right_matrix_.data(),
+                                    right_matrix_.size() / dim, dim,
+                                    options_.threshold, bf);
+    } else {
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        std::vector<ScoredId> hits;
+        index_->RangeSearch(left_matrix.data() + i * dim, options_.threshold,
+                            &hits);
+        for (const auto& h : hits) {
+          matches.push_back({static_cast<std::uint32_t>(i), h.id, h.score});
+        }
+      }
+    }
+    if (matches.empty()) continue;
+
+    // Deterministic output order regardless of physical strategy or probe
+    // parallelism: downstream order-sensitive operators (semantic
+    // group-by) must see the same stream no matter how the optimizer
+    // chose to execute this join.
+    std::sort(matches.begin(), matches.end(),
+              [](const MatchPair& a, const MatchPair& b) {
+                return a.left != b.left ? a.left < b.left
+                                        : a.right < b.right;
+              });
+
+    std::vector<std::uint32_t> left_rows, right_rows;
+    left_rows.reserve(matches.size());
+    right_rows.reserve(matches.size());
+    for (const auto& m : matches) {
+      left_rows.push_back(m.left);
+      right_rows.push_back(m.right);
+    }
+    TablePtr left_part = batch->Take(left_rows);
+    TablePtr right_part = build_->Take(right_rows);
+    auto out = Table::Make(schema_);
+    const std::size_t ln = left_part->num_columns();
+    for (std::size_t c = 0; c < ln; ++c) out->column(c) = left_part->column(c);
+    for (std::size_t c = 0; c < right_part->num_columns(); ++c) {
+      out->column(ln + c) = right_part->column(c);
+    }
+    Column& score = out->column(ln + right_part->num_columns());
+    for (const auto& m : matches) score.AppendFloat64(m.score);
+    return out;
+  }
+}
+
+std::vector<MatchPair> SemanticStringJoin(
+    const std::vector<std::string>& left,
+    const std::vector<std::string>& right, const EmbeddingModel& model,
+    const SemanticJoinOptions& options) {
+  const std::size_t dim = model.dim();
+  std::vector<float> lm(left.size() * dim), rm(right.size() * dim);
+  model.EmbedBatch(left, lm.data());
+  model.EmbedBatch(right, rm.data());
+
+  if (options.strategy == SemanticJoinStrategy::kBruteForce) {
+    BruteForceOptions bf;
+    bf.variant = options.variant;
+    bf.pool = options.pool;
+    return SimilarityJoinBrute(lm.data(), left.size(), rm.data(),
+                               right.size(), dim, options.threshold, bf);
+  }
+  std::unique_ptr<VectorIndex> index;
+  if (options.strategy == SemanticJoinStrategy::kLsh) {
+    index = std::make_unique<LshIndex>(options.lsh);
+  } else {
+    index = std::make_unique<IvfIndex>(options.ivf);
+  }
+  index->Build(rm.data(), right.size(), dim).Check();
+  std::vector<MatchPair> matches;
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    std::vector<ScoredId> hits;
+    index->RangeSearch(lm.data() + i * dim, options.threshold, &hits);
+    for (const auto& h : hits) {
+      matches.push_back({static_cast<std::uint32_t>(i), h.id, h.score});
+    }
+  }
+  return matches;
+}
+
+}  // namespace cre

@@ -1,0 +1,91 @@
+#ifndef CRE_SEMANTIC_SEMANTIC_JOIN_H_
+#define CRE_SEMANTIC_SEMANTIC_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "embed/model_registry.h"
+#include "exec/operator.h"
+#include "vecsim/brute_force.h"
+#include "vecsim/ivf_index.h"
+#include "vecsim/lsh_index.h"
+#include "vecsim/vector_index.h"
+
+namespace cre {
+
+/// Physical strategies for the semantic join — the similarity analogue of
+/// choosing between a nested-loop scan and an index join (Sec. V, E6).
+enum class SemanticJoinStrategy {
+  kBruteForce = 0,  ///< exact all-pairs scan (SIMD + parallel capable)
+  kLsh,             ///< random-hyperplane LSH candidates + exact verify
+  kIvf,             ///< IVF-flat probes + exact verify
+};
+
+const char* SemanticJoinStrategyName(SemanticJoinStrategy s);
+
+struct SemanticJoinOptions {
+  float threshold = 0.9f;
+  SemanticJoinStrategy strategy = SemanticJoinStrategy::kBruteForce;
+  KernelVariant variant = BestKernelVariant();
+  ThreadPool* pool = nullptr;  ///< enables parallel probing when set
+  LshOptions lsh;
+  IvfOptions ivf;
+  /// Top-k mode: when > 0, each left row joins with its `top_k` most
+  /// similar right rows that also clear `threshold` (set threshold to a
+  /// very low value for pure k-NN). 0 = plain threshold range join.
+  std::size_t top_k = 0;
+  /// Name of the appended similarity score column.
+  std::string score_column = "similarity";
+};
+
+/// The paper's Semantic Join operator extension (Sec. IV): joins two
+/// relations on the latent-space distance between the embeddings of their
+/// join-key strings. Emits left columns + right columns (duplicates
+/// suffixed "_r") + a float64 similarity score column.
+class SemanticJoinOperator : public PhysicalOperator {
+ public:
+  SemanticJoinOperator(OperatorPtr left, OperatorPtr right,
+                       std::string left_key, std::string right_key,
+                       EmbeddingModelPtr model, SemanticJoinOptions options);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return std::string("SemanticJoin[") +
+           SemanticJoinStrategyName(options_.strategy) + "](" + left_key_ +
+           " ~ " + right_key_ + " >= " + std::to_string(options_.threshold) +
+           ")";
+  }
+
+ private:
+  Status BuildRightSide();
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::string left_key_;
+  std::string right_key_;
+  EmbeddingModelPtr model_;
+  SemanticJoinOptions options_;
+
+  Schema schema_;
+  TablePtr build_;
+  std::vector<float> right_matrix_;
+  std::unique_ptr<VectorIndex> index_;
+  bool opened_ = false;
+};
+
+/// Standalone similarity join over two string arrays: embeds both sides
+/// with `model` and returns matching pairs. This is the primitive that
+/// Figure 4 measures under different optimization rungs.
+std::vector<MatchPair> SemanticStringJoin(
+    const std::vector<std::string>& left,
+    const std::vector<std::string>& right, const EmbeddingModel& model,
+    const SemanticJoinOptions& options);
+
+}  // namespace cre
+
+#endif  // CRE_SEMANTIC_SEMANTIC_JOIN_H_

@@ -1,0 +1,133 @@
+#include "semantic/semantic_select.h"
+
+#include "vecsim/kernels.h"
+
+namespace cre {
+
+SemanticSelectOperator::SemanticSelectOperator(OperatorPtr child,
+                                               std::string column,
+                                               std::string query,
+                                               EmbeddingModelPtr model,
+                                               float threshold)
+    : child_(std::move(child)),
+      column_(std::move(column)),
+      query_(std::move(query)),
+      model_(std::move(model)),
+      threshold_(threshold) {}
+
+Status SemanticSelectOperator::Open() {
+  CRE_RETURN_NOT_OK(child_->Open());
+  CRE_ASSIGN_OR_RETURN(std::size_t idx,
+                       child_->output_schema().RequireField(column_));
+  if (child_->output_schema().field(idx).type != DataType::kString) {
+    return Status::TypeError("semantic select column '" + column_ +
+                             "' must be a string column");
+  }
+  query_vec_.resize(model_->dim());
+  model_->Embed(query_, query_vec_.data());
+  return Status::OK();
+}
+
+Result<TablePtr> SemanticSelectOperator::Next() {
+  const std::size_t dim = model_->dim();
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+    if (batch == nullptr) return TablePtr(nullptr);
+    CRE_ASSIGN_OR_RETURN(const Column* col, batch->ColumnByName(column_));
+    const auto& words = col->strings();
+
+    std::vector<float> matrix(words.size() * dim);
+    model_->EmbedBatch(words, matrix.data());
+
+    const DotFn dot = GetDotKernel(BestKernelVariant());
+    std::vector<std::uint32_t> keep;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (dot(query_vec_.data(), matrix.data() + i * dim, dim) >=
+          threshold_) {
+        keep.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    if (keep.empty()) continue;
+    if (keep.size() == batch->num_rows()) return batch;
+    return batch->Take(keep);
+  }
+}
+
+SemanticMultiSelectOperator::SemanticMultiSelectOperator(
+    OperatorPtr child, std::string column, std::vector<std::string> queries,
+    EmbeddingModelPtr model, float threshold)
+    : child_(std::move(child)),
+      column_(std::move(column)),
+      queries_(std::move(queries)),
+      model_(std::move(model)),
+      threshold_(threshold) {}
+
+Status SemanticMultiSelectOperator::Open() {
+  CRE_RETURN_NOT_OK(child_->Open());
+  CRE_ASSIGN_OR_RETURN(std::size_t idx,
+                       child_->output_schema().RequireField(column_));
+  if (child_->output_schema().field(idx).type != DataType::kString) {
+    return Status::TypeError("semantic multi-select column '" + column_ +
+                             "' must be a string column");
+  }
+  query_matrix_.resize(queries_.size() * model_->dim());
+  model_->EmbedBatch(queries_, query_matrix_.data());
+  return Status::OK();
+}
+
+Result<TablePtr> SemanticMultiSelectOperator::Next() {
+  const std::size_t dim = model_->dim();
+  const DotFn dot = GetDotKernel(BestKernelVariant());
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+    if (batch == nullptr) return TablePtr(nullptr);
+    CRE_ASSIGN_OR_RETURN(const Column* col, batch->ColumnByName(column_));
+    const auto& words = col->strings();
+
+    std::vector<float> matrix(words.size() * dim);
+    model_->EmbedBatch(words, matrix.data());
+
+    std::vector<std::uint32_t> keep;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      const float* v = matrix.data() + i * dim;
+      for (std::size_t q = 0; q < queries_.size(); ++q) {
+        if (dot(v, query_matrix_.data() + q * dim, dim) >= threshold_) {
+          keep.push_back(static_cast<std::uint32_t>(i));
+          break;
+        }
+      }
+    }
+    if (keep.empty()) continue;
+    if (keep.size() == batch->num_rows()) return batch;
+    return batch->Take(keep);
+  }
+}
+
+Result<TablePtr> SemanticFilter(const TablePtr& table,
+                                const std::string& column,
+                                const std::string& query,
+                                const EmbeddingModel& model,
+                                float threshold) {
+  CRE_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(column));
+  if (col->type() != DataType::kString) {
+    return Status::TypeError("semantic filter column must be string");
+  }
+  const std::size_t dim = model.dim();
+  std::vector<float> qv(dim);
+  model.Embed(query, qv.data());
+
+  const auto& words = col->strings();
+  std::vector<float> matrix(words.size() * dim);
+  model.EmbedBatch(words, matrix.data());
+
+  const DotFn dot = GetDotKernel(BestKernelVariant());
+  std::vector<std::uint32_t> keep;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (dot(qv.data(), matrix.data() + i * dim, dim) >= threshold) {
+      keep.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return table->Take(keep);
+}
+
+}  // namespace cre

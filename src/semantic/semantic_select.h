@@ -1,0 +1,82 @@
+#ifndef CRE_SEMANTIC_SEMANTIC_SELECT_H_
+#define CRE_SEMANTIC_SEMANTIC_SELECT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "embed/model_registry.h"
+#include "exec/operator.h"
+
+namespace cre {
+
+/// The paper's Semantic Select operator extension (Sec. IV):
+///   column ~= "query" USING MODEL m WITH COSINE THRESHOLD >= t
+/// Embeds the query once at Open() and keeps rows whose string column
+/// embeds within the cosine threshold.
+class SemanticSelectOperator : public PhysicalOperator {
+ public:
+  SemanticSelectOperator(OperatorPtr child, std::string column,
+                         std::string query, EmbeddingModelPtr model,
+                         float threshold);
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return "SemanticSelect(" + column_ + " ~ '" + query_ + "' >= " +
+           std::to_string(threshold_) + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  std::string column_;
+  std::string query_;
+  EmbeddingModelPtr model_;
+  float threshold_;
+  std::vector<float> query_vec_;
+};
+
+/// Multi-query variant: keeps rows whose string column matches ANY of the
+/// query strings at the threshold. This is the executable form of a
+/// data-induced predicate (paper Sec. IV, [23]): the optimizer derives the
+/// query set from the data of a small join side at optimization time and
+/// pushes this operator below expensive downstream work.
+class SemanticMultiSelectOperator : public PhysicalOperator {
+ public:
+  SemanticMultiSelectOperator(OperatorPtr child, std::string column,
+                              std::vector<std::string> queries,
+                              EmbeddingModelPtr model, float threshold);
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override;
+  Result<TablePtr> Next() override;
+  std::string name() const override {
+    return "SemanticMultiSelect(" + column_ + " ~ " +
+           std::to_string(queries_.size()) + " queries >= " +
+           std::to_string(threshold_) + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  std::string column_;
+  std::vector<std::string> queries_;
+  EmbeddingModelPtr model_;
+  float threshold_;
+  std::vector<float> query_matrix_;
+};
+
+/// Function form used outside operator trees: rows of `table` whose
+/// `column` is semantically similar to `query`.
+Result<TablePtr> SemanticFilter(const TablePtr& table,
+                                const std::string& column,
+                                const std::string& query,
+                                const EmbeddingModel& model, float threshold);
+
+}  // namespace cre
+
+#endif  // CRE_SEMANTIC_SEMANTIC_SELECT_H_

@@ -1,0 +1,110 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace cre::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  if (kind != TokenKind::kIdent) return false;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  for (; i < n && kw[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return i == n && kw[i] == '\0';
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto error = [&](const std::string& msg, std::size_t pos) {
+    return Status::InvalidArgument("SQL lex error at offset " +
+                                   std::to_string(pos) + ": " + msg);
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      t.kind = TokenKind::kIdent;
+      t.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::size_t j = i;
+      bool has_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (!has_dot && input[j] == '.'))) {
+        has_dot |= (input[j] == '.');
+        ++j;
+      }
+      t.kind = TokenKind::kNumber;
+      t.text = input.substr(i, j - i);
+      t.number = std::stod(t.text);
+      t.is_integer = !has_dot;
+      i = j;
+    } else if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string value;
+      for (;;) {
+        if (j >= n) return error("unterminated string literal", i);
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          ++j;
+          break;
+        }
+        value.push_back(input[j]);
+        ++j;
+      }
+      t.kind = TokenKind::kString;
+      t.text = std::move(value);
+      i = j;
+    } else {
+      // Multi-character symbols first.
+      auto starts = [&](const char* s) {
+        const std::size_t len = std::char_traits<char>::length(s);
+        return input.compare(i, len, s) == 0;
+      };
+      t.kind = TokenKind::kSymbol;
+      if (starts("<=") || starts(">=") || starts("!=") || starts("<>")) {
+        t.text = input.substr(i, 2);
+        if (t.text == "<>") t.text = "!=";
+        i += 2;
+      } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=' ||
+                 c == '<' || c == '>' || c == '~' || c == '.') {
+        t.text = std::string(1, c);
+        ++i;
+      } else {
+        return error(std::string("unexpected character '") + c + "'", i);
+      }
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace cre::sql

@@ -1,0 +1,36 @@
+#ifndef CRE_SQL_LEXER_H_
+#define CRE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+
+namespace cre::sql {
+
+enum class TokenKind {
+  kIdent,    ///< bare identifier (keywords are classified by the parser)
+  kNumber,   ///< integer or decimal literal
+  kString,   ///< single-quoted string literal (quotes stripped)
+  kSymbol,   ///< operator / punctuation: ( ) , * = != <> < <= > >= ~
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< identifier (original case), symbol, or string
+  double number = 0;      ///< kNumber value
+  bool is_integer = false;
+  std::size_t position = 0;  ///< byte offset, for error messages
+
+  /// Case-insensitive keyword check for identifiers.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes a CRE-QL statement. Fails with InvalidArgument on unknown
+/// characters or unterminated strings (offset reported).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cre::sql
+
+#endif  // CRE_SQL_LEXER_H_

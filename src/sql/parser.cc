@@ -1,0 +1,491 @@
+#include "sql/parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace cre::sql {
+
+namespace {
+
+/// A parsed WHERE-clause conjunct: either a relational expression or a
+/// semantic-select specification (which must become a plan node).
+struct SemanticPredicate {
+  std::string column;
+  std::string query;
+  std::string model;
+  float threshold = 0.9f;
+};
+
+struct SelectItem {
+  std::string name;
+  ExprPtr expr;                       // non-aggregate item
+  std::optional<AggSpec> agg;         // aggregate item
+  bool is_star = false;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PlanPtr> ParseStatement();
+
+ private:
+  // ---- token helpers ----
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtKeyword(const char* kw, std::size_t ahead = 0) const {
+    return Peek(ahead).IsKeyword(kw);
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (AtKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AtSymbol(const char* s) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == s;
+  }
+  bool ConsumeSymbol(const char* s) {
+    if (AtSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error near offset " +
+                                   std::to_string(Peek().position) + ": " +
+                                   msg);
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!ConsumeSymbol(s)) {
+      return Error(std::string("expected '") + s + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // ---- grammar ----
+  Result<std::vector<SelectItem>> ParseSelectList();
+  Result<PlanPtr> ParseTableRef();
+  Result<PlanPtr> ParseFromAndJoins();
+  Status ParseWhere(std::vector<ExprPtr>* relational,
+                    std::vector<SemanticPredicate>* semantic);
+  Result<ExprPtr> ParseOrExpr();
+  Result<ExprPtr> ParseAndExpr();
+  Result<ExprPtr> ParseNotExpr();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+  /// Parses one top-level WHERE conjunct, which may be semantic.
+  Status ParseConjunct(std::vector<ExprPtr>* relational,
+                       std::vector<SemanticPredicate>* semantic);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+Result<std::vector<SelectItem>> Parser::ParseSelectList() {
+  std::vector<SelectItem> items;
+  for (;;) {
+    SelectItem item;
+    if (ConsumeSymbol("*")) {
+      item.is_star = true;
+      items.push_back(std::move(item));
+    } else if (AtKeyword("COUNT") || AtKeyword("SUM") || AtKeyword("AVG") ||
+               AtKeyword("MIN") || AtKeyword("MAX")) {
+      const std::string fn = Advance().text;
+      AggSpec agg;
+      if (Peek(0).kind == TokenKind::kSymbol && Peek(0).text == "(") {
+        Advance();
+      } else {
+        return Error("expected '(' after aggregate function");
+      }
+      std::string upper;
+      for (char c : fn) upper.push_back(std::toupper(c));
+      if (upper == "COUNT") {
+        agg.kind = AggKind::kCount;
+        if (!ConsumeSymbol("*")) {
+          CRE_ASSIGN_OR_RETURN(agg.column, ExpectIdent("column"));
+        }
+      } else {
+        agg.kind = upper == "SUM"   ? AggKind::kSum
+                   : upper == "AVG" ? AggKind::kAvg
+                   : upper == "MIN" ? AggKind::kMin
+                                    : AggKind::kMax;
+        CRE_ASSIGN_OR_RETURN(agg.column, ExpectIdent("column"));
+      }
+      CRE_RETURN_NOT_OK(ExpectSymbol(")"));
+      agg.output_name = upper;
+      for (char& c : agg.output_name) c = std::tolower(c);
+      if (!agg.column.empty()) agg.output_name += "_" + agg.column;
+      if (ConsumeKeyword("AS")) {
+        CRE_ASSIGN_OR_RETURN(agg.output_name, ExpectIdent("alias"));
+      }
+      item.agg = std::move(agg);
+      items.push_back(std::move(item));
+    } else {
+      CRE_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+      item.expr = e;
+      item.name = e->kind() == ExprKind::kColumnRef ? e->column_name()
+                                                    : "expr" +
+                                                          std::to_string(
+                                                              items.size());
+      if (ConsumeKeyword("AS")) {
+        CRE_ASSIGN_OR_RETURN(item.name, ExpectIdent("alias"));
+      }
+      items.push_back(std::move(item));
+    }
+    if (!ConsumeSymbol(",")) break;
+  }
+  return items;
+}
+
+Result<PlanPtr> Parser::ParseTableRef() {
+  if (ConsumeKeyword("DETECT")) {
+    CRE_ASSIGN_OR_RETURN(std::string store, ExpectIdent("image store name"));
+    return PlanNode::DetectScan(std::move(store));
+  }
+  CRE_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+  return PlanNode::Scan(std::move(table));
+}
+
+Result<PlanPtr> Parser::ParseFromAndJoins() {
+  CRE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  CRE_ASSIGN_OR_RETURN(PlanPtr plan, ParseTableRef());
+
+  for (;;) {
+    if (ConsumeKeyword("JOIN")) {
+      CRE_ASSIGN_OR_RETURN(PlanPtr right, ParseTableRef());
+      CRE_RETURN_NOT_OK(ExpectKeyword("ON"));
+      CRE_ASSIGN_OR_RETURN(std::string lk, ExpectIdent("left join key"));
+      CRE_RETURN_NOT_OK(ExpectSymbol("="));
+      CRE_ASSIGN_OR_RETURN(std::string rk, ExpectIdent("right join key"));
+      plan = PlanNode::Join(plan, right, std::move(lk), std::move(rk));
+      continue;
+    }
+    // SEMANTIC JOIN (only when followed by JOIN; SEMANTIC GROUP BY is
+    // handled by the statement parser).
+    if (AtKeyword("SEMANTIC") && AtKeyword("JOIN", 1)) {
+      Advance();  // SEMANTIC
+      Advance();  // JOIN
+      CRE_ASSIGN_OR_RETURN(PlanPtr right, ParseTableRef());
+      CRE_RETURN_NOT_OK(ExpectKeyword("ON"));
+      CRE_ASSIGN_OR_RETURN(std::string lk, ExpectIdent("left join key"));
+      CRE_RETURN_NOT_OK(ExpectSymbol("~"));
+      CRE_ASSIGN_OR_RETURN(std::string rk, ExpectIdent("right join key"));
+      CRE_RETURN_NOT_OK(ExpectKeyword("USING"));
+      CRE_ASSIGN_OR_RETURN(std::string model, ExpectIdent("model name"));
+      float threshold = 0.9f;
+      std::size_t top_k = 0;
+      for (;;) {
+        if (ConsumeKeyword("THRESHOLD")) {
+          if (Peek().kind != TokenKind::kNumber) {
+            return Error("expected number after THRESHOLD");
+          }
+          threshold = static_cast<float>(Advance().number);
+        } else if (ConsumeKeyword("TOP")) {
+          if (Peek().kind != TokenKind::kNumber || !Peek().is_integer) {
+            return Error("expected integer after TOP");
+          }
+          top_k = static_cast<std::size_t>(Advance().number);
+        } else {
+          break;
+        }
+      }
+      plan = PlanNode::SemanticJoin(plan, right, std::move(lk),
+                                    std::move(rk), std::move(model),
+                                    threshold);
+      plan->top_k = top_k;
+      continue;
+    }
+    break;
+  }
+  return plan;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (ConsumeSymbol("(")) {
+    CRE_ASSIGN_OR_RETURN(ExprPtr e, ParseOrExpr());
+    CRE_RETURN_NOT_OK(ExpectSymbol(")"));
+    return e;
+  }
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kNumber: {
+      Advance();
+      if (t.is_integer) {
+        return Lit(Value(static_cast<std::int64_t>(t.number)));
+      }
+      return Lit(Value(t.number));
+    }
+    case TokenKind::kString:
+      Advance();
+      return Lit(Value(t.text));
+    case TokenKind::kIdent:
+      if (t.IsKeyword("TRUE")) {
+        Advance();
+        return Lit(Value(true));
+      }
+      if (t.IsKeyword("FALSE")) {
+        Advance();
+        return Lit(Value(false));
+      }
+      if (t.IsKeyword("DATE")) {
+        Advance();
+        if (Peek().kind != TokenKind::kNumber || !Peek().is_integer) {
+          return Error("expected integer (days since epoch) after DATE");
+        }
+        return Lit(Value::Date(static_cast<std::int64_t>(Advance().number)));
+      }
+      if (t.IsKeyword("CONTAINS")) {
+        Advance();
+        CRE_RETURN_NOT_OK(ExpectSymbol("("));
+        CRE_ASSIGN_OR_RETURN(ExprPtr arg, ParseOrExpr());
+        CRE_RETURN_NOT_OK(ExpectSymbol(","));
+        if (Peek().kind != TokenKind::kString) {
+          return Error("expected string literal in CONTAINS");
+        }
+        const std::string needle = Advance().text;
+        CRE_RETURN_NOT_OK(ExpectSymbol(")"));
+        return Expr::StrContains(std::move(arg), needle);
+      }
+      Advance();
+      return Col(t.text);
+    default:
+      return Error("expected a value, column, or '('");
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  CRE_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+  // '*' and '/' — '/' is not lexed as a symbol (unused); keep '*' only.
+  while (AtSymbol("*")) {
+    Advance();
+    CRE_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+    lhs = Expr::Arith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  // '+'/'-' not in the lexer symbol set either; arithmetic is mostly '*'
+  // for computed projections. Extend here if needed.
+  return ParseMultiplicative();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  CRE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  CompareOp op;
+  if (ConsumeSymbol("=")) {
+    op = CompareOp::kEq;
+  } else if (ConsumeSymbol("!=")) {
+    op = CompareOp::kNe;
+  } else if (ConsumeSymbol("<=")) {
+    op = CompareOp::kLe;
+  } else if (ConsumeSymbol(">=")) {
+    op = CompareOp::kGe;
+  } else if (ConsumeSymbol("<")) {
+    op = CompareOp::kLt;
+  } else if (ConsumeSymbol(">")) {
+    op = CompareOp::kGt;
+  } else {
+    return lhs;  // bare boolean expression
+  }
+  CRE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+  return Expr::Compare(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseNotExpr() {
+  if (ConsumeKeyword("NOT")) {
+    CRE_ASSIGN_OR_RETURN(ExprPtr e, ParseNotExpr());
+    return Not(std::move(e));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseAndExpr() {
+  CRE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNotExpr());
+  while (AtKeyword("AND")) {
+    // Leave "AND <col> SIMILAR TO ..." for the conjunct-level parser: a
+    // semantic predicate is a plan node, not an expression.
+    if (Peek(1).kind == TokenKind::kIdent && Peek(2).IsKeyword("SIMILAR")) {
+      break;
+    }
+    Advance();  // AND
+    CRE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNotExpr());
+    lhs = And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseOrExpr() {
+  CRE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+  while (ConsumeKeyword("OR")) {
+    CRE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+    lhs = Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Status Parser::ParseConjunct(std::vector<ExprPtr>* relational,
+                             std::vector<SemanticPredicate>* semantic) {
+  // Semantic form: ident SIMILAR TO 'query' USING model [THRESHOLD t]
+  if (Peek().kind == TokenKind::kIdent && AtKeyword("SIMILAR", 1)) {
+    SemanticPredicate p;
+    p.column = Advance().text;
+    Advance();  // SIMILAR
+    CRE_RETURN_NOT_OK(ExpectKeyword("TO"));
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected string literal after SIMILAR TO");
+    }
+    p.query = Advance().text;
+    CRE_RETURN_NOT_OK(ExpectKeyword("USING"));
+    CRE_ASSIGN_OR_RETURN(p.model, ExpectIdent("model name"));
+    if (ConsumeKeyword("THRESHOLD")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected number after THRESHOLD");
+      }
+      p.threshold = static_cast<float>(Advance().number);
+    }
+    semantic->push_back(std::move(p));
+    return Status::OK();
+  }
+  CRE_ASSIGN_OR_RETURN(ExprPtr e, ParseOrExpr());
+  relational->push_back(std::move(e));
+  return Status::OK();
+}
+
+Status Parser::ParseWhere(std::vector<ExprPtr>* relational,
+                          std::vector<SemanticPredicate>* semantic) {
+  CRE_RETURN_NOT_OK(ParseConjunct(relational, semantic));
+  while (ConsumeKeyword("AND")) {
+    CRE_RETURN_NOT_OK(ParseConjunct(relational, semantic));
+  }
+  return Status::OK();
+}
+
+Result<PlanPtr> Parser::ParseStatement() {
+  CRE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  CRE_ASSIGN_OR_RETURN(std::vector<SelectItem> select, ParseSelectList());
+  CRE_ASSIGN_OR_RETURN(PlanPtr plan, ParseFromAndJoins());
+
+  if (ConsumeKeyword("WHERE")) {
+    std::vector<ExprPtr> relational;
+    std::vector<SemanticPredicate> semantic;
+    CRE_RETURN_NOT_OK(ParseWhere(&relational, &semantic));
+    if (ExprPtr combined = CombineConjunction(relational)) {
+      plan = PlanNode::Filter(plan, combined);
+    }
+    for (const auto& p : semantic) {
+      plan = PlanNode::SemanticSelect(plan, p.column, p.query, p.model,
+                                      p.threshold);
+    }
+  }
+
+  std::vector<std::string> group_keys;
+  bool has_group_by = false;
+  if (AtKeyword("GROUP")) {
+    Advance();
+    CRE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    has_group_by = true;
+    for (;;) {
+      CRE_ASSIGN_OR_RETURN(std::string key, ExpectIdent("group key"));
+      group_keys.push_back(std::move(key));
+      if (!ConsumeSymbol(",")) break;
+    }
+  }
+  if (AtKeyword("SEMANTIC") && AtKeyword("GROUP", 1)) {
+    Advance();  // SEMANTIC
+    Advance();  // GROUP
+    CRE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    CRE_ASSIGN_OR_RETURN(std::string column, ExpectIdent("column"));
+    CRE_RETURN_NOT_OK(ExpectKeyword("USING"));
+    CRE_ASSIGN_OR_RETURN(std::string model, ExpectIdent("model name"));
+    float threshold = 0.9f;
+    if (ConsumeKeyword("THRESHOLD")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected number after THRESHOLD");
+      }
+      threshold = static_cast<float>(Advance().number);
+    }
+    plan = PlanNode::SemanticGroupBy(plan, std::move(column),
+                                     std::move(model), threshold);
+  }
+
+  // Aggregation: any aggregate select item (or explicit GROUP BY).
+  std::vector<AggSpec> aggs;
+  for (const auto& item : select) {
+    if (item.agg.has_value()) aggs.push_back(*item.agg);
+  }
+  if (!aggs.empty() || has_group_by) {
+    if (aggs.empty()) {
+      return Error("GROUP BY requires at least one aggregate in SELECT");
+    }
+    plan = PlanNode::Aggregate(plan, group_keys, aggs);
+  } else {
+    // Plain projection unless SELECT *.
+    bool star = false;
+    for (const auto& item : select) star |= item.is_star;
+    if (!star) {
+      std::vector<ProjectionItem> items;
+      for (const auto& item : select) {
+        items.push_back({item.name, item.expr});
+      }
+      plan = PlanNode::Project(plan, std::move(items));
+    }
+  }
+
+  if (AtKeyword("ORDER")) {
+    Advance();
+    CRE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    CRE_ASSIGN_OR_RETURN(std::string key, ExpectIdent("order key"));
+    bool ascending = true;
+    if (ConsumeKeyword("DESC")) {
+      ascending = false;
+    } else {
+      ConsumeKeyword("ASC");
+    }
+    plan = PlanNode::Sort(plan, std::move(key), ascending);
+  }
+  if (ConsumeKeyword("LIMIT")) {
+    if (Peek().kind != TokenKind::kNumber || !Peek().is_integer) {
+      return Error("expected integer after LIMIT");
+    }
+    plan = PlanNode::Limit(plan,
+                           static_cast<std::size_t>(Advance().number));
+  }
+
+  if (Peek().kind != TokenKind::kEnd) {
+    return Error("unexpected trailing input '" + Peek().text + "'");
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<PlanPtr> ParseSql(const std::string& statement) {
+  CRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace cre::sql

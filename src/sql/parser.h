@@ -1,0 +1,42 @@
+#ifndef CRE_SQL_PARSER_H_
+#define CRE_SQL_PARSER_H_
+
+#include <string>
+
+#include "core/result.h"
+#include "plan/plan_node.h"
+
+namespace cre::sql {
+
+/// Parses one CRE-QL statement into a logical plan. The dialect is a
+/// small SQL subset extended with the paper's semantic operators:
+///
+///   SELECT * | item [AS name], ...         (items: columns, arithmetic,
+///                                           COUNT(*), SUM/AVG/MIN/MAX(col))
+///   FROM table | DETECT store              (DETECT = object-detection scan)
+///   [ JOIN table ON a = b ]*
+///   [ SEMANTIC JOIN table ON a ~ b USING model
+///       [THRESHOLD t] [TOP k] ]*
+///   [ WHERE conjunction ]                  (terms: comparisons, CONTAINS,
+///                                           col SIMILAR TO 'q' USING model
+///                                           [THRESHOLD t])
+///   [ GROUP BY col, ... ]
+///   [ SEMANTIC GROUP BY col USING model [THRESHOLD t] ]
+///   [ ORDER BY col [ASC|DESC] ]
+///   [ LIMIT n ]
+///
+/// Example (the paper's Fig. 2 query):
+///
+///   SELECT name, price, image_id
+///   FROM products
+///   SEMANTIC JOIN kb_category ON type_label ~ subject
+///       USING shop THRESHOLD 0.8
+///   SEMANTIC JOIN DETECT shop_images ON type_label ~ object_label
+///       USING shop THRESHOLD 0.8
+///   WHERE price > 20 AND object = 'clothes'
+///     AND date_taken > DATE 19300 AND objects_in_image > 2
+Result<PlanPtr> ParseSql(const std::string& statement);
+
+}  // namespace cre::sql
+
+#endif  // CRE_SQL_PARSER_H_

@@ -1,0 +1,15 @@
+#include "sql/sql.h"
+
+namespace cre::sql {
+
+Result<TablePtr> ExecuteSql(Engine* engine, const std::string& statement) {
+  CRE_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(statement));
+  return engine->Execute(plan);
+}
+
+Result<std::string> ExplainSql(Engine* engine, const std::string& statement) {
+  CRE_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(statement));
+  return engine->Explain(plan);
+}
+
+}  // namespace cre::sql

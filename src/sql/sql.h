@@ -1,0 +1,19 @@
+#ifndef CRE_SQL_SQL_H_
+#define CRE_SQL_SQL_H_
+
+#include <string>
+
+#include "engine/engine.h"
+#include "sql/parser.h"
+
+namespace cre::sql {
+
+/// Parses, optimizes, and executes a CRE-QL statement on `engine`.
+Result<TablePtr> ExecuteSql(Engine* engine, const std::string& statement);
+
+/// Parses and explains (optimized plan text with annotations).
+Result<std::string> ExplainSql(Engine* engine, const std::string& statement);
+
+}  // namespace cre::sql
+
+#endif  // CRE_SQL_SQL_H_

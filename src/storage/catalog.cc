@@ -1,0 +1,49 @@
+#include "storage/catalog.h"
+
+namespace cre {
+
+Status Catalog::Register(const std::string& name, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+void Catalog::Put(const std::string& name, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[name] = std::move(table);
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tables_.erase(name)) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cre

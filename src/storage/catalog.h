@@ -1,0 +1,41 @@
+#ifndef CRE_STORAGE_CATALOG_H_
+#define CRE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "storage/table.h"
+
+namespace cre {
+
+/// Thread-safe name -> table registry. The engine resolves logical scan
+/// nodes against a catalog; multiple sources (RDBMS tables, KB exports,
+/// vision outputs) register here for holistic optimization.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers `table` under `name`; fails if the name exists.
+  Status Register(const std::string& name, TablePtr table);
+
+  /// Replaces or inserts.
+  void Put(const std::string& name, TablePtr table);
+
+  Result<TablePtr> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_STORAGE_CATALOG_H_

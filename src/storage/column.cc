@@ -1,0 +1,173 @@
+#include "storage/column.h"
+
+namespace cre {
+
+Column::Column(DataType type, std::size_t vector_dim) : type_(type) {
+  if (type == DataType::kFloatVector) {
+    vec_.dim = vector_dim;
+  }
+}
+
+std::size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return i64_.size();
+    case DataType::kFloat64:
+      return f64_.size();
+    case DataType::kBool:
+      return bools_.size();
+    case DataType::kString:
+      return strings_.size();
+    case DataType::kFloatVector:
+      return vec_.size();
+  }
+  return 0;
+}
+
+Status Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      if (!v.is_int64() && !v.is_date()) {
+        return Status::TypeError("expected int64/date, got " + v.ToString());
+      }
+      i64_.push_back(v.AsInt64());
+      return Status::OK();
+    case DataType::kFloat64:
+      if (v.is_float64()) {
+        f64_.push_back(v.AsFloat64());
+      } else if (v.is_int64()) {
+        f64_.push_back(static_cast<double>(v.AsInt64()));
+      } else {
+        return Status::TypeError("expected float64, got " + v.ToString());
+      }
+      return Status::OK();
+    case DataType::kBool:
+      if (!v.is_bool()) {
+        return Status::TypeError("expected bool, got " + v.ToString());
+      }
+      bools_.push_back(v.AsBool() ? 1 : 0);
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string()) {
+        return Status::TypeError("expected string, got " + v.ToString());
+      }
+      strings_.push_back(v.AsString());
+      return Status::OK();
+    case DataType::kFloatVector: {
+      if (!v.is_vector()) {
+        return Status::TypeError("expected vector, got " + v.ToString());
+      }
+      const auto& vec = v.AsVector();
+      if (vec_.dim == 0) vec_.dim = vec.size();
+      if (vec.size() != vec_.dim) {
+        return Status::InvalidArgument("vector dimension mismatch");
+      }
+      vec_.flat.insert(vec_.flat.end(), vec.begin(), vec.end());
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable column type");
+}
+
+Value Column::GetValue(std::size_t i) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(i64_[i]);
+    case DataType::kDate:
+      return Value::Date(i64_[i]);
+    case DataType::kFloat64:
+      return Value(f64_[i]);
+    case DataType::kBool:
+      return Value(bools_[i] != 0);
+    case DataType::kString:
+      return Value(strings_[i]);
+    case DataType::kFloatVector: {
+      const float* row = vec_.Row(i);
+      return Value(std::vector<float>(row, row + vec_.dim));
+    }
+  }
+  return Value();
+}
+
+Column Column::Take(const std::vector<std::uint32_t>& indices) const {
+  Column out(type_, vec_.dim);
+  out.Reserve(indices.size());
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      for (auto i : indices) out.i64_.push_back(i64_[i]);
+      break;
+    case DataType::kFloat64:
+      for (auto i : indices) out.f64_.push_back(f64_[i]);
+      break;
+    case DataType::kBool:
+      for (auto i : indices) out.bools_.push_back(bools_[i]);
+      break;
+    case DataType::kString:
+      for (auto i : indices) out.strings_.push_back(strings_[i]);
+      break;
+    case DataType::kFloatVector:
+      for (auto i : indices) {
+        out.vec_.flat.insert(out.vec_.flat.end(), vec_.Row(i),
+                             vec_.Row(i) + vec_.dim);
+      }
+      break;
+  }
+  return out;
+}
+
+Status Column::AppendColumn(const Column& other) {
+  if (other.type_ != type_) {
+    return Status::TypeError("column type mismatch in AppendColumn");
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      i64_.insert(i64_.end(), other.i64_.begin(), other.i64_.end());
+      break;
+    case DataType::kFloat64:
+      f64_.insert(f64_.end(), other.f64_.begin(), other.f64_.end());
+      break;
+    case DataType::kBool:
+      bools_.insert(bools_.end(), other.bools_.begin(), other.bools_.end());
+      break;
+    case DataType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      break;
+    case DataType::kFloatVector:
+      if (vec_.dim == 0) vec_.dim = other.vec_.dim;
+      if (vec_.dim != other.vec_.dim) {
+        return Status::InvalidArgument("vector dim mismatch in AppendColumn");
+      }
+      vec_.flat.insert(vec_.flat.end(), other.vec_.flat.begin(),
+                       other.vec_.flat.end());
+      break;
+  }
+  return Status::OK();
+}
+
+void Column::Reserve(std::size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      i64_.reserve(n);
+      break;
+    case DataType::kFloat64:
+      f64_.reserve(n);
+      break;
+    case DataType::kBool:
+      bools_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+    case DataType::kFloatVector:
+      vec_.flat.reserve(n * vec_.dim);
+      break;
+  }
+}
+
+}  // namespace cre

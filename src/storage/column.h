@@ -1,0 +1,110 @@
+#ifndef CRE_STORAGE_COLUMN_H_
+#define CRE_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace cre {
+
+/// Flat storage for a fixed-dimension embedding column: row i occupies
+/// flat[i*dim .. (i+1)*dim).
+struct VectorColumnData {
+  std::size_t dim = 0;
+  std::vector<float> flat;
+
+  std::size_t size() const { return dim == 0 ? 0 : flat.size() / dim; }
+  const float* Row(std::size_t i) const { return flat.data() + i * dim; }
+  float* MutableRow(std::size_t i) { return flat.data() + i * dim; }
+};
+
+/// A typed, dense, in-memory column. Exactly one of the typed vectors is
+/// active, selected by type(). Hot paths access the typed vector directly;
+/// Value-based access exists for boundaries and tests.
+class Column {
+ public:
+  explicit Column(DataType type, std::size_t vector_dim = 0);
+
+  DataType type() const { return type_; }
+  std::size_t size() const;
+  std::size_t vector_dim() const { return vec_.dim; }
+
+  // ---- typed appends ----
+  void AppendInt64(std::int64_t v) { i64_.push_back(v); }
+  void AppendFloat64(double v) { f64_.push_back(v); }
+  void AppendBool(bool v) { bools_.push_back(v ? 1 : 0); }
+  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendVector(const float* v, std::size_t dim) {
+    CRE_CHECK(dim == vec_.dim);
+    vec_.flat.insert(vec_.flat.end(), v, v + dim);
+  }
+
+  /// Appends a boxed value; checks the type tag matches.
+  Status AppendValue(const Value& v);
+
+  // ---- typed access (aborts on wrong type: internal invariant) ----
+  const std::vector<std::int64_t>& i64() const {
+    CRE_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+    return i64_;
+  }
+  std::vector<std::int64_t>& mutable_i64() {
+    CRE_CHECK(type_ == DataType::kInt64 || type_ == DataType::kDate);
+    return i64_;
+  }
+  const std::vector<double>& f64() const {
+    CRE_CHECK(type_ == DataType::kFloat64);
+    return f64_;
+  }
+  std::vector<double>& mutable_f64() {
+    CRE_CHECK(type_ == DataType::kFloat64);
+    return f64_;
+  }
+  const std::vector<std::uint8_t>& bools() const {
+    CRE_CHECK(type_ == DataType::kBool);
+    return bools_;
+  }
+  const std::vector<std::string>& strings() const {
+    CRE_CHECK(type_ == DataType::kString);
+    return strings_;
+  }
+  std::vector<std::string>& mutable_strings() {
+    CRE_CHECK(type_ == DataType::kString);
+    return strings_;
+  }
+  const VectorColumnData& vectors() const {
+    CRE_CHECK(type_ == DataType::kFloatVector);
+    return vec_;
+  }
+  VectorColumnData& mutable_vectors() {
+    CRE_CHECK(type_ == DataType::kFloatVector);
+    return vec_;
+  }
+
+  /// Boxed read of row i.
+  Value GetValue(std::size_t i) const;
+
+  /// New column containing rows at `indices`, in order.
+  Column Take(const std::vector<std::uint32_t>& indices) const;
+
+  /// Appends all rows of `other` (same type) onto this column.
+  Status AppendColumn(const Column& other);
+
+  void Reserve(std::size_t n);
+
+ private:
+  DataType type_;
+  std::vector<std::int64_t> i64_;       // kInt64, kDate
+  std::vector<double> f64_;             // kFloat64
+  std::vector<std::uint8_t> bools_;     // kBool
+  std::vector<std::string> strings_;    // kString
+  VectorColumnData vec_;                // kFloatVector
+};
+
+}  // namespace cre
+
+#endif  // CRE_STORAGE_COLUMN_H_

@@ -1,0 +1,44 @@
+#ifndef CRE_TYPES_DATA_TYPE_H_
+#define CRE_TYPES_DATA_TYPE_H_
+
+namespace cre {
+
+/// Physical column types supported by the engine.
+///   kDate is stored as int64 days-since-epoch.
+///   kFloatVector is a fixed-dimension dense embedding column.
+enum class DataType {
+  kInt64 = 0,
+  kFloat64,
+  kBool,
+  kString,
+  kDate,
+  kFloatVector,
+};
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+    case DataType::kFloatVector:
+      return "float_vector";
+  }
+  return "unknown";
+}
+
+/// True for types whose comparison semantics are numeric.
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64 ||
+         t == DataType::kDate || t == DataType::kBool;
+}
+
+}  // namespace cre
+
+#endif  // CRE_TYPES_DATA_TYPE_H_

@@ -1,0 +1,35 @@
+#include "types/schema.h"
+
+#include <sstream>
+
+namespace cre {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<std::size_t> Schema::RequireField(const std::string& name) const {
+  const int idx = FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + name + "' in schema [" +
+                            ToString() + "]");
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << DataTypeName(fields_[i].type);
+    if (fields_[i].type == DataType::kFloatVector) {
+      os << "(" << fields_[i].vector_dim << ")";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cre

@@ -1,0 +1,62 @@
+#ifndef CRE_TYPES_SCHEMA_H_
+#define CRE_TYPES_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+#include "types/data_type.h"
+
+namespace cre {
+
+/// A named, typed column slot. For kFloatVector fields `vector_dim` gives
+/// the embedding dimensionality.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  std::size_t vector_dim = 0;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           vector_dim == other.vector_dim;
+  }
+};
+
+/// Ordered collection of fields describing a table or operator output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  std::size_t num_fields() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1 when absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Like FieldIndex but returns an error Status when absent.
+  Result<std::size_t> RequireField(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// "name:type, name:type, ..." for EXPLAIN output and errors.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_TYPES_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "types/value.h"
+
+#include <sstream>
+
+namespace cre {
+
+DataType Value::type() const {
+  if (is_date_) return DataType::kDate;
+  if (std::holds_alternative<std::int64_t>(rep_)) return DataType::kInt64;
+  if (std::holds_alternative<double>(rep_)) return DataType::kFloat64;
+  if (std::holds_alternative<bool>(rep_)) return DataType::kBool;
+  if (std::holds_alternative<std::string>(rep_)) return DataType::kString;
+  if (std::holds_alternative<std::vector<float>>(rep_)) {
+    return DataType::kFloatVector;
+  }
+  return DataType::kInt64;  // null defaults
+}
+
+double Value::AsNumeric() const {
+  if (std::holds_alternative<std::int64_t>(rep_)) {
+    return static_cast<double>(std::get<std::int64_t>(rep_));
+  }
+  if (std::holds_alternative<double>(rep_)) return std::get<double>(rep_);
+  if (std::holds_alternative<bool>(rep_)) {
+    return std::get<bool>(rep_) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  if (is_null()) {
+    os << "null";
+  } else if (std::holds_alternative<std::int64_t>(rep_)) {
+    os << std::get<std::int64_t>(rep_);
+    if (is_date_) os << "d";
+  } else if (std::holds_alternative<double>(rep_)) {
+    os << std::get<double>(rep_);
+  } else if (std::holds_alternative<bool>(rep_)) {
+    os << (std::get<bool>(rep_) ? "true" : "false");
+  } else if (std::holds_alternative<std::string>(rep_)) {
+    os << std::get<std::string>(rep_);
+  } else {
+    const auto& v = std::get<std::vector<float>>(rep_);
+    os << "vec[" << v.size() << "]";
+  }
+  return os.str();
+}
+
+}  // namespace cre

@@ -1,0 +1,72 @@
+#ifndef CRE_TYPES_VALUE_H_
+#define CRE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace cre {
+
+/// A single dynamically-typed cell. Used at API boundaries (row append,
+/// literals, result inspection); the execution engine works on typed
+/// columns and never boxes per-row values on hot paths.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  Value(std::int64_t v) : rep_(v) {}                   // NOLINT
+  Value(int v) : rep_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(double v) : rep_(v) {}                          // NOLINT
+  Value(bool v) : rep_(v) {}                            // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}          // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}        // NOLINT
+  Value(std::vector<float> v) : rep_(std::move(v)) {}   // NOLINT
+
+  /// Tags an int64 payload as a date (days since epoch).
+  static Value Date(std::int64_t days) {
+    Value v(days);
+    v.is_date_ = true;
+    return v;
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int64() const {
+    return std::holds_alternative<std::int64_t>(rep_) && !is_date_;
+  }
+  bool is_date() const { return is_date_; }
+  bool is_float64() const { return std::holds_alternative<double>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_vector() const {
+    return std::holds_alternative<std::vector<float>>(rep_);
+  }
+
+  DataType type() const;
+
+  std::int64_t AsInt64() const { return std::get<std::int64_t>(rep_); }
+  double AsFloat64() const { return std::get<double>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const std::vector<float>& AsVector() const {
+    return std::get<std::vector<float>>(rep_);
+  }
+
+  /// Numeric view of int64/float64/bool/date payloads (for comparisons).
+  double AsNumeric() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, bool, std::string,
+               std::vector<float>>
+      rep_;
+  bool is_date_ = false;
+};
+
+}  // namespace cre
+
+#endif  // CRE_TYPES_VALUE_H_

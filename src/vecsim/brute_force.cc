@@ -1,0 +1,111 @@
+#include "vecsim/brute_force.h"
+
+#include <mutex>
+
+namespace cre {
+
+std::vector<MatchPair> SimilarityJoinBrute(const float* left,
+                                           std::size_t n_left,
+                                           const float* right,
+                                           std::size_t n_right,
+                                           std::size_t dim, float threshold,
+                                           const BruteForceOptions& options) {
+  const DotFn dot = GetDotKernel(options.variant);
+  std::vector<MatchPair> matches;
+
+  auto scan_range = [&](std::size_t begin, std::size_t end,
+                        std::vector<MatchPair>* out) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float* lv = left + i * dim;
+      for (std::size_t j = 0; j < n_right; ++j) {
+        const float s = dot(lv, right + j * dim, dim);
+        if (s >= threshold) {
+          out->push_back({static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j), s});
+        }
+      }
+    }
+  };
+
+  if (options.pool == nullptr || options.pool->num_threads() <= 1 ||
+      n_left < 64) {
+    scan_range(0, n_left, &matches);
+    return matches;
+  }
+
+  std::mutex merge_mu;
+  options.pool->ParallelFor(
+      n_left,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<MatchPair> local;
+        scan_range(begin, end, &local);
+        std::lock_guard<std::mutex> lock(merge_mu);
+        matches.insert(matches.end(), local.begin(), local.end());
+      },
+      /*min_chunk=*/64);
+  return matches;
+}
+
+std::vector<MatchPair> SimilarityJoinBruteHalf(
+    const std::uint16_t* left, std::size_t n_left, const std::uint16_t* right,
+    std::size_t n_right, std::size_t dim, float threshold, ThreadPool* pool) {
+  std::vector<MatchPair> matches;
+  auto scan_range = [&](std::size_t begin, std::size_t end,
+                        std::vector<MatchPair>* out) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint16_t* lv = left + i * dim;
+      for (std::size_t j = 0; j < n_right; ++j) {
+        const float s = DotHalf(lv, right + j * dim, dim);
+        if (s >= threshold) {
+          out->push_back({static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j), s});
+        }
+      }
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || n_left < 64) {
+    scan_range(0, n_left, &matches);
+    return matches;
+  }
+  std::mutex merge_mu;
+  pool->ParallelFor(
+      n_left,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<MatchPair> local;
+        scan_range(begin, end, &local);
+        std::lock_guard<std::mutex> lock(merge_mu);
+        matches.insert(matches.end(), local.begin(), local.end());
+      },
+      /*min_chunk=*/64);
+  return matches;
+}
+
+Status FlatIndex::Build(const float* data, std::size_t n, std::size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  data_.assign(data, data + n * dim);
+  n_ = n;
+  dim_ = dim;
+  return Status::OK();
+}
+
+void FlatIndex::RangeSearch(const float* query, float threshold,
+                            std::vector<ScoredId>* out) const {
+  const DotFn dot = GetDotKernel(variant_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const float s = dot(query, data_.data() + i * dim_, dim_);
+    if (s >= threshold) out->push_back({static_cast<std::uint32_t>(i), s});
+  }
+}
+
+std::vector<ScoredId> FlatIndex::TopK(const float* query,
+                                      std::size_t k) const {
+  const DotFn dot = GetDotKernel(variant_);
+  TopKCollector collector(k);
+  for (std::size_t i = 0; i < n_; ++i) {
+    collector.Offer(static_cast<std::uint32_t>(i),
+                    dot(query, data_.data() + i * dim_, dim_));
+  }
+  return collector.TakeSorted();
+}
+
+}  // namespace cre

@@ -1,0 +1,69 @@
+#ifndef CRE_VECSIM_BRUTE_FORCE_H_
+#define CRE_VECSIM_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "vecsim/kernels.h"
+#include "vecsim/top_k.h"
+#include "vecsim/vector_index.h"
+
+namespace cre {
+
+/// One (left row, right row, score) result of a similarity join.
+struct MatchPair {
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  float score = 0.f;
+};
+
+/// Options controlling the brute-force similarity join kernels.
+struct BruteForceOptions {
+  KernelVariant variant = KernelVariant::kUnrolled;
+  ThreadPool* pool = nullptr;  ///< parallel over left rows when set
+};
+
+/// Exact all-pairs similarity join over two row-major, unit-normalized
+/// vector sets: emits every pair with dot >= threshold. This is the
+/// "tight C++ loop" rung of Figure 4; variant/pool toggle the SIMD and
+/// scale-up rungs.
+std::vector<MatchPair> SimilarityJoinBrute(
+    const float* left, std::size_t n_left, const float* right,
+    std::size_t n_right, std::size_t dim, float threshold,
+    const BruteForceOptions& options = {});
+
+/// FP16 variant of the join (operands stored as half precision).
+std::vector<MatchPair> SimilarityJoinBruteHalf(
+    const std::uint16_t* left, std::size_t n_left, const std::uint16_t* right,
+    std::size_t n_right, std::size_t dim, float threshold,
+    ThreadPool* pool = nullptr);
+
+/// Exact flat index: linear scan with the best available kernel.
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(KernelVariant variant = BestKernelVariant())
+      : variant_(variant) {}
+
+  Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  void RangeSearch(const float* query, float threshold,
+                   std::vector<ScoredId>* out) const override;
+  std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;
+
+  std::size_t size() const override { return n_; }
+  std::size_t dim() const override { return dim_; }
+  std::string name() const override { return "flat"; }
+  std::size_t MemoryBytes() const override {
+    return data_.size() * sizeof(float);
+  }
+
+ private:
+  KernelVariant variant_;
+  std::vector<float> data_;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_BRUTE_FORCE_H_

@@ -1,0 +1,67 @@
+#include "vecsim/fp16.h"
+
+#include <cstring>
+
+namespace cre {
+
+std::uint16_t FloatToHalf(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xff) - 127 + 15;
+  std::uint32_t mant = x & 0x7fffffu;
+  if (exp <= 0) {
+    // Subnormal or zero in half precision.
+    if (exp < -10) return static_cast<std::uint16_t>(sign);
+    mant |= 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exp);
+    return static_cast<std::uint16_t>(sign | (mant >> shift));
+  }
+  if (exp >= 0x1f) {
+    // Input inf/NaN propagates (keep a NaN payload bit); finite values too
+    // large for half overflow to a clean infinity.
+    const bool input_is_nan = ((x >> 23) & 0xff) == 0xff && mant != 0;
+    return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                      (input_is_nan ? 0x200u : 0));
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) |
+                                    (mant >> 13));
+}
+
+float HalfToFloat(std::uint16_t h) {
+  const std::uint32_t sign = (h & 0x8000u) << 16;
+  std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;
+    } else {
+      // Subnormal: renormalize.
+      exp = 127 - 15 + 1;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        --exp;
+      }
+      mant &= 0x3ffu;
+      x = sign | (exp << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1f) {
+    x = sign | 0x7f800000u | (mant << 13);
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+void FloatsToHalves(const float* in, std::uint16_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = FloatToHalf(in[i]);
+}
+
+void HalvesToFloats(const std::uint16_t* in, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = HalfToFloat(in[i]);
+}
+
+}  // namespace cre

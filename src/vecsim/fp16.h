@@ -1,0 +1,22 @@
+#ifndef CRE_VECSIM_FP16_H_
+#define CRE_VECSIM_FP16_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cre {
+
+/// IEEE 754 binary16 conversion helpers (software implementation; the
+/// compiler autovectorizes the bulk converters with F16C when available).
+/// Half precision halves embedding-matrix footprint — the Sec. VI
+/// "hardware-enabled half-precision inference" optimization.
+std::uint16_t FloatToHalf(float f);
+float HalfToFloat(std::uint16_t h);
+
+/// Bulk converters.
+void FloatsToHalves(const float* in, std::uint16_t* out, std::size_t n);
+void HalvesToFloats(const std::uint16_t* in, float* out, std::size_t n);
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_FP16_H_

@@ -1,0 +1,120 @@
+#include "vecsim/ivf_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/rng.h"
+#include "vecsim/top_k.h"
+
+namespace cre {
+
+Status IvfIndex::Build(const float* data, std::size_t n, std::size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  n_ = n;
+  dim_ = dim;
+  data_.assign(data, data + n * dim);
+  centroid_count_ = std::min(options_.num_centroids, std::max<std::size_t>(n, 1));
+  if (n == 0) {
+    lists_.clear();
+    centroids_.clear();
+    return Status::OK();
+  }
+
+  // k-means++ style seeding simplified: random distinct starting points.
+  Rng rng(options_.seed);
+  centroids_.resize(centroid_count_ * dim);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = 0; i < centroid_count_; ++i) {
+    std::swap(perm[i], perm[i + rng.Uniform(n - i)]);
+    std::copy(data + perm[i] * dim, data + (perm[i] + 1) * dim,
+              centroids_.begin() + i * dim);
+  }
+
+  std::vector<std::uint32_t> assign(n, 0);
+  std::vector<float> sums(centroid_count_ * dim);
+  std::vector<std::size_t> counts(centroid_count_);
+  for (std::size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+    // Assign step (L2 on unit vectors == ordering by dot).
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* v = data + i * dim;
+      float best = -std::numeric_limits<float>::max();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < centroid_count_; ++c) {
+        const float s = DotUnrolled(v, centroids_.data() + c * dim, dim);
+        if (s > best) {
+          best = s;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      assign[i] = best_c;
+    }
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* v = data + i * dim;
+      float* s = sums.data() + assign[i] * dim;
+      for (std::size_t d = 0; d < dim; ++d) s[d] += v[d];
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < centroid_count_; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty cluster
+      float* ctr = centroids_.data() + c * dim;
+      const float inv = 1.f / static_cast<float>(counts[c]);
+      for (std::size_t d = 0; d < dim; ++d) ctr[d] = sums[c * dim + d] * inv;
+      NormalizeInPlace(ctr, dim);
+    }
+  }
+
+  lists_.assign(centroid_count_, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    lists_[assign[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint32_t> IvfIndex::NearestCentroids(
+    const float* query, std::size_t nprobe) const {
+  TopKCollector collector(std::min(nprobe, centroid_count_));
+  for (std::size_t c = 0; c < centroid_count_; ++c) {
+    collector.Offer(static_cast<std::uint32_t>(c),
+                    DotUnrolled(query, centroids_.data() + c * dim_, dim_));
+  }
+  std::vector<std::uint32_t> out;
+  for (const auto& s : collector.TakeSorted()) out.push_back(s.id);
+  return out;
+}
+
+void IvfIndex::RangeSearch(const float* query, float threshold,
+                           std::vector<ScoredId>* out) const {
+  if (n_ == 0) return;
+  const DotFn dot = GetDotKernel(BestKernelVariant());
+  for (const std::uint32_t c : NearestCentroids(query, options_.nprobe)) {
+    for (const std::uint32_t id : lists_[c]) {
+      const float s = dot(query, data_.data() + id * dim_, dim_);
+      if (s >= threshold) out->push_back({id, s});
+    }
+  }
+}
+
+std::vector<ScoredId> IvfIndex::TopK(const float* query, std::size_t k) const {
+  TopKCollector collector(k);
+  if (n_ == 0) return collector.TakeSorted();
+  const DotFn dot = GetDotKernel(BestKernelVariant());
+  for (const std::uint32_t c : NearestCentroids(query, options_.nprobe)) {
+    for (const std::uint32_t id : lists_[c]) {
+      collector.Offer(id, dot(query, data_.data() + id * dim_, dim_));
+    }
+  }
+  return collector.TakeSorted();
+}
+
+std::size_t IvfIndex::MemoryBytes() const {
+  std::size_t bytes =
+      (data_.size() + centroids_.size()) * sizeof(float);
+  for (const auto& l : lists_) bytes += l.size() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+}  // namespace cre

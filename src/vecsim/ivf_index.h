@@ -1,0 +1,55 @@
+#ifndef CRE_VECSIM_IVF_INDEX_H_
+#define CRE_VECSIM_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vecsim/kernels.h"
+#include "vecsim/vector_index.h"
+
+namespace cre {
+
+/// IVF-Flat index (Faiss-style): k-means partitions the base set into
+/// `num_centroids` inverted lists; queries scan the `nprobe` nearest lists
+/// and verify exactly. Models the "index-based access for similarity
+/// search [20]" the paper wants the optimizer to cost (Sec. IV/V).
+struct IvfOptions {
+  std::size_t num_centroids = 64;
+  std::size_t nprobe = 8;
+  std::size_t kmeans_iters = 10;
+  std::uint64_t seed = 11;
+};
+
+class IvfIndex : public VectorIndex {
+ public:
+  explicit IvfIndex(IvfOptions options = {}) : options_(options) {}
+
+  Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  void RangeSearch(const float* query, float threshold,
+                   std::vector<ScoredId>* out) const override;
+  std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;
+
+  std::size_t size() const override { return n_; }
+  std::size_t dim() const override { return dim_; }
+  std::string name() const override { return "ivf"; }
+  std::size_t MemoryBytes() const override;
+
+  std::size_t num_centroids() const { return centroid_count_; }
+
+ private:
+  /// Indices of the nprobe nearest centroids to `query`.
+  std::vector<std::uint32_t> NearestCentroids(const float* query,
+                                              std::size_t nprobe) const;
+
+  IvfOptions options_;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t centroid_count_ = 0;
+  std::vector<float> data_;
+  std::vector<float> centroids_;
+  std::vector<std::vector<std::uint32_t>> lists_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_IVF_INDEX_H_

@@ -1,0 +1,161 @@
+#include "vecsim/kernels.h"
+
+#include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "vecsim/fp16.h"
+
+namespace cre {
+
+const char* KernelVariantName(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kUnrolled:
+      return "unrolled";
+    case KernelVariant::kAvx2:
+      return "avx2";
+    case KernelVariant::kHalf:
+      return "fp16";
+  }
+  return "?";
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__AVX2__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelVariant BestKernelVariant() {
+  return CpuSupportsAvx2() ? KernelVariant::kAvx2 : KernelVariant::kUnrolled;
+}
+
+float DotScalar(const float* a, const float* b, std::size_t dim) {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float DotUnrolled(const float* a, const float* b, std::size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dim; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+#if defined(__AVX2__)
+float DotAvx2(const float* a, const float* b, std::size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float acc = _mm_cvtss_f32(lo);
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+#else
+float DotAvx2(const float* a, const float* b, std::size_t dim) {
+  return DotUnrolled(a, b, dim);
+}
+#endif
+
+float DotHalf(const std::uint16_t* a, const std::uint16_t* b,
+              std::size_t dim) {
+#if defined(__AVX2__) && defined(__F16C__)
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 va = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256 vb = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_fmadd_ps(va, vb, acc);
+  }
+  __m128 lo = _mm256_castps256_ps128(acc);
+  __m128 hi = _mm256_extractf128_ps(acc, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float out = _mm_cvtss_f32(lo);
+  for (; i < dim; ++i) out += HalfToFloat(a[i]) * HalfToFloat(b[i]);
+  return out;
+#else
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc += HalfToFloat(a[i]) * HalfToFloat(b[i]);
+  }
+  return acc;
+#endif
+}
+
+DotFn GetDotKernel(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+      return &DotScalar;
+    case KernelVariant::kUnrolled:
+      return &DotUnrolled;
+    case KernelVariant::kAvx2:
+      return CpuSupportsAvx2() ? &DotAvx2 : &DotUnrolled;
+    case KernelVariant::kHalf:
+      // Half operands use DotHalf directly; as a float-kernel fallback use
+      // the unrolled variant.
+      return &DotUnrolled;
+  }
+  return &DotScalar;
+}
+
+float Norm(const float* a, std::size_t dim) {
+  return std::sqrt(DotUnrolled(a, a, dim));
+}
+
+void NormalizeInPlace(float* a, std::size_t dim) {
+  const float n = Norm(a, dim);
+  if (n <= 0.f) return;
+  const float inv = 1.f / n;
+  for (std::size_t i = 0; i < dim; ++i) a[i] *= inv;
+}
+
+float Cosine(const float* a, const float* b, std::size_t dim) {
+  const float na = Norm(a, dim);
+  const float nb = Norm(b, dim);
+  if (na <= 0.f || nb <= 0.f) return 0.f;
+  return DotUnrolled(a, b, dim) / (na * nb);
+}
+
+float L2Sq(const float* a, const float* b, std::size_t dim) {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace cre

@@ -1,0 +1,59 @@
+#ifndef CRE_VECSIM_KERNELS_H_
+#define CRE_VECSIM_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cre {
+
+/// Physical implementations of the dense dot/cosine kernel. The runtime
+/// dispatch across variants is the engine's JIT-lite late-binding layer
+/// (paper Sec. VI): the same logical operator binds to a different code
+/// path depending on detected hardware capability.
+enum class KernelVariant {
+  kScalar = 0,   ///< straightforward loop
+  kUnrolled,     ///< 4-way unrolled with independent accumulators
+  kAvx2,         ///< 8-lane FMA when compiled & running with AVX2
+  kHalf,         ///< FP16-stored operands, float accumulation
+};
+
+const char* KernelVariantName(KernelVariant v);
+
+/// True when the host CPU supports AVX2+FMA at runtime.
+bool CpuSupportsAvx2();
+
+/// Best variant available on this host (kAvx2 when possible else kUnrolled).
+KernelVariant BestKernelVariant();
+
+// ---- float32 kernels ----
+float DotScalar(const float* a, const float* b, std::size_t dim);
+float DotUnrolled(const float* a, const float* b, std::size_t dim);
+float DotAvx2(const float* a, const float* b, std::size_t dim);
+
+/// FP16 operands (both sides), float32 accumulation.
+float DotHalf(const std::uint16_t* a, const std::uint16_t* b,
+              std::size_t dim);
+
+/// Function-pointer type used by the dispatch registry.
+using DotFn = float (*)(const float*, const float*, std::size_t);
+
+/// Returns the float32 kernel for `variant` (kHalf is handled separately
+/// because its operand type differs).
+DotFn GetDotKernel(KernelVariant variant);
+
+/// L2 norm.
+float Norm(const float* a, std::size_t dim);
+
+/// Scales `a` to unit norm in place (no-op for the zero vector).
+void NormalizeInPlace(float* a, std::size_t dim);
+
+/// Cosine similarity for not-necessarily-normalized inputs.
+float Cosine(const float* a, const float* b, std::size_t dim);
+
+/// Squared L2 distance.
+float L2Sq(const float* a, const float* b, std::size_t dim);
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_KERNELS_H_

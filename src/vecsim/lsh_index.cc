@@ -1,0 +1,108 @@
+#include "vecsim/lsh_index.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "vecsim/top_k.h"
+
+namespace cre {
+
+Status LshIndex::Build(const float* data, std::size_t n, std::size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (options_.bits_per_table > 31) {
+    return Status::InvalidArgument("bits_per_table must be <= 31");
+  }
+  n_ = n;
+  dim_ = dim;
+  data_.assign(data, data + n * dim);
+
+  // Draw Gaussian hyperplanes deterministically.
+  Rng rng(options_.seed);
+  const std::size_t total_planes =
+      options_.num_tables * options_.bits_per_table;
+  planes_.resize(total_planes * dim);
+  for (auto& x : planes_) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+
+  tables_.assign(options_.num_tables, {});
+  for (std::size_t t = 0; t < options_.num_tables; ++t) {
+    auto& table = tables_[t];
+    table.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      table[Signature(t, data + i * dim)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  return Status::OK();
+}
+
+std::uint32_t LshIndex::Signature(std::size_t table, const float* v) const {
+  std::uint32_t sig = 0;
+  const std::size_t base = table * options_.bits_per_table;
+  for (std::size_t b = 0; b < options_.bits_per_table; ++b) {
+    const float* plane = planes_.data() + (base + b) * dim_;
+    if (DotUnrolled(plane, v, dim_) >= 0.f) sig |= (1u << b);
+  }
+  return sig;
+}
+
+void LshIndex::CollectCandidates(const float* query,
+                                 std::vector<std::uint32_t>* cand) const {
+  for (std::size_t t = 0; t < options_.num_tables; ++t) {
+    const std::uint32_t sig = Signature(t, query);
+    auto probe = [&](std::uint32_t s) {
+      auto it = tables_[t].find(s);
+      if (it != tables_[t].end()) {
+        cand->insert(cand->end(), it->second.begin(), it->second.end());
+      }
+    };
+    probe(sig);
+    if (options_.multiprobe) {
+      for (std::size_t b = 0; b < options_.bits_per_table; ++b) {
+        probe(sig ^ (1u << b));
+      }
+    }
+  }
+  // Dedup candidates.
+  std::sort(cand->begin(), cand->end());
+  cand->erase(std::unique(cand->begin(), cand->end()), cand->end());
+}
+
+void LshIndex::RangeSearch(const float* query, float threshold,
+                           std::vector<ScoredId>* out) const {
+  std::vector<std::uint32_t> cand;
+  CollectCandidates(query, &cand);
+  last_scan_fraction_ =
+      n_ == 0 ? 0.0 : static_cast<double>(cand.size()) / static_cast<double>(n_);
+  const DotFn dot = GetDotKernel(BestKernelVariant());
+  for (const std::uint32_t id : cand) {
+    const float s = dot(query, data_.data() + id * dim_, dim_);
+    if (s >= threshold) out->push_back({id, s});
+  }
+}
+
+std::vector<ScoredId> LshIndex::TopK(const float* query, std::size_t k) const {
+  std::vector<std::uint32_t> cand;
+  CollectCandidates(query, &cand);
+  const DotFn dot = GetDotKernel(BestKernelVariant());
+  TopKCollector collector(k);
+  for (const std::uint32_t id : cand) {
+    collector.Offer(id, dot(query, data_.data() + id * dim_, dim_));
+  }
+  return collector.TakeSorted();
+}
+
+std::size_t LshIndex::MemoryBytes() const {
+  std::size_t bytes = data_.size() * sizeof(float) +
+                      planes_.size() * sizeof(float);
+  for (const auto& t : tables_) {
+    bytes += t.size() * (sizeof(std::uint32_t) + sizeof(void*));
+    for (const auto& [sig, ids] : t) {
+      bytes += ids.size() * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cre

@@ -1,0 +1,60 @@
+#ifndef CRE_VECSIM_LSH_INDEX_H_
+#define CRE_VECSIM_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vecsim/kernels.h"
+#include "vecsim/vector_index.h"
+
+namespace cre {
+
+/// Random-hyperplane LSH index for cosine similarity: `num_tables`
+/// signatures of `bits_per_table` hyperplane sign bits each. Candidates
+/// from matching buckets are verified with the exact kernel, so results
+/// have no false positives — only (tunable) false negatives.
+struct LshOptions {
+  std::size_t num_tables = 8;
+  std::size_t bits_per_table = 12;
+  std::uint64_t seed = 7;
+  /// Also probe buckets at Hamming distance 1 from the query signature.
+  bool multiprobe = true;
+};
+
+class LshIndex : public VectorIndex {
+ public:
+  explicit LshIndex(LshOptions options = {}) : options_(options) {}
+
+  Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  void RangeSearch(const float* query, float threshold,
+                   std::vector<ScoredId>* out) const override;
+  std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;
+
+  std::size_t size() const override { return n_; }
+  std::size_t dim() const override { return dim_; }
+  std::string name() const override { return "lsh"; }
+  std::size_t MemoryBytes() const override;
+
+  /// Fraction of base vectors examined by the last RangeSearch (for the
+  /// optimizer's cost calibration). Approximate, not thread-safe.
+  double last_scan_fraction() const { return last_scan_fraction_; }
+
+ private:
+  std::uint32_t Signature(std::size_t table, const float* v) const;
+  void CollectCandidates(const float* query,
+                         std::vector<std::uint32_t>* cand) const;
+
+  LshOptions options_;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+  std::vector<float> planes_;  ///< [table][bit][dim] flattened
+  std::vector<std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>>
+      tables_;
+  mutable double last_scan_fraction_ = 0;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_LSH_INDEX_H_

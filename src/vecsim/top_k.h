@@ -1,0 +1,64 @@
+#ifndef CRE_VECSIM_TOP_K_H_
+#define CRE_VECSIM_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cre {
+
+/// One similarity hit: an element id plus its score (higher is better).
+struct ScoredId {
+  std::uint32_t id = 0;
+  float score = 0.f;
+};
+
+/// Bounded max-collector: keeps the k highest-scoring ids seen so far using
+/// a min-heap of size k. Used by top-k similarity search (paper Sec. V:
+/// "index structures for expediting ... top-k searches").
+class TopKCollector {
+ public:
+  explicit TopKCollector(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  /// Offers one candidate.
+  void Offer(std::uint32_t id, float score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({id, score});
+      std::push_heap(heap_.begin(), heap_.end(), MinCmp);
+    } else if (score > heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), MinCmp);
+      heap_.back() = {id, score};
+      std::push_heap(heap_.begin(), heap_.end(), MinCmp);
+    }
+  }
+
+  /// Lowest score currently retained (only meaningful when full).
+  float Floor() const {
+    return heap_.size() < k_ ? -1e30f : heap_.front().score;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Extracts results sorted by descending score.
+  std::vector<ScoredId> TakeSorted() {
+    std::vector<ScoredId> out = std::move(heap_);
+    std::sort(out.begin(), out.end(), [](const ScoredId& a, const ScoredId& b) {
+      return a.score > b.score || (a.score == b.score && a.id < b.id);
+    });
+    return out;
+  }
+
+ private:
+  static bool MinCmp(const ScoredId& a, const ScoredId& b) {
+    return a.score > b.score;  // min-heap on score
+  }
+
+  std::size_t k_;
+  std::vector<ScoredId> heap_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_TOP_K_H_

@@ -1,0 +1,44 @@
+#ifndef CRE_VECSIM_VECTOR_INDEX_H_
+#define CRE_VECSIM_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "vecsim/top_k.h"
+
+namespace cre {
+
+/// Shared interface for approximate/exact similarity indexes over a fixed
+/// base set of unit-normalized vectors. Scores are cosine similarities
+/// (== dot products on unit vectors). Physical operator selection between
+/// a full scan and these indexes is a cost-based optimizer decision (E6).
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Builds the index over `n` vectors of dimension `dim`, stored row-major
+  /// in `data` (must stay alive while the index is used unless the
+  /// implementation copies; all implementations here copy).
+  virtual Status Build(const float* data, std::size_t n, std::size_t dim) = 0;
+
+  /// Appends all base ids whose similarity to `query` is >= `threshold`.
+  virtual void RangeSearch(const float* query, float threshold,
+                           std::vector<ScoredId>* out) const = 0;
+
+  /// Returns the k most similar base ids, sorted descending.
+  virtual std::vector<ScoredId> TopK(const float* query,
+                                     std::size_t k) const = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t dim() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Approximate memory footprint in bytes (for the optimizer cost model).
+  virtual std::size_t MemoryBytes() const = 0;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_VECTOR_INDEX_H_

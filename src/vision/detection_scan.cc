@@ -1,0 +1,68 @@
+#include "vision/detection_scan.h"
+
+#include <numeric>
+#include <set>
+
+#include "expr/evaluator.h"
+
+namespace cre {
+
+DetectionScanOperator::DetectionScanOperator(const ImageStore* store,
+                                             const ObjectDetector* detector,
+                                             ExprPtr predicate,
+                                             std::size_t images_per_batch)
+    : store_(store),
+      detector_(detector),
+      predicate_(std::move(predicate)),
+      images_per_batch_(images_per_batch),
+      schema_(ObjectDetector::DetectionSchema()) {}
+
+Status DetectionScanOperator::Open() {
+  offset_ = 0;
+  qualifying_.clear();
+  metadata_predicate_ = nullptr;
+  post_predicate_ = nullptr;
+
+  if (predicate_ != nullptr) {
+    // Split by column: metadata terms run before inference, the rest after.
+    const std::set<std::string> metadata_cols = {"image_id", "date_taken"};
+    std::vector<ExprPtr> meta_terms, post_terms;
+    for (const auto& term : SplitConjunction(predicate_)) {
+      (term->OnlyReferences(metadata_cols) ? meta_terms : post_terms)
+          .push_back(term);
+    }
+    metadata_predicate_ = CombineConjunction(meta_terms);
+    post_predicate_ = CombineConjunction(post_terms);
+  }
+
+  if (metadata_predicate_ == nullptr) {
+    qualifying_.resize(store_->size());
+    std::iota(qualifying_.begin(), qualifying_.end(), 0);
+    return Status::OK();
+  }
+  TablePtr meta = store_->MetadataTable();
+  CRE_ASSIGN_OR_RETURN(qualifying_,
+                       FilterIndices(*meta, *metadata_predicate_));
+  return Status::OK();
+}
+
+Result<TablePtr> DetectionScanOperator::Next() {
+  for (;;) {
+    if (offset_ >= qualifying_.size()) return TablePtr(nullptr);
+    const std::size_t end =
+        std::min(qualifying_.size(), offset_ + images_per_batch_);
+    auto out = Table::Make(schema_);
+    for (std::size_t i = offset_; i < end; ++i) {
+      detector_->DetectInto(store_->image(qualifying_[i]), out.get());
+    }
+    offset_ = end;
+    if (post_predicate_ != nullptr) {
+      CRE_ASSIGN_OR_RETURN(auto keep, FilterIndices(*out, *post_predicate_));
+      if (keep.empty()) continue;
+      if (keep.size() != out->num_rows()) return out->Take(keep);
+    }
+    return out;
+  }
+}
+
+}  // namespace cre

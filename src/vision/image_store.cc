@@ -1,0 +1,16 @@
+#include "vision/image_store.h"
+
+namespace cre {
+
+TablePtr ImageStore::MetadataTable() const {
+  auto table = Table::Make(Schema({{"image_id", DataType::kInt64, 0},
+                                   {"date_taken", DataType::kDate, 0}}));
+  table->Reserve(images_.size());
+  for (const auto& img : images_) {
+    table->column(0).AppendInt64(img.image_id);
+    table->column(1).AppendInt64(img.date_taken);
+  }
+  return table;
+}
+
+}  // namespace cre

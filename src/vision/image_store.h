@@ -1,0 +1,44 @@
+#ifndef CRE_VISION_IMAGE_STORE_H_
+#define CRE_VISION_IMAGE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cre {
+
+/// A synthetic image: metadata plus a hidden ground-truth object set.
+/// Stands in for pixel data — the engine only ever observes objects
+/// through the (costed) ObjectDetector, so the orchestration problem the
+/// paper poses (push cheap metadata filters below expensive inference) is
+/// preserved (see DESIGN.md substitutions).
+struct SyntheticImage {
+  std::int64_t image_id = 0;
+  std::int64_t date_taken = 0;  ///< days since epoch
+  std::vector<std::string> objects;
+};
+
+/// Collection of synthetic images (the "image storage" of Fig. 2).
+class ImageStore {
+ public:
+  void AddImage(SyntheticImage image) {
+    images_.push_back(std::move(image));
+  }
+
+  std::size_t size() const { return images_.size(); }
+  const std::vector<SyntheticImage>& images() const { return images_; }
+  const SyntheticImage& image(std::size_t i) const { return images_[i]; }
+
+  /// Cheap metadata view {image_id:int64, date_taken:date} — queryable
+  /// WITHOUT running the detector.
+  TablePtr MetadataTable() const;
+
+ private:
+  std::vector<SyntheticImage> images_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VISION_IMAGE_STORE_H_

@@ -1,0 +1,60 @@
+#ifndef CRE_VISION_OBJECT_DETECTOR_H_
+#define CRE_VISION_OBJECT_DETECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "storage/table.h"
+#include "vision/image_store.h"
+
+namespace cre {
+
+/// Simulated object-detection model. Produces the image's ground-truth
+/// object set with calibrated per-image inference cost (a deterministic
+/// arithmetic spin, so wall-clock scales with images processed like a real
+/// CNN would) and a deterministic confidence score. The substitution for
+/// the paper's CNN — see DESIGN.md.
+class ObjectDetector {
+ public:
+  struct Options {
+    /// Simulated inference cost per image, in microseconds of compute.
+    double cost_per_image_us = 30.0;
+    std::uint64_t seed = 77;
+  };
+
+  ObjectDetector() = default;
+  explicit ObjectDetector(Options options) : options_(options) {}
+
+  /// Runs "inference" on one image; appends one row per detected object to
+  /// `out` with schema {image_id, object_label, confidence,
+  /// objects_in_image}.
+  void DetectInto(const SyntheticImage& image, Table* out) const;
+
+  /// Detection output schema.
+  static Schema DetectionSchema();
+
+  /// Detects over all (or a subset of) store images.
+  TablePtr DetectAll(const ImageStore& store,
+                     const std::vector<std::uint32_t>* subset = nullptr) const;
+
+  /// Number of images processed since construction — benches use this to
+  /// verify that pushdown actually reduced inference work.
+  std::size_t images_processed() const {
+    return images_processed_.load(std::memory_order_relaxed);
+  }
+  void ResetCounter() {
+    images_processed_.store(0, std::memory_order_relaxed);
+  }
+
+  double cost_per_image_us() const { return options_.cost_per_image_us; }
+
+ private:
+  void SimulateInferenceCompute() const;
+
+  Options options_;
+  mutable std::atomic<std::size_t> images_processed_{0};
+};
+
+}  // namespace cre
+
+#endif  // CRE_VISION_OBJECT_DETECTOR_H_

@@ -1,0 +1,221 @@
+// Tests for CSV ingestion (the raw-data / NoDB-flavored path) and the
+// LRU embedding cache, plus the top-k semantic join mode.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/vocabulary.h"
+#include "embed/embedding_cache.h"
+#include "embed/structured_model.h"
+#include "exec/scan.h"
+#include "semantic/semantic_join.h"
+#include "storage/csv.h"
+
+namespace cre {
+namespace {
+
+constexpr const char* kCsv =
+    "id,name,price,active\n"
+    "1,parka,99.5,true\n"
+    "2,boots,49.0,false\n"
+    "3,\"coat, winter\",150.25,true\n";
+
+TEST(CsvTest, ParseWithSchema) {
+  Schema schema({{"id", DataType::kInt64, 0},
+                 {"name", DataType::kString, 0},
+                 {"price", DataType::kFloat64, 0},
+                 {"active", DataType::kBool, 0}});
+  auto table = ParseCsv(kCsv, schema).ValueOrDie();
+  ASSERT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->GetValue(0, 1).AsString(), "parka");
+  EXPECT_EQ(table->GetValue(2, 1).AsString(), "coat, winter");
+  EXPECT_DOUBLE_EQ(table->GetValue(2, 2).AsFloat64(), 150.25);
+  EXPECT_EQ(table->GetValue(1, 3).AsBool(), false);
+}
+
+TEST(CsvTest, SchemaInference) {
+  auto table = ParseCsvInferSchema(kCsv).ValueOrDie();
+  ASSERT_EQ(table->num_columns(), 4u);
+  EXPECT_EQ(table->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(table->schema().field(1).type, DataType::kString);
+  EXPECT_EQ(table->schema().field(2).type, DataType::kFloat64);
+  // "true"/"false" infer as string (no boolean inference ambiguity).
+  EXPECT_EQ(table->schema().field(3).type, DataType::kString);
+  EXPECT_EQ(table->schema().field(1).name, "name");
+}
+
+TEST(CsvTest, ArityMismatchFails) {
+  Schema schema({{"a", DataType::kInt64, 0}});
+  EXPECT_TRUE(ParseCsv("a\n1,2\n", schema).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, BadIntegerFails) {
+  Schema schema({{"a", DataType::kInt64, 0}});
+  auto r = ParseCsv("a\nxyz\n", schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("row 1"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyInferFails) {
+  EXPECT_TRUE(ParseCsvInferSchema("").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  Schema schema({{"x", DataType::kInt64, 0}});
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ParseCsv("1\n2\n3\n", schema, options).ValueOrDie();
+  EXPECT_EQ(table->num_rows(), 3u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Schema schema({{"id", DataType::kInt64, 0},
+                 {"name", DataType::kString, 0},
+                 {"price", DataType::kFloat64, 0},
+                 {"active", DataType::kBool, 0}});
+  auto table = ParseCsv(kCsv, schema).ValueOrDie();
+  const std::string text = WriteCsv(*table);
+  auto again = ParseCsv(text, schema).ValueOrDie();
+  ASSERT_EQ(again->num_rows(), table->num_rows());
+  for (std::size_t r = 0; r < table->num_rows(); ++r) {
+    EXPECT_EQ(again->GetValue(r, 1).AsString(),
+              table->GetValue(r, 1).AsString());
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Schema schema({{"a", DataType::kInt64, 0}});
+  auto table = Table::Make(schema);
+  table->AppendRow({Value(42)}).Check();
+  const std::string path = "/tmp/cre_csv_test.csv";
+  {
+    std::string text = WriteCsv(*table);
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+  }
+  auto loaded = ReadCsvFile(path, schema).ValueOrDie();
+  EXPECT_EQ(loaded->GetValue(0, 0).AsInt64(), 42);
+  EXPECT_TRUE(ReadCsvFile("/nonexistent.csv", schema).status().IsNotFound());
+}
+
+std::shared_ptr<SynonymStructuredModel> TableOneModel() {
+  return std::make_shared<SynonymStructuredModel>(
+      TableOneGroups(), SynonymStructuredModel::Options{});
+}
+
+TEST(EmbeddingCacheTest, HitMissAccounting) {
+  CachingEmbeddingModel cached(TableOneModel(), 100);
+  std::vector<float> v(cached.dim());
+  cached.Embed("dog", v.data());
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.hits(), 0u);
+  cached.Embed("dog", v.data());
+  cached.Embed("dog", v.data());
+  EXPECT_EQ(cached.hits(), 2u);
+  EXPECT_EQ(cached.misses(), 1u);
+}
+
+TEST(EmbeddingCacheTest, ResultsMatchInnerModel) {
+  auto inner = TableOneModel();
+  CachingEmbeddingModel cached(inner, 100);
+  for (const char* word : {"dog", "kitten", "parka", "dog", "oovword"}) {
+    auto direct = inner->EmbedToVector(word);
+    auto via_cache = cached.EmbedToVector(word);
+    EXPECT_EQ(direct, via_cache) << word;
+  }
+}
+
+TEST(EmbeddingCacheTest, EvictsAtCapacity) {
+  CachingEmbeddingModel cached(TableOneModel(), 2);
+  std::vector<float> v(cached.dim());
+  cached.Embed("dog", v.data());
+  cached.Embed("cat", v.data());
+  cached.Embed("shoes", v.data());  // evicts "dog" (LRU)
+  EXPECT_EQ(cached.size(), 2u);
+  cached.Embed("dog", v.data());
+  EXPECT_EQ(cached.misses(), 4u);  // dog refetched
+}
+
+TEST(EmbeddingCacheTest, LruOrderKeepsHotEntries) {
+  CachingEmbeddingModel cached(TableOneModel(), 2);
+  std::vector<float> v(cached.dim());
+  cached.Embed("dog", v.data());
+  cached.Embed("cat", v.data());
+  cached.Embed("dog", v.data());    // dog now most recent
+  cached.Embed("shoes", v.data());  // evicts cat
+  cached.Embed("dog", v.data());
+  EXPECT_EQ(cached.hits(), 2u);  // both dog re-reads hit
+}
+
+TablePtr LabelTable(const std::vector<std::string>& labels) {
+  auto t = Table::Make(Schema({{"label", DataType::kString, 0}}));
+  for (const auto& l : labels) t->AppendRow({Value(l)}).Check();
+  return t;
+}
+
+TEST(TopKJoinTest, ExactlyKMatchesPerLeftRow) {
+  auto model = TableOneModel();
+  auto left = LabelTable({"boots", "kitten"});
+  auto right = LabelTable({"sneakers", "oxfords", "lace-ups", "feline",
+                           "maine coon", "lantern"});
+  SemanticJoinOptions options;
+  options.threshold = -1.0f;  // pure k-NN
+  options.top_k = 2;
+  SemanticJoinOperator join(std::make_unique<TableScanOperator>(left),
+                            std::make_unique<TableScanOperator>(right),
+                            "label", "label", model, options);
+  auto out = ExecuteToTable(&join).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 4u);  // 2 left rows x top-2
+  // boots' nearest neighbours are shoes-group words, kitten's cat-group.
+  const auto* l = out->ColumnByName("label").ValueOrDie();
+  const auto* r = out->ColumnByName("label_r").ValueOrDie();
+  for (std::size_t i = 0; i < out->num_rows(); ++i) {
+    if (l->strings()[i] == "boots") {
+      EXPECT_NE(r->strings()[i], "feline");
+      EXPECT_NE(r->strings()[i], "lantern");
+    } else {
+      EXPECT_TRUE(r->strings()[i] == "feline" ||
+                  r->strings()[i] == "maine coon");
+    }
+  }
+}
+
+TEST(TopKJoinTest, ThresholdStillApplies) {
+  auto model = TableOneModel();
+  auto left = LabelTable({"boots"});
+  auto right = LabelTable({"sneakers", "lantern", "carburetor"});
+  SemanticJoinOptions options;
+  options.threshold = 0.8f;
+  options.top_k = 3;
+  SemanticJoinOperator join(std::make_unique<TableScanOperator>(left),
+                            std::make_unique<TableScanOperator>(right),
+                            "label", "label", model, options);
+  auto out = ExecuteToTable(&join).ValueOrDie();
+  // Only "sneakers" clears 0.8 even though k=3.
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->GetValue(0, 1).AsString(), "sneakers");
+}
+
+TEST(TopKJoinTest, IndexStrategyTopK) {
+  auto model = TableOneModel();
+  auto left = LabelTable({"boots", "kitten", "parka"});
+  auto right = LabelTable({"sneakers", "oxfords", "feline", "windbreaker",
+                           "coat", "maine coon"});
+  SemanticJoinOptions options;
+  options.threshold = -1.0f;
+  options.top_k = 1;
+  options.strategy = SemanticJoinStrategy::kIvf;
+  options.ivf.num_centroids = 2;
+  options.ivf.nprobe = 2;
+  SemanticJoinOperator join(std::make_unique<TableScanOperator>(left),
+                            std::make_unique<TableScanOperator>(right),
+                            "label", "label", model, options);
+  auto out = ExecuteToTable(&join).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace cre

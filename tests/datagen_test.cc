@@ -1,0 +1,230 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "datagen/shop.h"
+#include "datagen/vocabulary.h"
+
+namespace cre {
+namespace {
+
+TEST(VocabularyTest, TableOneStructure) {
+  auto groups = TableOneGroups();
+  ASSERT_EQ(groups.size(), 6u);
+  EXPECT_EQ(groups[0].name, "dog");
+  EXPECT_EQ(groups[5].name, "clothes");
+  // Umbrella groups are weaker than tight groups.
+  EXPECT_LT(groups[2].weight, groups[0].weight);
+  // Every category word appears in its own group.
+  for (const auto& g : {groups[0], groups[1], groups[3], groups[4]}) {
+    EXPECT_NE(std::find(g.words.begin(), g.words.end(), g.name),
+              g.words.end());
+  }
+  EXPECT_EQ(TableOneCategories().size(), 6u);
+  EXPECT_EQ(TableOneExpectedMatches().size(), 6u);
+}
+
+TEST(VocabularyTest, RandomWordPronounceableAndBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string w = RandomWord(rng, 4, 8);
+    EXPECT_GE(w.size(), 4u);
+    EXPECT_LE(w.size(), 8u);
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  }
+}
+
+TEST(VocabularyTest, MisspellIsSingleEdit) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string w = "windbreaker";
+    const std::string m = Misspell(w, rng);
+    const auto diff = static_cast<std::int64_t>(m.size()) -
+                      static_cast<std::int64_t>(w.size());
+    EXPECT_LE(std::abs(diff), 1);
+    EXPECT_NE(m, "");
+  }
+}
+
+TEST(VocabularyTest, GenerateVocabularyShape) {
+  VocabularyOptions o;
+  o.num_groups = 10;
+  o.words_per_group = 3;
+  o.num_singletons = 5;
+  auto groups = GenerateVocabulary(o);
+  ASSERT_EQ(groups.size(), 15u);
+  std::set<std::string> all;
+  for (const auto& g : groups) {
+    for (const auto& w : g.words) {
+      EXPECT_TRUE(all.insert(w).second) << "duplicate word " << w;
+    }
+  }
+  EXPECT_EQ(all.size(), 10u * 3 + 5);
+  EXPECT_EQ(AllWords(groups).size(), all.size());
+  // Singletons carry zero weight (no semantic neighbours).
+  EXPECT_FLOAT_EQ(groups.back().weight, 0.0f);
+}
+
+TEST(VocabularyTest, GenerationDeterministic) {
+  VocabularyOptions o;
+  o.num_groups = 5;
+  o.num_singletons = 5;
+  auto a = GenerateVocabulary(o);
+  auto b = GenerateVocabulary(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].words, b[i].words);
+  }
+}
+
+TEST(CorpusTest, SampleSizeAndMembership) {
+  VocabularyOptions vo;
+  vo.num_groups = 20;
+  vo.num_singletons = 10;
+  auto groups = GenerateVocabulary(vo);
+  auto words = AllWords(groups);
+  std::set<std::string> vocab(words.begin(), words.end());
+  CorpusGenerator gen(words, {});
+  auto corpus = gen.Sample(500);
+  ASSERT_EQ(corpus.size(), 500u);
+  for (const auto& w : corpus) EXPECT_TRUE(vocab.count(w));
+}
+
+TEST(CorpusTest, ZipfSkewsFrequencies) {
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 100; ++i) vocab.push_back("w" + std::to_string(i));
+  CorpusGenerator::Options o;
+  o.zipf_s = 1.1;
+  CorpusGenerator gen(vocab, o);
+  auto corpus = gen.Sample(5000);
+  std::size_t head = 0;
+  for (const auto& w : corpus) {
+    if (w == "w0" || w == "w1" || w == "w2") ++head;
+  }
+  // Top-3 ranks should dominate well beyond uniform (3%).
+  EXPECT_GT(head, corpus.size() / 5);
+}
+
+TEST(CorpusTest, MisspellingRate) {
+  std::vector<std::string> vocab = {"windbreaker"};
+  CorpusGenerator::Options o;
+  o.misspell_prob = 0.5;
+  CorpusGenerator gen(vocab, o);
+  auto corpus = gen.Sample(1000);
+  std::size_t misspelled = 0;
+  for (const auto& w : corpus) {
+    if (w != "windbreaker") ++misspelled;
+  }
+  EXPECT_NEAR(static_cast<double>(misspelled) / 1000.0, 0.5, 0.1);
+}
+
+TEST(CorpusTest, ToTable) {
+  auto t = CorpusGenerator::ToTable({"a", "b"}, "word");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->schema().field(0).name, "word");
+}
+
+class ShopDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ShopOptions o;
+    o.num_products = 200;
+    o.num_transactions = 400;
+    o.num_images = 50;
+    dataset_ = new ShopDataset(GenerateShopDataset(o));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static ShopDataset* dataset_;
+};
+
+ShopDataset* ShopDatasetTest::dataset_ = nullptr;
+
+TEST_F(ShopDatasetTest, Shapes) {
+  EXPECT_EQ(dataset_->products->num_rows(), 200u);
+  EXPECT_EQ(dataset_->transactions->num_rows(), 400u);
+  EXPECT_EQ(dataset_->images.size(), 50u);
+  EXPECT_EQ(dataset_->clothing_concepts.size(), 8u);
+  EXPECT_EQ(dataset_->all_concepts.size(), 16u);
+}
+
+TEST_F(ShopDatasetTest, ProductLabelsAreAliasesNotCanonical) {
+  std::set<std::string> canonical(dataset_->all_concepts.begin(),
+                                  dataset_->all_concepts.end());
+  const auto* labels =
+      dataset_->products->ColumnByName("type_label").ValueOrDie();
+  for (const auto& l : labels->strings()) {
+    EXPECT_FALSE(canonical.count(l)) << "product uses canonical label " << l;
+  }
+}
+
+TEST_F(ShopDatasetTest, KbUsesCanonicalSubjects) {
+  auto categories = dataset_->kb.Export("category");
+  std::set<std::string> canonical(dataset_->all_concepts.begin(),
+                                  dataset_->all_concepts.end());
+  const auto* subjects = categories->ColumnByName("subject").ValueOrDie();
+  for (const auto& s : subjects->strings()) {
+    EXPECT_TRUE(canonical.count(s)) << s;
+  }
+  EXPECT_EQ(dataset_->kb.Subjects("category", "clothes").size(), 8u);
+}
+
+TEST_F(ShopDatasetTest, ModelBridgesAliasToCanonical) {
+  const auto* labels =
+      dataset_->products->ColumnByName("type_label").ValueOrDie();
+  const auto* concepts =
+      dataset_->products->ColumnByName("concept").ValueOrDie();
+  // Alias embeds close to its canonical concept, far from others.
+  std::size_t checked = 0;
+  for (std::size_t r = 0; r < 40; ++r) {
+    const float own = dataset_->model->Similarity(labels->strings()[r],
+                                                  concepts->strings()[r]);
+    EXPECT_GT(own, 0.8f) << labels->strings()[r];
+    ++checked;
+  }
+  EXPECT_EQ(checked, 40u);
+  EXPECT_LT(dataset_->model->Similarity("blazer", "novel"), 0.5f);
+}
+
+TEST_F(ShopDatasetTest, ClothesUmbrellaWeaklyRelatesAliases) {
+  const float related = dataset_->model->Similarity("clothes", "blazer");
+  const float unrelated = dataset_->model->Similarity("clothes", "novel");
+  EXPECT_GT(related, unrelated + 0.15f);
+}
+
+TEST_F(ShopDatasetTest, TransactionsReferenceValidProducts) {
+  const auto* pids =
+      dataset_->transactions->ColumnByName("product_id").ValueOrDie();
+  for (auto pid : pids->i64()) {
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(pid, 200);
+  }
+}
+
+TEST_F(ShopDatasetTest, ImagesHaveDatesAndObjects) {
+  for (const auto& img : dataset_->images.images()) {
+    EXPECT_GE(img.date_taken, 19100);
+    EXPECT_LE(img.date_taken, 19500);
+    EXPECT_GE(img.objects.size(), 1u);
+    EXPECT_LE(img.objects.size(), 5u);
+  }
+}
+
+TEST_F(ShopDatasetTest, Deterministic) {
+  ShopOptions o;
+  o.num_products = 50;
+  o.num_transactions = 10;
+  o.num_images = 5;
+  auto a = GenerateShopDataset(o);
+  auto b = GenerateShopDataset(o);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a.products->GetValue(r, 2).AsString(),
+              b.products->GetValue(r, 2).AsString());
+  }
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,251 @@
+#include <map>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/shop.h"
+#include "engine/engine.h"
+#include "engine/query_builder.h"
+
+namespace cre {
+namespace {
+
+/// Fixture: engine loaded with a small shop dataset (the Fig. 2 sources).
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ShopOptions options;
+    options.num_products = 300;
+    options.num_transactions = 600;
+    options.num_images = 60;
+    dataset_ = GenerateShopDataset(options);
+
+    EngineOptions eo;
+    eo.num_threads = 2;
+    engine_ = std::make_unique<Engine>(eo);
+    engine_->catalog().Put("products", dataset_.products);
+    engine_->catalog().Put("transactions", dataset_.transactions);
+    engine_->catalog().Put("kb_category", dataset_.kb.Export("category"));
+    engine_->models().Put("shop", dataset_.model);
+    detector_ = std::make_unique<ObjectDetector>(
+        ObjectDetector::Options{/*cost_per_image_us=*/1.0, 7});
+    engine_->detectors().Put("shop_images",
+                             {&dataset_.images, detector_.get()});
+  }
+
+  ShopDataset dataset_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<ObjectDetector> detector_;
+};
+
+TEST_F(EngineTest, SimpleScanFilter) {
+  auto result = QueryBuilder(engine_.get())
+                    .Scan("products")
+                    .Filter(Gt(Col("price"), Lit(100.0)))
+                    .Execute()
+                    .ValueOrDie();
+  ASSERT_GT(result->num_rows(), 0u);
+  const auto* price = result->ColumnByName("price").ValueOrDie();
+  for (double p : price->f64()) EXPECT_GT(p, 100.0);
+}
+
+TEST_F(EngineTest, EmptyBuilderFails) {
+  QueryBuilder qb(engine_.get());
+  EXPECT_TRUE(qb.Execute().status().IsInvalidArgument());
+  EXPECT_TRUE(qb.Explain().status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, RelationalJoinAggregate) {
+  auto result = QueryBuilder(engine_.get())
+                    .Scan("transactions")
+                    .JoinWith(QueryBuilder(engine_.get()).Scan("products"),
+                              "product_id", "product_id")
+                    .Aggregate({"concept"},
+                               {{AggKind::kCount, "", "n"},
+                                {AggKind::kSum, "quantity", "total_qty"}})
+                    .Execute()
+                    .ValueOrDie();
+  EXPECT_GT(result->num_rows(), 4u);  // one row per concept_col seen
+  // Total transaction count preserved across groups.
+  std::int64_t total = 0;
+  const auto* n = result->ColumnByName("n").ValueOrDie();
+  for (auto v : n->i64()) total += v;
+  EXPECT_EQ(total, 600);
+}
+
+TEST_F(EngineTest, SemanticSelectClothes) {
+  auto result = QueryBuilder(engine_.get())
+                    .Scan("products")
+                    .SemanticSelect("type_label", "clothes", "shop", 0.50f)
+                    .Execute()
+                    .ValueOrDie();
+  ASSERT_GT(result->num_rows(), 0u);
+  // All returned products should be clothing concepts (ground truth).
+  std::set<std::string> clothing(dataset_.clothing_concepts.begin(),
+                                 dataset_.clothing_concepts.end());
+  const auto* concept_col = result->ColumnByName("concept").ValueOrDie();
+  std::size_t correct = 0;
+  for (const auto& c : concept_col->strings()) {
+    if (clothing.count(c)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / result->num_rows(), 0.9);
+}
+
+TEST_F(EngineTest, OptimizedMatchesUnoptimized) {
+  QueryBuilder qb(engine_.get());
+  qb.Scan("products")
+      .Filter(Gt(Col("price"), Lit(20.0)))
+      .SemanticJoinWith(
+          QueryBuilder(engine_.get())
+              .Scan("kb_category")
+              .Filter(Eq(Col("object"), Lit("clothes"))),
+          "type_label", "subject", "shop", 0.80f);
+  auto optimized = qb.Execute().ValueOrDie();
+  auto unoptimized = qb.ExecuteUnoptimized().ValueOrDie();
+  EXPECT_EQ(optimized->num_rows(), unoptimized->num_rows());
+  EXPECT_GT(optimized->num_rows(), 0u);
+}
+
+TEST_F(EngineTest, MotivatingQueryEndToEnd) {
+  // The Fig. 2 query: clothing products over 20 appearing in busy, recent
+  // customer images.
+  detector_->ResetCounter();
+  auto result =
+      QueryBuilder(engine_.get())
+          .Scan("products")
+          .Filter(Gt(Col("price"), Lit(20.0)))
+          .SemanticJoinWith(QueryBuilder(engine_.get())
+                                .Scan("kb_category")
+                                .Filter(Eq(Col("object"), Lit("clothes"))),
+                            "type_label", "subject", "shop", 0.80f)
+          .SemanticJoinWith(
+              QueryBuilder(engine_.get())
+                  .DetectScan("shop_images")
+                  .Filter(And(Gt(Col("date_taken"), Lit(Value::Date(19200))),
+                              Gt(Col("objects_in_image"), Lit(2)))),
+              "type_label", "object_label", "shop", 0.80f)
+          .Execute()
+          .ValueOrDie();
+  // Optimization must have avoided full-corpus inference: only images
+  // passing the date filter were detected.
+  EXPECT_LT(detector_->images_processed(), dataset_.images.size());
+  // Result sanity: every row references a recent, busy image.
+  if (result->num_rows() > 0) {
+    const auto* date = result->ColumnByName("date_taken").ValueOrDie();
+    const auto* count =
+        result->ColumnByName("objects_in_image").ValueOrDie();
+    for (std::size_t r = 0; r < result->num_rows(); ++r) {
+      EXPECT_GT(date->i64()[r], 19200);
+      EXPECT_GT(count->i64()[r], 2);
+    }
+  }
+}
+
+TEST_F(EngineTest, MotivatingQueryCorrectness) {
+  auto qb =
+      QueryBuilder(engine_.get())
+          .Scan("products")
+          .Filter(Gt(Col("price"), Lit(20.0)))
+          .SemanticJoinWith(QueryBuilder(engine_.get())
+                                .Scan("kb_category")
+                                .Filter(Eq(Col("object"), Lit("clothes"))),
+                            "type_label", "subject", "shop", 0.80f);
+  auto result = qb.Execute().ValueOrDie();
+  ASSERT_GT(result->num_rows(), 0u);
+  // Every surviving row: price > 20 and concept_col is clothing and the KB
+  // subject matches the product's ground-truth concept_col.
+  std::set<std::string> clothing(dataset_.clothing_concepts.begin(),
+                                 dataset_.clothing_concepts.end());
+  const auto* price = result->ColumnByName("price").ValueOrDie();
+  const auto* concept_col = result->ColumnByName("concept").ValueOrDie();
+  const auto* subject = result->ColumnByName("subject").ValueOrDie();
+  std::size_t concept_match = 0;
+  for (std::size_t r = 0; r < result->num_rows(); ++r) {
+    EXPECT_GT(price->f64()[r], 20.0);
+    EXPECT_TRUE(clothing.count(concept_col->strings()[r]));
+    if (subject->strings()[r] == concept_col->strings()[r]) ++concept_match;
+  }
+  // Semantic join recovers the right concept_col for the vast majority.
+  EXPECT_GT(static_cast<double>(concept_match) / result->num_rows(), 0.9);
+}
+
+TEST_F(EngineTest, DetectScanPushdownReducesInference) {
+  detector_->ResetCounter();
+  auto all = QueryBuilder(engine_.get())
+                 .DetectScan("shop_images")
+                 .ExecuteUnoptimized()
+                 .ValueOrDie();
+  const std::size_t all_images = detector_->images_processed();
+  EXPECT_EQ(all_images, dataset_.images.size());
+
+  detector_->ResetCounter();
+  auto filtered =
+      QueryBuilder(engine_.get())
+          .DetectScan("shop_images")
+          .Filter(Gt(Col("date_taken"), Lit(Value::Date(19400))))
+          .Execute()
+          .ValueOrDie();
+  const std::size_t filtered_images = detector_->images_processed();
+  EXPECT_LT(filtered_images, all_images / 2);
+  EXPECT_LT(filtered->num_rows(), all->num_rows());
+}
+
+TEST_F(EngineTest, SemanticGroupByConsolidatesProducts) {
+  auto result = QueryBuilder(engine_.get())
+                    .Scan("products")
+                    .SemanticGroupBy("type_label", "shop", 0.80f)
+                    .Execute()
+                    .ValueOrDie();
+  ASSERT_EQ(result->num_rows(), dataset_.products->num_rows());
+  // Rows sharing a ground-truth concept_col must share a cluster.
+  const auto* concept_col = result->ColumnByName("concept").ValueOrDie();
+  const auto* cluster = result->ColumnByName("cluster_id").ValueOrDie();
+  std::map<std::string, std::set<std::int64_t>> clusters_per_concept;
+  for (std::size_t r = 0; r < result->num_rows(); ++r) {
+    clusters_per_concept[concept_col->strings()[r]].insert(cluster->i64()[r]);
+  }
+  for (const auto& [c, ids] : clusters_per_concept) {
+    EXPECT_EQ(ids.size(), 1u) << "concept_col " << c << " split across clusters";
+  }
+}
+
+TEST_F(EngineTest, ExplainShowsOptimizedTree) {
+  auto text = QueryBuilder(engine_.get())
+                  .Scan("products")
+                  .Filter(Gt(Col("price"), Lit(20.0)))
+                  .SemanticSelect("type_label", "clothes", "shop", 0.6f)
+                  .Explain()
+                  .ValueOrDie();
+  EXPECT_NE(text.find("SemanticSelect"), std::string::npos);
+  EXPECT_NE(text.find("pushed: (price > 20)"), std::string::npos);
+}
+
+TEST_F(EngineTest, ProjectLimitsColumns) {
+  auto result = QueryBuilder(engine_.get())
+                    .Scan("products")
+                    .Project({"name", "price"})
+                    .Limit(5)
+                    .Execute()
+                    .ValueOrDie();
+  EXPECT_EQ(result->num_columns(), 2u);
+  EXPECT_EQ(result->num_rows(), 5u);
+}
+
+TEST_F(EngineTest, UnknownTableFails) {
+  auto r = QueryBuilder(engine_.get()).Scan("missing").Execute();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(EngineTest, UnknownModelFails) {
+  auto r = QueryBuilder(engine_.get())
+               .Scan("products")
+               .SemanticSelect("type_label", "clothes", "no_model", 0.8f)
+               .Execute();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,203 @@
+// Tests for execution extensions: per-operator statistics, morsel-driven
+// parallel execution, and sampling operators.
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+#include "datagen/shop.h"
+#include "engine/engine.h"
+#include "engine/query_builder.h"
+#include "exec/filter.h"
+#include "exec/morsel.h"
+#include "exec/project.h"
+#include "exec/sample.h"
+#include "exec/scan.h"
+#include "exec/stats.h"
+
+namespace cre {
+namespace {
+
+TablePtr Numbers(std::size_t n) {
+  auto t = Table::Make(Schema({{"x", DataType::kInt64, 0},
+                               {"y", DataType::kFloat64, 0}}));
+  t->Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t->column(0).AppendInt64(static_cast<std::int64_t>(i));
+    t->column(1).AppendFloat64(static_cast<double>(i) * 0.5);
+  }
+  return t;
+}
+
+TEST(StatsTest, InstrumentedOperatorCounts) {
+  StatsCollector collector;
+  auto table = Numbers(1000);
+  auto scan = std::make_unique<TableScanOperator>(table, 128);
+  auto* slot = collector.AddSlot(scan->name());
+  InstrumentedOperator op(std::move(scan), slot);
+  auto out = ExecuteToTable(&op).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 1000u);
+  EXPECT_EQ(slot->rows, 1000u);
+  EXPECT_EQ(slot->batches, 8u);
+  EXPECT_GE(slot->next_seconds, 0.0);
+  EXPECT_NE(collector.ToString().find("Scan"), std::string::npos);
+}
+
+TEST(StatsTest, EngineExecuteWithStats) {
+  Engine engine;
+  engine.catalog().Put("numbers", Numbers(5000));
+  QueryBuilder qb(&engine);
+  qb.Scan("numbers").Filter(Gt(Col("x"), Lit(2499)));
+  auto analyzed = engine.ExecuteWithStats(qb.plan()).ValueOrDie();
+  EXPECT_EQ(analyzed.table->num_rows(), 2500u);
+  EXPECT_GT(analyzed.total_seconds, 0.0);
+  // The optimizer pushes the predicate into the scan, which lowers to a
+  // Filter-over-scan pipeline instrumented as one slot.
+  ASSERT_GE(analyzed.stats->slots().size(), 1u);
+  bool found_filter = false;
+  for (const auto& s : analyzed.stats->slots()) {
+    if (s->name.find("Filter") != std::string::npos) {
+      found_filter = true;
+      EXPECT_EQ(s->rows, 2500u);
+    }
+  }
+  EXPECT_TRUE(found_filter);
+}
+
+TEST(MorselTest, SerialAndParallelAgree) {
+  auto table = Numbers(50000);
+  auto factory = [](const TablePtr& morsel) -> Result<OperatorPtr> {
+    return OperatorPtr(std::make_unique<FilterOperator>(
+        std::make_unique<TableScanOperator>(morsel),
+        Eq(Expr::Arith(ArithOp::kMul, Col("x"), Lit(1)), Col("x"))));
+  };
+  MorselOptions serial;
+  auto a = MorselParallelExecute(table, factory, serial).ValueOrDie();
+
+  ThreadPool pool(4);
+  MorselOptions parallel;
+  parallel.pool = &pool;
+  parallel.morsel_rows = 4096;
+  auto b = MorselParallelExecute(table, factory, parallel).ValueOrDie();
+
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  // Morsel order preserved: outputs are identical, row by row.
+  for (std::size_t i = 0; i < a->num_rows(); i += 997) {
+    EXPECT_EQ(a->GetValue(i, 0).AsInt64(), b->GetValue(i, 0).AsInt64());
+  }
+}
+
+TEST(MorselTest, ParallelFilterKeepsOnlyMatches) {
+  auto table = Numbers(10000);
+  ThreadPool pool(4);
+  MorselOptions options;
+  options.pool = &pool;
+  options.morsel_rows = 1000;
+  auto result = MorselParallelExecute(
+                    table,
+                    [](const TablePtr& morsel) -> Result<OperatorPtr> {
+                      return OperatorPtr(std::make_unique<FilterOperator>(
+                          std::make_unique<TableScanOperator>(morsel),
+                          Lt(Col("x"), Lit(100))));
+                    },
+                    options)
+                    .ValueOrDie();
+  EXPECT_EQ(result->num_rows(), 100u);
+}
+
+TEST(MorselTest, EmptyInput) {
+  auto table = Numbers(0);
+  ThreadPool pool(2);
+  MorselOptions options;
+  options.pool = &pool;
+  auto result = MorselParallelExecute(
+                    table,
+                    [](const TablePtr& morsel) -> Result<OperatorPtr> {
+                      return OperatorPtr(
+                          std::make_unique<TableScanOperator>(morsel));
+                    },
+                    options)
+                    .ValueOrDie();
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(MorselTest, ErrorPropagates) {
+  auto table = Numbers(10000);
+  ThreadPool pool(2);
+  MorselOptions options;
+  options.pool = &pool;
+  options.morsel_rows = 1000;
+  auto result = MorselParallelExecute(
+      table,
+      [](const TablePtr& morsel) -> Result<OperatorPtr> {
+        return OperatorPtr(std::make_unique<FilterOperator>(
+            std::make_unique<TableScanOperator>(morsel),
+            Gt(Col("missing_column"), Lit(1))));
+      },
+      options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(SampleTest, BernoulliRateApproximate) {
+  auto table = Numbers(20000);
+  SampleOperator op(std::make_unique<TableScanOperator>(table, 1024), 0.1);
+  auto out = ExecuteToTable(&op).ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(out->num_rows()), 2000.0, 300.0);
+}
+
+TEST(SampleTest, DeterministicAcrossRuns) {
+  auto table = Numbers(5000);
+  SampleOperator a(std::make_unique<TableScanOperator>(table), 0.25, 99);
+  SampleOperator b(std::make_unique<TableScanOperator>(table), 0.25, 99);
+  auto ra = ExecuteToTable(&a).ValueOrDie();
+  auto rb = ExecuteToTable(&b).ValueOrDie();
+  ASSERT_EQ(ra->num_rows(), rb->num_rows());
+  for (std::size_t i = 0; i < ra->num_rows(); i += 101) {
+    EXPECT_EQ(ra->GetValue(i, 0).AsInt64(), rb->GetValue(i, 0).AsInt64());
+  }
+}
+
+TEST(SampleTest, RateZeroAndOne) {
+  auto table = Numbers(1000);
+  SampleOperator none(std::make_unique<TableScanOperator>(table), 0.0);
+  EXPECT_EQ(ExecuteToTable(&none).ValueOrDie()->num_rows(), 0u);
+  SampleOperator all(std::make_unique<TableScanOperator>(table), 1.0);
+  EXPECT_EQ(ExecuteToTable(&all).ValueOrDie()->num_rows(), 1000u);
+}
+
+TEST(ReservoirTest, ExactSizeAndMembership) {
+  auto table = Numbers(1000);
+  auto sample = ReservoirSample(*table, 50);
+  ASSERT_EQ(sample->num_rows(), 50u);
+  std::set<std::int64_t> seen;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto v = sample->GetValue(i, 0).AsInt64();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate row in reservoir";
+  }
+}
+
+TEST(ReservoirTest, SmallTableReturnsAll) {
+  auto table = Numbers(5);
+  auto sample = ReservoirSample(*table, 50);
+  EXPECT_EQ(sample->num_rows(), 5u);
+}
+
+TEST(ReservoirTest, RoughlyUniform) {
+  auto table = Numbers(1000);
+  // Mean of sampled ids over many seeds should approach 499.5.
+  double mean = 0;
+  const int runs = 50;
+  for (int seed = 0; seed < runs; ++seed) {
+    auto sample = ReservoirSample(*table, 20, seed);
+    for (std::size_t i = 0; i < sample->num_rows(); ++i) {
+      mean += static_cast<double>(sample->GetValue(i, 0).AsInt64());
+    }
+  }
+  mean /= runs * 20;
+  EXPECT_NEAR(mean, 499.5, 60.0);
+}
+
+}  // namespace
+}  // namespace cre

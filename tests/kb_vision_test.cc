@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "kb/knowledge_base.h"
+#include "vision/detection_scan.h"
+#include "vision/image_store.h"
+#include "vision/object_detector.h"
+
+namespace cre {
+namespace {
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb;
+  kb.AddTriple("jacket", "category", "clothes");
+  kb.AddTriple("shoes", "category", "clothes");
+  kb.AddTriple("phone", "category", "electronics");
+  kb.AddTriple("blazer", "is_a", "jacket");
+  return kb;
+}
+
+TEST(KnowledgeBaseTest, ObjectsAndSubjects) {
+  KnowledgeBase kb = MakeKb();
+  EXPECT_EQ(kb.size(), 4u);
+  EXPECT_EQ(kb.Objects("jacket", "category"),
+            std::vector<std::string>{"clothes"});
+  EXPECT_EQ(kb.Subjects("category", "clothes"),
+            (std::vector<std::string>{"jacket", "shoes"}));
+  EXPECT_TRUE(kb.Objects("jacket", "nope").empty());
+}
+
+TEST(KnowledgeBaseTest, ExportPredicate) {
+  KnowledgeBase kb = MakeKb();
+  auto table = kb.Export("category");
+  ASSERT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->GetValue(0, 0).AsString(), "jacket");
+  EXPECT_EQ(table->GetValue(0, 1).AsString(), "clothes");
+  EXPECT_TRUE(table->schema().HasField("subject"));
+  EXPECT_TRUE(table->schema().HasField("object"));
+}
+
+TEST(KnowledgeBaseTest, AsTableFullView) {
+  KnowledgeBase kb = MakeKb();
+  auto table = kb.AsTable();
+  EXPECT_EQ(table->num_rows(), 4u);
+  EXPECT_EQ(table->num_columns(), 3u);
+}
+
+ImageStore MakeStore(std::size_t n) {
+  ImageStore store;
+  for (std::size_t i = 0; i < n; ++i) {
+    SyntheticImage img;
+    img.image_id = static_cast<std::int64_t>(i);
+    img.date_taken = 19000 + static_cast<std::int64_t>(i);
+    img.objects = {"boots", "person"};
+    if (i % 3 == 0) img.objects.push_back("tree");
+    store.AddImage(std::move(img));
+  }
+  return store;
+}
+
+TEST(ImageStoreTest, MetadataTable) {
+  ImageStore store = MakeStore(10);
+  auto meta = store.MetadataTable();
+  ASSERT_EQ(meta->num_rows(), 10u);
+  EXPECT_EQ(meta->GetValue(3, 0).AsInt64(), 3);
+  EXPECT_EQ(meta->GetValue(3, 1).AsInt64(), 19003);
+  EXPECT_EQ(meta->schema().field(1).type, DataType::kDate);
+}
+
+TEST(ObjectDetectorTest, DetectAllEmitsPerObjectRows) {
+  ImageStore store = MakeStore(6);
+  ObjectDetector detector(ObjectDetector::Options{/*cost_per_image_us=*/0.5,
+                                                  9});
+  auto det = detector.DetectAll(store);
+  // 6 images: 2 objects each + 2 with an extra (ids 0 and 3).
+  EXPECT_EQ(det->num_rows(), 6u * 2 + 2);
+  EXPECT_EQ(detector.images_processed(), 6u);
+  // objects_in_image column consistent with per-image object counts.
+  const auto* count = det->ColumnByName("objects_in_image").ValueOrDie();
+  const auto* ids = det->ColumnByName("image_id").ValueOrDie();
+  for (std::size_t r = 0; r < det->num_rows(); ++r) {
+    const auto expected = ids->i64()[r] % 3 == 0 ? 3 : 2;
+    EXPECT_EQ(count->i64()[r], expected);
+  }
+}
+
+TEST(ObjectDetectorTest, ConfidenceDeterministicInRange) {
+  ImageStore store = MakeStore(4);
+  ObjectDetector detector(ObjectDetector::Options{0.5, 9});
+  auto a = detector.DetectAll(store);
+  auto b = detector.DetectAll(store);
+  const auto* ca = a->ColumnByName("confidence").ValueOrDie();
+  const auto* cb = b->ColumnByName("confidence").ValueOrDie();
+  for (std::size_t r = 0; r < a->num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(ca->f64()[r], cb->f64()[r]);
+    EXPECT_GE(ca->f64()[r], 0.7);
+    EXPECT_LT(ca->f64()[r], 1.0);
+  }
+}
+
+TEST(ObjectDetectorTest, SubsetDetection) {
+  ImageStore store = MakeStore(10);
+  ObjectDetector detector(ObjectDetector::Options{0.5, 9});
+  std::vector<std::uint32_t> subset = {1, 4};
+  auto det = detector.DetectAll(store, &subset);
+  EXPECT_EQ(detector.images_processed(), 2u);
+  const auto* ids = det->ColumnByName("image_id").ValueOrDie();
+  for (auto id : ids->i64()) {
+    EXPECT_TRUE(id == 1 || id == 4);
+  }
+}
+
+TEST(DetectionScanTest, NoPredicateProcessesAll) {
+  ImageStore store = MakeStore(8);
+  ObjectDetector detector(ObjectDetector::Options{0.5, 9});
+  DetectionScanOperator scan(&store, &detector, nullptr, /*batch=*/3);
+  auto out = ExecuteToTable(&scan).ValueOrDie();
+  EXPECT_EQ(detector.images_processed(), 8u);
+  EXPECT_GT(out->num_rows(), 0u);
+}
+
+TEST(DetectionScanTest, MetadataPredicateSkipsInference) {
+  ImageStore store = MakeStore(20);
+  ObjectDetector detector(ObjectDetector::Options{0.5, 9});
+  DetectionScanOperator scan(&store, &detector,
+                             Gt(Col("date_taken"), Lit(Value::Date(19014))));
+  auto out = ExecuteToTable(&scan).ValueOrDie();
+  // Only images 15..19 qualify.
+  EXPECT_EQ(detector.images_processed(), 5u);
+  const auto* ids = out->ColumnByName("image_id").ValueOrDie();
+  for (auto id : ids->i64()) EXPECT_GE(id, 15);
+}
+
+TEST(DetectionScanTest, PredicateOnDetectionColumnsAppliesPostInference) {
+  ImageStore store = MakeStore(9);
+  ObjectDetector detector(ObjectDetector::Options{0.5, 9});
+  // objects_in_image is only known AFTER detection: every image must be
+  // processed, but the output is filtered to busy images (ids 0,3,6).
+  DetectionScanOperator scan(&store, &detector,
+                             Gt(Col("objects_in_image"), Lit(2)));
+  auto out = ExecuteToTable(&scan).ValueOrDie();
+  EXPECT_EQ(detector.images_processed(), 9u);
+  EXPECT_EQ(out->num_rows(), 9u);  // 3 busy images x 3 objects each
+  const auto* ids = out->ColumnByName("image_id").ValueOrDie();
+  for (auto id : ids->i64()) EXPECT_EQ(id % 3, 0);
+}
+
+TEST(DetectionScanTest, MixedPredicateSplits) {
+  ImageStore store = MakeStore(20);
+  ObjectDetector detector(ObjectDetector::Options{0.5, 9});
+  DetectionScanOperator scan(
+      &store, &detector,
+      And(Gt(Col("date_taken"), Lit(Value::Date(19009))),
+          Gt(Col("objects_in_image"), Lit(2))));
+  auto out = ExecuteToTable(&scan).ValueOrDie();
+  // Date filter pre-inference: only 10 images detected.
+  EXPECT_EQ(detector.images_processed(), 10u);
+  const auto* ids = out->ColumnByName("image_id").ValueOrDie();
+  for (auto id : ids->i64()) {
+    EXPECT_GE(id, 10);
+    EXPECT_EQ(id % 3, 0);  // busy images only
+  }
+}
+
+TEST(DetectorRegistryTest, Bindings) {
+  DetectorRegistry registry;
+  ImageStore store = MakeStore(1);
+  ObjectDetector detector;
+  registry.Put("imgs", {&store, &detector});
+  EXPECT_TRUE(registry.Contains("imgs"));
+  EXPECT_EQ(registry.Get("imgs").ValueOrDie().store, &store);
+  EXPECT_TRUE(registry.Get("other").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "plan/plan_node.h"
+#include "plan/schema_inference.h"
+
+namespace cre {
+namespace {
+
+void FillCatalog(Catalog* cat) {
+  auto products = Table::Make(Schema({{"id", DataType::kInt64, 0},
+                                      {"label", DataType::kString, 0},
+                                      {"price", DataType::kFloat64, 0}}));
+  auto kb = Table::Make(Schema({{"subject", DataType::kString, 0},
+                                {"object", DataType::kString, 0}}));
+  cat->Put("products", products);
+  cat->Put("kb", kb);
+}
+
+TEST(PlanNodeTest, Builders) {
+  auto plan = PlanNode::Limit(
+      PlanNode::Filter(PlanNode::Scan("products"), Gt(Col("price"), Lit(5))),
+      10);
+  EXPECT_EQ(plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(plan->limit, 10u);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+  EXPECT_EQ(plan->children[0]->children[0]->kind, PlanKind::kScan);
+  EXPECT_EQ(plan->children[0]->children[0]->table_name, "products");
+  EXPECT_EQ(PlanSize(*plan), 3u);
+}
+
+TEST(PlanNodeTest, CloneIsDeep) {
+  auto plan =
+      PlanNode::Filter(PlanNode::Scan("products"), Gt(Col("price"), Lit(5)));
+  auto clone = plan->Clone();
+  EXPECT_NE(clone.get(), plan.get());
+  EXPECT_NE(clone->children[0].get(), plan->children[0].get());
+  clone->children[0]->table_name = "other";
+  EXPECT_EQ(plan->children[0]->table_name, "products");
+}
+
+TEST(PlanNodeTest, ToStringRendersTree) {
+  auto plan = PlanNode::SemanticJoin(PlanNode::Scan("products"),
+                                     PlanNode::Scan("kb"), "label", "subject",
+                                     "m", 0.9f);
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("SemanticJoin"), std::string::npos);
+  EXPECT_NE(s.find("label ~ subject"), std::string::npos);
+  EXPECT_NE(s.find("Scan(products)"), std::string::npos);
+  EXPECT_NE(s.find("strategy=brute"), std::string::npos);
+}
+
+TEST(PlanNodeTest, DescribeShowsAnnotations) {
+  auto plan = PlanNode::Scan("products");
+  plan->est_rows = 42;
+  plan->est_cost = 1000;
+  const std::string d = plan->Describe();
+  EXPECT_NE(d.find("~42 rows"), std::string::npos);
+  EXPECT_NE(d.find("cost 1000"), std::string::npos);
+}
+
+TEST(PlanNodeTest, KindNames) {
+  EXPECT_STREQ(PlanKindName(PlanKind::kSemanticGroupBy), "SemanticGroupBy");
+  EXPECT_STREQ(PlanKindName(PlanKind::kDetectScan), "DetectScan");
+}
+
+TEST(SchemaInferenceTest, ScanUsesCatalog) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto schema =
+      InferSchema(*PlanNode::Scan("products"), cat).ValueOrDie();
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_TRUE(schema.HasField("price"));
+}
+
+TEST(SchemaInferenceTest, MissingTableFails) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto r = InferSchema(*PlanNode::Scan("nope"), cat);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(SchemaInferenceTest, DetectScanStaticSchema) {
+  Catalog cat;
+  auto schema = InferSchema(*PlanNode::DetectScan("imgs"), cat).ValueOrDie();
+  EXPECT_TRUE(schema.HasField("image_id"));
+  EXPECT_TRUE(schema.HasField("object_label"));
+  EXPECT_TRUE(schema.HasField("objects_in_image"));
+}
+
+TEST(SchemaInferenceTest, FilterPreservesSchema) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto plan =
+      PlanNode::Filter(PlanNode::Scan("products"), Gt(Col("price"), Lit(5)));
+  auto schema = InferSchema(*plan, cat).ValueOrDie();
+  EXPECT_EQ(schema.num_fields(), 3u);
+}
+
+TEST(SchemaInferenceTest, ProjectComputesTypes) {
+  Catalog cat;
+  FillCatalog(&cat);
+  std::vector<ProjectionItem> items = {
+      {"renamed", Col("label")},
+      {"double_price", Expr::Arith(ArithOp::kMul, Col("price"), Lit(2.0))}};
+  auto plan = PlanNode::Project(PlanNode::Scan("products"), items);
+  auto schema = InferSchema(*plan, cat).ValueOrDie();
+  ASSERT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.field(0).name, "renamed");
+  EXPECT_EQ(schema.field(0).type, DataType::kString);
+  EXPECT_EQ(schema.field(1).type, DataType::kFloat64);
+}
+
+TEST(SchemaInferenceTest, JoinSuffixesDuplicates) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto plan = PlanNode::Join(PlanNode::Scan("products"),
+                             PlanNode::Scan("products"), "id", "id");
+  auto schema = InferSchema(*plan, cat).ValueOrDie();
+  EXPECT_TRUE(schema.HasField("id"));
+  EXPECT_TRUE(schema.HasField("id_r"));
+  EXPECT_TRUE(schema.HasField("label_r"));
+  EXPECT_EQ(schema.num_fields(), 6u);
+}
+
+TEST(SchemaInferenceTest, SemanticJoinAddsScore) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto plan = PlanNode::SemanticJoin(PlanNode::Scan("products"),
+                                     PlanNode::Scan("kb"), "label", "subject",
+                                     "m", 0.9f);
+  auto schema = InferSchema(*plan, cat).ValueOrDie();
+  EXPECT_TRUE(schema.HasField("similarity"));
+  EXPECT_EQ(schema.num_fields(), 6u);  // 3 + 2 + score
+}
+
+TEST(SchemaInferenceTest, SemanticGroupByAppendsClusterColumns) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto plan =
+      PlanNode::SemanticGroupBy(PlanNode::Scan("products"), "label", "m",
+                                0.9f);
+  auto schema = InferSchema(*plan, cat).ValueOrDie();
+  EXPECT_TRUE(schema.HasField("cluster_id"));
+  EXPECT_TRUE(schema.HasField("cluster_rep"));
+  EXPECT_EQ(schema.num_fields(), 5u);
+}
+
+TEST(SchemaInferenceTest, AggregateSchema) {
+  Catalog cat;
+  FillCatalog(&cat);
+  auto plan = PlanNode::Aggregate(PlanNode::Scan("products"), {"label"},
+                                  {{AggKind::kCount, "", "n"},
+                                   {AggKind::kAvg, "price", "avg_price"}});
+  auto schema = InferSchema(*plan, cat).ValueOrDie();
+  ASSERT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.field(0).name, "label");
+  EXPECT_EQ(schema.field(1).type, DataType::kInt64);
+  EXPECT_EQ(schema.field(2).type, DataType::kFloat64);
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,296 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/shop.h"
+#include "engine/engine.h"
+#include "engine/query_builder.h"
+#include "sql/lexer.h"
+#include "sql/sql.h"
+
+namespace cre {
+namespace {
+
+using sql::ExecuteSql;
+using sql::ExplainSql;
+using sql::ParseSql;
+using sql::Token;
+using sql::TokenKind;
+using sql::Tokenize;
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE x >= 1.5").ValueOrDie();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].text, ",");
+  EXPECT_TRUE(tokens[8].kind == TokenKind::kSymbol);
+  EXPECT_EQ(tokens[8].text, ">=");
+  EXPECT_DOUBLE_EQ(tokens[9].number, 1.5);
+  EXPECT_FALSE(tokens[9].is_integer);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("'hello world' 'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("SELECT 'oops").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, UnknownCharFails) {
+  EXPECT_TRUE(Tokenize("SELECT a # b").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, NotEqualsVariants) {
+  auto tokens = Tokenize("a != b <> c").ValueOrDie();
+  EXPECT_EQ(tokens[1].text, "!=");
+  EXPECT_EQ(tokens[3].text, "!=");
+}
+
+TEST(ParserTest, SelectStarFromTable) {
+  auto plan = ParseSql("SELECT * FROM products").ValueOrDie();
+  EXPECT_EQ(plan->kind, PlanKind::kScan);
+  EXPECT_EQ(plan->table_name, "products");
+}
+
+TEST(ParserTest, WhereBecomesFilter) {
+  auto plan = ParseSql("SELECT * FROM t WHERE price > 20 AND label = 'x'")
+                  .ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kFilter);
+  EXPECT_EQ(plan->predicate->ToString(),
+            "((price > 20) AND (label = x))");
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kScan);
+}
+
+TEST(ParserTest, ProjectionWithAliases) {
+  auto plan =
+      ParseSql("SELECT name, price AS cost FROM products").ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  ASSERT_EQ(plan->projections.size(), 2u);
+  EXPECT_EQ(plan->projections[0].name, "name");
+  EXPECT_EQ(plan->projections[1].name, "cost");
+}
+
+TEST(ParserTest, RelationalJoin) {
+  auto plan = ParseSql("SELECT * FROM a JOIN b ON x = y").ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kJoin);
+  EXPECT_EQ(plan->left_key, "x");
+  EXPECT_EQ(plan->right_key, "y");
+}
+
+TEST(ParserTest, SemanticJoinWithThresholdAndTop) {
+  auto plan = ParseSql(
+                  "SELECT * FROM a SEMANTIC JOIN b ON l ~ r USING m "
+                  "THRESHOLD 0.75 TOP 3")
+                  .ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kSemanticJoin);
+  EXPECT_EQ(plan->model_name, "m");
+  EXPECT_FLOAT_EQ(plan->threshold, 0.75f);
+  EXPECT_EQ(plan->top_k, 3u);
+}
+
+TEST(ParserTest, DetectScanSource) {
+  auto plan = ParseSql("SELECT * FROM DETECT shop_images").ValueOrDie();
+  EXPECT_EQ(plan->kind, PlanKind::kDetectScan);
+  EXPECT_EQ(plan->table_name, "shop_images");
+}
+
+TEST(ParserTest, SimilarToBecomesSemanticSelect) {
+  auto plan = ParseSql(
+                  "SELECT * FROM t WHERE price > 5 AND label SIMILAR TO "
+                  "'jacket' USING m THRESHOLD 0.8")
+                  .ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kSemanticSelect);
+  EXPECT_EQ(plan->column, "label");
+  EXPECT_EQ(plan->query, "jacket");
+  EXPECT_FLOAT_EQ(plan->threshold, 0.8f);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+}
+
+TEST(ParserTest, AggregatesAndGroupBy) {
+  auto plan = ParseSql(
+                  "SELECT COUNT(*) AS n, SUM(price) FROM t GROUP BY label")
+                  .ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kAggregate);
+  ASSERT_EQ(plan->aggs.size(), 2u);
+  EXPECT_EQ(plan->aggs[0].kind, AggKind::kCount);
+  EXPECT_EQ(plan->aggs[0].output_name, "n");
+  EXPECT_EQ(plan->aggs[1].kind, AggKind::kSum);
+  EXPECT_EQ(plan->aggs[1].output_name, "sum_price");
+  EXPECT_EQ(plan->group_keys, std::vector<std::string>{"label"});
+}
+
+TEST(ParserTest, SemanticGroupBy) {
+  auto plan = ParseSql(
+                  "SELECT * FROM t SEMANTIC GROUP BY label USING m "
+                  "THRESHOLD 0.8")
+                  .ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kSemanticGroupBy);
+  EXPECT_EQ(plan->column, "label");
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto plan =
+      ParseSql("SELECT * FROM t ORDER BY price DESC LIMIT 7").ValueOrDie();
+  ASSERT_EQ(plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(plan->limit, 7u);
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kSort);
+  EXPECT_EQ(plan->children[0]->sort_key, "price");
+  EXPECT_FALSE(plan->children[0]->sort_ascending);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto plan =
+      ParseSql("SELECT * FROM t WHERE d > DATE 19300").ValueOrDie();
+  EXPECT_EQ(plan->predicate->ToString(), "(d > 19300d)");
+}
+
+TEST(ParserTest, ContainsFunction) {
+  auto plan = ParseSql("SELECT * FROM t WHERE CONTAINS(name, 'oa')")
+                  .ValueOrDie();
+  EXPECT_EQ(plan->predicate->ToString(), "contains(name, 'oa')");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM a JOIN b ON x ~ y").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t GROUP BY x").ok());  // no aggregate
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT 2.5").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t extra junk").ok());
+}
+
+class SqlEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ShopOptions o;
+    o.num_products = 200;
+    o.num_transactions = 300;
+    o.num_images = 40;
+    dataset_ = GenerateShopDataset(o);
+    engine_ = std::make_unique<Engine>();
+    engine_->catalog().Put("products", dataset_.products);
+    engine_->catalog().Put("transactions", dataset_.transactions);
+    engine_->catalog().Put("kb_category", dataset_.kb.Export("category"));
+    engine_->models().Put("shop", dataset_.model);
+    detector_ = std::make_unique<ObjectDetector>(
+        ObjectDetector::Options{0.5, 7});
+    engine_->detectors().Put("shop_images",
+                             {&dataset_.images, detector_.get()});
+  }
+
+  ShopDataset dataset_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<ObjectDetector> detector_;
+};
+
+TEST_F(SqlEndToEndTest, FilterProjection) {
+  auto result =
+      ExecuteSql(engine_.get(),
+                 "SELECT name, price FROM products WHERE price > 150")
+          .ValueOrDie();
+  EXPECT_EQ(result->num_columns(), 2u);
+  const auto* price = result->ColumnByName("price").ValueOrDie();
+  for (double p : price->f64()) EXPECT_GT(p, 150.0);
+}
+
+TEST_F(SqlEndToEndTest, AggregateGroupBy) {
+  auto result = ExecuteSql(engine_.get(),
+                           "SELECT COUNT(*) AS n, AVG(price) AS avg_price "
+                           "FROM products GROUP BY concept")
+                    .ValueOrDie();
+  EXPECT_GT(result->num_rows(), 8u);
+  std::int64_t total = 0;
+  const auto* n = result->ColumnByName("n").ValueOrDie();
+  for (auto v : n->i64()) total += v;
+  EXPECT_EQ(total, 200);
+}
+
+TEST_F(SqlEndToEndTest, MotivatingQueryInSql) {
+  auto result = ExecuteSql(
+                    engine_.get(),
+                    "SELECT name, price, image_id "
+                    "FROM products "
+                    "SEMANTIC JOIN kb_category ON type_label ~ subject "
+                    "  USING shop THRESHOLD 0.8 "
+                    "SEMANTIC JOIN DETECT shop_images "
+                    "  ON type_label ~ object_label USING shop THRESHOLD 0.8 "
+                    "WHERE price > 20 AND object = 'clothes' "
+                    "  AND date_taken > DATE 19200 AND objects_in_image > 2")
+                    .ValueOrDie();
+  EXPECT_EQ(result->num_columns(), 3u);
+  // Pushdown must have kept inference partial.
+  EXPECT_LT(detector_->images_processed(), dataset_.images.size());
+}
+
+TEST_F(SqlEndToEndTest, SimilarToSemanticSelect) {
+  auto result =
+      ExecuteSql(engine_.get(),
+                 "SELECT type_label, concept FROM products WHERE "
+                 "type_label SIMILAR TO 'jacket' USING shop THRESHOLD 0.8")
+          .ValueOrDie();
+  ASSERT_GT(result->num_rows(), 0u);
+  const auto* concepts = result->ColumnByName("concept").ValueOrDie();
+  for (const auto& c : concepts->strings()) EXPECT_EQ(c, "jacket");
+}
+
+TEST_F(SqlEndToEndTest, TopKJoin) {
+  auto result = ExecuteSql(engine_.get(),
+                           "SELECT type_label, subject, similarity "
+                           "FROM products SEMANTIC JOIN kb_category "
+                           "ON type_label ~ subject USING shop "
+                           "THRESHOLD 0.1 TOP 1")
+                    .ValueOrDie();
+  // Top-1: exactly one KB subject per product row.
+  EXPECT_EQ(result->num_rows(), dataset_.products->num_rows());
+}
+
+TEST_F(SqlEndToEndTest, OrderByLimit) {
+  auto result = ExecuteSql(engine_.get(),
+                           "SELECT name, price FROM products "
+                           "ORDER BY price DESC LIMIT 5")
+                    .ValueOrDie();
+  ASSERT_EQ(result->num_rows(), 5u);
+  const auto* price = result->ColumnByName("price").ValueOrDie();
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GE(price->f64()[i - 1], price->f64()[i]);
+  }
+}
+
+TEST_F(SqlEndToEndTest, SemanticGroupByInSql) {
+  auto result = ExecuteSql(engine_.get(),
+                           "SELECT * FROM products SEMANTIC GROUP BY "
+                           "type_label USING shop THRESHOLD 0.8")
+                    .ValueOrDie();
+  EXPECT_TRUE(result->schema().HasField("cluster_id"));
+  EXPECT_TRUE(result->schema().HasField("cluster_rep"));
+}
+
+TEST_F(SqlEndToEndTest, ExplainMentionsPushdown) {
+  auto text = ExplainSql(engine_.get(),
+                         "SELECT * FROM products WHERE price > 50")
+                  .ValueOrDie();
+  EXPECT_NE(text.find("pushed: (price > 50)"), std::string::npos);
+}
+
+TEST_F(SqlEndToEndTest, SqlMatchesBuilderPlan) {
+  auto via_sql = ExecuteSql(engine_.get(),
+                            "SELECT * FROM products WHERE price > 100")
+                     .ValueOrDie();
+  QueryBuilder qb(engine_.get());
+  auto via_builder = qb.Scan("products")
+                         .Filter(Gt(Col("price"), Lit(100.0)))
+                         .Execute()
+                         .ValueOrDie();
+  EXPECT_EQ(via_sql->num_rows(), via_builder->num_rows());
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace cre {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, 0},
+                 {"name", DataType::kString, 0},
+                 {"price", DataType::kFloat64, 0}});
+}
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.i64()[1], 2);
+  EXPECT_EQ(c.GetValue(0).AsInt64(), 1);
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column c(DataType::kString);
+  EXPECT_TRUE(c.AppendValue(Value("x")).ok());
+  EXPECT_TRUE(c.AppendValue(Value(3)).IsTypeError());
+}
+
+TEST(ColumnTest, FloatAcceptsIntValue) {
+  Column c(DataType::kFloat64);
+  EXPECT_TRUE(c.AppendValue(Value(3)).ok());
+  EXPECT_DOUBLE_EQ(c.f64()[0], 3.0);
+}
+
+TEST(ColumnTest, VectorColumn) {
+  Column c(DataType::kFloatVector, 3);
+  const float v1[3] = {1.f, 2.f, 3.f};
+  const float v2[3] = {4.f, 5.f, 6.f};
+  c.AppendVector(v1, 3);
+  c.AppendVector(v2, 3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.vectors().Row(1)[0], 4.f);
+  EXPECT_EQ(c.GetValue(0).AsVector()[2], 3.f);
+}
+
+TEST(ColumnTest, Take) {
+  Column c(DataType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  c.AppendString("c");
+  Column t = c.Take({2, 0});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.strings()[0], "c");
+  EXPECT_EQ(t.strings()[1], "a");
+}
+
+TEST(ColumnTest, AppendColumnChecksType) {
+  Column a(DataType::kInt64);
+  Column b(DataType::kFloat64);
+  EXPECT_TRUE(a.AppendColumn(b).IsTypeError());
+  Column c(DataType::kInt64);
+  c.AppendInt64(9);
+  EXPECT_TRUE(a.AppendColumn(c).ok());
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(TableTest, AppendRowAndRead) {
+  auto t = Table::Make(TestSchema());
+  ASSERT_TRUE(t->AppendRow({Value(1), Value("ab"), Value(9.5)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value(2), Value("cd"), Value(1.5)}).ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->num_columns(), 3u);
+  EXPECT_EQ(t->GetValue(1, 1).AsString(), "cd");
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  auto t = Table::Make(TestSchema());
+  EXPECT_TRUE(t->AppendRow({Value(1)}).IsInvalidArgument());
+}
+
+TEST(TableTest, ColumnByName) {
+  auto t = Table::Make(TestSchema());
+  t->AppendRow({Value(1), Value("x"), Value(2.0)}).Check();
+  EXPECT_TRUE(t->ColumnByName("price").ok());
+  EXPECT_TRUE(t->ColumnByName("nope").status().IsNotFound());
+}
+
+TEST(TableTest, TakeAndSlice) {
+  auto t = Table::Make(TestSchema());
+  for (int i = 0; i < 10; ++i) {
+    t->AppendRow({Value(i), Value("r" + std::to_string(i)), Value(i * 1.0)})
+        .Check();
+  }
+  auto taken = t->Take({9, 0, 5});
+  EXPECT_EQ(taken->num_rows(), 3u);
+  EXPECT_EQ(taken->GetValue(0, 0).AsInt64(), 9);
+  auto sliced = t->Slice(8, 100);
+  EXPECT_EQ(sliced->num_rows(), 2u);
+  EXPECT_EQ(sliced->GetValue(0, 0).AsInt64(), 8);
+}
+
+TEST(TableTest, AppendTable) {
+  auto a = Table::Make(TestSchema());
+  auto b = Table::Make(TestSchema());
+  a->AppendRow({Value(1), Value("x"), Value(1.0)}).Check();
+  b->AppendRow({Value(2), Value("y"), Value(2.0)}).Check();
+  ASSERT_TRUE(a->AppendTable(*b).ok());
+  EXPECT_EQ(a->num_rows(), 2u);
+  EXPECT_EQ(a->GetValue(1, 1).AsString(), "y");
+}
+
+TEST(TableTest, AppendTableSchemaMismatch) {
+  auto a = Table::Make(TestSchema());
+  auto b = Table::Make(Schema({{"z", DataType::kInt64, 0}}));
+  EXPECT_TRUE(a->AppendTable(*b).IsInvalidArgument());
+}
+
+TEST(TableTest, AddColumn) {
+  auto t = Table::Make(Schema({{"a", DataType::kInt64, 0}}));
+  t->AppendRow({Value(1)}).Check();
+  Column extra(DataType::kString);
+  extra.AppendString("s");
+  ASSERT_TRUE(t->AddColumn({"b", DataType::kString, 0}, std::move(extra)).ok());
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->GetValue(0, 1).AsString(), "s");
+}
+
+TEST(TableTest, ToStringTruncates) {
+  auto t = Table::Make(Schema({{"a", DataType::kInt64, 0}}));
+  for (int i = 0; i < 30; ++i) t->AppendRow({Value(i)}).Check();
+  const std::string s = t->ToString(5);
+  EXPECT_NE(s.find("(25 more)"), std::string::npos);
+}
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog cat;
+  auto t = Table::Make(TestSchema());
+  ASSERT_TRUE(cat.Register("t1", t).ok());
+  EXPECT_TRUE(cat.Register("t1", t).code() == StatusCode::kAlreadyExists);
+  EXPECT_TRUE(cat.Contains("t1"));
+  EXPECT_EQ(cat.Get("t1").ValueOrDie().get(), t.get());
+  EXPECT_TRUE(cat.Get("t2").status().IsNotFound());
+  EXPECT_EQ(cat.ListTables().size(), 1u);
+  EXPECT_TRUE(cat.Drop("t1").ok());
+  EXPECT_FALSE(cat.Contains("t1"));
+  EXPECT_TRUE(cat.Drop("t1").IsNotFound());
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog cat;
+  cat.Put("t", Table::Make(TestSchema()));
+  auto t2 = Table::Make(TestSchema());
+  cat.Put("t", t2);
+  EXPECT_EQ(cat.Get("t").ValueOrDie().get(), t2.get());
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace cre {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(std::int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3).is_int64());
+  EXPECT_TRUE(Value(3.5).is_float64());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(std::vector<float>{1.f, 2.f}).is_vector());
+  EXPECT_TRUE(Value::Date(19000).is_date());
+}
+
+TEST(ValueTest, TypeEnum) {
+  EXPECT_EQ(Value(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value(1.0).type(), DataType::kFloat64);
+  EXPECT_EQ(Value(false).type(), DataType::kBool);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_EQ(Value(std::vector<float>{}).type(), DataType::kFloatVector);
+  EXPECT_EQ(Value::Date(1).type(), DataType::kDate);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsFloat64(), 2.25);
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::vector<float>{1.f}).AsVector().size(), 1u);
+}
+
+TEST(ValueTest, AsNumericPromotions) {
+  EXPECT_DOUBLE_EQ(Value(7).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(true).AsNumeric(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Date(100).AsNumeric(), 100.0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value("s").ToString(), "s");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value::Date(10).ToString(), "10d");
+  EXPECT_EQ(Value(std::vector<float>{1.f, 2.f, 3.f}).ToString(), "vec[3]");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_FALSE(Value(3) == Value(4));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64, 0},
+            {"b", DataType::kString, 0},
+            {"v", DataType::kFloatVector, 64}});
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.FieldIndex("b"), 1);
+  EXPECT_EQ(s.FieldIndex("zz"), -1);
+  EXPECT_TRUE(s.HasField("v"));
+  EXPECT_FALSE(s.HasField("w"));
+}
+
+TEST(SchemaTest, RequireField) {
+  Schema s({{"a", DataType::kInt64, 0}});
+  EXPECT_EQ(s.RequireField("a").ValueOrDie(), 0u);
+  auto r = s.RequireField("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(SchemaTest, ToStringIncludesDims) {
+  Schema s({{"v", DataType::kFloatVector, 100}, {"x", DataType::kDate, 0}});
+  EXPECT_EQ(s.ToString(), "v:float_vector(100), x:date");
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", DataType::kInt64, 0}});
+  Schema b({{"x", DataType::kInt64, 0}});
+  Schema c({{"x", DataType::kFloat64, 0}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kFloatVector), "float_vector");
+}
+
+TEST(DataTypeTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDate));
+  EXPECT_TRUE(IsNumeric(DataType::kBool));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+  EXPECT_FALSE(IsNumeric(DataType::kFloatVector));
+}
+
+}  // namespace
+}  // namespace cre

@@ -1,0 +1,302 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "vecsim/brute_force.h"
+#include "vecsim/fp16.h"
+#include "vecsim/ivf_index.h"
+#include "vecsim/kernels.h"
+#include "vecsim/lsh_index.h"
+#include "vecsim/top_k.h"
+
+namespace cre {
+namespace {
+
+/// Clustered unit vectors: `clusters` centers, `per_cluster` members each,
+/// tight within-cluster cosine. Returns row-major data.
+std::vector<float> ClusteredData(std::size_t clusters, std::size_t per_cluster,
+                                 std::size_t dim, Rng& rng) {
+  std::vector<float> centers(clusters * dim);
+  for (auto& x : centers) x = static_cast<float>(rng.NextGaussian());
+  for (std::size_t c = 0; c < clusters; ++c) {
+    NormalizeInPlace(centers.data() + c * dim, dim);
+  }
+  std::vector<float> data(clusters * per_cluster * dim);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t m = 0; m < per_cluster; ++m, ++row) {
+      float* v = data.data() + row * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        v[d] = 3.f * centers[c * dim + d] +
+               static_cast<float>(rng.NextGaussian()) * 0.3f;
+      }
+      NormalizeInPlace(v, dim);
+    }
+  }
+  return data;
+}
+
+TEST(TopKCollectorTest, KeepsLargest) {
+  TopKCollector c(3);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    c.Offer(i, static_cast<float>(i));
+  }
+  auto out = c.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 9u);
+  EXPECT_EQ(out[1].id, 8u);
+  EXPECT_EQ(out[2].id, 7u);
+}
+
+TEST(TopKCollectorTest, ZeroK) {
+  TopKCollector c(0);
+  c.Offer(1, 5.f);
+  EXPECT_TRUE(c.TakeSorted().empty());
+}
+
+TEST(TopKCollectorTest, FloorTracksMin) {
+  TopKCollector c(2);
+  EXPECT_LT(c.Floor(), -1e29f);
+  c.Offer(0, 1.f);
+  c.Offer(1, 2.f);
+  EXPECT_FLOAT_EQ(c.Floor(), 1.f);
+  c.Offer(2, 3.f);
+  EXPECT_FLOAT_EQ(c.Floor(), 2.f);
+}
+
+TEST(TopKCollectorTest, TieBreaksById) {
+  TopKCollector c(2);
+  c.Offer(5, 1.f);
+  c.Offer(3, 1.f);
+  c.Offer(9, 1.f);
+  auto out = c.TakeSorted();
+  EXPECT_EQ(out[0].id, 3u);
+}
+
+TEST(BruteForceJoinTest, FindsExactPairs) {
+  const std::size_t dim = 16;
+  Rng rng(3);
+  auto data = ClusteredData(4, 8, dim, rng);
+  const std::size_t n = 32;
+  auto matches = SimilarityJoinBrute(data.data(), n, data.data(), n, dim,
+                                     0.8f, {});
+  // Every vector matches itself.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& m : matches) pairs.insert({m.left, m.right});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(pairs.count({i, i})) << i;
+  }
+  // Symmetry: (i,j) implies (j,i).
+  for (const auto& [l, r] : pairs) {
+    EXPECT_TRUE(pairs.count({r, l}));
+  }
+}
+
+TEST(BruteForceJoinTest, ParallelMatchesSerial) {
+  const std::size_t dim = 32;
+  Rng rng(5);
+  auto left = ClusteredData(8, 16, dim, rng);
+  auto right = ClusteredData(8, 16, dim, rng);
+  const std::size_t n = 128;
+  auto serial = SimilarityJoinBrute(left.data(), n, right.data(), n, dim,
+                                    0.7f, {});
+  ThreadPool pool(4);
+  BruteForceOptions par;
+  par.pool = &pool;
+  auto parallel =
+      SimilarityJoinBrute(left.data(), n, right.data(), n, dim, 0.7f, par);
+  auto key = [](const MatchPair& m) {
+    return (static_cast<std::uint64_t>(m.left) << 32) | m.right;
+  };
+  std::vector<std::uint64_t> a, b;
+  for (const auto& m : serial) a.push_back(key(m));
+  for (const auto& m : parallel) b.push_back(key(m));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BruteForceJoinTest, VariantsProduceSameMatches) {
+  const std::size_t dim = 100;
+  Rng rng(6);
+  auto left = ClusteredData(4, 16, dim, rng);
+  auto right = ClusteredData(4, 16, dim, rng);
+  const std::size_t n = 64;
+  BruteForceOptions scalar_opt;
+  scalar_opt.variant = KernelVariant::kScalar;
+  auto ref = SimilarityJoinBrute(left.data(), n, right.data(), n, dim, 0.75f,
+                                 scalar_opt);
+  for (const auto v : {KernelVariant::kUnrolled, KernelVariant::kAvx2}) {
+    BruteForceOptions opt;
+    opt.variant = v;
+    auto got =
+        SimilarityJoinBrute(left.data(), n, right.data(), n, dim, 0.75f, opt);
+    EXPECT_EQ(got.size(), ref.size()) << KernelVariantName(v);
+  }
+}
+
+TEST(BruteForceJoinTest, HalfJoinApproximatesFloat) {
+  const std::size_t dim = 64;
+  Rng rng(8);
+  auto left = ClusteredData(4, 8, dim, rng);
+  auto right = left;
+  const std::size_t n = 32;
+  auto ref = SimilarityJoinBrute(left.data(), n, right.data(), n, dim,
+                                 0.8f, {});
+  std::vector<std::uint16_t> hl(left.size()), hr(right.size());
+  FloatsToHalves(left.data(), hl.data(), left.size());
+  FloatsToHalves(right.data(), hr.data(), right.size());
+  auto half = SimilarityJoinBruteHalf(hl.data(), n, hr.data(), n, dim, 0.8f);
+  // FP16 may flip borderline pairs; sizes must be close.
+  EXPECT_NEAR(static_cast<double>(half.size()),
+              static_cast<double>(ref.size()),
+              std::max(2.0, 0.05 * ref.size()));
+}
+
+TEST(FlatIndexTest, RangeAndTopK) {
+  const std::size_t dim = 24;
+  Rng rng(9);
+  auto data = ClusteredData(3, 10, dim, rng);
+  FlatIndex index;
+  ASSERT_TRUE(index.Build(data.data(), 30, dim).ok());
+  EXPECT_EQ(index.size(), 30u);
+  EXPECT_EQ(index.dim(), dim);
+
+  std::vector<ScoredId> hits;
+  index.RangeSearch(data.data(), 0.99f, &hits);
+  ASSERT_FALSE(hits.empty());
+  bool found_self = false;
+  for (const auto& h : hits) found_self |= (h.id == 0);
+  EXPECT_TRUE(found_self);
+
+  auto top = index.TopK(data.data(), 5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].id, 0u);  // self is most similar
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].score, top[i - 1].score);
+  }
+}
+
+struct IndexRecallCase {
+  enum Kind { kLsh, kIvf } kind;
+  float threshold;
+};
+
+class IndexRecallTest
+    : public ::testing::TestWithParam<IndexRecallCase> {};
+
+TEST_P(IndexRecallTest, HighRecallNoFalsePositives) {
+  const auto param = GetParam();
+  const std::size_t dim = 48;
+  Rng rng(31);
+  auto data = ClusteredData(12, 40, dim, rng);
+  const std::size_t n = 480;
+
+  std::unique_ptr<VectorIndex> index;
+  if (param.kind == IndexRecallCase::kLsh) {
+    LshOptions o;
+    o.num_tables = 12;
+    o.bits_per_table = 10;
+    index = std::make_unique<LshIndex>(o);
+  } else {
+    IvfOptions o;
+    o.num_centroids = 16;
+    o.nprobe = 6;
+    index = std::make_unique<IvfIndex>(o);
+  }
+  ASSERT_TRUE(index->Build(data.data(), n, dim).ok());
+
+  FlatIndex exact;
+  ASSERT_TRUE(exact.Build(data.data(), n, dim).ok());
+
+  std::size_t exact_total = 0, approx_found = 0;
+  const DotFn dot = GetDotKernel(KernelVariant::kUnrolled);
+  for (std::size_t q = 0; q < 60; ++q) {
+    const float* query = data.data() + q * 8 * dim;
+    std::vector<ScoredId> truth, approx;
+    exact.RangeSearch(query, param.threshold, &truth);
+    index->RangeSearch(query, param.threshold, &approx);
+    std::set<std::uint32_t> approx_ids;
+    for (const auto& h : approx) {
+      approx_ids.insert(h.id);
+      // No false positives: every reported hit verifies exactly.
+      EXPECT_GE(dot(query, data.data() + h.id * dim, dim),
+                param.threshold - 1e-5f);
+    }
+    for (const auto& t : truth) {
+      ++exact_total;
+      if (approx_ids.count(t.id)) ++approx_found;
+    }
+  }
+  ASSERT_GT(exact_total, 0u);
+  const double recall =
+      static_cast<double>(approx_found) / static_cast<double>(exact_total);
+  EXPECT_GT(recall, 0.85) << "kind=" << static_cast<int>(param.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Indexes, IndexRecallTest,
+    ::testing::Values(IndexRecallCase{IndexRecallCase::kLsh, 0.85f},
+                      IndexRecallCase{IndexRecallCase::kLsh, 0.9f},
+                      IndexRecallCase{IndexRecallCase::kIvf, 0.85f},
+                      IndexRecallCase{IndexRecallCase::kIvf, 0.9f}));
+
+TEST(LshIndexTest, RejectsTooManyBits) {
+  LshOptions o;
+  o.bits_per_table = 40;
+  LshIndex index(o);
+  std::vector<float> data(16, 0.5f);
+  EXPECT_TRUE(index.Build(data.data(), 4, 4).IsInvalidArgument());
+}
+
+TEST(LshIndexTest, ScanFractionBelowOne) {
+  const std::size_t dim = 32;
+  Rng rng(77);
+  auto data = ClusteredData(16, 32, dim, rng);
+  LshIndex index;
+  ASSERT_TRUE(index.Build(data.data(), 512, dim).ok());
+  std::vector<ScoredId> hits;
+  index.RangeSearch(data.data(), 0.9f, &hits);
+  EXPECT_LT(index.last_scan_fraction(), 0.9);
+  EXPECT_GT(index.MemoryBytes(), 512u * dim * sizeof(float));
+}
+
+TEST(IvfIndexTest, EmptyBuild) {
+  IvfIndex index;
+  ASSERT_TRUE(index.Build(nullptr, 0, 8).ok());
+  std::vector<ScoredId> hits;
+  std::vector<float> q(8, 0.f);
+  index.RangeSearch(q.data(), 0.5f, &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_TRUE(index.TopK(q.data(), 3).empty());
+}
+
+TEST(IvfIndexTest, FewerPointsThanCentroids) {
+  IvfOptions o;
+  o.num_centroids = 64;
+  IvfIndex index(o);
+  const std::size_t dim = 8;
+  Rng rng(55);
+  auto data = ClusteredData(2, 3, dim, rng);
+  ASSERT_TRUE(index.Build(data.data(), 6, dim).ok());
+  EXPECT_LE(index.num_centroids(), 6u);
+  auto top = index.TopK(data.data(), 2);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].id, 0u);
+}
+
+TEST(VectorIndexTest, ZeroDimRejected) {
+  FlatIndex flat;
+  EXPECT_TRUE(flat.Build(nullptr, 0, 0).IsInvalidArgument());
+  LshIndex lsh;
+  EXPECT_TRUE(lsh.Build(nullptr, 0, 0).IsInvalidArgument());
+  IvfIndex ivf;
+  EXPECT_TRUE(ivf.Build(nullptr, 0, 0).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cre

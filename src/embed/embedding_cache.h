@@ -25,6 +25,15 @@ class CachingEmbeddingModel : public EmbeddingModel {
 
   std::size_t dim() const override { return inner_->dim(); }
   void Embed(std::string_view text, float* out) const override;
+  /// Batched form used by the semantic operators' per-morsel embedding:
+  /// cache hits are served directly, the remaining *unique* misses go to
+  /// the inner model as one EmbedBatch call (so a batched backend keeps
+  /// its amortization), and their vectors are inserted into the LRU.
+  /// Counters match what row-at-a-time Embed() calls would record: the
+  /// first occurrence of an uncached string counts as a miss, its
+  /// repeats within the batch count as hits.
+  void EmbedBatch(const std::vector<std::string>& texts,
+                  float* out) const override;
   std::string name() const override {
     return inner_->name() + "+lru" + std::to_string(capacity_);
   }

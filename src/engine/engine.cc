@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "core/timer.h"
+#include "engine/parallel_driver.h"
 #include "exec/aggregate.h"
 #include "exec/filter.h"
 #include "exec/hash_join.h"
@@ -30,7 +31,11 @@ Optimizer Engine::MakeOptimizer() const {
   SubplanExecutor executor = [self](const PlanPtr& subplan) {
     return self->ExecuteUnoptimized(subplan);
   };
-  return Optimizer(&catalog_, &models_, &detectors_, options_.optimizer,
+  OptimizerOptions options = options_.optimizer;
+  if (options.degree_of_parallelism == 0) {
+    options.degree_of_parallelism = pool_->num_threads();
+  }
+  return Optimizer(&catalog_, &models_, &detectors_, options,
                    std::move(executor));
 }
 
@@ -44,6 +49,17 @@ Result<OperatorPtr> Engine::Lower(const PlanNode& node) {
 }
 
 Result<OperatorPtr> Engine::LowerImpl(const PlanNode& node) {
+  std::vector<OperatorPtr> children;
+  children.reserve(node.children.size());
+  for (const PlanPtr& child : node.children) {
+    CRE_ASSIGN_OR_RETURN(OperatorPtr lowered, Lower(*child));
+    children.push_back(std::move(lowered));
+  }
+  return LowerNodeOver(node, std::move(children));
+}
+
+Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
+                                          std::vector<OperatorPtr> children) {
   switch (node.kind) {
     case PlanKind::kScan: {
       CRE_ASSIGN_OR_RETURN(TablePtr table, catalog_.Get(node.table_name));
@@ -58,40 +74,32 @@ Result<OperatorPtr> Engine::LowerImpl(const PlanNode& node) {
       CRE_ASSIGN_OR_RETURN(DetectorBinding binding,
                            detectors_.Get(node.table_name));
       return OperatorPtr(std::make_unique<DetectionScanOperator>(
-          binding.store, binding.detector, node.predicate));
+          binding.store, binding.detector, node.predicate,
+          /*images_per_batch=*/256, pool_.get()));
     }
-    case PlanKind::kFilter: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
-      return OperatorPtr(
-          std::make_unique<FilterOperator>(std::move(child), node.predicate));
-    }
-    case PlanKind::kProject: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
-      return OperatorPtr(std::make_unique<ProjectOperator>(std::move(child),
-                                                           node.projections));
-    }
-    case PlanKind::kJoin: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*node.children[0]));
-      CRE_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*node.children[1]));
+    case PlanKind::kFilter:
+      return OperatorPtr(std::make_unique<FilterOperator>(
+          std::move(children[0]), node.predicate));
+    case PlanKind::kProject:
+      return OperatorPtr(std::make_unique<ProjectOperator>(
+          std::move(children[0]), node.projections));
+    case PlanKind::kJoin:
       return OperatorPtr(std::make_unique<HashJoinOperator>(
-          std::move(left), std::move(right), node.left_key, node.right_key));
-    }
+          std::move(children[0]), std::move(children[1]), node.left_key,
+          node.right_key));
     case PlanKind::kSemanticSelect: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
       CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
                            models_.Get(node.model_name));
       if (!node.queries.empty()) {
         return OperatorPtr(std::make_unique<SemanticMultiSelectOperator>(
-            std::move(child), node.column, node.queries, std::move(model),
-            node.threshold));
+            std::move(children[0]), node.column, node.queries,
+            std::move(model), node.threshold));
       }
       return OperatorPtr(std::make_unique<SemanticSelectOperator>(
-          std::move(child), node.column, node.query, std::move(model),
+          std::move(children[0]), node.column, node.query, std::move(model),
           node.threshold));
     }
     case PlanKind::kSemanticJoin: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*node.children[0]));
-      CRE_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*node.children[1]));
       CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
                            models_.Get(node.model_name));
       SemanticJoinOptions options;
@@ -101,44 +109,47 @@ Result<OperatorPtr> Engine::LowerImpl(const PlanNode& node) {
       options.variant = options_.kernel_variant;
       options.pool = pool_.get();
       return OperatorPtr(std::make_unique<SemanticJoinOperator>(
-          std::move(left), std::move(right), node.left_key, node.right_key,
-          std::move(model), std::move(options)));
+          std::move(children[0]), std::move(children[1]), node.left_key,
+          node.right_key, std::move(model), std::move(options)));
     }
     case PlanKind::kSemanticGroupBy: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
       CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
                            models_.Get(node.model_name));
       return OperatorPtr(std::make_unique<SemanticGroupByOperator>(
-          std::move(child), node.column, std::move(model), node.threshold));
+          std::move(children[0]), node.column, std::move(model),
+          node.threshold));
     }
-    case PlanKind::kAggregate: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+    case PlanKind::kAggregate:
       return OperatorPtr(std::make_unique<AggregateOperator>(
-          std::move(child), node.group_keys, node.aggs));
-    }
-    case PlanKind::kSort: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+          std::move(children[0]), node.group_keys, node.aggs));
+    case PlanKind::kSort:
       return OperatorPtr(std::make_unique<SortOperator>(
-          std::move(child), node.sort_key, node.sort_ascending));
-    }
-    case PlanKind::kLimit: {
-      CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
-      return OperatorPtr(
-          std::make_unique<LimitOperator>(std::move(child), node.limit));
-    }
+          std::move(children[0]), node.sort_key, node.sort_ascending));
+    case PlanKind::kLimit:
+      return OperatorPtr(std::make_unique<LimitOperator>(
+          std::move(children[0]), node.limit));
   }
-  return Status::Internal("unreachable plan kind in Lower");
+  return Status::Internal("unreachable plan kind in LowerNodeOver");
+}
+
+Result<TablePtr> Engine::RunPhysical(const PlanPtr& plan) {
+  if (pool_ == nullptr || pool_->num_threads() <= 1) {
+    CRE_ASSIGN_OR_RETURN(OperatorPtr root, Lower(*plan));
+    return ExecuteToTable(root.get());
+  }
+  ParallelPlanDriver driver(this, pool_.get(), options_.morsel_rows,
+                            active_stats_);
+  return driver.Run(*plan);
 }
 
 Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan) {
-  CRE_ASSIGN_OR_RETURN(OperatorPtr root, Lower(*plan));
-  return ExecuteToTable(root.get());
+  return RunPhysical(plan);
 }
 
 Result<TablePtr> Engine::Execute(const PlanPtr& plan) {
   Optimizer optimizer = MakeOptimizer();
   CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
-  return ExecuteUnoptimized(optimized);
+  return RunPhysical(optimized);
 }
 
 Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(const PlanPtr& plan) {
@@ -149,7 +160,7 @@ Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(const PlanPtr& plan) {
   out.stats = std::make_shared<StatsCollector>();
   active_stats_ = out.stats.get();
   Timer timer;
-  auto result = ExecuteUnoptimized(optimized);
+  auto result = RunPhysical(optimized);
   out.total_seconds = timer.Seconds();
   active_stats_ = nullptr;
   if (!result.ok()) return result.status();

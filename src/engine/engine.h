@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/thread_pool.h"
 #include "embed/model_registry.h"
@@ -22,16 +23,18 @@ struct EngineOptions {
   /// Worker threads for parallel operators (0 = hardware concurrency,
   /// 1 = single-threaded).
   std::size_t num_threads = 0;
+  /// Rows per morsel for the parallel pipeline driver.
+  std::size_t morsel_rows = 8 * 1024;
   /// Kernel variant for similarity operators.
   KernelVariant kernel_variant = BestKernelVariant();
 };
 
 /// The context-rich analytical engine: a catalog of relational tables, a
 /// registry of representation models, detector bindings for image stores,
-/// a holistic optimizer over all of them, and a vectorized executor. This
-/// is the declarative entry point the paper envisions — users state what
-/// to compute (a logical plan, usually via QueryBuilder) and the engine
-/// decides how.
+/// a holistic optimizer over all of them, and a morsel-driven parallel
+/// executor. This is the declarative entry point the paper envisions —
+/// users state what to compute (a logical plan, usually via QueryBuilder)
+/// and the engine decides how, including how to spread it across cores.
 class Engine {
  public:
   Engine();
@@ -50,7 +53,8 @@ class Engine {
     options_.optimizer = o;
   }
 
-  /// Optimizes and executes a logical plan.
+  /// Optimizes and executes a logical plan. With more than one worker
+  /// thread, streamable pipeline segments run per-morsel on the pool.
   Result<TablePtr> Execute(const PlanPtr& plan);
 
   /// Execution result with per-operator counters (EXPLAIN ANALYZE).
@@ -64,28 +68,41 @@ class Engine {
   Result<AnalyzedResult> ExecuteWithStats(const PlanPtr& plan);
 
   /// Executes the plan exactly as written (the "analyst's hand-rolled
-  /// pipeline") — the baseline side of E3/E8.
+  /// pipeline") — the baseline side of E3/E8. Uses the same parallel
+  /// driver as Execute, just without the optimizer pass.
   Result<TablePtr> ExecuteUnoptimized(const PlanPtr& plan);
 
   /// Optimized plan rendering with cardinality and cost annotations.
   Result<std::string> Explain(const PlanPtr& plan);
 
-  /// Lowers a logical node to a physical operator tree.
+  /// Lowers a logical node to a physical operator tree (serial form:
+  /// every child lowered recursively).
   Result<OperatorPtr> Lower(const PlanNode& node);
 
+  /// Constructs the physical operator for `node` over already-lowered
+  /// children (for leaves pass an empty vector). This is the shared
+  /// lowering core used both by Lower and by the parallel driver, which
+  /// substitutes materialized tables / shared join states for children.
+  Result<OperatorPtr> LowerNodeOver(const PlanNode& node,
+                                    std::vector<OperatorPtr> children);
+
   /// An optimizer bound to this engine's catalog/models/detectors, with
-  /// subplan execution enabled for data-induced predicates.
+  /// subplan execution enabled for data-induced predicates and the cost
+  /// model aware of the engine's degree of parallelism.
   Optimizer MakeOptimizer() const;
 
  private:
   Result<OperatorPtr> LowerImpl(const PlanNode& node);
+  /// Executes a (possibly optimized) plan through the serial pull loop or
+  /// the morsel-driven parallel driver, depending on pool size.
+  Result<TablePtr> RunPhysical(const PlanPtr& plan);
 
   EngineOptions options_;
   Catalog catalog_;
   ModelRegistry models_;
   DetectorRegistry detectors_;
   std::unique_ptr<ThreadPool> pool_;
-  /// Non-null while lowering under ExecuteWithStats.
+  /// Non-null while executing under ExecuteWithStats.
   StatsCollector* active_stats_ = nullptr;
 };
 

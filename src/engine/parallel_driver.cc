@@ -1,0 +1,228 @@
+#include "engine/parallel_driver.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/timer.h"
+#include "exec/aggregate.h"
+#include "exec/filter.h"
+#include "exec/morsel.h"
+#include "exec/scan.h"
+
+namespace cre {
+
+ParallelPlanDriver::ParallelPlanDriver(Engine* engine, ThreadPool* pool,
+                                       std::size_t morsel_rows,
+                                       StatsCollector* stats)
+    : engine_(engine),
+      pool_(pool),
+      morsel_rows_(std::max<std::size_t>(1, morsel_rows)),
+      stats_(stats) {}
+
+Result<TablePtr> ParallelPlanDriver::Run(const PlanNode& root) {
+  return RunSegment(DecomposePipeline(root));
+}
+
+OperatorPtr ParallelPlanDriver::Instrument(const PlanNode* node,
+                                           OperatorPtr op) {
+  if (stats_ == nullptr) return op;
+  OperatorStats* slot = stats_->SlotFor(node, op->name());
+  return std::make_unique<InstrumentedOperator>(std::move(op), slot);
+}
+
+Result<TablePtr> ParallelPlanDriver::MaterializeSource(
+    const PlanNode& source) {
+  switch (source.kind) {
+    case PlanKind::kScan:
+      // The catalog table is the morsel base; a pushed-down predicate is
+      // applied inside each morsel pipeline (see BuildChain).
+      return engine_->catalog().Get(source.table_name);
+    case PlanKind::kAggregate:
+      return RunAggregate(source);
+    case PlanKind::kLimit: {
+      // Serial pull loop: LIMIT bounds useful work, so early termination
+      // beats fanning out the whole subtree.
+      CRE_ASSIGN_OR_RETURN(OperatorPtr op, engine_->Lower(source));
+      return ExecuteToTable(op.get());
+    }
+    case PlanKind::kDetectScan: {
+      // The operator parallelizes detection over images internally.
+      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
+                           engine_->LowerNodeOver(source, {}));
+      op = Instrument(&source, std::move(op));
+      return ExecuteToTable(op.get());
+    }
+    case PlanKind::kSort:
+    case PlanKind::kSemanticGroupBy: {
+      // Materialize the input in parallel, then run the (order-sensitive)
+      // operator serially over it. Feeding morsels in order keeps the
+      // output identical to the serial execution.
+      CRE_ASSIGN_OR_RETURN(TablePtr input, Run(*source.children[0]));
+      std::vector<OperatorPtr> children;
+      children.push_back(
+          std::make_unique<TableScanOperator>(std::move(input), morsel_rows_));
+      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
+                           engine_->LowerNodeOver(source, std::move(children)));
+      op = Instrument(&source, std::move(op));
+      return ExecuteToTable(op.get());
+    }
+    case PlanKind::kSemanticJoin: {
+      // Both inputs materialize in parallel; the join's probe loop then
+      // spreads over the pool internally (vecsim splits the probe side).
+      CRE_ASSIGN_OR_RETURN(TablePtr left, Run(*source.children[0]));
+      CRE_ASSIGN_OR_RETURN(TablePtr right, Run(*source.children[1]));
+      std::vector<OperatorPtr> children;
+      children.push_back(
+          std::make_unique<TableScanOperator>(std::move(left), morsel_rows_));
+      children.push_back(
+          std::make_unique<TableScanOperator>(std::move(right), morsel_rows_));
+      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
+                           engine_->LowerNodeOver(source, std::move(children)));
+      op = Instrument(&source, std::move(op));
+      return ExecuteToTable(op.get());
+    }
+    default:
+      return Status::Internal("unexpected pipeline source kind '" +
+                              std::string(PlanKindName(source.kind)) + "'");
+  }
+}
+
+Result<ParallelPlanDriver::JoinStates> ParallelPlanDriver::BuildJoinStates(
+    const PipelineSegment& segment) {
+  JoinStates joins;
+  for (const PlanNode* op : segment.ops) {
+    if (op->kind != PlanKind::kJoin) continue;
+    CRE_ASSIGN_OR_RETURN(TablePtr build, Run(*op->children[1]));
+    CRE_ASSIGN_OR_RETURN(std::shared_ptr<HashJoinTable> table,
+                         HashJoinTable::Build(std::move(build),
+                                              op->right_key));
+    joins.emplace(op, std::move(table));
+  }
+  return joins;
+}
+
+Result<OperatorPtr> ParallelPlanDriver::BuildChain(
+    const PipelineSegment& segment, const TablePtr& slice,
+    const JoinStates& joins) {
+  const PlanNode& source = *segment.source;
+  OperatorPtr cur = std::make_unique<TableScanOperator>(slice, morsel_rows_);
+  if (source.kind == PlanKind::kScan) {
+    // Mirror the serial lowering's one-slot Filter-over-Scan layout.
+    if (source.predicate != nullptr) {
+      cur = std::make_unique<FilterOperator>(std::move(cur),
+                                             source.predicate);
+    }
+    cur = Instrument(&source, std::move(cur));
+  }
+  for (const PlanNode* op : segment.ops) {
+    if (op->kind == PlanKind::kJoin) {
+      cur = std::make_unique<HashJoinOperator>(
+          std::move(cur), joins.at(op), op->left_key, op->right_key);
+    } else {
+      std::vector<OperatorPtr> children;
+      children.push_back(std::move(cur));
+      CRE_ASSIGN_OR_RETURN(
+          cur, engine_->LowerNodeOver(*op, std::move(children)));
+    }
+    cur = Instrument(op, std::move(cur));
+  }
+  return cur;
+}
+
+Result<TablePtr> ParallelPlanDriver::RunSegment(
+    const PipelineSegment& segment) {
+  CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*segment.source));
+  // Breaker outputs are freshly materialized tables the caller may own
+  // outright. A bare Scan must still flow through the morsel map: it
+  // copies (the catalog's live table must not alias into query results)
+  // and it records Scan stats, matching the serial path's CollectAll.
+  if (segment.ops.empty() && segment.source->kind != PlanKind::kScan) {
+    return base;
+  }
+
+  CRE_ASSIGN_OR_RETURN(JoinStates joins, BuildJoinStates(segment));
+  MorselOptions options;
+  options.morsel_rows = morsel_rows_;
+  options.pool = pool_;
+  return MorselParallelMap(
+      base,
+      [&](std::size_t, const TablePtr& slice) {
+        return BuildChain(segment, slice, joins);
+      },
+      options);
+}
+
+Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
+  Timer timer;
+  PipelineSegment segment = DecomposePipeline(*agg.children[0]);
+  CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*segment.source));
+  CRE_ASSIGN_OR_RETURN(JoinStates joins, BuildJoinStates(segment));
+
+  // Learn the input schema of the aggregate from a zero-row prototype of
+  // the child chain (also surfaces lowering errors before fan-out).
+  CRE_ASSIGN_OR_RETURN(OperatorPtr prototype,
+                       BuildChain(segment, base->Slice(0, 0), joins));
+  CRE_RETURN_NOT_OK(prototype->Open());
+  const Schema input_schema = prototype->output_schema();
+
+  GroupedAggregationState total;
+  CRE_RETURN_NOT_OK(total.Init(input_schema, agg.group_keys, agg.aggs));
+
+  const std::size_t n = base->num_rows();
+  const std::size_t num_morsels = (n + morsel_rows_ - 1) / morsel_rows_;
+  if (num_morsels <= 1 || pool_ == nullptr || pool_->num_threads() <= 1) {
+    CRE_ASSIGN_OR_RETURN(OperatorPtr chain, BuildChain(segment, base, joins));
+    CRE_RETURN_NOT_OK(chain->Open());
+    for (;;) {
+      CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());
+      if (batch == nullptr) break;
+      CRE_RETURN_NOT_OK(total.Consume(*batch));
+    }
+  } else {
+    // Fixed chunk layout with per-chunk slots: workers race only on
+    // their own slot, and the chunk-index merge order below makes the
+    // final group map — and thus the output row order — deterministic
+    // run-to-run for a given thread count.
+    const std::size_t chunks = std::min<std::size_t>(
+        num_morsels, std::max<std::size_t>(1, pool_->num_threads() * 4));
+    const std::size_t per_chunk = (num_morsels + chunks - 1) / chunks;
+    const std::size_t num_chunks = (num_morsels + per_chunk - 1) / per_chunk;
+    std::vector<GroupedAggregationState> partials(num_chunks);
+    std::vector<Status> statuses(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      pool_->Submit([&, c] {
+        GroupedAggregationState& local = partials[c];
+        statuses[c] = [&]() -> Status {
+          CRE_RETURN_NOT_OK(
+              local.Init(input_schema, agg.group_keys, agg.aggs));
+          const std::size_t begin = c * per_chunk;
+          const std::size_t end = std::min(num_morsels, begin + per_chunk);
+          for (std::size_t m = begin; m < end; ++m) {
+            TablePtr slice = base->Slice(m * morsel_rows_, morsel_rows_);
+            CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
+                                 BuildChain(segment, slice, joins));
+            CRE_RETURN_NOT_OK(chain->Open());
+            for (;;) {
+              CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());
+              if (batch == nullptr) break;
+              CRE_RETURN_NOT_OK(local.Consume(*batch));
+            }
+          }
+          return Status::OK();
+        }();
+      });
+    }
+    pool_->Wait();
+    for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
+    for (auto& partial : partials) total.Merge(std::move(partial));
+  }
+
+  CRE_ASSIGN_OR_RETURN(TablePtr out, total.Finalize());
+  if (stats_ != nullptr) {
+    stats_->SlotFor(&agg, "Aggregate")
+        ->AddBatch(out->num_rows(), timer.Seconds());
+  }
+  return out;
+}
+
+}  // namespace cre

@@ -1,0 +1,78 @@
+#ifndef CRE_ENGINE_PARALLEL_DRIVER_H_
+#define CRE_ENGINE_PARALLEL_DRIVER_H_
+
+#include <map>
+#include <memory>
+
+#include "core/thread_pool.h"
+#include "engine/engine.h"
+#include "exec/hash_join.h"
+#include "exec/pipeline.h"
+
+namespace cre {
+
+/// Morsel-driven, pipeline-aware physical plan driver. A plan is cut into
+/// pipeline segments (exec/pipeline.h); each segment's base table is split
+/// into morsels and the segment's operator chain is instantiated once per
+/// morsel on the worker pool, with results concatenated in morsel order —
+/// so parallel output row order equals serial output row order.
+///
+/// Breakers around the segments:
+///  - hash Join: the build side is executed (recursively, in parallel),
+///    hashed once into a shared read-only HashJoinTable, and probed from
+///    every morsel pipeline concurrently;
+///  - Aggregate: each worker chunk accumulates a private
+///    GroupedAggregationState over its morsels; partials merge at the
+///    barrier in chunk-index order (associative for all five aggregate
+///    kinds, so results are exact; the group row order is deterministic
+///    for a fixed thread count, though — like any hash aggregate — it is
+///    not a sorted order);
+///  - Sort / SemanticGroupBy / SemanticJoin / DetectScan: inputs are
+///    materialized in parallel, the operator itself runs on the driver
+///    thread (SemanticJoin and DetectScan parallelize internally over the
+///    pool);
+///  - Limit: the subtree runs through the serial pull loop, preserving
+///    early termination — a LIMIT bounds useful work, so fanning out the
+///    whole child first would often be slower.
+///
+/// All scheduling happens on the driver (caller) thread; worker tasks
+/// never block on the pool themselves, which keeps the fixed-size pool
+/// deadlock-free.
+class ParallelPlanDriver {
+ public:
+  ParallelPlanDriver(Engine* engine, ThreadPool* pool,
+                     std::size_t morsel_rows, StatsCollector* stats);
+
+  /// Executes the plan tree and returns the materialized result.
+  Result<TablePtr> Run(const PlanNode& root);
+
+ private:
+  /// Shared build-side hash tables, one per kJoin node in a segment.
+  using JoinStates =
+      std::map<const PlanNode*, std::shared_ptr<HashJoinTable>>;
+
+  Result<TablePtr> RunSegment(const PipelineSegment& segment);
+  Result<TablePtr> MaterializeSource(const PlanNode& source);
+  Result<TablePtr> RunAggregate(const PlanNode& agg);
+  Result<JoinStates> BuildJoinStates(const PipelineSegment& segment);
+
+  /// Instantiates the segment's operator chain over one morsel slice.
+  /// Called concurrently from worker threads; everything it touches is
+  /// read-only or freshly constructed.
+  Result<OperatorPtr> BuildChain(const PipelineSegment& segment,
+                                 const TablePtr& slice,
+                                 const JoinStates& joins);
+
+  /// Wraps `op` with a stats slot shared by all per-morsel instances of
+  /// plan node `node` when instrumenting.
+  OperatorPtr Instrument(const PlanNode* node, OperatorPtr op);
+
+  Engine* engine_;
+  ThreadPool* pool_;
+  std::size_t morsel_rows_;
+  StatsCollector* stats_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_ENGINE_PARALLEL_DRIVER_H_

@@ -22,72 +22,66 @@ std::string MakeGroupKey(const Table& batch,
 
 }  // namespace
 
-AggregateOperator::AggregateOperator(OperatorPtr child,
+Status GroupedAggregationState::Init(const Schema& input,
                                      std::vector<std::string> group_keys,
-                                     std::vector<AggSpec> aggs)
-    : child_(std::move(child)),
-      group_keys_(std::move(group_keys)),
-      aggs_(std::move(aggs)) {}
+                                     std::vector<AggSpec> aggs) {
+  group_keys_ = std::move(group_keys);
+  aggs_ = std::move(aggs);
+  key_cols_.clear();
+  agg_cols_.assign(aggs_.size(), -1);
+  schema_ = Schema();
+  groups_.clear();
 
-Status AggregateOperator::Open() {
-  CRE_RETURN_NOT_OK(child_->Open());
-  const Schema& in = child_->output_schema();
   for (const auto& k : group_keys_) {
-    CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(k));
-    schema_.AddField(in.field(idx));
+    CRE_ASSIGN_OR_RETURN(std::size_t idx, input.RequireField(k));
+    key_cols_.push_back(idx);
+    schema_.AddField(input.field(idx));
   }
-  for (const auto& a : aggs_) {
-    if (a.kind != AggKind::kCount) {
-      CRE_RETURN_NOT_OK(in.RequireField(a.column).status());
+  for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    if (aggs_[a].kind != AggKind::kCount) {
+      CRE_ASSIGN_OR_RETURN(std::size_t idx,
+                           input.RequireField(aggs_[a].column));
+      agg_cols_[a] = static_cast<int>(idx);
     }
-    const DataType out_type =
-        a.kind == AggKind::kCount ? DataType::kInt64 : DataType::kFloat64;
-    schema_.AddField({a.output_name, out_type, 0});
+    const DataType out_type = aggs_[a].kind == AggKind::kCount
+                                  ? DataType::kInt64
+                                  : DataType::kFloat64;
+    schema_.AddField({aggs_[a].output_name, out_type, 0});
   }
   return Status::OK();
 }
 
-Status AggregateOperator::Consume(const Table& batch) {
-  const Schema& in = batch.schema();
-  std::vector<std::size_t> key_cols;
-  for (const auto& k : group_keys_) {
-    CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(k));
-    key_cols.push_back(idx);
-  }
-  std::vector<int> agg_cols(aggs_.size(), -1);
+void GroupedAggregationState::InitAccumulators(GroupState* state) const {
+  state->acc.resize(aggs_.size(), 0.0);
+  state->counts.resize(aggs_.size(), 0);
   for (std::size_t a = 0; a < aggs_.size(); ++a) {
-    if (aggs_[a].kind != AggKind::kCount) {
-      CRE_ASSIGN_OR_RETURN(std::size_t idx, in.RequireField(aggs_[a].column));
-      agg_cols[a] = static_cast<int>(idx);
+    if (aggs_[a].kind == AggKind::kMin) {
+      state->acc[a] = std::numeric_limits<double>::max();
+    } else if (aggs_[a].kind == AggKind::kMax) {
+      state->acc[a] = std::numeric_limits<double>::lowest();
     }
   }
+}
 
+Status GroupedAggregationState::Consume(const Table& batch) {
   const std::size_t n = batch.num_rows();
   for (std::size_t r = 0; r < n; ++r) {
-    std::string key = MakeGroupKey(batch, key_cols, r);
+    std::string key = MakeGroupKey(batch, key_cols_, r);
     auto it = groups_.find(key);
     if (it == groups_.end()) {
       GroupState state;
-      state.key_values.reserve(key_cols.size());
-      for (const std::size_t c : key_cols) {
+      state.key_values.reserve(key_cols_.size());
+      for (const std::size_t c : key_cols_) {
         state.key_values.push_back(batch.GetValue(r, c));
       }
-      state.acc.resize(aggs_.size(), 0.0);
-      state.counts.resize(aggs_.size(), 0);
-      for (std::size_t a = 0; a < aggs_.size(); ++a) {
-        if (aggs_[a].kind == AggKind::kMin) {
-          state.acc[a] = std::numeric_limits<double>::max();
-        } else if (aggs_[a].kind == AggKind::kMax) {
-          state.acc[a] = std::numeric_limits<double>::lowest();
-        }
-      }
+      InitAccumulators(&state);
       it = groups_.emplace(std::move(key), std::move(state)).first;
     }
     GroupState& g = it->second;
     for (std::size_t a = 0; a < aggs_.size(); ++a) {
       ++g.counts[a];
       if (aggs_[a].kind == AggKind::kCount) continue;
-      const double v = batch.GetValue(r, agg_cols[a]).AsNumeric();
+      const double v = batch.GetValue(r, agg_cols_[a]).AsNumeric();
       switch (aggs_[a].kind) {
         case AggKind::kSum:
         case AggKind::kAvg:
@@ -107,21 +101,47 @@ Status AggregateOperator::Consume(const Table& batch) {
   return Status::OK();
 }
 
-Result<TablePtr> AggregateOperator::Next() {
-  if (done_) return TablePtr(nullptr);
-  for (;;) {
-    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
-    if (batch == nullptr) break;
-    CRE_RETURN_NOT_OK(Consume(*batch));
+void GroupedAggregationState::Merge(GroupedAggregationState&& other) {
+  for (auto& [key, og] : other.groups_) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      groups_.emplace(key, std::move(og));
+      continue;
+    }
+    GroupState& g = it->second;
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      g.counts[a] += og.counts[a];
+      switch (aggs_[a].kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          g.acc[a] += og.acc[a];
+          break;
+        case AggKind::kMin:
+          g.acc[a] = std::min(g.acc[a], og.acc[a]);
+          break;
+        case AggKind::kMax:
+          g.acc[a] = std::max(g.acc[a], og.acc[a]);
+          break;
+        case AggKind::kCount:
+          break;
+      }
+    }
   }
-  done_ = true;
+  other.groups_.clear();
+}
 
+Result<TablePtr> GroupedAggregationState::Finalize() {
   // SQL semantics: a global aggregate (no grouping keys) over empty input
   // yields exactly one row of identity values (COUNT = 0, sums = 0).
   if (groups_.empty() && group_keys_.empty()) {
     GroupState zero;
-    zero.acc.resize(aggs_.size(), 0.0);
-    zero.counts.resize(aggs_.size(), 0);
+    InitAccumulators(&zero);
+    // Min/max identities would be +/-inf; report 0 like the seed engine.
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].kind == AggKind::kMin || aggs_[a].kind == AggKind::kMax) {
+        zero.acc[a] = 0.0;
+      }
+    }
     groups_.emplace("", std::move(zero));
   }
 
@@ -144,6 +164,29 @@ Result<TablePtr> AggregateOperator::Next() {
     CRE_RETURN_NOT_OK(out->AppendRow(row));
   }
   return out;
+}
+
+AggregateOperator::AggregateOperator(OperatorPtr child,
+                                     std::vector<std::string> group_keys,
+                                     std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_keys_(std::move(group_keys)),
+      aggs_(std::move(aggs)) {}
+
+Status AggregateOperator::Open() {
+  CRE_RETURN_NOT_OK(child_->Open());
+  return state_.Init(child_->output_schema(), group_keys_, aggs_);
+}
+
+Result<TablePtr> AggregateOperator::Next() {
+  if (done_) return TablePtr(nullptr);
+  for (;;) {
+    CRE_ASSIGN_OR_RETURN(TablePtr batch, child_->Next());
+    if (batch == nullptr) break;
+    CRE_RETURN_NOT_OK(state_.Consume(*batch));
+  }
+  done_ = true;
+  return state_.Finalize();
 }
 
 }  // namespace cre

@@ -20,6 +20,48 @@ struct AggSpec {
   std::string output_name;
 };
 
+/// Hash group-by accumulation state, factored out of the operator so the
+/// parallel driver can keep one partial state per worker and merge them at
+/// the pipeline barrier. All five aggregate kinds merge associatively
+/// (count/sum/avg add, min/max fold), so partial states over disjoint
+/// morsel ranges combine into exactly the serial result.
+class GroupedAggregationState {
+ public:
+  /// Resolves key/aggregate columns against the input schema and derives
+  /// the output schema. Must be called before Consume/Merge/Finalize.
+  Status Init(const Schema& input, std::vector<std::string> group_keys,
+              std::vector<AggSpec> aggs);
+
+  /// Accumulates one input batch (single-threaded per state).
+  Status Consume(const Table& batch);
+
+  /// Folds `other`'s groups into this state.
+  void Merge(GroupedAggregationState&& other);
+
+  /// Emits the group results. A global aggregate (no grouping keys) over
+  /// empty input yields one row of identity values (COUNT = 0, sums = 0).
+  Result<TablePtr> Finalize();
+
+  const Schema& output_schema() const { return schema_; }
+  std::size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct GroupState {
+    std::vector<Value> key_values;
+    std::vector<double> acc;           ///< sum/min/max accumulator per agg
+    std::vector<std::int64_t> counts;  ///< per-agg row counts
+  };
+
+  void InitAccumulators(GroupState* state) const;
+
+  std::vector<std::string> group_keys_;
+  std::vector<AggSpec> aggs_;
+  std::vector<std::size_t> key_cols_;
+  std::vector<int> agg_cols_;
+  Schema schema_;
+  std::unordered_map<std::string, GroupState> groups_;
+};
+
 /// Hash group-by with streaming accumulation; emits one batch of group
 /// results at end of input. Group keys may be int64/date/string/bool.
 class AggregateOperator : public PhysicalOperator {
@@ -27,25 +69,18 @@ class AggregateOperator : public PhysicalOperator {
   AggregateOperator(OperatorPtr child, std::vector<std::string> group_keys,
                     std::vector<AggSpec> aggs);
 
-  const Schema& output_schema() const override { return schema_; }
+  const Schema& output_schema() const override {
+    return state_.output_schema();
+  }
   Status Open() override;
   Result<TablePtr> Next() override;
   std::string name() const override { return "Aggregate"; }
 
  private:
-  struct GroupState {
-    std::vector<Value> key_values;
-    std::vector<double> acc;      ///< sum/min/max accumulator per agg
-    std::vector<std::int64_t> counts;  ///< per-agg row counts
-  };
-
-  Status Consume(const Table& batch);
-
   OperatorPtr child_;
   std::vector<std::string> group_keys_;
   std::vector<AggSpec> aggs_;
-  Schema schema_;
-  std::unordered_map<std::string, GroupState> groups_;
+  GroupedAggregationState state_;
   bool done_ = false;
 };
 

@@ -4,6 +4,74 @@
 
 namespace cre {
 
+Result<std::shared_ptr<HashJoinTable>> HashJoinTable::Build(
+    TablePtr build, const std::string& key) {
+  auto out = std::make_shared<HashJoinTable>();
+  out->build_ = std::move(build);
+  CRE_ASSIGN_OR_RETURN(std::size_t key_idx,
+                       out->build_->schema().RequireField(key));
+  const Column& col = out->build_->column(key_idx);
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kDate: {
+      const auto& data = col.i64();
+      out->int_index_.reserve(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        out->int_index_.emplace(data[i], static_cast<std::uint32_t>(i));
+      }
+      out->key_is_string_ = false;
+      return out;
+    }
+    case DataType::kString: {
+      const auto& data = col.strings();
+      out->str_index_.reserve(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        out->str_index_.emplace(data[i], static_cast<std::uint32_t>(i));
+      }
+      out->key_is_string_ = true;
+      return out;
+    }
+    default:
+      return Status::TypeError("hash join key must be int64/date/string, got " +
+                               std::string(DataTypeName(col.type())));
+  }
+}
+
+Status HashJoinTable::Probe(const Column& key,
+                            std::vector<std::uint32_t>* probe_rows,
+                            std::vector<std::uint32_t>* build_rows) const {
+  if (key_is_string_) {
+    if (key.type() != DataType::kString) {
+      return Status::TypeError("join key type mismatch: left " +
+                               std::string(DataTypeName(key.type())) +
+                               " vs right string");
+    }
+    const auto& data = key.strings();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      auto [lo, hi] = str_index_.equal_range(data[i]);
+      for (auto it = lo; it != hi; ++it) {
+        probe_rows->push_back(static_cast<std::uint32_t>(i));
+        build_rows->push_back(it->second);
+      }
+    }
+    return Status::OK();
+  }
+  if (key.type() != DataType::kInt64 && key.type() != DataType::kDate) {
+    return Status::TypeError("join key type mismatch: left " +
+                             std::string(DataTypeName(key.type())) +
+                             " vs right int64");
+  }
+  const auto& data = key.i64();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto [lo, hi] = int_index_.equal_range(data[i]);
+    for (auto it = lo; it != hi; ++it) {
+      probe_rows->push_back(static_cast<std::uint32_t>(i));
+      build_rows->push_back(it->second);
+    }
+  }
+  return Status::OK();
+}
+
 HashJoinOperator::HashJoinOperator(OperatorPtr left, OperatorPtr right,
                                    std::string left_key,
                                    std::string right_key)
@@ -12,17 +80,29 @@ HashJoinOperator::HashJoinOperator(OperatorPtr left, OperatorPtr right,
       left_key_(std::move(left_key)),
       right_key_(std::move(right_key)) {}
 
+HashJoinOperator::HashJoinOperator(OperatorPtr left,
+                                   std::shared_ptr<HashJoinTable> build,
+                                   std::string left_key, std::string right_key)
+    : left_(std::move(left)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      join_table_(std::move(build)) {}
+
 Status HashJoinOperator::Open() {
   if (opened_) return Status::OK();
   opened_ = true;
   CRE_RETURN_NOT_OK(left_->Open());
-  CRE_RETURN_NOT_OK(right_->Open());
-  CRE_RETURN_NOT_OK(BuildSide());
+  if (join_table_ == nullptr) {
+    CRE_RETURN_NOT_OK(right_->Open());
+    CRE_ASSIGN_OR_RETURN(TablePtr build, CollectAll(right_.get()));
+    CRE_ASSIGN_OR_RETURN(join_table_,
+                         HashJoinTable::Build(std::move(build), right_key_));
+  }
 
   // Output schema: all left fields, then all right fields with duplicate
   // names suffixed.
   const Schema& ls = left_->output_schema();
-  const Schema& rs = right_->output_schema();
+  const Schema& rs = join_table_->table()->schema();
   std::set<std::string> names;
   for (const auto& f : ls.fields()) {
     schema_.AddField(f);
@@ -37,37 +117,6 @@ Status HashJoinOperator::Open() {
   return Status::OK();
 }
 
-Status HashJoinOperator::BuildSide() {
-  CRE_ASSIGN_OR_RETURN(build_, CollectAll(right_.get()));
-  CRE_ASSIGN_OR_RETURN(std::size_t key_idx,
-                       build_->schema().RequireField(right_key_));
-  const Column& key = build_->column(key_idx);
-  switch (key.type()) {
-    case DataType::kInt64:
-    case DataType::kDate: {
-      const auto& data = key.i64();
-      int_index_.reserve(data.size());
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        int_index_.emplace(data[i], static_cast<std::uint32_t>(i));
-      }
-      key_is_string_ = false;
-      return Status::OK();
-    }
-    case DataType::kString: {
-      const auto& data = key.strings();
-      str_index_.reserve(data.size());
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        str_index_.emplace(data[i], static_cast<std::uint32_t>(i));
-      }
-      key_is_string_ = true;
-      return Status::OK();
-    }
-    default:
-      return Status::TypeError("hash join key must be int64/date/string, got " +
-                               std::string(DataTypeName(key.type())));
-  }
-}
-
 Result<TablePtr> HashJoinOperator::Next() {
   for (;;) {
     CRE_ASSIGN_OR_RETURN(TablePtr batch, left_->Next());
@@ -78,40 +127,11 @@ Result<TablePtr> HashJoinOperator::Next() {
 
     std::vector<std::uint32_t> left_rows;
     std::vector<std::uint32_t> right_rows;
-    const std::size_t n = batch->num_rows();
-    if (key_is_string_) {
-      if (key.type() != DataType::kString) {
-        return Status::TypeError("join key type mismatch: left " +
-                                 std::string(DataTypeName(key.type())) +
-                                 " vs right string");
-      }
-      const auto& data = key.strings();
-      for (std::size_t i = 0; i < n; ++i) {
-        auto [lo, hi] = str_index_.equal_range(data[i]);
-        for (auto it = lo; it != hi; ++it) {
-          left_rows.push_back(static_cast<std::uint32_t>(i));
-          right_rows.push_back(it->second);
-        }
-      }
-    } else {
-      if (key.type() != DataType::kInt64 && key.type() != DataType::kDate) {
-        return Status::TypeError("join key type mismatch: left " +
-                                 std::string(DataTypeName(key.type())) +
-                                 " vs right int64");
-      }
-      const auto& data = key.i64();
-      for (std::size_t i = 0; i < n; ++i) {
-        auto [lo, hi] = int_index_.equal_range(data[i]);
-        for (auto it = lo; it != hi; ++it) {
-          left_rows.push_back(static_cast<std::uint32_t>(i));
-          right_rows.push_back(it->second);
-        }
-      }
-    }
+    CRE_RETURN_NOT_OK(join_table_->Probe(key, &left_rows, &right_rows));
     if (left_rows.empty()) continue;
 
     TablePtr left_part = batch->Take(left_rows);
-    TablePtr right_part = build_->Take(right_rows);
+    TablePtr right_part = join_table_->table()->Take(right_rows);
     auto out = Table::Make(schema_);
     const std::size_t ln = left_part->num_columns();
     for (std::size_t c = 0; c < ln; ++c) {

@@ -1,6 +1,7 @@
 #ifndef CRE_EXEC_HASH_JOIN_H_
 #define CRE_EXEC_HASH_JOIN_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -10,14 +11,47 @@
 
 namespace cre {
 
+/// The shared build side of a hash join: a materialized table plus a hash
+/// index on its key column. Built once (by the operator's Open or by the
+/// parallel driver before fan-out) and then probed concurrently from any
+/// number of worker threads — Probe is const and the index is immutable
+/// after Build.
+class HashJoinTable {
+ public:
+  /// Materializes the index over `build`'s `key` column
+  /// (int64/date/string).
+  static Result<std::shared_ptr<HashJoinTable>> Build(TablePtr build,
+                                                      const std::string& key);
+
+  const TablePtr& table() const { return build_; }
+  std::size_t num_rows() const { return build_->num_rows(); }
+
+  /// Appends one (probe_row, build_row) pair per key match. Thread-safe.
+  Status Probe(const Column& key, std::vector<std::uint32_t>* probe_rows,
+               std::vector<std::uint32_t>* build_rows) const;
+
+ private:
+  TablePtr build_;
+  // Key maps: exactly one is used, depending on the key column type.
+  std::unordered_multimap<std::int64_t, std::uint32_t> int_index_;
+  std::unordered_multimap<std::string, std::uint32_t> str_index_;
+  bool key_is_string_ = false;
+};
+
 /// Inner equi-join: builds a hash table on the right input (assumed the
 /// smaller side; the optimizer is responsible for choosing sides), then
 /// probes with left batches. Duplicate output names from the right side
-/// get an "_r" suffix.
+/// get an "_r" suffix. The probe-only constructor shares a pre-built
+/// HashJoinTable, which is how the parallel driver runs one build and many
+/// concurrent per-morsel probe pipelines.
 class HashJoinOperator : public PhysicalOperator {
  public:
   HashJoinOperator(OperatorPtr left, OperatorPtr right, std::string left_key,
                    std::string right_key);
+
+  /// Probe-only form over a shared, already-built hash table.
+  HashJoinOperator(OperatorPtr left, std::shared_ptr<HashJoinTable> build,
+                   std::string left_key, std::string right_key);
 
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
@@ -28,23 +62,17 @@ class HashJoinOperator : public PhysicalOperator {
 
   /// Rows in the build-side hash table (exposed for tests/benches).
   std::size_t build_rows() const {
-    return build_ ? build_->num_rows() : 0;
+    return join_table_ ? join_table_->num_rows() : 0;
   }
 
  private:
-  Status BuildSide();
-
   OperatorPtr left_;
-  OperatorPtr right_;
+  OperatorPtr right_;  ///< null in the probe-only form
   std::string left_key_;
   std::string right_key_;
 
   Schema schema_;
-  TablePtr build_;  ///< materialized right side
-  // Key maps: exactly one is used, depending on the key column type.
-  std::unordered_multimap<std::int64_t, std::uint32_t> int_index_;
-  std::unordered_multimap<std::string, std::uint32_t> str_index_;
-  bool key_is_string_ = false;
+  std::shared_ptr<HashJoinTable> join_table_;
   bool opened_ = false;
 };
 

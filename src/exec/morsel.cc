@@ -1,39 +1,35 @@
 #include "exec/morsel.h"
 
-#include <atomic>
-#include <mutex>
 #include <vector>
 
 namespace cre {
 
-Result<TablePtr> MorselParallelExecute(const TablePtr& table,
-                                       const MorselPipelineFactory& factory,
-                                       const MorselOptions& options) {
+Result<TablePtr> MorselParallelMap(const TablePtr& table,
+                                   const MorselPipelineBuilder& build,
+                                   const MorselOptions& options) {
   const std::size_t n = table->num_rows();
   const std::size_t morsel = std::max<std::size_t>(1, options.morsel_rows);
   const std::size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
 
   if (num_morsels <= 1 || options.pool == nullptr ||
       options.pool->num_threads() <= 1) {
-    CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, factory(table));
+    CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(0, table));
     return ExecuteToTable(pipeline.get());
   }
 
+  // Each task writes only its own slot, so no lock is needed.
   std::vector<Result<TablePtr>> results(
       num_morsels, Result<TablePtr>(Status::Internal("morsel not run")));
-  std::mutex results_mu;  // guards only the Result assignment slots
 
   options.pool->ParallelFor(
       num_morsels,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t m = begin; m < end; ++m) {
           TablePtr slice = table->Slice(m * morsel, morsel);
-          Result<TablePtr> r = [&]() -> Result<TablePtr> {
-            CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, factory(slice));
+          results[m] = [&]() -> Result<TablePtr> {
+            CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(m, slice));
             return ExecuteToTable(pipeline.get());
           }();
-          std::lock_guard<std::mutex> lock(results_mu);
-          results[m] = std::move(r);
         }
       },
       /*min_chunk=*/1);
@@ -47,11 +43,6 @@ Result<TablePtr> MorselParallelExecute(const TablePtr& table,
       out = Table::Make(part->schema());
     }
     CRE_RETURN_NOT_OK(out->AppendTable(*part));
-  }
-  if (out == nullptr) {
-    // Zero-row input: run the pipeline once to learn the output schema.
-    CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, factory(table));
-    return ExecuteToTable(pipeline.get());
   }
   return out;
 }

@@ -9,26 +9,33 @@
 
 namespace cre {
 
-/// Morsel-driven parallel table processing: splits a base table into
-/// contiguous morsels, runs a per-morsel operator pipeline built by
-/// `pipeline_factory` on the worker pool, and concatenates results in
-/// morsel order (deterministic output). The factory receives the morsel
-/// table and must return a self-contained operator tree over it.
-///
-/// This is the scale-up mechanism for relational portions of a query; the
-/// semantic join parallelizes internally (vecsim already splits the probe
-/// side across the pool).
+/// Morsel scheduling for the pipeline-aware parallel driver: a base table
+/// is split into contiguous morsels, each morsel is run through a
+/// self-contained operator pipeline instantiated by the caller, and the
+/// per-morsel outputs are concatenated in morsel order (deterministic
+/// output regardless of scheduling). This is the engine's scale-up
+/// mechanism for the streamable portions of a query; breakers (joins'
+/// build sides, aggregates, sorts, semantic group-by) are handled by the
+/// driver around calls to this primitive.
 struct MorselOptions {
-  std::size_t morsel_rows = 16 * 1024;
+  std::size_t morsel_rows = 8 * 1024;
   ThreadPool* pool = nullptr;  ///< nullptr = run serially
 };
 
-using MorselPipelineFactory =
-    std::function<Result<OperatorPtr>(const TablePtr& morsel)>;
+/// Instantiates the per-morsel pipeline for morsel `index` over `slice`.
+/// Must return a self-contained operator tree (called concurrently from
+/// worker threads; shared state it captures must be read-only).
+using MorselPipelineBuilder =
+    std::function<Result<OperatorPtr>(std::size_t index, const TablePtr& slice)>;
 
-Result<TablePtr> MorselParallelExecute(const TablePtr& table,
-                                       const MorselPipelineFactory& factory,
-                                       const MorselOptions& options = {});
+/// Runs `build(i, slice_i)` to completion for every morsel of `table` on
+/// `options.pool` and concatenates the results in morsel order. Falls back
+/// to a single serial pipeline over the whole table when the input fits in
+/// one morsel or no pool is available (also how a zero-row input learns
+/// its output schema). The first per-morsel error wins.
+Result<TablePtr> MorselParallelMap(const TablePtr& table,
+                                   const MorselPipelineBuilder& build,
+                                   const MorselOptions& options = {});
 
 }  // namespace cre
 

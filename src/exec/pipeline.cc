@@ -1,0 +1,37 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+
+namespace cre {
+
+bool IsMorselStreamable(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kSemanticSelect:
+      return true;
+    case PlanKind::kJoin:
+      // Probe side streams once the build side is a shared hash table.
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsPipelineBreaker(const PlanNode& node) {
+  return !IsMorselStreamable(node);
+}
+
+PipelineSegment DecomposePipeline(const PlanNode& root) {
+  PipelineSegment segment;
+  const PlanNode* cur = &root;
+  while (IsMorselStreamable(*cur)) {
+    segment.ops.push_back(cur);
+    cur = cur->children[0].get();  // kJoin child 0 is the probe side
+  }
+  segment.source = cur;
+  std::reverse(segment.ops.begin(), segment.ops.end());
+  return segment;
+}
+
+}  // namespace cre

@@ -9,22 +9,24 @@ namespace cre {
 Status InstrumentedOperator::Open() {
   Timer t;
   Status s = child_->Open();
-  stats_->open_seconds += t.Seconds();
+  stats_->AddOpenSeconds(t.Seconds());
   return s;
 }
 
 Result<TablePtr> InstrumentedOperator::Next() {
   Timer t;
   auto r = child_->Next();
-  stats_->next_seconds += t.Seconds();
+  const double seconds = t.Seconds();
   if (r.ok() && r.ValueUnsafe() != nullptr) {
-    ++stats_->batches;
-    stats_->rows += r.ValueUnsafe()->num_rows();
+    stats_->AddBatch(r.ValueUnsafe()->num_rows(), seconds);
+  } else {
+    AtomicAddDouble(stats_->next_seconds, seconds);
   }
   return r;
 }
 
 std::string StatsCollector::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   char line[256];
   std::snprintf(line, sizeof(line), "%-52s %10s %8s %12s %12s\n", "operator",
@@ -32,8 +34,11 @@ std::string StatsCollector::ToString() const {
   os << line;
   for (const auto& s : slots_) {
     std::snprintf(line, sizeof(line), "%-52s %10zu %8zu %12.3f %12.3f\n",
-                  s->name.substr(0, 52).c_str(), s->rows, s->batches,
-                  s->open_seconds * 1e3, s->next_seconds * 1e3);
+                  s->name.substr(0, 52).c_str(),
+                  s->rows.load(std::memory_order_relaxed),
+                  s->batches.load(std::memory_order_relaxed),
+                  s->open_seconds.load(std::memory_order_relaxed) * 1e3,
+                  s->next_seconds.load(std::memory_order_relaxed) * 1e3);
     os << line;
   }
   return os.str();

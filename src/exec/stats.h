@@ -1,30 +1,66 @@
 #ifndef CRE_EXEC_STATS_H_
 #define CRE_EXEC_STATS_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/operator.h"
 
 namespace cre {
 
-/// Execution counters for one operator instance.
+/// Lock-free add for pre-C++20 atomic doubles.
+inline void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Execution counters for one operator (or one shared slot covering every
+/// per-morsel instance of a plan node). Counters are atomics so concurrent
+/// morsel pipelines can update one slot without tearing.
 struct OperatorStats {
   std::string name;
-  std::size_t batches = 0;
-  std::size_t rows = 0;
-  double open_seconds = 0;
-  double next_seconds = 0;  ///< cumulative time spent inside Next()
+  std::atomic<std::size_t> batches{0};
+  std::atomic<std::size_t> rows{0};
+  std::atomic<double> open_seconds{0};
+  std::atomic<double> next_seconds{0};  ///< cumulative time inside Next()
+
+  void AddOpenSeconds(double s) { AtomicAddDouble(open_seconds, s); }
+  void AddBatch(std::size_t batch_rows, double seconds) {
+    batches.fetch_add(1, std::memory_order_relaxed);
+    rows.fetch_add(batch_rows, std::memory_order_relaxed);
+    AtomicAddDouble(next_seconds, seconds);
+  }
 };
 
-/// Collects stats from a tree of instrumented operators (in wrap order).
+/// Collects stats from a tree of instrumented operators. AddSlot creates a
+/// fresh slot per call (the serial executor's one-slot-per-operator
+/// layout); SlotFor returns one shared slot per plan-node identity, which
+/// is how the parallel driver aggregates every per-morsel operator
+/// instance of one plan node into a single line while keeping distinct
+/// same-named nodes (two Filters, two HashJoins) on separate lines. Both
+/// are thread-safe.
 class StatsCollector {
  public:
   OperatorStats* AddSlot(std::string name) {
-    slots_.push_back(std::make_unique<OperatorStats>());
-    slots_.back()->name = std::move(name);
-    return slots_.back().get();
+    std::lock_guard<std::mutex> lock(mu_);
+    return AddSlotLocked(std::move(name));
+  }
+
+  /// Shared slot keyed by an opaque identity (the driver passes the plan
+  /// node pointer); created with `name` on first use.
+  OperatorStats* SlotFor(const void* key, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) return it->second;
+    OperatorStats* slot = AddSlotLocked(name);
+    by_key_.emplace(key, slot);
+    return slot;
   }
 
   /// Per-operator rows/time rendering (EXPLAIN ANALYZE output).
@@ -35,12 +71,22 @@ class StatsCollector {
   }
 
  private:
+  OperatorStats* AddSlotLocked(std::string name) {
+    slots_.push_back(std::make_unique<OperatorStats>());
+    OperatorStats* slot = slots_.back().get();
+    slot->name = std::move(name);
+    return slot;
+  }
+
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<OperatorStats>> slots_;
+  std::unordered_map<const void*, OperatorStats*> by_key_;
 };
 
 /// Decorator measuring a child operator's Open/Next time and output rows.
 /// The engine wraps every lowered operator with one of these when a
-/// query runs under ExecuteWithStats.
+/// query runs under ExecuteWithStats; the parallel driver wraps every
+/// per-morsel operator instance with a slot shared across morsels.
 class InstrumentedOperator : public PhysicalOperator {
  public:
   InstrumentedOperator(OperatorPtr child, OperatorStats* stats)

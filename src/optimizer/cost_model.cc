@@ -5,6 +5,12 @@
 
 namespace cre {
 
+double CostModel::ParallelCost(double cost) const {
+  const double p = std::max(1.0, params_.parallelism);
+  const double f = std::clamp(params_.parallel_fraction, 0.0, 1.0);
+  return cost * ((1.0 - f) + f / p);
+}
+
 double CostModel::EmbedCost(const std::string& model_name) const {
   if (models_ != nullptr && models_->Contains(model_name)) {
     return models_->Get(model_name).ValueOrDie()->cost_ns_per_embedding();
@@ -54,16 +60,16 @@ double CostModel::SelfCost(const PlanNode& node) const {
     case PlanKind::kScan: {
       double c = out_rows * params_.row_scan;
       if (node.predicate) c += out_rows * params_.expr_eval;
-      return c;
+      return ParallelCost(c);
     }
     case PlanKind::kDetectScan: {
       const double images = out_rows / params_.avg_objects_per_image;
-      return images * params_.detect_per_image;
+      return ParallelCost(images * params_.detect_per_image);
     }
     case PlanKind::kFilter:
-      return in_rows * params_.expr_eval;
+      return ParallelCost(in_rows * params_.expr_eval);
     case PlanKind::kProject:
-      return in_rows * params_.materialize;
+      return ParallelCost(in_rows * params_.materialize);
     case PlanKind::kSort:
       return in_rows * params_.hash_build *
              std::max(1.0, std::log2(std::max(2.0, in_rows)) / 4.0);
@@ -72,30 +78,40 @@ double CostModel::SelfCost(const PlanNode& node) const {
     case PlanKind::kSemanticSelect: {
       const double queries =
           node.queries.empty() ? 1.0 : static_cast<double>(node.queries.size());
-      return in_rows * (EmbedCost(node.model_name) +
-                        queries * params_.vector_dim * params_.dot_per_dim);
+      return ParallelCost(
+          in_rows * (EmbedCost(node.model_name) +
+                     queries * params_.vector_dim * params_.dot_per_dim));
     }
     case PlanKind::kJoin: {
+      // Build is serial (one shared hash table); the probe spreads over
+      // morsel pipelines.
       const double l = node.children[0]->est_rows;
       const double r = node.children[1]->est_rows;
-      return r * params_.hash_build + l * params_.hash_probe +
-             out_rows * params_.materialize;
+      return r * params_.hash_build +
+             ParallelCost(l * params_.hash_probe +
+                          out_rows * params_.materialize);
     }
     case PlanKind::kSemanticJoin: {
       const double l = node.children[0]->est_rows;
       const double r = node.children[1]->est_rows;
       const double embed = (l + r) * EmbedCost(node.model_name);
-      return embed + SemanticJoinStrategyCost(node.strategy, l, r) +
+      // Embedding and probing parallelize (vecsim splits the probe side
+      // over the pool); result materialization is serial.
+      return ParallelCost(embed +
+                          SemanticJoinStrategyCost(node.strategy, l, r)) +
              out_rows * params_.materialize;
     }
     case PlanKind::kSemanticGroupBy: {
+      // Order-sensitive online clustering: inherently serial consumption.
       // Clusters grow with distinct semantic groups; assume sqrt scaling.
       const double clusters = std::max(4.0, std::sqrt(in_rows));
       return in_rows * (EmbedCost(node.model_name) +
                         clusters * params_.vector_dim * params_.dot_per_dim);
     }
     case PlanKind::kAggregate:
-      return in_rows * params_.hash_build + out_rows * params_.materialize;
+      // Accumulation runs per-worker; the merge+emit tail is serial.
+      return ParallelCost(in_rows * params_.hash_build) +
+             out_rows * params_.materialize;
   }
   return 0;
 }

@@ -38,6 +38,15 @@ struct CostParams {
   double ivf_centroids = 64.0;
   double ivf_nprobe = 8.0;
   double ivf_kmeans_iters = 10.0;
+  /// Engine worker-thread count visible to the planner. Costs of operators
+  /// the morsel-driven executor can spread across cores (scans, filters,
+  /// projections, semantic selects, join probes, aggregate accumulation,
+  /// detection, semantic-join probing) are discounted by an Amdahl factor.
+  double parallelism = 1.0;
+  /// Fraction of a parallelizable operator's work that actually scales
+  /// with threads — the rest is per-query coordination (morsel
+  /// scheduling, shared-state builds, result concatenation and merges).
+  double parallel_fraction = 0.9;
 };
 
 /// Computes cumulative plan costs bottom-up into PlanNode::est_cost.
@@ -61,6 +70,8 @@ class CostModel {
  private:
   double EmbedCost(const std::string& model_name) const;
   double SelfCost(const PlanNode& node) const;
+  /// Amdahl discount for work the parallel driver spreads over cores.
+  double ParallelCost(double cost) const;
 
   const ModelRegistry* models_;
   CostParams params_;

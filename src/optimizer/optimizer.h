@@ -1,6 +1,7 @@
 #ifndef CRE_OPTIMIZER_OPTIMIZER_H_
 #define CRE_OPTIMIZER_OPTIMIZER_H_
 
+#include <algorithm>
 #include <string>
 
 #include "optimizer/cardinality.h"
@@ -21,6 +22,10 @@ struct OptimizerOptions {
   /// When false, index selection only ever picks exact strategies.
   bool allow_approximate_similarity = true;
   std::size_t dip_max_inducing_rows = 64;
+  /// Worker threads the executor will run this plan with; the cost model
+  /// discounts parallelizable operator costs accordingly. 0 = "let the
+  /// engine fill in its pool size" (standalone optimizers treat it as 1).
+  std::size_t degree_of_parallelism = 0;
 };
 
 /// The holistic rule- and cost-based optimizer spanning relational and
@@ -36,7 +41,7 @@ class Optimizer {
         models_(models),
         options_(options),
         estimator_(catalog, models, detectors),
-        cost_(models),
+        cost_(models, ParamsFor(options)),
         subplan_executor_(std::move(subplan_executor)) {}
 
   /// Produces an optimized copy of `plan` (the input is not modified).
@@ -53,6 +58,13 @@ class Optimizer {
   const OptimizerOptions& options() const { return options_; }
 
  private:
+  static CostParams ParamsFor(const OptimizerOptions& options) {
+    CostParams params;
+    params.parallelism = static_cast<double>(
+        std::max<std::size_t>(1, options.degree_of_parallelism));
+    return params;
+  }
+
   const Catalog* catalog_;
   const ModelRegistry* models_;
   OptimizerOptions options_;

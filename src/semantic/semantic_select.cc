@@ -1,8 +1,40 @@
 #include "semantic/semantic_select.h"
 
+#include <string_view>
+#include <unordered_map>
+
 #include "vecsim/kernels.h"
 
 namespace cre {
+
+namespace {
+
+/// Distinct strings of a batch plus a row -> distinct index mapping.
+/// Semantic operators embed (and score) each distinct string once per
+/// morsel-sized batch — on Zipfian corpora this collapses most of the
+/// embedding work, and it keeps one EmbedBatch call per morsel so batched
+/// backends (and the LRU cache's batched path) amortize properly.
+struct DistinctBatch {
+  std::vector<std::string> unique;
+  std::vector<std::uint32_t> row_to_unique;
+};
+
+DistinctBatch CollectDistinct(const std::vector<std::string>& words) {
+  DistinctBatch out;
+  out.row_to_unique.resize(words.size());
+  std::unordered_map<std::string_view, std::uint32_t> index;
+  index.reserve(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    auto [it, inserted] = index.emplace(
+        std::string_view(words[i]),
+        static_cast<std::uint32_t>(out.unique.size()));
+    if (inserted) out.unique.push_back(words[i]);
+    out.row_to_unique[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace
 
 SemanticSelectOperator::SemanticSelectOperator(OperatorPtr child,
                                                std::string column,
@@ -36,14 +68,19 @@ Result<TablePtr> SemanticSelectOperator::Next() {
     CRE_ASSIGN_OR_RETURN(const Column* col, batch->ColumnByName(column_));
     const auto& words = col->strings();
 
-    std::vector<float> matrix(words.size() * dim);
-    model_->EmbedBatch(words, matrix.data());
+    const DistinctBatch distinct = CollectDistinct(words);
+    std::vector<float> matrix(distinct.unique.size() * dim);
+    model_->EmbedBatch(distinct.unique, matrix.data());
 
     const DotFn dot = GetDotKernel(BestKernelVariant());
+    std::vector<char> match(distinct.unique.size());
+    for (std::size_t u = 0; u < distinct.unique.size(); ++u) {
+      match[u] = dot(query_vec_.data(), matrix.data() + u * dim, dim) >=
+                 threshold_;
+    }
     std::vector<std::uint32_t> keep;
     for (std::size_t i = 0; i < words.size(); ++i) {
-      if (dot(query_vec_.data(), matrix.data() + i * dim, dim) >=
-          threshold_) {
+      if (match[distinct.row_to_unique[i]]) {
         keep.push_back(static_cast<std::uint32_t>(i));
       }
     }
@@ -84,17 +121,24 @@ Result<TablePtr> SemanticMultiSelectOperator::Next() {
     CRE_ASSIGN_OR_RETURN(const Column* col, batch->ColumnByName(column_));
     const auto& words = col->strings();
 
-    std::vector<float> matrix(words.size() * dim);
-    model_->EmbedBatch(words, matrix.data());
+    const DistinctBatch distinct = CollectDistinct(words);
+    std::vector<float> matrix(distinct.unique.size() * dim);
+    model_->EmbedBatch(distinct.unique, matrix.data());
 
-    std::vector<std::uint32_t> keep;
-    for (std::size_t i = 0; i < words.size(); ++i) {
-      const float* v = matrix.data() + i * dim;
+    std::vector<char> match(distinct.unique.size());
+    for (std::size_t u = 0; u < distinct.unique.size(); ++u) {
+      const float* v = matrix.data() + u * dim;
       for (std::size_t q = 0; q < queries_.size(); ++q) {
         if (dot(v, query_matrix_.data() + q * dim, dim) >= threshold_) {
-          keep.push_back(static_cast<std::uint32_t>(i));
+          match[u] = 1;
           break;
         }
+      }
+    }
+    std::vector<std::uint32_t> keep;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (match[distinct.row_to_unique[i]]) {
+        keep.push_back(static_cast<std::uint32_t>(i));
       }
     }
     if (keep.empty()) continue;
@@ -117,13 +161,18 @@ Result<TablePtr> SemanticFilter(const TablePtr& table,
   model.Embed(query, qv.data());
 
   const auto& words = col->strings();
-  std::vector<float> matrix(words.size() * dim);
-  model.EmbedBatch(words, matrix.data());
+  const DistinctBatch distinct = CollectDistinct(words);
+  std::vector<float> matrix(distinct.unique.size() * dim);
+  model.EmbedBatch(distinct.unique, matrix.data());
 
   const DotFn dot = GetDotKernel(BestKernelVariant());
+  std::vector<char> match(distinct.unique.size());
+  for (std::size_t u = 0; u < distinct.unique.size(); ++u) {
+    match[u] = dot(qv.data(), matrix.data() + u * dim, dim) >= threshold;
+  }
   std::vector<std::uint32_t> keep;
   for (std::size_t i = 0; i < words.size(); ++i) {
-    if (dot(qv.data(), matrix.data() + i * dim, dim) >= threshold) {
+    if (match[distinct.row_to_unique[i]]) {
       keep.push_back(static_cast<std::uint32_t>(i));
     }
   }

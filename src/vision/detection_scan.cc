@@ -10,9 +10,11 @@ namespace cre {
 DetectionScanOperator::DetectionScanOperator(const ImageStore* store,
                                              const ObjectDetector* detector,
                                              ExprPtr predicate,
-                                             std::size_t images_per_batch)
+                                             std::size_t images_per_batch,
+                                             ThreadPool* pool)
     : store_(store),
       detector_(detector),
+      pool_(pool),
       predicate_(std::move(predicate)),
       images_per_batch_(images_per_batch),
       schema_(ObjectDetector::DetectionSchema()) {}
@@ -52,8 +54,33 @@ Result<TablePtr> DetectionScanOperator::Next() {
     const std::size_t end =
         std::min(qualifying_.size(), offset_ + images_per_batch_);
     auto out = Table::Make(schema_);
-    for (std::size_t i = offset_; i < end; ++i) {
-      detector_->DetectInto(store_->image(qualifying_[i]), out.get());
+    const std::size_t count = end - offset_;
+    if (pool_ != nullptr && pool_->num_threads() > 1 && count >= 8) {
+      // Fan inference out over the workers; shards concatenate in image
+      // order so the output matches the serial scan row for row.
+      const std::size_t shards = std::min(count, pool_->num_threads() * 2);
+      const std::size_t per = (count + shards - 1) / shards;
+      std::vector<TablePtr> parts((count + per - 1) / per);
+      for (std::size_t p = 0; p < parts.size(); ++p) {
+        const std::size_t begin = offset_ + p * per;
+        const std::size_t stop = std::min(end, begin + per);
+        pool_->Submit([this, p, begin, stop, &parts] {
+          auto shard = Table::Make(schema_);
+          for (std::size_t i = begin; i < stop; ++i) {
+            detector_->DetectInto(store_->image(qualifying_[i]),
+                                  shard.get());
+          }
+          parts[p] = std::move(shard);
+        });
+      }
+      pool_->Wait();
+      for (const auto& part : parts) {
+        CRE_RETURN_NOT_OK(out->AppendTable(*part));
+      }
+    } else {
+      for (std::size_t i = offset_; i < end; ++i) {
+        detector_->DetectInto(store_->image(qualifying_[i]), out.get());
+      }
     }
     offset_ = end;
     if (post_predicate_ != nullptr) {

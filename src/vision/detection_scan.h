@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/result.h"
+#include "core/thread_pool.h"
 #include "exec/operator.h"
 #include "expr/expr.h"
 #include "vision/image_store.h"
@@ -20,11 +21,19 @@ namespace cre {
 /// it every image is processed ("heavy processing on all the corpora").
 /// Terms over detection outputs (object_label, confidence,
 /// objects_in_image) are applied after inference per batch.
+///
+/// With a thread pool, each batch's inference fans out over the workers
+/// (detection is embarrassingly parallel per image) with per-shard result
+/// tables concatenated in image order, so output order stays identical to
+/// the serial scan. Next() must be called from outside the pool's own
+/// workers (the engine always materializes detect scans on the driver
+/// thread).
 class DetectionScanOperator : public PhysicalOperator {
  public:
   DetectionScanOperator(const ImageStore* store, const ObjectDetector* detector,
                         ExprPtr predicate = nullptr,
-                        std::size_t images_per_batch = 256);
+                        std::size_t images_per_batch = 256,
+                        ThreadPool* pool = nullptr);
 
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
@@ -37,6 +46,7 @@ class DetectionScanOperator : public PhysicalOperator {
  private:
   const ImageStore* store_;
   const ObjectDetector* detector_;
+  ThreadPool* pool_;
   ExprPtr predicate_;
   ExprPtr metadata_predicate_;  ///< pre-inference terms (split at Open)
   ExprPtr post_predicate_;      ///< post-inference terms

@@ -1,6 +1,9 @@
 // Tests for execution extensions: per-operator statistics, morsel-driven
 // parallel execution, and sampling operators.
 
+#include <mutex>
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "core/thread_pool.h"
@@ -65,19 +68,19 @@ TEST(StatsTest, EngineExecuteWithStats) {
 
 TEST(MorselTest, SerialAndParallelAgree) {
   auto table = Numbers(50000);
-  auto factory = [](const TablePtr& morsel) -> Result<OperatorPtr> {
+  auto builder = [](std::size_t, const TablePtr& morsel) -> Result<OperatorPtr> {
     return OperatorPtr(std::make_unique<FilterOperator>(
         std::make_unique<TableScanOperator>(morsel),
         Eq(Expr::Arith(ArithOp::kMul, Col("x"), Lit(1)), Col("x"))));
   };
   MorselOptions serial;
-  auto a = MorselParallelExecute(table, factory, serial).ValueOrDie();
+  auto a = MorselParallelMap(table, builder, serial).ValueOrDie();
 
   ThreadPool pool(4);
   MorselOptions parallel;
   parallel.pool = &pool;
   parallel.morsel_rows = 4096;
-  auto b = MorselParallelExecute(table, factory, parallel).ValueOrDie();
+  auto b = MorselParallelMap(table, builder, parallel).ValueOrDie();
 
   ASSERT_EQ(a->num_rows(), b->num_rows());
   // Morsel order preserved: outputs are identical, row by row.
@@ -92,16 +95,42 @@ TEST(MorselTest, ParallelFilterKeepsOnlyMatches) {
   MorselOptions options;
   options.pool = &pool;
   options.morsel_rows = 1000;
-  auto result = MorselParallelExecute(
-                    table,
-                    [](const TablePtr& morsel) -> Result<OperatorPtr> {
-                      return OperatorPtr(std::make_unique<FilterOperator>(
-                          std::make_unique<TableScanOperator>(morsel),
-                          Lt(Col("x"), Lit(100))));
-                    },
-                    options)
-                    .ValueOrDie();
+  auto result =
+      MorselParallelMap(
+          table,
+          [](std::size_t, const TablePtr& morsel) -> Result<OperatorPtr> {
+            return OperatorPtr(std::make_unique<FilterOperator>(
+                std::make_unique<TableScanOperator>(morsel),
+                Lt(Col("x"), Lit(100))));
+          },
+          options)
+          .ValueOrDie();
   EXPECT_EQ(result->num_rows(), 100u);
+}
+
+TEST(MorselTest, BuilderSeesMorselIndexInOrder) {
+  auto table = Numbers(10000);
+  ThreadPool pool(4);
+  MorselOptions options;
+  options.pool = &pool;
+  options.morsel_rows = 1000;
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  auto result =
+      MorselParallelMap(
+          table,
+          [&](std::size_t index,
+              const TablePtr& morsel) -> Result<OperatorPtr> {
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              seen.insert(index);
+            }
+            return OperatorPtr(std::make_unique<TableScanOperator>(morsel));
+          },
+          options)
+          .ValueOrDie();
+  EXPECT_EQ(result->num_rows(), 10000u);
+  EXPECT_EQ(seen.size(), 10u);  // one builder call per morsel
 }
 
 TEST(MorselTest, EmptyInput) {
@@ -109,14 +138,14 @@ TEST(MorselTest, EmptyInput) {
   ThreadPool pool(2);
   MorselOptions options;
   options.pool = &pool;
-  auto result = MorselParallelExecute(
-                    table,
-                    [](const TablePtr& morsel) -> Result<OperatorPtr> {
-                      return OperatorPtr(
-                          std::make_unique<TableScanOperator>(morsel));
-                    },
-                    options)
-                    .ValueOrDie();
+  auto result =
+      MorselParallelMap(
+          table,
+          [](std::size_t, const TablePtr& morsel) -> Result<OperatorPtr> {
+            return OperatorPtr(std::make_unique<TableScanOperator>(morsel));
+          },
+          options)
+          .ValueOrDie();
   EXPECT_EQ(result->num_rows(), 0u);
 }
 
@@ -126,9 +155,9 @@ TEST(MorselTest, ErrorPropagates) {
   MorselOptions options;
   options.pool = &pool;
   options.morsel_rows = 1000;
-  auto result = MorselParallelExecute(
+  auto result = MorselParallelMap(
       table,
-      [](const TablePtr& morsel) -> Result<OperatorPtr> {
+      [](std::size_t, const TablePtr& morsel) -> Result<OperatorPtr> {
         return OperatorPtr(std::make_unique<FilterOperator>(
             std::make_unique<TableScanOperator>(morsel),
             Gt(Col("missing_column"), Lit(1))));

@@ -1,0 +1,362 @@
+// Property tests for the morsel-driven parallel executor: for any plan,
+// executing with num_threads = 1 and num_threads = N must produce the
+// same result multiset, and for streamable pipelines (scan - filter -
+// project - semantic select - hash join probe) the row ORDER must be
+// identical too, because per-morsel outputs concatenate in morsel order.
+//
+// Numeric columns hold integer values so aggregate sums are exact under
+// any accumulation order (doubles add associatively below 2^53), making
+// the equivalence checks bit-exact rather than tolerance-based.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "datagen/vocabulary.h"
+#include "embed/structured_model.h"
+#include "engine/engine.h"
+#include "engine/query_builder.h"
+#include "exec/pipeline.h"
+
+namespace cre {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kMorselRows = 512;  // many morsels even on small data
+
+/// Canonical multiset fingerprint of a table: one sorted string per row.
+std::vector<std::string> Fingerprint(const Table& table) {
+  std::vector<std::string> rows;
+  rows.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::string row;
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      row += table.schema().field(c).name;
+      row += '=';
+      row += table.GetValue(r, c).ToString();
+      row += '|';
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Ordered row rendering, for exact order comparisons.
+std::vector<std::string> OrderedRows(const Table& table) {
+  std::vector<std::string> rows;
+  rows.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::string row;
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      row += table.GetValue(r, c).ToString();
+      row += '|';
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+class ParallelExecTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    seed_ = static_cast<std::uint64_t>(GetParam());
+
+    VocabularyOptions vo;
+    vo.num_groups = 10;
+    vo.words_per_group = 3;
+    vo.num_singletons = 15;
+    vo.seed = seed_ * 131 + 3;
+    groups_ = GenerateVocabulary(vo);
+    SynonymStructuredModel::Options mo;
+    mo.subword_noise = false;
+    model_ = std::make_shared<SynonymStructuredModel>(groups_, mo);
+    words_ = AllWords(groups_);
+
+    Rng rng(seed_);
+    big_ = RandomTable(rng, 6000);  // ~12 morsels at kMorselRows
+    small_ = RandomTable(rng, 300);
+
+    serial_ = MakeEngine(1);
+    parallel_ = MakeEngine(kThreads);
+  }
+
+  std::unique_ptr<Engine> MakeEngine(std::size_t threads) {
+    EngineOptions eo;
+    eo.num_threads = threads;
+    eo.morsel_rows = kMorselRows;
+    eo.optimizer.allow_approximate_similarity = false;
+    auto engine = std::make_unique<Engine>(eo);
+    engine->catalog().Put("big", big_);
+    engine->catalog().Put("small", small_);
+    engine->models().Put("m", model_);
+    return engine;
+  }
+
+  TablePtr RandomTable(Rng& rng, std::size_t n) {
+    auto t = Table::Make(Schema({{"id", DataType::kInt64, 0},
+                                 {"word", DataType::kString, 0},
+                                 {"num", DataType::kFloat64, 0},
+                                 {"flag", DataType::kInt64, 0}}));
+    t->Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      t->column(0).AppendInt64(static_cast<std::int64_t>(rng.Uniform(80)));
+      t->column(1).AppendString(words_[rng.Uniform(words_.size())]);
+      // Integer-valued doubles: parallel partial sums merge exactly.
+      t->column(2).AppendFloat64(static_cast<double>(rng.Uniform(1000)));
+      t->column(3).AppendInt64(static_cast<std::int64_t>(rng.Uniform(4)));
+    }
+    return t;
+  }
+
+  ExprPtr RandomPredicate(Rng& rng) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        return Gt(Col("num"), Lit(static_cast<double>(rng.Uniform(1000))));
+      case 1:
+        return Le(Col("num"), Lit(static_cast<double>(rng.Uniform(1000))));
+      case 2:
+        return Eq(Col("flag"),
+                  Lit(static_cast<std::int64_t>(rng.Uniform(4))));
+      default:
+        return And(Gt(Col("num"), Lit(static_cast<double>(rng.Uniform(500)))),
+                   Ne(Col("flag"), Lit(0)));
+    }
+  }
+
+  /// Random plans over every operator kind the driver handles.
+  PlanPtr RandomPlan(Rng& rng) {
+    PlanPtr plan = PlanNode::Scan("big");
+    const std::size_t steps = 1 + rng.Uniform(4);
+    bool joined = false;
+    for (std::size_t s = 0; s < steps; ++s) {
+      switch (rng.Uniform(8)) {
+        case 0:
+          plan = PlanNode::Filter(plan, RandomPredicate(rng));
+          break;
+        case 1:
+          plan = PlanNode::SemanticSelect(
+              plan, "word", words_[rng.Uniform(words_.size())], "m",
+              0.7f + 0.2f * static_cast<float>(rng.NextDouble()));
+          break;
+        case 2:
+          if (!joined) {
+            plan = PlanNode::Join(plan, PlanNode::Scan("small"), "id", "id");
+            joined = true;
+          }
+          break;
+        case 3:
+          if (!joined) {
+            PlanPtr right = PlanNode::Filter(PlanNode::Scan("small"),
+                                             RandomPredicate(rng));
+            plan = PlanNode::SemanticJoin(plan, right, "word", "word", "m",
+                                          0.85f);
+            joined = true;
+          }
+          break;
+        case 4:
+          plan = PlanNode::Aggregate(
+              plan, {"flag"},
+              {{AggKind::kCount, "", "n"},
+               {AggKind::kSum, "num", "total"},
+               {AggKind::kMin, "num", "lo"},
+               {AggKind::kMax, "num", "hi"},
+               {AggKind::kAvg, "num", "mean"}});
+          break;
+        case 5:
+          plan = PlanNode::SemanticGroupBy(plan, "word", "m", 0.85f);
+          break;
+        case 6:
+          plan = PlanNode::Sort(plan, "num", rng.Bernoulli(0.5));
+          break;
+        default:
+          plan = PlanNode::Limit(plan, 50 + rng.Uniform(4000));
+          break;
+      }
+      // Aggregate output drops most columns; stop stacking semantic ops
+      // that need "word" afterwards.
+      if (plan->kind == PlanKind::kAggregate) break;
+    }
+    return plan;
+  }
+
+  std::uint64_t seed_ = 0;
+  std::vector<SynonymGroup> groups_;
+  std::shared_ptr<SynonymStructuredModel> model_;
+  std::vector<std::string> words_;
+  TablePtr big_;
+  TablePtr small_;
+  std::unique_ptr<Engine> serial_;
+  std::unique_ptr<Engine> parallel_;
+};
+
+TEST_P(ParallelExecTest, FuzzedPlansMatchSerialExecution) {
+  Rng rng(seed_ * 7919 + 11);
+  for (int trial = 0; trial < 6; ++trial) {
+    PlanPtr plan = RandomPlan(rng);
+    auto serial = serial_->ExecuteUnoptimized(plan);
+    ASSERT_TRUE(serial.ok()) << serial.status() << "\n" << plan->ToString();
+    auto parallel = parallel_->ExecuteUnoptimized(plan);
+    ASSERT_TRUE(parallel.ok()) << parallel.status() << "\n"
+                               << plan->ToString();
+    EXPECT_EQ(Fingerprint(*serial.ValueOrDie()),
+              Fingerprint(*parallel.ValueOrDie()))
+        << "plan:\n"
+        << plan->ToString();
+
+    // The optimized parallel execution must agree with the serial one too.
+    auto optimized = parallel_->Execute(plan);
+    ASSERT_TRUE(optimized.ok()) << optimized.status() << "\n"
+                                << plan->ToString();
+    EXPECT_EQ(Fingerprint(*serial.ValueOrDie()),
+              Fingerprint(*optimized.ValueOrDie()))
+        << "plan:\n"
+        << plan->ToString();
+  }
+}
+
+TEST_P(ParallelExecTest, StreamablePipelinePreservesRowOrder) {
+  // scan -> filter -> semantic select -> join probe -> project: entirely
+  // streamable, so morsel-order concatenation must reproduce the serial
+  // row order exactly, run after run.
+  Rng rng(seed_ * 271 + 1);
+  PlanPtr plan = PlanNode::Scan("big");
+  plan = PlanNode::Filter(plan, Gt(Col("num"), Lit(100.0)));
+  plan = PlanNode::SemanticSelect(plan, "word",
+                                  words_[rng.Uniform(words_.size())], "m",
+                                  0.75f);
+  plan = PlanNode::Join(plan, PlanNode::Scan("small"), "id", "id");
+  std::vector<ProjectionItem> items;
+  items.push_back({"id", Col("id")});
+  items.push_back({"word", Col("word")});
+  items.push_back({"num2", Expr::Arith(ArithOp::kAdd, Col("num"),
+                                       Col("num_r"))});
+  plan = PlanNode::Project(plan, std::move(items));
+
+  // Whole plan is one streamable segment over the base scan.
+  PipelineSegment segment = DecomposePipeline(*plan);
+  EXPECT_EQ(segment.source->kind, PlanKind::kScan);
+  EXPECT_EQ(segment.ops.size(), 4u);
+
+  auto serial = serial_->ExecuteUnoptimized(plan);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  auto run1 = parallel_->ExecuteUnoptimized(plan);
+  ASSERT_TRUE(run1.ok()) << run1.status();
+  auto run2 = parallel_->ExecuteUnoptimized(plan);
+  ASSERT_TRUE(run2.ok()) << run2.status();
+
+  const auto expected = OrderedRows(*serial.ValueOrDie());
+  EXPECT_GT(expected.size(), 0u);
+  EXPECT_EQ(expected, OrderedRows(*run1.ValueOrDie()));
+  EXPECT_EQ(expected, OrderedRows(*run2.ValueOrDie()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelExecTest, ::testing::Range(1, 7));
+
+TEST(ParallelExecPlain, AggregatePartialsMergeExactly) {
+  EngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  EngineOptions parallel_opts;
+  parallel_opts.num_threads = kThreads;
+  parallel_opts.morsel_rows = 256;
+  Engine serial(serial_opts), parallel(parallel_opts);
+
+  auto t = Table::Make(Schema({{"k", DataType::kInt64, 0},
+                               {"v", DataType::kFloat64, 0}}));
+  Rng rng(42);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    t->column(0).AppendInt64(static_cast<std::int64_t>(rng.Uniform(37)));
+    t->column(1).AppendFloat64(static_cast<double>(rng.Uniform(100000)));
+  }
+  serial.catalog().Put("t", t);
+  parallel.catalog().Put("t", t);
+
+  PlanPtr plan = PlanNode::Aggregate(PlanNode::Scan("t"), {"k"},
+                                     {{AggKind::kCount, "", "n"},
+                                      {AggKind::kSum, "v", "sum"},
+                                      {AggKind::kMin, "v", "lo"},
+                                      {AggKind::kMax, "v", "hi"},
+                                      {AggKind::kAvg, "v", "mean"}});
+  auto a = serial.ExecuteUnoptimized(plan).ValueOrDie();
+  auto b = parallel.ExecuteUnoptimized(plan).ValueOrDie();
+  EXPECT_EQ(a->num_rows(), 37u);
+  EXPECT_EQ(Fingerprint(*a), Fingerprint(*b));
+  // Chunk-index merge order: parallel group output order is stable
+  // run-to-run for a fixed thread count.
+  auto c = parallel.ExecuteUnoptimized(plan).ValueOrDie();
+  EXPECT_EQ(OrderedRows(*b), OrderedRows(*c));
+}
+
+TEST(ParallelExecPlain, GlobalAggregateOverEmptyInput) {
+  EngineOptions eo;
+  eo.num_threads = kThreads;
+  Engine engine(eo);
+  auto t = Table::Make(Schema({{"v", DataType::kFloat64, 0}}));
+  engine.catalog().Put("empty", t);
+  PlanPtr plan = PlanNode::Aggregate(PlanNode::Scan("empty"), {},
+                                     {{AggKind::kCount, "", "n"},
+                                      {AggKind::kSum, "v", "sum"}});
+  auto out = engine.ExecuteUnoptimized(plan).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->GetValue(0, 0).AsInt64(), 0);
+}
+
+TEST(ParallelExecPlain, PipelineBreakerClassification) {
+  auto scan = PlanNode::Scan("t");
+  EXPECT_TRUE(IsPipelineBreaker(*scan));
+  EXPECT_TRUE(IsMorselStreamable(*PlanNode::Filter(scan, Gt(Col("x"),
+                                                            Lit(1)))));
+  EXPECT_TRUE(IsMorselStreamable(
+      *PlanNode::Join(scan, PlanNode::Scan("u"), "a", "b")));
+  EXPECT_TRUE(IsMorselStreamable(
+      *PlanNode::SemanticSelect(scan, "w", "q", "m", 0.9f)));
+  EXPECT_TRUE(IsPipelineBreaker(
+      *PlanNode::Aggregate(scan, {}, {{AggKind::kCount, "", "n"}})));
+  EXPECT_TRUE(IsPipelineBreaker(*PlanNode::Sort(scan, "x", true)));
+  EXPECT_TRUE(IsPipelineBreaker(*PlanNode::Limit(scan, 5)));
+  EXPECT_TRUE(
+      IsPipelineBreaker(*PlanNode::SemanticGroupBy(scan, "w", "m", 0.9f)));
+
+  // Filter -> join-probe -> filter over one base scan is one segment.
+  PlanPtr plan = PlanNode::Filter(
+      PlanNode::Join(PlanNode::Filter(scan, Gt(Col("x"), Lit(1))),
+                     PlanNode::Scan("u"), "a", "b"),
+      Lt(Col("y"), Lit(9)));
+  PipelineSegment segment = DecomposePipeline(*plan);
+  EXPECT_EQ(segment.source, scan.get());
+  ASSERT_EQ(segment.ops.size(), 3u);
+  EXPECT_EQ(segment.ops[1]->kind, PlanKind::kJoin);
+}
+
+TEST(ParallelExecPlain, ExecuteWithStatsUnderParallelDriver) {
+  EngineOptions eo;
+  eo.num_threads = kThreads;
+  eo.morsel_rows = 128;
+  Engine engine(eo);
+  auto t = Table::Make(Schema({{"x", DataType::kInt64, 0}}));
+  for (std::size_t i = 0; i < 5000; ++i) {
+    t->column(0).AppendInt64(static_cast<std::int64_t>(i));
+  }
+  engine.catalog().Put("numbers", t);
+  QueryBuilder qb(&engine);
+  qb.Scan("numbers").Filter(Gt(Col("x"), Lit(2499)));
+  auto analyzed = engine.ExecuteWithStats(qb.plan()).ValueOrDie();
+  EXPECT_EQ(analyzed.table->num_rows(), 2500u);
+  // Per-morsel operator instances share one slot per name; row counts
+  // must still total exactly despite concurrent updates.
+  bool found_filter = false;
+  for (const auto& s : analyzed.stats->slots()) {
+    if (s->name.find("Filter") != std::string::npos) {
+      found_filter = true;
+      EXPECT_EQ(s->rows.load(), 2500u);
+    }
+  }
+  EXPECT_TRUE(found_filter);
+}
+
+}  // namespace
+}  // namespace cre

@@ -24,6 +24,8 @@ Engine::Engine(EngineOptions options) : options_(options) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+  index_manager_ =
+      std::make_unique<IndexManager>(&catalog_, &models_, options_.index);
 }
 
 Optimizer Engine::MakeOptimizer() const {
@@ -35,8 +37,17 @@ Optimizer Engine::MakeOptimizer() const {
   if (options.degree_of_parallelism == 0) {
     options.degree_of_parallelism = pool_->num_threads();
   }
+  IndexResidencyProbe residency = nullptr;
+  if (options_.index.enabled) {
+    IndexManager* manager = index_manager_.get();
+    residency = [manager](const std::string& table, const std::string& column,
+                          const std::string& model,
+                          SemanticJoinStrategy kind) {
+      return manager->IsResident({table, column, model, kind});
+    };
+  }
   return Optimizer(&catalog_, &models_, &detectors_, options,
-                   std::move(executor));
+                   std::move(executor), std::move(residency));
 }
 
 Result<OperatorPtr> Engine::Lower(const PlanNode& node) {
@@ -88,16 +99,39 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
           std::move(children[0]), std::move(children[1]), node.left_key,
           node.right_key));
     case PlanKind::kSemanticSelect: {
-      CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
-                           models_.Get(node.model_name));
-      if (!node.queries.empty()) {
-        return OperatorPtr(std::make_unique<SemanticMultiSelectOperator>(
-            std::move(children[0]), node.column, node.queries,
-            std::move(model), node.threshold));
+      if (node.IndexBackedSelect() && options_.index.enabled) {
+        CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
+                             models_.Get(node.model_name));
+        const std::string& table_name = node.children[0]->table_name;
+        const IndexKey key{table_name, node.column, node.model_name,
+                           node.strategy};
+        // The operator must pair the index with the exact table snapshot
+        // it was built against; stamps (not row counts) rule out a
+        // same-cardinality replacement racing this lookup. A concurrent
+        // writer can invalidate between the two reads, so retry briefly.
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          std::uint64_t built_version = 0;
+          CRE_ASSIGN_OR_RETURN(
+              std::shared_ptr<const VectorIndex> index,
+              index_manager_->GetOrBuild(key, &built_version));
+          CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
+                               catalog_.GetVersioned(table_name));
+          if (vt.version != built_version) continue;
+          return OperatorPtr(std::make_unique<SemanticIndexSelectOperator>(
+              std::move(vt.table), node.column, node.query, std::move(model),
+              node.threshold, std::move(index)));
+        }
+        return Status::Aborted("table '" + table_name +
+                               "' kept changing while building its index");
       }
-      return OperatorPtr(std::make_unique<SemanticSelectOperator>(
-          std::move(children[0]), node.column, node.query, std::move(model),
-          node.threshold));
+      if (children.empty()) {
+        // Reached as a pipeline-segment source with the manager disabled
+        // (e.g. a pinned index strategy): lower the child scan ourselves
+        // so the scanning fallback still executes.
+        CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+        children.push_back(std::move(child));
+      }
+      return LowerSemanticSelectOver(node, std::move(children[0]), nullptr);
     }
     case PlanKind::kSemanticJoin: {
       CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
@@ -108,6 +142,26 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
       options.top_k = node.top_k;
       options.variant = options_.kernel_variant;
       options.pool = pool_.get();
+      if (options_.index.enabled &&
+          node.strategy != SemanticJoinStrategy::kBruteForce) {
+        if (const PlanNode* scan = node.IndexableBuildScan()) {
+          std::uint64_t built_version = 0;
+          auto shared = index_manager_->GetOrBuild(
+              {scan->table_name, node.right_key, node.model_name,
+               node.strategy},
+              &built_version);
+          // Adopt only when the index stamp matches the catalog's current
+          // stamp for the build-side table (a same-cardinality racing
+          // replacement would otherwise slip past the operator's own
+          // row-count check). Any failure or mismatch falls back to the
+          // per-execution local build — correctness never depends on the
+          // cache.
+          if (shared.ok() &&
+              catalog_.Version(scan->table_name) == built_version) {
+            options.shared_index = std::move(shared).ValueUnsafe();
+          }
+        }
+      }
       return OperatorPtr(std::make_unique<SemanticJoinOperator>(
           std::move(children[0]), std::move(children[1]), node.left_key,
           node.right_key, std::move(model), std::move(options)));
@@ -130,6 +184,19 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
           std::move(children[0]), node.limit));
   }
   return Status::Internal("unreachable plan kind in LowerNodeOver");
+}
+
+Result<OperatorPtr> Engine::LowerSemanticSelectOver(
+    const PlanNode& node, OperatorPtr child, SharedQueryMatrix shared_query) {
+  CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model, models_.Get(node.model_name));
+  if (!node.queries.empty()) {
+    return OperatorPtr(std::make_unique<SemanticMultiSelectOperator>(
+        std::move(child), node.column, node.queries, std::move(model),
+        node.threshold, std::move(shared_query)));
+  }
+  return OperatorPtr(std::make_unique<SemanticSelectOperator>(
+      std::move(child), node.column, node.query, std::move(model),
+      node.threshold, std::move(shared_query)));
 }
 
 Result<TablePtr> Engine::RunPhysical(const PlanPtr& plan) {

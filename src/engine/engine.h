@@ -9,8 +9,10 @@
 #include "embed/model_registry.h"
 #include "exec/operator.h"
 #include "exec/stats.h"
+#include "index/index_manager.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan_node.h"
+#include "semantic/semantic_select.h"
 #include "storage/catalog.h"
 #include "vecsim/kernels.h"
 #include "vision/detection_scan.h"
@@ -27,6 +29,9 @@ struct EngineOptions {
   std::size_t morsel_rows = 8 * 1024;
   /// Kernel variant for similarity operators.
   KernelVariant kernel_variant = BestKernelVariant();
+  /// Persistent vector-index subsystem: cache/eviction budget and build
+  /// parameters for managed indexes shared across queries.
+  IndexManagerOptions index;
 };
 
 /// The context-rich analytical engine: a catalog of relational tables, a
@@ -48,6 +53,10 @@ class Engine {
   const DetectorRegistry& detectors() const { return detectors_; }
 
   ThreadPool* pool() { return pool_.get(); }
+  /// The engine's persistent vector-index subsystem (never null; its use
+  /// is gated by options().index.enabled).
+  IndexManager* index_manager() { return index_manager_.get(); }
+  const IndexManager* index_manager() const { return index_manager_.get(); }
   const EngineOptions& options() const { return options_; }
   void set_optimizer_options(const OptimizerOptions& o) {
     options_.optimizer = o;
@@ -86,6 +95,15 @@ class Engine {
   Result<OperatorPtr> LowerNodeOver(const PlanNode& node,
                                     std::vector<OperatorPtr> children);
 
+  /// Lowers a scanning kSemanticSelect over `child`, optionally adopting
+  /// a pre-embedded query matrix. The parallel driver embeds each select
+  /// node's query constant(s) once per query and passes the shared matrix
+  /// to every per-morsel instance (instead of re-embedding at each
+  /// morsel-chain Open).
+  Result<OperatorPtr> LowerSemanticSelectOver(const PlanNode& node,
+                                              OperatorPtr child,
+                                              SharedQueryMatrix shared_query);
+
   /// An optimizer bound to this engine's catalog/models/detectors, with
   /// subplan execution enabled for data-induced predicates and the cost
   /// model aware of the engine's degree of parallelism.
@@ -102,6 +120,7 @@ class Engine {
   ModelRegistry models_;
   DetectorRegistry detectors_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<IndexManager> index_manager_;
   /// Non-null while executing under ExecuteWithStats.
   StatsCollector* active_stats_ = nullptr;
 };

@@ -52,6 +52,15 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
       op = Instrument(&source, std::move(op));
       return ExecuteToTable(op.get());
     }
+    case PlanKind::kSemanticSelect: {
+      // Only the index-backed form reaches here (the scanning form is
+      // morsel-streamable): one range search against the managed
+      // whole-table index, gathered on the driver thread.
+      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
+                           engine_->LowerNodeOver(source, {}));
+      op = Instrument(&source, std::move(op));
+      return ExecuteToTable(op.get());
+    }
     case PlanKind::kSort:
     case PlanKind::kSemanticGroupBy: {
       // Materialize the input in parallel, then run the (order-sensitive)
@@ -101,9 +110,29 @@ Result<ParallelPlanDriver::JoinStates> ParallelPlanDriver::BuildJoinStates(
   return joins;
 }
 
+Result<ParallelPlanDriver::SelectStates> ParallelPlanDriver::BuildSelectStates(
+    const PipelineSegment& segment) {
+  SelectStates selects;
+  for (const PlanNode* op : segment.ops) {
+    if (op->kind != PlanKind::kSemanticSelect) continue;
+    CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
+                         engine_->models().Get(op->model_name));
+    auto matrix = std::make_shared<std::vector<float>>();
+    if (op->queries.empty()) {
+      matrix->resize(model->dim());
+      model->Embed(op->query, matrix->data());
+    } else {
+      matrix->resize(op->queries.size() * model->dim());
+      model->EmbedBatch(op->queries, matrix->data());
+    }
+    selects.emplace(op, std::move(matrix));
+  }
+  return selects;
+}
+
 Result<OperatorPtr> ParallelPlanDriver::BuildChain(
     const PipelineSegment& segment, const TablePtr& slice,
-    const JoinStates& joins) {
+    const JoinStates& joins, const SelectStates& selects) {
   const PlanNode& source = *segment.source;
   OperatorPtr cur = std::make_unique<TableScanOperator>(slice, morsel_rows_);
   if (source.kind == PlanKind::kScan) {
@@ -118,6 +147,9 @@ Result<OperatorPtr> ParallelPlanDriver::BuildChain(
     if (op->kind == PlanKind::kJoin) {
       cur = std::make_unique<HashJoinOperator>(
           std::move(cur), joins.at(op), op->left_key, op->right_key);
+    } else if (op->kind == PlanKind::kSemanticSelect) {
+      CRE_ASSIGN_OR_RETURN(cur, engine_->LowerSemanticSelectOver(
+                                    *op, std::move(cur), selects.at(op)));
     } else {
       std::vector<OperatorPtr> children;
       children.push_back(std::move(cur));
@@ -141,13 +173,14 @@ Result<TablePtr> ParallelPlanDriver::RunSegment(
   }
 
   CRE_ASSIGN_OR_RETURN(JoinStates joins, BuildJoinStates(segment));
+  CRE_ASSIGN_OR_RETURN(SelectStates selects, BuildSelectStates(segment));
   MorselOptions options;
   options.morsel_rows = morsel_rows_;
   options.pool = pool_;
   return MorselParallelMap(
       base,
       [&](std::size_t, const TablePtr& slice) {
-        return BuildChain(segment, slice, joins);
+        return BuildChain(segment, slice, joins, selects);
       },
       options);
 }
@@ -157,11 +190,12 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   PipelineSegment segment = DecomposePipeline(*agg.children[0]);
   CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*segment.source));
   CRE_ASSIGN_OR_RETURN(JoinStates joins, BuildJoinStates(segment));
+  CRE_ASSIGN_OR_RETURN(SelectStates selects, BuildSelectStates(segment));
 
   // Learn the input schema of the aggregate from a zero-row prototype of
   // the child chain (also surfaces lowering errors before fan-out).
   CRE_ASSIGN_OR_RETURN(OperatorPtr prototype,
-                       BuildChain(segment, base->Slice(0, 0), joins));
+                       BuildChain(segment, base->Slice(0, 0), joins, selects));
   CRE_RETURN_NOT_OK(prototype->Open());
   const Schema input_schema = prototype->output_schema();
 
@@ -171,7 +205,8 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   const std::size_t n = base->num_rows();
   const std::size_t num_morsels = (n + morsel_rows_ - 1) / morsel_rows_;
   if (num_morsels <= 1 || pool_ == nullptr || pool_->num_threads() <= 1) {
-    CRE_ASSIGN_OR_RETURN(OperatorPtr chain, BuildChain(segment, base, joins));
+    CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
+                         BuildChain(segment, base, joins, selects));
     CRE_RETURN_NOT_OK(chain->Open());
     for (;;) {
       CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());
@@ -200,7 +235,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
           for (std::size_t m = begin; m < end; ++m) {
             TablePtr slice = base->Slice(m * morsel_rows_, morsel_rows_);
             CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
-                                 BuildChain(segment, slice, joins));
+                                 BuildChain(segment, slice, joins, selects));
             CRE_RETURN_NOT_OK(chain->Open());
             for (;;) {
               CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());

@@ -50,18 +50,24 @@ class ParallelPlanDriver {
   /// Shared build-side hash tables, one per kJoin node in a segment.
   using JoinStates =
       std::map<const PlanNode*, std::shared_ptr<HashJoinTable>>;
+  /// Pre-embedded query matrices, one per scanning kSemanticSelect node in
+  /// a segment: the query constant(s) embed once per query instead of
+  /// once per morsel-chain Open.
+  using SelectStates = std::map<const PlanNode*, SharedQueryMatrix>;
 
   Result<TablePtr> RunSegment(const PipelineSegment& segment);
   Result<TablePtr> MaterializeSource(const PlanNode& source);
   Result<TablePtr> RunAggregate(const PlanNode& agg);
   Result<JoinStates> BuildJoinStates(const PipelineSegment& segment);
+  Result<SelectStates> BuildSelectStates(const PipelineSegment& segment);
 
   /// Instantiates the segment's operator chain over one morsel slice.
   /// Called concurrently from worker threads; everything it touches is
   /// read-only or freshly constructed.
   Result<OperatorPtr> BuildChain(const PipelineSegment& segment,
                                  const TablePtr& slice,
-                                 const JoinStates& joins);
+                                 const JoinStates& joins,
+                                 const SelectStates& selects);
 
   /// Wraps `op` with a stats slot shared by all per-morsel instances of
   /// plan node `node` when instrumenting.

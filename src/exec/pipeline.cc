@@ -8,8 +8,11 @@ bool IsMorselStreamable(const PlanNode& node) {
   switch (node.kind) {
     case PlanKind::kFilter:
     case PlanKind::kProject:
-    case PlanKind::kSemanticSelect:
       return true;
+    case PlanKind::kSemanticSelect:
+      // The index-backed form probes a whole-table index and acts as a
+      // leaf (segment source); the scanning form streams per morsel.
+      return !node.IndexBackedSelect();
     case PlanKind::kJoin:
       // Probe side streams once the build side is a shared hash table.
       return true;

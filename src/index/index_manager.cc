@@ -1,0 +1,283 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "vecsim/hnsw_index.h"
+#include "vecsim/ivf_index.h"
+#include "vecsim/lsh_index.h"
+
+namespace cre {
+
+namespace {
+
+/// Serves hits in base-table row ids from an index built over the
+/// column's *distinct* values. Each distinct string embeds (and indexes)
+/// once regardless of how often it repeats — on Zipfian corpora this
+/// shrinks the index by the duplication factor — and the inner graph/
+/// partition structures never degenerate into duplicate cliques. Hits
+/// expand through the postings lists back to every base row holding the
+/// value, so callers see ids 0..num_rows as if the index covered the
+/// full column.
+class DistinctExpandedIndex : public VectorIndex {
+ public:
+  DistinctExpandedIndex(std::unique_ptr<VectorIndex> inner,
+                        std::vector<std::vector<std::uint32_t>> postings,
+                        std::size_t num_rows)
+      : inner_(std::move(inner)),
+        postings_(std::move(postings)),
+        rows_(num_rows) {}
+
+  Status Build(const float*, std::size_t, std::size_t) override {
+    return Status::Internal(
+        "DistinctExpandedIndex is constructed over a prebuilt inner index");
+  }
+
+  void RangeSearch(const float* query, float threshold,
+                   std::vector<ScoredId>* out) const override {
+    std::vector<ScoredId> hits;
+    inner_->RangeSearch(query, threshold, &hits);
+    for (const ScoredId& h : hits) {
+      for (const std::uint32_t row : postings_[h.id]) {
+        out->push_back({row, h.score});
+      }
+    }
+  }
+
+  std::vector<ScoredId> TopK(const float* query,
+                             std::size_t k) const override {
+    // k distinct hits expand to >= k rows (every value has >= 1 row), so
+    // asking the inner index for k is always sufficient.
+    std::vector<ScoredId> out;
+    out.reserve(k);
+    for (const ScoredId& h : inner_->TopK(query, k)) {
+      for (const std::uint32_t row : postings_[h.id]) {
+        if (out.size() >= k) return out;
+        out.push_back({row, h.score});
+      }
+    }
+    return out;
+  }
+
+  std::size_t size() const override { return rows_; }
+  std::size_t dim() const override { return inner_->dim(); }
+  std::string name() const override { return inner_->name(); }
+  std::size_t MemoryBytes() const override {
+    std::size_t bytes = inner_->MemoryBytes();
+    for (const auto& p : postings_) {
+      bytes += p.size() * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+
+ private:
+  std::unique_ptr<VectorIndex> inner_;
+  std::vector<std::vector<std::uint32_t>> postings_;
+  std::size_t rows_;
+};
+
+}  // namespace
+
+std::string IndexKey::ToString() const {
+  return table + "." + column + " @" + model + " [" +
+         SemanticJoinStrategyName(kind) + "]";
+}
+
+std::size_t IndexKeyHash::operator()(const IndexKey& k) const {
+  std::uint64_t h = HashString(k.table);
+  h = HashCombine(h, HashString(k.column));
+  h = HashCombine(h, HashString(k.model));
+  h = HashCombine(h, static_cast<std::uint64_t>(k.kind));
+  return static_cast<std::size_t>(h);
+}
+
+IndexManager::IndexManager(const Catalog* catalog, const ModelRegistry* models,
+                           IndexManagerOptions options)
+    : catalog_(catalog), models_(models), options_(std::move(options)) {}
+
+Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
+    const IndexKey& key, std::uint64_t* table_version) const {
+  // Snapshot table + version atomically: the entry must never pair a new
+  // table's contents with an older stamp (it would mask an invalidation).
+  CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
+                       catalog_->GetVersioned(key.table));
+  *table_version = vt.version;
+  CRE_ASSIGN_OR_RETURN(const Column* col, vt.table->ColumnByName(key.column));
+  if (col->type() != DataType::kString) {
+    return Status::TypeError("index column '" + key.column +
+                             "' of table '" + key.table +
+                             "' must be a string column");
+  }
+  CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model, models_->Get(key.model));
+
+  const auto& words = col->strings();
+  const std::size_t dim = model->dim();
+
+  // Embed and index each distinct value once; remember which rows hold it.
+  std::vector<std::string> distinct;
+  std::vector<std::vector<std::uint32_t>> postings;
+  {
+    std::unordered_map<std::string_view, std::uint32_t> seen;
+    seen.reserve(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      auto [it, inserted] = seen.emplace(
+          std::string_view(words[i]),
+          static_cast<std::uint32_t>(distinct.size()));
+      if (inserted) {
+        distinct.push_back(words[i]);
+        postings.emplace_back();
+      }
+      postings[it->second].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<float> matrix(distinct.size() * dim);
+  model->EmbedBatch(distinct, matrix.data());
+
+  std::unique_ptr<VectorIndex> index;
+  switch (key.kind) {
+    case SemanticJoinStrategy::kBruteForce:
+      return Status::InvalidArgument(
+          "brute force is not an index kind (nothing to cache)");
+    case SemanticJoinStrategy::kLsh:
+      index = std::make_unique<LshIndex>(options_.lsh);
+      break;
+    case SemanticJoinStrategy::kIvf:
+      index = std::make_unique<IvfIndex>(options_.ivf);
+      break;
+    case SemanticJoinStrategy::kHnsw:
+      index = std::make_unique<HnswIndex>(options_.hnsw);
+      break;
+  }
+  CRE_RETURN_NOT_OK(index->Build(matrix.data(), distinct.size(), dim));
+  return std::shared_ptr<const VectorIndex>(std::make_shared<
+      DistinctExpandedIndex>(std::move(index), std::move(postings),
+                             words.size()));
+}
+
+Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
+    const IndexKey& key, std::uint64_t* built_version) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;
+    EntryPtr entry = it->second;
+    if (entry->building) {
+      // Single-flight: someone else is building this key; wait for the
+      // outcome rather than duplicating the work.
+      cv_.wait(lock, [&] { return !entry->building; });
+      continue;  // re-find: the entry may have been replaced or removed
+    }
+    if (entry->table_version != catalog_->Version(key.table)) {
+      // Version-stamped invalidation: the base table changed since the
+      // build; drop the stale entry and fall through to a rebuild.
+      resident_bytes_ -= entry->bytes;
+      entries_.erase(it);
+      ++counters_.invalidations;
+      break;
+    }
+    entry->lru_tick = ++tick_;
+    ++counters_.hits;
+    if (built_version != nullptr) *built_version = entry->table_version;
+    return entry->index;
+  }
+
+  // Miss: install a building placeholder, then build outside the lock so
+  // concurrent lookups of other keys (and waiters on this one) don't
+  // serialize behind embedding + construction.
+  ++counters_.misses;
+  EntryPtr entry = std::make_shared<Entry>();
+  entry->building = true;
+  entries_[key] = entry;
+  lock.unlock();
+
+  std::uint64_t version = 0;
+  auto built = BuildIndex(key, &version);
+
+  lock.lock();
+  entry->building = false;
+  if (!built.ok()) {
+    entry->build_status = built.status();
+    ++counters_.build_failures;
+    // Only remove our own placeholder (a concurrent invalidation path
+    // never replaces a building entry, but stay defensive).
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    cv_.notify_all();
+    return built.status();
+  }
+  entry->index = built.ValueOrDie();
+  entry->table_version = version;
+  if (built_version != nullptr) *built_version = version;
+  entry->bytes = entry->index->MemoryBytes();
+  entry->lru_tick = ++tick_;
+  resident_bytes_ += entry->bytes;
+  ++counters_.builds;
+  EvictForBudgetLocked(entry.get());
+  cv_.notify_all();
+  return entry->index;
+}
+
+void IndexManager::EvictForBudgetLocked(const Entry* keep) {
+  while (resident_bytes_ > options_.memory_budget_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second->building || it->second.get() == keep) continue;
+      if (victim == entries_.end() ||
+          it->second->lru_tick < victim->second->lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // nothing evictable
+    resident_bytes_ -= victim->second->bytes;
+    entries_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+bool IndexManager::IsResident(const IndexKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second->building &&
+         it->second->table_version == catalog_->Version(key.table);
+}
+
+void IndexManager::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.table == table && !it->second->building) {
+      resident_bytes_ -= it->second->bytes;
+      it = entries_.erase(it);
+      ++counters_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IndexManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second->building) {
+      ++it;
+    } else {
+      resident_bytes_ -= it->second->bytes;
+      it = entries_.erase(it);
+    }
+  }
+}
+
+IndexManager::Stats IndexManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.resident_bytes = resident_bytes_;
+  s.resident_count = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (!entry->building) ++s.resident_count;
+  }
+  return s;
+}
+
+}  // namespace cre

@@ -1,0 +1,147 @@
+#ifndef CRE_INDEX_INDEX_MANAGER_H_
+#define CRE_INDEX_INDEX_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hash.h"
+#include "core/result.h"
+#include "embed/model_registry.h"
+#include "semantic/semantic_join.h"
+#include "storage/catalog.h"
+#include "vecsim/vector_index.h"
+
+namespace cre {
+
+/// Identity of one persistent vector index: the embeddings of one string
+/// column of one catalog table under one representation model, organized
+/// as one physical index family. Two queries that agree on all four share
+/// the same index instance.
+struct IndexKey {
+  std::string table;
+  std::string column;
+  std::string model;
+  SemanticJoinStrategy kind = SemanticJoinStrategy::kHnsw;
+
+  bool operator==(const IndexKey& o) const {
+    return kind == o.kind && table == o.table && column == o.column &&
+           model == o.model;
+  }
+  std::string ToString() const;
+};
+
+struct IndexKeyHash {
+  std::size_t operator()(const IndexKey& k) const;
+};
+
+struct IndexManagerOptions {
+  /// Master switch: when false the engine never consults the manager and
+  /// semantic operators build per-execution indexes as before.
+  bool enabled = true;
+  /// Total bytes of resident indexes before LRU eviction kicks in. The
+  /// most recently built index is never evicted by its own insertion.
+  std::size_t memory_budget_bytes = 256ull << 20;
+  /// Build parameters for the index families the manager constructs.
+  LshOptions lsh;
+  IvfOptions ivf;
+  HnswOptions hnsw;
+};
+
+/// The engine's persistent vector-index subsystem (paper Sec. V: "index
+/// structures for expediting similarity and top-k searches" as first-class,
+/// optimizer-visible state). Owns every cached VectorIndex, keyed by
+/// IndexKey, and provides:
+///
+///  - cross-query reuse: GetOrBuild returns a shared, immutable index;
+///    repeated queries over the same (table, column, model, kind) pay the
+///    embedding + build cost once;
+///  - versioned invalidation: each entry records the Catalog version stamp
+///    of its base table at build time; a Register/Put/Drop of that table
+///    makes the entry stale and the next lookup rebuilds;
+///  - a memory budget with LRU eviction over ready entries;
+///  - thread-safe concurrent access with single-flight builds: concurrent
+///    queries needing the same absent index block on one build instead of
+///    duplicating it.
+///
+/// Returned indexes are immutable and safe to probe from any thread; they
+/// stay alive (shared_ptr) even if evicted or invalidated mid-query.
+class IndexManager {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;           ///< lookups served by a fresh entry
+    std::uint64_t misses = 0;         ///< lookups that required a build
+    std::uint64_t builds = 0;         ///< successful index constructions
+    std::uint64_t build_failures = 0;
+    std::uint64_t evictions = 0;      ///< entries dropped for the budget
+    std::uint64_t invalidations = 0;  ///< entries dropped as version-stale
+    std::size_t resident_count = 0;
+    std::size_t resident_bytes = 0;
+  };
+
+  IndexManager(const Catalog* catalog, const ModelRegistry* models,
+               IndexManagerOptions options = {});
+
+  /// Returns the shared index for `key`, building it if absent or stale.
+  /// Concurrent callers with the same key wait for a single build. Errors
+  /// (missing table/model, non-string column, failed build) are returned
+  /// to every waiter and nothing is cached. When `built_version` is
+  /// non-null it receives the catalog version stamp the returned index
+  /// was built against — callers pairing the index with their own table
+  /// snapshot compare stamps (not just row counts) to rule out a
+  /// same-cardinality table replacement racing the lookup.
+  Result<std::shared_ptr<const VectorIndex>> GetOrBuild(
+      const IndexKey& key, std::uint64_t* built_version = nullptr);
+
+  /// True when a fresh (current-version) index for `key` is resident —
+  /// the optimizer's amortization signal: a resident index makes the
+  /// index-backed strategy's build cost zero.
+  bool IsResident(const IndexKey& key) const;
+
+  /// Drops every entry built over `table` (any column/model/kind).
+  void InvalidateTable(const std::string& table);
+
+  /// Drops everything.
+  void Clear();
+
+  Stats stats() const;
+  const IndexManagerOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const VectorIndex> index;  ///< null while building
+    std::uint64_t table_version = 0;
+    std::size_t bytes = 0;
+    std::uint64_t lru_tick = 0;
+    bool building = false;
+    Status build_status;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// Embeds the key's column and constructs+builds the index (no locks).
+  Result<std::shared_ptr<const VectorIndex>> BuildIndex(
+      const IndexKey& key, std::uint64_t* table_version) const;
+
+  /// Evicts least-recently-used ready entries (never `keep`) until the
+  /// budget holds. Caller holds mu_.
+  void EvictForBudgetLocked(const Entry* keep);
+
+  const Catalog* catalog_;
+  const ModelRegistry* models_;
+  IndexManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<IndexKey, EntryPtr, IndexKeyHash> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t resident_bytes_ = 0;
+  Stats counters_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_INDEX_INDEX_MANAGER_H_

@@ -18,37 +18,96 @@ double CostModel::EmbedCost(const std::string& model_name) const {
   return params_.embed;
 }
 
-double CostModel::SemanticJoinStrategyCost(SemanticJoinStrategy strategy,
-                                           double left_rows,
-                                           double right_rows) const {
-  const double dim = params_.vector_dim;
-  const double dot = dim * params_.dot_per_dim;
+double CostModel::SemanticIndexBuildCost(SemanticJoinStrategy strategy,
+                                         double base_rows) const {
+  const double dot = params_.vector_dim * params_.dot_per_dim;
   switch (strategy) {
     case SemanticJoinStrategy::kBruteForce:
-      return left_rows * right_rows * dot;
+      return 0;
+    case SemanticJoinStrategy::kLsh:
+      // Hash every base vector into every table.
+      return base_rows * params_.lsh_tables * params_.lsh_bits * dot;
+    case SemanticJoinStrategy::kIvf:
+      return base_rows * params_.ivf_centroids * dot *
+             params_.ivf_kmeans_iters;
+    case SemanticJoinStrategy::kHnsw:
+      // Each insert runs an ef_construction beam search per layer;
+      // expected layer count per node is a small constant.
+      return base_rows * params_.hnsw_ef_construction *
+             params_.hnsw_expansion_factor * dot;
+  }
+  return 0;
+}
+
+double CostModel::SemanticIndexProbeCost(SemanticJoinStrategy strategy,
+                                         double probe_rows,
+                                         double base_rows) const {
+  const double dot = params_.vector_dim * params_.dot_per_dim;
+  switch (strategy) {
+    case SemanticJoinStrategy::kBruteForce:
+      return probe_rows * base_rows * dot;
     case SemanticJoinStrategy::kLsh: {
-      // Build: hash every base vector into every table; probe: signature
-      // computation + exact verification of the candidate fraction.
+      // Signature computation + exact verification of the candidate set.
       const double sig = params_.lsh_tables * params_.lsh_bits * dot;
-      const double build = right_rows * sig;
-      const double probe =
-          left_rows *
-          (sig + right_rows * params_.lsh_candidate_fraction *
-                     params_.lsh_candidate_cost_multiplier * dot);
-      return build + probe;
+      return probe_rows *
+             (sig + base_rows * params_.lsh_candidate_fraction *
+                        params_.lsh_candidate_cost_multiplier * dot);
     }
     case SemanticJoinStrategy::kIvf: {
-      const double build = right_rows * params_.ivf_centroids * dot *
-                           params_.ivf_kmeans_iters;
       const double scanned_fraction =
           std::min(1.0, params_.ivf_nprobe / params_.ivf_centroids);
-      const double probe =
-          left_rows * (params_.ivf_centroids * dot +
-                       right_rows * scanned_fraction * dot);
-      return build + probe;
+      return probe_rows * (params_.ivf_centroids * dot +
+                           base_rows * scanned_fraction * dot);
+    }
+    case SemanticJoinStrategy::kHnsw: {
+      const double descent =
+          params_.hnsw_m * std::log2(std::max(2.0, base_rows));
+      const double beam = std::min(
+          base_rows,
+          params_.hnsw_ef_search * params_.hnsw_expansion_factor);
+      return probe_rows * (descent + beam) * dot;
     }
   }
   return 0;
+}
+
+double CostModel::SemanticJoinStrategyCost(SemanticJoinStrategy strategy,
+                                           double left_rows,
+                                           double right_rows) const {
+  return SemanticIndexBuildCost(strategy, right_rows) +
+         SemanticIndexProbeCost(strategy, left_rows, right_rows);
+}
+
+double CostModel::SemanticSelectStrategyCost(double base_rows,
+                                             const std::string& model_name,
+                                             SemanticJoinStrategy strategy,
+                                             bool resident) const {
+  if (strategy == SemanticJoinStrategy::kBruteForce) {
+    return ParallelCost(base_rows *
+                        (EmbedCost(model_name) +
+                         params_.vector_dim * params_.dot_per_dim));
+  }
+  double c = EmbedCost(model_name) +
+             SemanticIndexProbeCost(strategy, 1.0, base_rows);
+  if (!resident) {
+    c += (base_rows * EmbedCost(model_name) +
+          SemanticIndexBuildCost(strategy, base_rows)) /
+         std::max(1.0, params_.index_reuse_horizon);
+  }
+  return c;
+}
+
+double CostModel::AmortizedStrategyCost(SemanticJoinStrategy strategy,
+                                        double probe_rows, double base_rows,
+                                        bool resident, bool reusable) const {
+  const double probe =
+      SemanticIndexProbeCost(strategy, probe_rows, base_rows);
+  if (strategy == SemanticJoinStrategy::kBruteForce) return probe;
+  if (resident) return probe;  // warm: the manager already holds it
+  const double build = SemanticIndexBuildCost(strategy, base_rows);
+  const double horizon =
+      reusable ? std::max(1.0, params_.index_reuse_horizon) : 1.0;
+  return build / horizon + probe;
 }
 
 double CostModel::SelfCost(const PlanNode& node) const {
@@ -76,6 +135,20 @@ double CostModel::SelfCost(const PlanNode& node) const {
     case PlanKind::kLimit:
       return out_rows * params_.row_scan;
     case PlanKind::kSemanticSelect: {
+      if (node.IndexBackedSelect()) {
+        // Index-backed range search: embed one query and probe the managed
+        // whole-table index instead of embedding every input row. Cold
+        // builds amortize over the reuse horizon; resident indexes are
+        // free to reuse (the IndexManager already holds them).
+        double c = EmbedCost(node.model_name) +
+                   SemanticIndexProbeCost(node.strategy, 1.0, in_rows);
+        if (!node.index_resident) {
+          c += (in_rows * EmbedCost(node.model_name) +
+                SemanticIndexBuildCost(node.strategy, in_rows)) /
+               std::max(1.0, params_.index_reuse_horizon);
+        }
+        return c + out_rows * params_.materialize;
+      }
       const double queries =
           node.queries.empty() ? 1.0 : static_cast<double>(node.queries.size());
       return ParallelCost(
@@ -94,12 +167,17 @@ double CostModel::SelfCost(const PlanNode& node) const {
     case PlanKind::kSemanticJoin: {
       const double l = node.children[0]->est_rows;
       const double r = node.children[1]->est_rows;
-      const double embed = (l + r) * EmbedCost(node.model_name);
+      // With a resident shared index the operator skips both the
+      // build-side embedding and the index construction (warm path).
+      const double embed =
+          (node.index_resident ? l : l + r) * EmbedCost(node.model_name);
+      const double strategy =
+          node.index_resident
+              ? SemanticIndexProbeCost(node.strategy, l, r)
+              : SemanticJoinStrategyCost(node.strategy, l, r);
       // Embedding and probing parallelize (vecsim splits the probe side
       // over the pool); result materialization is serial.
-      return ParallelCost(embed +
-                          SemanticJoinStrategyCost(node.strategy, l, r)) +
-             out_rows * params_.materialize;
+      return ParallelCost(embed + strategy) + out_rows * params_.materialize;
     }
     case PlanKind::kSemanticGroupBy: {
       // Order-sensitive online clustering: inherently serial consumption.

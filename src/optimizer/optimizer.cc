@@ -22,7 +22,8 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan) const {
   }
   if (options_.enable_index_selection &&
       options_.allow_approximate_similarity) {
-    p = RulePickSemanticJoinStrategy(p, cost_);
+    p = RulePickSemanticJoinStrategy(p, cost_, index_residency_);
+    p = RulePickSemanticSelectStrategy(p, cost_, index_residency_);
   }
   if (options_.enable_column_pruning) {
     CRE_ASSIGN_OR_RETURN(p, RulePruneColumns(p, *catalog_));

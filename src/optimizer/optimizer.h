@@ -26,6 +26,11 @@ struct OptimizerOptions {
   /// discounts parallelizable operator costs accordingly. 0 = "let the
   /// engine fill in its pool size" (standalone optimizers treat it as 1).
   std::size_t degree_of_parallelism = 0;
+  /// Expected cross-query reuse of managed vector indexes (see
+  /// CostParams::index_reuse_horizon). 1 = never pay a cold index build
+  /// speculatively; raise for repeated-traffic workloads so the optimizer
+  /// invests in IndexManager builds that later queries hit warm.
+  double index_reuse_horizon = 1.0;
 };
 
 /// The holistic rule- and cost-based optimizer spanning relational and
@@ -36,13 +41,15 @@ class Optimizer {
  public:
   Optimizer(const Catalog* catalog, const ModelRegistry* models,
             const DetectorRegistry* detectors, OptimizerOptions options = {},
-            SubplanExecutor subplan_executor = nullptr)
+            SubplanExecutor subplan_executor = nullptr,
+            IndexResidencyProbe index_residency = nullptr)
       : catalog_(catalog),
         models_(models),
         options_(options),
         estimator_(catalog, models, detectors),
         cost_(models, ParamsFor(options)),
-        subplan_executor_(std::move(subplan_executor)) {}
+        subplan_executor_(std::move(subplan_executor)),
+        index_residency_(std::move(index_residency)) {}
 
   /// Produces an optimized copy of `plan` (the input is not modified).
   Result<PlanPtr> Optimize(const PlanPtr& plan) const;
@@ -62,6 +69,7 @@ class Optimizer {
     CostParams params;
     params.parallelism = static_cast<double>(
         std::max<std::size_t>(1, options.degree_of_parallelism));
+    params.index_reuse_horizon = std::max(1.0, options.index_reuse_horizon);
     return params;
   }
 
@@ -71,6 +79,8 @@ class Optimizer {
   CardinalityEstimator estimator_;
   CostModel cost_;
   SubplanExecutor subplan_executor_;
+  /// Engine-provided IndexManager residency signal (null = no manager).
+  IndexResidencyProbe index_residency_;
 };
 
 }  // namespace cre

@@ -246,20 +246,70 @@ Result<PlanPtr> RuleDataInducedPredicates(PlanPtr plan,
   return DeriveDip(plan, executor, max_inducing_rows);
 }
 
-PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost) {
-  for (auto& c : plan->children) c = RulePickSemanticJoinStrategy(c, cost);
+namespace {
+
+constexpr SemanticJoinStrategy kAllStrategies[] = {
+    SemanticJoinStrategy::kBruteForce, SemanticJoinStrategy::kLsh,
+    SemanticJoinStrategy::kIvf, SemanticJoinStrategy::kHnsw};
+
+}  // namespace
+
+PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost,
+                                     const IndexResidencyProbe& residency) {
+  for (auto& c : plan->children) {
+    c = RulePickSemanticJoinStrategy(c, cost, residency);
+  }
   if (plan->kind == PlanKind::kSemanticJoin && !plan->strategy_pinned) {
     const double l = std::max(0.0, plan->children[0]->est_rows);
     const double r = std::max(0.0, plan->children[1]->est_rows);
+    const PlanNode* scan = plan->IndexableBuildScan();
     double best = -1;
-    for (const auto s :
-         {SemanticJoinStrategy::kBruteForce, SemanticJoinStrategy::kLsh,
-          SemanticJoinStrategy::kIvf}) {
-      const double c = cost.SemanticJoinStrategyCost(s, l, r);
+    bool best_resident = false;
+    for (const auto s : kAllStrategies) {
+      const bool resident =
+          scan != nullptr && residency != nullptr &&
+          s != SemanticJoinStrategy::kBruteForce &&
+          residency(scan->table_name, plan->right_key, plan->model_name, s);
+      // A resident index also spares the build-side embedding pass.
+      double c = cost.AmortizedStrategyCost(s, l, r, resident,
+                                            /*reusable=*/scan != nullptr) +
+                 (resident ? 0.0 : r * cost.EmbedCost(plan->model_name));
       if (best < 0 || c < best) {
         best = c;
         plan->strategy = s;
+        best_resident = resident;
       }
+    }
+    plan->index_resident = best_resident;
+  }
+  return plan;
+}
+
+PlanPtr RulePickSemanticSelectStrategy(PlanPtr plan, const CostModel& cost,
+                                       const IndexResidencyProbe& residency) {
+  for (auto& c : plan->children) {
+    c = RulePickSemanticSelectStrategy(c, cost, residency);
+  }
+  if (residency == nullptr) return plan;  // no IndexManager to serve it
+  if (plan->kind != PlanKind::kSemanticSelect || plan->strategy_pinned ||
+      !plan->queries.empty() || plan->children.size() != 1 ||
+      plan->children[0]->kind != PlanKind::kScan ||
+      plan->children[0]->predicate != nullptr) {
+    return plan;
+  }
+  const double base = std::max(0.0, plan->children[0]->est_rows);
+  double best = -1;
+  for (const auto s : kAllStrategies) {
+    const bool resident =
+        s != SemanticJoinStrategy::kBruteForce &&
+        residency(plan->children[0]->table_name, plan->column,
+                  plan->model_name, s);
+    const double c =
+        cost.SemanticSelectStrategyCost(base, plan->model_name, s, resident);
+    if (best < 0 || c < best) {
+      best = c;
+      plan->strategy = s;
+      plan->index_resident = resident;
     }
   }
   return plan;
@@ -349,6 +399,10 @@ Result<PlanPtr> Prune(PlanPtr node,
       return node;
     }
     case PlanKind::kSemanticSelect: {
+      // An index-backed select resolves row ids against the whole base
+      // table, so its scan must stay bare — no projection may narrow or
+      // reorder it (upstream operators re-project as needed).
+      if (node->IndexBackedSelect()) return node;
       std::optional<std::set<std::string>> child_req = required;
       if (child_req.has_value()) child_req->insert(node->column);
       CRE_ASSIGN_OR_RETURN(node->children[0],

@@ -39,11 +39,33 @@ Result<PlanPtr> RuleDataInducedPredicates(PlanPtr plan,
                                           const SubplanExecutor& executor,
                                           std::size_t max_inducing_rows = 64);
 
+/// Answers "does the IndexManager hold a fresh index of family `kind`
+/// over (table, column, model) right now?" — the optimizer's residency
+/// signal. Provided by the engine; null means "no index subsystem" (all
+/// lookups cold, index-backed semantic selects unavailable).
+using IndexResidencyProbe = std::function<bool(
+    const std::string& table, const std::string& column,
+    const std::string& model, SemanticJoinStrategy kind)>;
+
 /// Rule 4 — cost-based physical strategy selection for semantic joins
-/// (brute force vs LSH vs IVF), the similarity analogue of index
-/// selection (Sec. V). Requires cardinality annotations; skips nodes with
-/// strategy_pinned.
-PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost);
+/// (brute force vs LSH vs IVF vs HNSW), the similarity analogue of index
+/// selection (Sec. V). Distinguishes three amortization states per
+/// strategy: resident in the IndexManager (probe cost only), reusable
+/// (bare-scan build side — cold build amortized over the expected reuse
+/// horizon), and one-shot (full build cost, the pre-manager behavior).
+/// Requires cardinality annotations; skips nodes with strategy_pinned.
+PlanPtr RulePickSemanticJoinStrategy(
+    PlanPtr plan, const CostModel& cost,
+    const IndexResidencyProbe& residency = nullptr);
+
+/// Rule 4b — index-backed semantic select: when a single-query semantic
+/// select sits on a bare catalog scan and a managed whole-table index
+/// (amortized) is cheaper than the embed-every-row scan, flips the node's
+/// strategy to the winning index family. Only fires when `residency` is
+/// non-null (an engine with an IndexManager), since the physical operator
+/// needs the manager to serve the index.
+PlanPtr RulePickSemanticSelectStrategy(PlanPtr plan, const CostModel& cost,
+                                       const IndexResidencyProbe& residency);
 
 /// Rule 5 — projection pruning: narrows scans to the columns actually
 /// referenced above them (reduces materialization and join copying).

@@ -142,6 +142,27 @@ PlanPtr PlanNode::Clone() const {
   return n;
 }
 
+const PlanNode* PlanNode::IndexableBuildScan() const {
+  if (kind != PlanKind::kSemanticJoin || children.size() != 2) return nullptr;
+  const PlanNode* right = children[1].get();
+  if (right->kind == PlanKind::kProject && right->children.size() == 1) {
+    // Column pruning wraps bare scans in identity projections; the row
+    // set and order are unchanged, so the whole-table index still lines
+    // up with the collected build side.
+    for (const auto& item : right->projections) {
+      if (item.expr->kind() != ExprKind::kColumnRef ||
+          item.expr->column_name() != item.name) {
+        return nullptr;
+      }
+    }
+    right = right->children[0].get();
+  }
+  if (right->kind != PlanKind::kScan || right->predicate != nullptr) {
+    return nullptr;
+  }
+  return right;
+}
+
 std::string PlanNode::Describe() const {
   std::ostringstream os;
   os << PlanKindName(kind);
@@ -174,13 +195,19 @@ std::string PlanNode::Describe() const {
            << ")";
       } else {
         os << "(" << column << " ~ '" << query << "' >= " << threshold
-           << ", model=" << model_name << ")";
+           << ", model=" << model_name;
+        if (strategy != SemanticJoinStrategy::kBruteForce) {
+          os << ", strategy=" << SemanticJoinStrategyName(strategy)
+             << (index_resident ? " (resident)" : "");
+        }
+        os << ")";
       }
       break;
     case PlanKind::kSemanticJoin:
       os << "(" << left_key << " ~ " << right_key << " >= " << threshold
          << ", model=" << model_name << ", strategy="
-         << SemanticJoinStrategyName(strategy) << ")";
+         << SemanticJoinStrategyName(strategy)
+         << (index_resident ? " (resident)" : "") << ")";
       break;
     case PlanKind::kSemanticGroupBy:
       os << "(" << column << " @ " << threshold << ", model=" << model_name

@@ -68,9 +68,17 @@ class PlanNode {
   std::vector<std::string> queries;
   std::string model_name;  ///< registry name of the model to use
   float threshold = 0.9f;
+  /// Physical similarity strategy. For kSemanticJoin any value applies;
+  /// for kSemanticSelect a non-brute value selects the index-backed range
+  /// search over the IndexManager (only meaningful when
+  /// IndexBackedSelect() holds).
   SemanticJoinStrategy strategy = SemanticJoinStrategy::kBruteForce;
   /// When false, the physical planner may re-pick the strategy by cost.
   bool strategy_pinned = false;
+  /// Optimizer annotation: a fresh shared index for this node's strategy
+  /// is already resident in the IndexManager, so the cost model charges
+  /// probe cost only (the amortized "warm" case, Sec. V).
+  bool index_resident = false;
   /// Semantic join top-k mode (0 = threshold range join).
   std::size_t top_k = 0;
 
@@ -109,6 +117,25 @@ class PlanNode {
                            std::vector<AggSpec> aggs);
   static PlanPtr Sort(PlanPtr child, std::string key, bool ascending);
   static PlanPtr Limit(PlanPtr child, std::size_t n);
+
+  /// True when this is a kSemanticSelect that can execute as an
+  /// index-backed range search over a managed whole-table index: a single
+  /// query (not a DIP multi-select) over a bare catalog scan — no pushed
+  /// predicate or projection between the select and the table, so index
+  /// ids coincide with table row ids.
+  bool IndexBackedSelect() const {
+    return kind == PlanKind::kSemanticSelect &&
+           strategy != SemanticJoinStrategy::kBruteForce && queries.empty() &&
+           children.size() == 1 && children[0]->kind == PlanKind::kScan &&
+           children[0]->predicate == nullptr;
+  }
+
+  /// For kSemanticJoin: the bare catalog scan beneath the build (right)
+  /// side if index reuse through the IndexManager is possible — the right
+  /// child is either a bare scan or an identity projection of one (column
+  /// pruning preserves row identity, so index ids still match build rows).
+  /// Returns nullptr otherwise.
+  const PlanNode* IndexableBuildScan() const;
 
   /// Deep copy (children cloned recursively).
   PlanPtr Clone() const;

@@ -13,6 +13,8 @@ const char* SemanticJoinStrategyName(SemanticJoinStrategy s) {
       return "lsh";
     case SemanticJoinStrategy::kIvf:
       return "ivf";
+    case SemanticJoinStrategy::kHnsw:
+      return "hnsw";
   }
   return "?";
 }
@@ -63,21 +65,42 @@ Status SemanticJoinOperator::BuildRightSide() {
   }
   const auto& words = key->strings();
   const std::size_t dim = model_->dim();
+
+  // A manager-served index lets the operator skip both the build-side
+  // embedding and the index construction. Adopt it only when it provably
+  // covers the collected build side (row count and dimension agree);
+  // otherwise fall through to a local build — correctness never depends
+  // on the cache being right.
+  if (options_.shared_index != nullptr &&
+      options_.strategy != SemanticJoinStrategy::kBruteForce &&
+      options_.shared_index->size() == words.size() &&
+      options_.shared_index->dim() == dim) {
+    index_ = options_.shared_index;
+    using_shared_index_ = true;
+    return Status::OK();
+  }
+
   right_matrix_.resize(words.size() * dim);
   model_->EmbedBatch(words, right_matrix_.data());
 
+  std::unique_ptr<VectorIndex> owned;
   switch (options_.strategy) {
     case SemanticJoinStrategy::kBruteForce:
       index_.reset();
       return Status::OK();
     case SemanticJoinStrategy::kLsh:
-      index_ = std::make_unique<LshIndex>(options_.lsh);
+      owned = std::make_unique<LshIndex>(options_.lsh);
       break;
     case SemanticJoinStrategy::kIvf:
-      index_ = std::make_unique<IvfIndex>(options_.ivf);
+      owned = std::make_unique<IvfIndex>(options_.ivf);
+      break;
+    case SemanticJoinStrategy::kHnsw:
+      owned = std::make_unique<HnswIndex>(options_.hnsw);
       break;
   }
-  return index_->Build(right_matrix_.data(), words.size(), dim);
+  CRE_RETURN_NOT_OK(owned->Build(right_matrix_.data(), words.size(), dim));
+  index_ = std::move(owned);
+  return Status::OK();
 }
 
 Result<TablePtr> SemanticJoinOperator::Next() {
@@ -109,7 +132,8 @@ Result<TablePtr> SemanticJoinOperator::Next() {
           }
           hits = collector.TakeSorted();
         } else {
-          hits = index_->TopK(q, options_.top_k);
+          CRE_ASSIGN_OR_RETURN(hits,
+                               index_->TopKChecked(q, dim, options_.top_k));
         }
         for (const auto& h : hits) {
           if (h.score < options_.threshold) continue;
@@ -127,8 +151,8 @@ Result<TablePtr> SemanticJoinOperator::Next() {
     } else {
       for (std::size_t i = 0; i < words.size(); ++i) {
         std::vector<ScoredId> hits;
-        index_->RangeSearch(left_matrix.data() + i * dim, options_.threshold,
-                            &hits);
+        CRE_RETURN_NOT_OK(index_->RangeSearchChecked(
+            left_matrix.data() + i * dim, dim, options_.threshold, &hits));
         for (const auto& h : hits) {
           matches.push_back({static_cast<std::uint32_t>(i), h.id, h.score});
         }
@@ -186,6 +210,8 @@ std::vector<MatchPair> SemanticStringJoin(
   std::unique_ptr<VectorIndex> index;
   if (options.strategy == SemanticJoinStrategy::kLsh) {
     index = std::make_unique<LshIndex>(options.lsh);
+  } else if (options.strategy == SemanticJoinStrategy::kHnsw) {
+    index = std::make_unique<HnswIndex>(options.hnsw);
   } else {
     index = std::make_unique<IvfIndex>(options.ivf);
   }

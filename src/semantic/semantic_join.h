@@ -10,18 +10,23 @@
 #include "embed/model_registry.h"
 #include "exec/operator.h"
 #include "vecsim/brute_force.h"
+#include "vecsim/hnsw_index.h"
 #include "vecsim/ivf_index.h"
 #include "vecsim/lsh_index.h"
 #include "vecsim/vector_index.h"
 
 namespace cre {
 
-/// Physical strategies for the semantic join — the similarity analogue of
-/// choosing between a nested-loop scan and an index join (Sec. V, E6).
+/// Physical strategies for similarity operators — the similarity analogue
+/// of choosing between a nested-loop scan and an index join (Sec. V, E6).
+/// Shared between the semantic join and the index-backed semantic select;
+/// every non-brute strategy names a VectorIndex family the IndexManager
+/// can build, cache, and reuse across queries.
 enum class SemanticJoinStrategy {
   kBruteForce = 0,  ///< exact all-pairs scan (SIMD + parallel capable)
   kLsh,             ///< random-hyperplane LSH candidates + exact verify
   kIvf,             ///< IVF-flat probes + exact verify
+  kHnsw,            ///< hierarchical proximity graph + exact verify
 };
 
 const char* SemanticJoinStrategyName(SemanticJoinStrategy s);
@@ -33,6 +38,13 @@ struct SemanticJoinOptions {
   ThreadPool* pool = nullptr;  ///< enables parallel probing when set
   LshOptions lsh;
   IvfOptions ivf;
+  HnswOptions hnsw;
+  /// Prebuilt index over the build (right) side's key embeddings, usually
+  /// served by the engine's IndexManager. When set (and consistent with
+  /// the collected build side), the operator probes it directly instead of
+  /// embedding + building per execution — the cross-query amortization the
+  /// index subsystem exists for. Ignored for kBruteForce.
+  std::shared_ptr<const VectorIndex> shared_index;
   /// Top-k mode: when > 0, each left row joins with its `top_k` most
   /// similar right rows that also clear `threshold` (set threshold to a
   /// very low value for pure k-NN). 0 = plain threshold range join.
@@ -61,6 +73,9 @@ class SemanticJoinOperator : public PhysicalOperator {
            ")";
   }
 
+  /// True when Open() adopted a prebuilt shared index instead of building.
+  bool using_shared_index() const { return using_shared_index_; }
+
  private:
   Status BuildRightSide();
 
@@ -74,7 +89,10 @@ class SemanticJoinOperator : public PhysicalOperator {
   Schema schema_;
   TablePtr build_;
   std::vector<float> right_matrix_;
-  std::unique_ptr<VectorIndex> index_;
+  /// Owned (locally built) or shared (IndexManager-served) index.
+  std::shared_ptr<const VectorIndex> index_;
+  /// True when index_ came from options_.shared_index (stats/debugging).
+  bool using_shared_index_ = false;
   bool opened_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "semantic/semantic_select.h"
 
+#include <algorithm>
 #include <string_view>
 #include <unordered_map>
 
@@ -40,12 +41,14 @@ SemanticSelectOperator::SemanticSelectOperator(OperatorPtr child,
                                                std::string column,
                                                std::string query,
                                                EmbeddingModelPtr model,
-                                               float threshold)
+                                               float threshold,
+                                               SharedQueryMatrix shared_query)
     : child_(std::move(child)),
       column_(std::move(column)),
       query_(std::move(query)),
       model_(std::move(model)),
-      threshold_(threshold) {}
+      threshold_(threshold),
+      shared_query_(std::move(shared_query)) {}
 
 Status SemanticSelectOperator::Open() {
   CRE_RETURN_NOT_OK(child_->Open());
@@ -55,8 +58,17 @@ Status SemanticSelectOperator::Open() {
     return Status::TypeError("semantic select column '" + column_ +
                              "' must be a string column");
   }
+  if (shared_query_ != nullptr) {
+    if (shared_query_->size() != model_->dim()) {
+      return Status::InvalidArgument(
+          "shared query matrix size does not match model dim");
+    }
+    query_data_ = shared_query_->data();
+    return Status::OK();
+  }
   query_vec_.resize(model_->dim());
   model_->Embed(query_, query_vec_.data());
+  query_data_ = query_vec_.data();
   return Status::OK();
 }
 
@@ -75,8 +87,7 @@ Result<TablePtr> SemanticSelectOperator::Next() {
     const DotFn dot = GetDotKernel(BestKernelVariant());
     std::vector<char> match(distinct.unique.size());
     for (std::size_t u = 0; u < distinct.unique.size(); ++u) {
-      match[u] = dot(query_vec_.data(), matrix.data() + u * dim, dim) >=
-                 threshold_;
+      match[u] = dot(query_data_, matrix.data() + u * dim, dim) >= threshold_;
     }
     std::vector<std::uint32_t> keep;
     for (std::size_t i = 0; i < words.size(); ++i) {
@@ -92,12 +103,14 @@ Result<TablePtr> SemanticSelectOperator::Next() {
 
 SemanticMultiSelectOperator::SemanticMultiSelectOperator(
     OperatorPtr child, std::string column, std::vector<std::string> queries,
-    EmbeddingModelPtr model, float threshold)
+    EmbeddingModelPtr model, float threshold,
+    SharedQueryMatrix shared_queries)
     : child_(std::move(child)),
       column_(std::move(column)),
       queries_(std::move(queries)),
       model_(std::move(model)),
-      threshold_(threshold) {}
+      threshold_(threshold),
+      shared_queries_(std::move(shared_queries)) {}
 
 Status SemanticMultiSelectOperator::Open() {
   CRE_RETURN_NOT_OK(child_->Open());
@@ -107,8 +120,17 @@ Status SemanticMultiSelectOperator::Open() {
     return Status::TypeError("semantic multi-select column '" + column_ +
                              "' must be a string column");
   }
+  if (shared_queries_ != nullptr) {
+    if (shared_queries_->size() != queries_.size() * model_->dim()) {
+      return Status::InvalidArgument(
+          "shared query matrix size does not match query count * model dim");
+    }
+    query_data_ = shared_queries_->data();
+    return Status::OK();
+  }
   query_matrix_.resize(queries_.size() * model_->dim());
   model_->EmbedBatch(queries_, query_matrix_.data());
+  query_data_ = query_matrix_.data();
   return Status::OK();
 }
 
@@ -129,7 +151,7 @@ Result<TablePtr> SemanticMultiSelectOperator::Next() {
     for (std::size_t u = 0; u < distinct.unique.size(); ++u) {
       const float* v = matrix.data() + u * dim;
       for (std::size_t q = 0; q < queries_.size(); ++q) {
-        if (dot(v, query_matrix_.data() + q * dim, dim) >= threshold_) {
+        if (dot(v, query_data_ + q * dim, dim) >= threshold_) {
           match[u] = 1;
           break;
         }
@@ -145,6 +167,59 @@ Result<TablePtr> SemanticMultiSelectOperator::Next() {
     if (keep.size() == batch->num_rows()) return batch;
     return batch->Take(keep);
   }
+}
+
+SemanticIndexSelectOperator::SemanticIndexSelectOperator(
+    TablePtr table, std::string column, std::string query,
+    EmbeddingModelPtr model, float threshold,
+    std::shared_ptr<const VectorIndex> index)
+    : table_(std::move(table)),
+      column_(std::move(column)),
+      query_(std::move(query)),
+      model_(std::move(model)),
+      threshold_(threshold),
+      index_(std::move(index)) {}
+
+Status SemanticIndexSelectOperator::Open() {
+  matches_.clear();
+  next_ = 0;
+  if (index_ == nullptr) {
+    return Status::InvalidArgument("semantic index select requires an index");
+  }
+  CRE_ASSIGN_OR_RETURN(const Column* col, table_->ColumnByName(column_));
+  if (col->type() != DataType::kString) {
+    return Status::TypeError("semantic index select column '" + column_ +
+                             "' must be a string column");
+  }
+  if (index_->size() != table_->num_rows()) {
+    return Status::Internal(
+        "index over '" + column_ + "' covers " +
+        std::to_string(index_->size()) + " rows but the table has " +
+        std::to_string(table_->num_rows()) +
+        " (stale index served for a changed table?)");
+  }
+  std::vector<float> query_vec(model_->dim());
+  model_->Embed(query_, query_vec.data());
+  std::vector<ScoredId> hits;
+  CRE_RETURN_NOT_OK(index_->RangeSearchChecked(query_vec.data(), model_->dim(),
+                                               threshold_, &hits));
+  matches_.reserve(hits.size());
+  for (const ScoredId& h : hits) matches_.push_back(h.id);
+  // Emit in base-table row order, exactly like the scanning select would.
+  std::sort(matches_.begin(), matches_.end());
+  matches_.erase(std::unique(matches_.begin(), matches_.end()),
+                 matches_.end());
+  return Status::OK();
+}
+
+Result<TablePtr> SemanticIndexSelectOperator::Next() {
+  if (next_ >= matches_.size()) return TablePtr(nullptr);
+  const std::size_t count =
+      std::min(kDefaultBatchSize, matches_.size() - next_);
+  std::vector<std::uint32_t> batch_ids(matches_.begin() + next_,
+                                       matches_.begin() + next_ + count);
+  next_ += count;
+  return table_->Take(batch_ids);
 }
 
 Result<TablePtr> SemanticFilter(const TablePtr& table,

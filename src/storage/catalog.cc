@@ -8,12 +8,14 @@ Status Catalog::Register(const std::string& name, TablePtr table) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
   tables_[name] = std::move(table);
+  versions_[name] = ++version_counter_;
   return Status::OK();
 }
 
 void Catalog::Put(const std::string& name, TablePtr table) {
   std::lock_guard<std::mutex> lock(mu_);
   tables_[name] = std::move(table);
+  versions_[name] = ++version_counter_;
 }
 
 Result<TablePtr> Catalog::Get(const std::string& name) const {
@@ -35,7 +37,24 @@ Status Catalog::Drop(const std::string& name) {
   if (!tables_.erase(name)) {
     return Status::NotFound("table '" + name + "' not in catalog");
   }
+  versions_[name] = ++version_counter_;
   return Status::OK();
+}
+
+std::uint64_t Catalog::Version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+Result<Catalog::VersionedTable> Catalog::GetVersioned(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return VersionedTable{it->second, versions_.at(name)};
 }
 
 std::vector<std::string> Catalog::ListTables() const {

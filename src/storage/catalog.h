@@ -1,6 +1,7 @@
 #ifndef CRE_STORAGE_CATALOG_H_
 #define CRE_STORAGE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,11 @@ namespace cre {
 /// Thread-safe name -> table registry. The engine resolves logical scan
 /// nodes against a catalog; multiple sources (RDBMS tables, KB exports,
 /// vision outputs) register here for holistic optimization.
+///
+/// Every mutation of a name (Register/Put/Drop) advances that name's
+/// version stamp. Derived artifacts built over a table's contents — e.g.
+/// the IndexManager's vector indexes — record the version they were built
+/// against and treat a stamp change as invalidation.
 class Catalog {
  public:
   Catalog() = default;
@@ -31,9 +37,24 @@ class Catalog {
 
   std::vector<std::string> ListTables() const;
 
+  /// Current version stamp of `name` (0 = never registered). Stamps are
+  /// unique across the catalog's lifetime: a drop + re-register never
+  /// reuses an old stamp.
+  std::uint64_t Version(const std::string& name) const;
+
+  /// Table and its version stamp in one consistent snapshot (so a builder
+  /// cannot pair a new table with a pre-replacement stamp).
+  struct VersionedTable {
+    TablePtr table;
+    std::uint64_t version = 0;
+  };
+  Result<VersionedTable> GetVersioned(const std::string& name) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, TablePtr> tables_;
+  std::map<std::string, std::uint64_t> versions_;
+  std::uint64_t version_counter_ = 0;
 };
 
 }  // namespace cre

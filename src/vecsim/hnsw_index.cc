@@ -1,0 +1,256 @@
+#include "vecsim/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/rng.h"
+
+namespace cre {
+
+namespace {
+
+/// Max-heap on score (best candidate on top).
+struct ScoreLess {
+  bool operator()(const ScoredId& a, const ScoredId& b) const {
+    return a.score < b.score || (a.score == b.score && a.id > b.id);
+  }
+};
+
+/// Min-heap on score (worst retained result on top).
+struct ScoreGreater {
+  bool operator()(const ScoredId& a, const ScoredId& b) const {
+    return a.score > b.score || (a.score == b.score && a.id < b.id);
+  }
+};
+
+}  // namespace
+
+Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (options_.M < 2) {
+    // The level distribution uses mL = 1/ln(M): M == 1 would divide by
+    // ln(1) = 0 and M == 0 has no graph at all.
+    return Status::InvalidArgument("M must be >= 2");
+  }
+  n_ = n;
+  dim_ = dim;
+  dot_ = GetDotKernel(BestKernelVariant());
+  data_.assign(data, data + n * dim);
+  links_.assign(n, {});
+  levels_.assign(n, 0);
+  entry_ = 0;
+  max_level_ = -1;
+  if (n == 0) return Status::OK();
+
+  // Geometric level draws (mL = 1/ln(M)) with a fixed seed keep the graph
+  // deterministic across rebuilds of the same data.
+  Rng rng(options_.seed);
+  const double ml = 1.0 / std::log(static_cast<double>(options_.M));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    const int level = static_cast<int>(-std::log(u) * ml);
+    levels_[i] = level;
+    links_[i].assign(static_cast<std::size_t>(level) + 1, {});
+    Insert(i, level);
+  }
+  return Status::OK();
+}
+
+std::uint32_t HnswIndex::GreedyStep(const float* query, std::uint32_t entry,
+                                    int layer) const {
+  std::uint32_t cur = entry;
+  float cur_score = dot_(query, Vec(cur), dim_);
+  for (;;) {
+    bool improved = false;
+    for (const std::uint32_t nb : links_[cur][layer]) {
+      const float s = dot_(query, Vec(nb), dim_);
+      if (s > cur_score) {
+        cur = nb;
+        cur_score = s;
+        improved = true;
+      }
+    }
+    if (!improved) return cur;
+  }
+}
+
+std::vector<ScoredId> HnswIndex::SearchLayer(const float* query,
+                                             std::uint32_t entry,
+                                             std::size_t ef, int layer,
+                                             std::vector<char>* visited) const {
+  std::fill(visited->begin(), visited->end(), 0);
+  std::priority_queue<ScoredId, std::vector<ScoredId>, ScoreLess> candidates;
+  std::priority_queue<ScoredId, std::vector<ScoredId>, ScoreGreater> results;
+
+  const float entry_score = dot_(query, Vec(entry), dim_);
+  (*visited)[entry] = 1;
+  candidates.push({entry, entry_score});
+  results.push({entry, entry_score});
+
+  while (!candidates.empty()) {
+    const ScoredId c = candidates.top();
+    candidates.pop();
+    if (results.size() >= ef && c.score < results.top().score) break;
+    for (const std::uint32_t nb : links_[c.id][layer]) {
+      if ((*visited)[nb]) continue;
+      (*visited)[nb] = 1;
+      const float s = dot_(query, Vec(nb), dim_);
+      if (results.size() < ef || s > results.top().score) {
+        candidates.push({nb, s});
+        results.push({nb, s});
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<ScoredId> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
+    const std::vector<ScoredId>& candidates, std::size_t m) const {
+  std::vector<std::uint32_t> selected, pruned;
+  for (const ScoredId& cand : candidates) {
+    if (selected.size() >= m) break;
+    bool keep = true;
+    for (const std::uint32_t s : selected) {
+      if (dot_(Vec(cand.id), Vec(s), dim_) > cand.score) {
+        keep = false;
+        break;
+      }
+    }
+    (keep ? selected : pruned).push_back(cand.id);
+  }
+  for (const std::uint32_t id : pruned) {
+    if (selected.size() >= m) break;
+    selected.push_back(id);
+  }
+  return selected;
+}
+
+void HnswIndex::ShrinkLinks(std::uint32_t node, int layer) {
+  auto& nbrs = links_[node][layer];
+  const std::size_t cap = MaxDegree(layer);
+  if (nbrs.size() <= cap) return;
+  const float* v = Vec(node);
+  std::vector<ScoredId> scored;
+  scored.reserve(nbrs.size());
+  for (const std::uint32_t id : nbrs) {
+    scored.push_back({id, dot_(v, Vec(id), dim_)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredId& a, const ScoredId& b) {
+              return a.score > b.score || (a.score == b.score && a.id < b.id);
+            });
+  nbrs = SelectNeighbors(scored, cap);
+}
+
+void HnswIndex::Insert(std::uint32_t id, int level) {
+  if (max_level_ < 0) {  // first node
+    entry_ = id;
+    max_level_ = level;
+    return;
+  }
+
+  const float* q = Vec(id);
+  std::uint32_t ep = entry_;
+  for (int layer = max_level_; layer > level; --layer) {
+    ep = GreedyStep(q, ep, layer);
+  }
+
+  std::vector<char> visited(n_, 0);
+  for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+    std::vector<ScoredId> found =
+        SearchLayer(q, ep, options_.ef_construction, layer, &visited);
+    std::sort(found.begin(), found.end(),
+              [](const ScoredId& a, const ScoredId& b) {
+                return a.score > b.score ||
+                       (a.score == b.score && a.id < b.id);
+              });
+    auto& own = links_[id][layer];
+    own = SelectNeighbors(found, MaxDegree(layer));
+    for (const std::uint32_t nb : own) {
+      links_[nb][layer].push_back(id);
+      ShrinkLinks(nb, layer);
+    }
+    if (!found.empty()) ep = found.front().id;
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_ = id;
+  }
+}
+
+std::vector<ScoredId> HnswIndex::TopK(const float* query,
+                                      std::size_t k) const {
+  if (n_ == 0 || k == 0) return {};
+  std::uint32_t ep = entry_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    ep = GreedyStep(query, ep, layer);
+  }
+  std::vector<char> visited(n_, 0);
+  std::vector<ScoredId> found = SearchLayer(
+      query, ep, std::max(options_.ef_search, k), 0, &visited);
+  std::sort(found.begin(), found.end(),
+            [](const ScoredId& a, const ScoredId& b) {
+              return a.score > b.score || (a.score == b.score && a.id < b.id);
+            });
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+void HnswIndex::RangeSearch(const float* query, float threshold,
+                            std::vector<ScoredId>* out) const {
+  if (n_ == 0) return;
+  std::uint32_t ep = entry_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    ep = GreedyStep(query, ep, layer);
+  }
+  // Seed the threshold region with an ef_search beam, then flood-fill the
+  // layer-0 graph over nodes scoring within range_slack of the threshold.
+  // Only exact hits (>= threshold) are reported: no false positives.
+  std::vector<char> visited(n_, 0);
+  std::vector<ScoredId> seeds =
+      SearchLayer(query, ep, options_.ef_search, 0, &visited);
+
+  const float explore = threshold - options_.range_slack;
+  std::fill(visited.begin(), visited.end(), 0);
+  std::vector<std::uint32_t> frontier;
+  for (const ScoredId& s : seeds) {
+    visited[s.id] = 1;
+    if (s.score >= threshold) out->push_back(s);
+    if (s.score >= explore) frontier.push_back(s.id);
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.back();
+    frontier.pop_back();
+    for (const std::uint32_t nb : links_[cur][0]) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float s = dot_(query, Vec(nb), dim_);
+      if (s >= threshold) out->push_back({nb, s});
+      if (s >= explore) frontier.push_back(nb);
+    }
+  }
+}
+
+std::size_t HnswIndex::MemoryBytes() const {
+  std::size_t bytes = data_.size() * sizeof(float) +
+                      levels_.size() * sizeof(int);
+  for (const auto& per_node : links_) {
+    for (const auto& layer : per_node) {
+      bytes += layer.size() * sizeof(std::uint32_t) +
+               sizeof(std::vector<std::uint32_t>);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cre

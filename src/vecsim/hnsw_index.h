@@ -1,0 +1,95 @@
+#ifndef CRE_VECSIM_HNSW_INDEX_H_
+#define CRE_VECSIM_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vecsim/kernels.h"
+#include "vecsim/vector_index.h"
+
+namespace cre {
+
+/// HNSW graph index (Malkov & Yashunin): a layered proximity graph where
+/// upper layers are exponentially sparser "express lanes" and layer 0
+/// holds every vector. Queries greedily descend the hierarchy and run a
+/// best-first beam search at layer 0. Unlike IVF/LSH this needs no global
+/// training pass, degrades gracefully on unclustered data, and gives a
+/// tunable recall/latency knob (`ef_search`) at query time — the index
+/// family the IndexManager prefers for cross-query reuse, where build cost
+/// is paid once and amortized over many probes.
+struct HnswOptions {
+  /// Max out-degree per node on layers > 0 (layer 0 allows 2*M).
+  std::size_t M = 16;
+  /// Beam width while inserting (quality of the construction).
+  std::size_t ef_construction = 128;
+  /// Beam width while querying (recall/latency knob).
+  std::size_t ef_search = 96;
+  std::uint64_t seed = 13;
+  /// RangeSearch explores graph nodes scoring >= threshold - range_slack,
+  /// reporting only those >= threshold: the slack lets the walk cross
+  /// small similarity dips inside a threshold region without admitting
+  /// false positives (every hit is exactly verified).
+  float range_slack = 0.05f;
+};
+
+class HnswIndex : public VectorIndex {
+ public:
+  explicit HnswIndex(HnswOptions options = {}) : options_(options) {}
+
+  Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  void RangeSearch(const float* query, float threshold,
+                   std::vector<ScoredId>* out) const override;
+  std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;
+
+  std::size_t size() const override { return n_; }
+  std::size_t dim() const override { return dim_; }
+  std::string name() const override { return "hnsw"; }
+  std::size_t MemoryBytes() const override;
+
+  int max_level() const { return max_level_; }
+
+ private:
+  std::size_t MaxDegree(int layer) const {
+    return layer == 0 ? 2 * options_.M : options_.M;
+  }
+  /// Best-first beam search at `layer` from `entry`; returns up to `ef`
+  /// results, unsorted.
+  std::vector<ScoredId> SearchLayer(const float* query, std::uint32_t entry,
+                                    std::size_t ef, int layer,
+                                    std::vector<char>* visited) const;
+  /// One greedy descent step chain: from `entry`, repeatedly hop to the
+  /// best-scoring neighbor at `layer` until no neighbor improves.
+  std::uint32_t GreedyStep(const float* query, std::uint32_t entry,
+                           int layer) const;
+  void Insert(std::uint32_t id, int level);
+  /// Malkov & Yashunin's neighbor-selection heuristic (Alg. 4): from
+  /// `candidates` (scored against the base point, sorted descending),
+  /// keeps a candidate only if it is closer to the base than to every
+  /// neighbor kept so far, then backfills remaining slots from the pruned
+  /// list. The pruning preserves "bridge" edges between clusters that
+  /// plain top-M would discard — without it the graph fragments into
+  /// per-cluster islands and recall collapses on clustered data.
+  std::vector<std::uint32_t> SelectNeighbors(
+      const std::vector<ScoredId>& candidates, std::size_t m) const;
+  /// Re-selects the links of `node` at `layer` when they exceed capacity.
+  void ShrinkLinks(std::uint32_t node, int layer);
+
+  const float* Vec(std::uint32_t id) const {
+    return data_.data() + static_cast<std::size_t>(id) * dim_;
+  }
+
+  HnswOptions options_;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+  /// links_[node][layer] = adjacency list (layer <= levels_[node]).
+  std::vector<std::vector<std::vector<std::uint32_t>>> links_;
+  std::vector<int> levels_;
+  std::uint32_t entry_ = 0;
+  int max_level_ = -1;
+  DotFn dot_ = nullptr;
+};
+
+}  // namespace cre
+
+#endif  // CRE_VECSIM_HNSW_INDEX_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/result.h"
 #include "core/status.h"
 #include "vecsim/top_k.h"
 
@@ -37,6 +38,38 @@ class VectorIndex {
 
   /// Approximate memory footprint in bytes (for the optimizer cost model).
   virtual std::size_t MemoryBytes() const = 0;
+
+  // ---- checked entry points (uniform edge-case contract) ----
+  // The raw virtuals above take a bare pointer and trust the caller's
+  // dimension; operators that receive the query vector across an API
+  // boundary use these instead, so a model/index dimensionality mismatch
+  // surfaces as a Status rather than an out-of-bounds read. All index
+  // families additionally share the conventions: Build with n == 0 (and
+  // dim > 0) succeeds and yields an empty index whose searches return
+  // nothing, and TopK with k > size() returns all size() entries.
+
+  Status CheckQueryDim(std::size_t query_dim) const {
+    if (query_dim != dim()) {
+      return Status::InvalidArgument(
+          "query dim " + std::to_string(query_dim) + " != index dim " +
+          std::to_string(dim()) + " (" + name() + ")");
+    }
+    return Status::OK();
+  }
+
+  Status RangeSearchChecked(const float* query, std::size_t query_dim,
+                            float threshold, std::vector<ScoredId>* out) const {
+    CRE_RETURN_NOT_OK(CheckQueryDim(query_dim));
+    RangeSearch(query, threshold, out);
+    return Status::OK();
+  }
+
+  Result<std::vector<ScoredId>> TopKChecked(const float* query,
+                                            std::size_t query_dim,
+                                            std::size_t k) const {
+    CRE_RETURN_NOT_OK(CheckQueryDim(query_dim));
+    return TopK(query, k);
+  }
 };
 
 }  // namespace cre

@@ -8,6 +8,7 @@
 #include "core/thread_pool.h"
 #include "vecsim/brute_force.h"
 #include "vecsim/fp16.h"
+#include "vecsim/hnsw_index.h"
 #include "vecsim/ivf_index.h"
 #include "vecsim/kernels.h"
 #include "vecsim/lsh_index.h"
@@ -182,7 +183,7 @@ TEST(FlatIndexTest, RangeAndTopK) {
 }
 
 struct IndexRecallCase {
-  enum Kind { kLsh, kIvf } kind;
+  enum Kind { kLsh, kIvf, kHnsw } kind;
   float threshold;
 };
 
@@ -202,6 +203,8 @@ TEST_P(IndexRecallTest, HighRecallNoFalsePositives) {
     o.num_tables = 12;
     o.bits_per_table = 10;
     index = std::make_unique<LshIndex>(o);
+  } else if (param.kind == IndexRecallCase::kHnsw) {
+    index = std::make_unique<HnswIndex>();
   } else {
     IvfOptions o;
     o.num_centroids = 16;
@@ -243,7 +246,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(IndexRecallCase{IndexRecallCase::kLsh, 0.85f},
                       IndexRecallCase{IndexRecallCase::kLsh, 0.9f},
                       IndexRecallCase{IndexRecallCase::kIvf, 0.85f},
-                      IndexRecallCase{IndexRecallCase::kIvf, 0.9f}));
+                      IndexRecallCase{IndexRecallCase::kIvf, 0.9f},
+                      IndexRecallCase{IndexRecallCase::kHnsw, 0.85f},
+                      IndexRecallCase{IndexRecallCase::kHnsw, 0.9f}));
 
 TEST(LshIndexTest, RejectsTooManyBits) {
   LshOptions o;
@@ -296,6 +301,210 @@ TEST(VectorIndexTest, ZeroDimRejected) {
   EXPECT_TRUE(lsh.Build(nullptr, 0, 0).IsInvalidArgument());
   IvfIndex ivf;
   EXPECT_TRUE(ivf.Build(nullptr, 0, 0).IsInvalidArgument());
+  HnswIndex hnsw;
+  EXPECT_TRUE(hnsw.Build(nullptr, 0, 0).IsInvalidArgument());
+}
+
+// ---- uniform edge-case contract across all four index families ----
+
+std::vector<std::unique_ptr<VectorIndex>> AllIndexFamilies() {
+  std::vector<std::unique_ptr<VectorIndex>> out;
+  out.push_back(std::make_unique<FlatIndex>());
+  out.push_back(std::make_unique<LshIndex>());
+  out.push_back(std::make_unique<IvfIndex>());
+  out.push_back(std::make_unique<HnswIndex>());
+  return out;
+}
+
+TEST(VectorIndexEdgeTest, EmptyBuildSucceedsAndSearchesReturnNothing) {
+  const std::size_t dim = 16;
+  std::vector<float> q(dim, 0.f);
+  q[0] = 1.f;
+  for (auto& index : AllIndexFamilies()) {
+    ASSERT_TRUE(index->Build(nullptr, 0, dim).ok()) << index->name();
+    EXPECT_EQ(index->size(), 0u) << index->name();
+    EXPECT_EQ(index->dim(), dim) << index->name();
+    std::vector<ScoredId> hits;
+    index->RangeSearch(q.data(), 0.0f, &hits);
+    EXPECT_TRUE(hits.empty()) << index->name();
+    EXPECT_TRUE(index->TopK(q.data(), 5).empty()) << index->name();
+  }
+}
+
+TEST(VectorIndexEdgeTest, TopKLargerThanBaseReturnsAll) {
+  const std::size_t dim = 24;
+  Rng rng(17);
+  auto data = ClusteredData(2, 5, dim, rng);
+  const std::size_t n = 10;
+  for (auto& index : AllIndexFamilies()) {
+    ASSERT_TRUE(index->Build(data.data(), n, dim).ok()) << index->name();
+    auto top = index->TopK(data.data(), 50);
+    // Approximate families may miss candidates but must never exceed n;
+    // graph/flat families must return the full base set.
+    EXPECT_LE(top.size(), n) << index->name();
+    if (index->name() == "flat" || index->name() == "hnsw") {
+      EXPECT_EQ(top.size(), n) << index->name();
+    } else {
+      EXPECT_GE(top.size(), n / 2) << index->name();
+    }
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      EXPECT_LE(top[i].score, top[i - 1].score) << index->name();
+    }
+  }
+}
+
+TEST(VectorIndexEdgeTest, QueryDimMismatchIsInvalidArgument) {
+  const std::size_t dim = 24;
+  Rng rng(19);
+  auto data = ClusteredData(2, 5, dim, rng);
+  std::vector<float> q(dim + 8, 0.1f);
+  for (auto& index : AllIndexFamilies()) {
+    ASSERT_TRUE(index->Build(data.data(), 10, dim).ok()) << index->name();
+    std::vector<ScoredId> hits;
+    EXPECT_TRUE(index->RangeSearchChecked(q.data(), dim + 8, 0.5f, &hits)
+                    .IsInvalidArgument())
+        << index->name();
+    EXPECT_TRUE(hits.empty()) << index->name();
+    EXPECT_TRUE(
+        index->TopKChecked(q.data(), dim - 1, 3).status().IsInvalidArgument())
+        << index->name();
+    // Matching dimension passes through to the raw search.
+    auto ok = index->TopKChecked(data.data(), dim, 3);
+    ASSERT_TRUE(ok.ok()) << index->name();
+    EXPECT_FALSE(ok.ValueOrDie().empty()) << index->name();
+  }
+}
+
+// ---- recall@k regression vs brute-force ground truth (fixed seeds) ----
+
+TEST(IndexRecallAtKTest, ApproximateFamiliesTrackGroundTruth) {
+  const std::size_t dim = 48;
+  Rng rng(31);
+  auto data = ClusteredData(12, 40, dim, rng);
+  const std::size_t n = 480;
+  const std::size_t k = 10;
+
+  FlatIndex exact;
+  ASSERT_TRUE(exact.Build(data.data(), n, dim).ok());
+
+  struct Family {
+    std::unique_ptr<VectorIndex> index;
+    double min_recall;
+  };
+  std::vector<Family> families;
+  {
+    LshOptions o;
+    o.num_tables = 12;
+    o.bits_per_table = 10;
+    families.push_back({std::make_unique<LshIndex>(o), 0.80});
+  }
+  {
+    IvfOptions o;
+    o.num_centroids = 16;
+    o.nprobe = 6;
+    families.push_back({std::make_unique<IvfIndex>(o), 0.85});
+  }
+  families.push_back({std::make_unique<HnswIndex>(), 0.95});
+
+  for (auto& f : families) {
+    ASSERT_TRUE(f.index->Build(data.data(), n, dim).ok());
+    std::size_t found = 0, total = 0;
+    for (std::size_t q = 0; q < 60; ++q) {
+      const float* query = data.data() + q * 8 * dim;
+      auto truth = exact.TopK(query, k);
+      auto approx = f.index->TopK(query, k);
+      std::set<std::uint32_t> approx_ids;
+      for (const auto& h : approx) approx_ids.insert(h.id);
+      for (const auto& t : truth) {
+        ++total;
+        if (approx_ids.count(t.id)) ++found;
+      }
+    }
+    const double recall =
+        static_cast<double>(found) / static_cast<double>(total);
+    EXPECT_GE(recall, f.min_recall) << f.index->name();
+  }
+}
+
+// ---- HNSW-specific behavior ----
+
+TEST(HnswIndexTest, SelfQueryIsTopHit) {
+  const std::size_t dim = 32;
+  Rng rng(41);
+  auto data = ClusteredData(6, 20, dim, rng);
+  const std::size_t n = 120;
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(data.data(), n, dim).ok());
+  EXPECT_EQ(index.size(), n);
+  EXPECT_GT(index.MemoryBytes(), n * dim * sizeof(float));
+  for (std::size_t q = 0; q < n; q += 7) {
+    auto top = index.TopK(data.data() + q * dim, 3);
+    ASSERT_FALSE(top.empty());
+    EXPECT_EQ(top[0].id, q);
+  }
+}
+
+TEST(HnswIndexTest, RangeSearchHasNoFalsePositives) {
+  const std::size_t dim = 32;
+  Rng rng(43);
+  auto data = ClusteredData(8, 24, dim, rng);
+  const std::size_t n = 192;
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(data.data(), n, dim).ok());
+  const DotFn dot = GetDotKernel(KernelVariant::kUnrolled);
+  for (std::size_t q = 0; q < 20; ++q) {
+    const float* query = data.data() + q * 9 * dim;
+    std::vector<ScoredId> hits;
+    index.RangeSearch(query, 0.9f, &hits);
+    std::set<std::uint32_t> seen;
+    for (const auto& h : hits) {
+      EXPECT_TRUE(seen.insert(h.id).second) << "duplicate id " << h.id;
+      EXPECT_GE(dot(query, data.data() + h.id * dim, dim), 0.9f - 1e-5f);
+    }
+  }
+}
+
+TEST(HnswIndexTest, DeterministicAcrossRebuilds) {
+  const std::size_t dim = 24;
+  Rng rng(47);
+  auto data = ClusteredData(4, 16, dim, rng);
+  const std::size_t n = 64;
+  HnswIndex a, b;
+  ASSERT_TRUE(a.Build(data.data(), n, dim).ok());
+  ASSERT_TRUE(b.Build(data.data(), n, dim).ok());
+  for (std::size_t q = 0; q < n; q += 5) {
+    auto ta = a.TopK(data.data() + q * dim, 5);
+    auto tb = b.TopK(data.data() + q * dim, 5);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].id, tb[i].id);
+    }
+  }
+}
+
+TEST(HnswIndexTest, RejectsDegenerateM) {
+  std::vector<float> v(8, 0.5f);
+  for (const std::size_t m : {0u, 1u}) {
+    HnswOptions o;
+    o.M = m;
+    HnswIndex index(o);
+    EXPECT_TRUE(index.Build(v.data(), 1, 8).IsInvalidArgument()) << m;
+  }
+}
+
+TEST(HnswIndexTest, SingleElement) {
+  const std::size_t dim = 8;
+  std::vector<float> v(dim, 0.f);
+  v[0] = 1.f;
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(v.data(), 1, dim).ok());
+  auto top = index.TopK(v.data(), 4);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_NEAR(top[0].score, 1.f, 1e-5f);
+  std::vector<ScoredId> hits;
+  index.RangeSearch(v.data(), 0.5f, &hits);
+  ASSERT_EQ(hits.size(), 1u);
 }
 
 }  // namespace

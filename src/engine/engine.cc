@@ -7,6 +7,7 @@
 #include "exec/aggregate.h"
 #include "exec/filter.h"
 #include "exec/hash_join.h"
+#include "exec/pipeline.h"
 #include "exec/project.h"
 #include "exec/scan.h"
 #include "exec/sort_limit.h"
@@ -24,6 +25,12 @@ Engine::Engine(EngineOptions options) : options_(options) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+  // Cold managed HNSW builds (IndexManager::GetOrBuild) run their
+  // canonical batched construction on the engine pool; results are
+  // identical to a serial build, just faster.
+  if (options_.index.hnsw.build_pool == nullptr && threads > 1) {
+    options_.index.hnsw.build_pool = pool_.get();
+  }
   index_manager_ =
       std::make_unique<IndexManager>(&catalog_, &models_, options_.index);
 }
@@ -60,6 +67,23 @@ Result<OperatorPtr> Engine::Lower(const PlanNode& node) {
 }
 
 Result<OperatorPtr> Engine::LowerImpl(const PlanNode& node) {
+  if (node.kind == PlanKind::kLimit && node.limit > 0 &&
+      node.children[0]->kind == PlanKind::kSort) {
+    // Top-k peephole for the serial path (the parallel driver folds this
+    // shape itself): Sort feeding a LIMIT only needs the first n rows.
+    const PlanNode& sort = *node.children[0];
+    CRE_ASSIGN_OR_RETURN(OperatorPtr input, Lower(*sort.children[0]));
+    OperatorPtr sorted = std::make_unique<SortOperator>(
+        std::move(input), sort.sort_key, sort.sort_ascending, pool_.get(),
+        /*limit_hint=*/node.limit);
+    if (active_stats_ != nullptr) {
+      sorted = std::make_unique<InstrumentedOperator>(
+          std::move(sorted), active_stats_->AddSlot(sorted->name()));
+    }
+    std::vector<OperatorPtr> children;
+    children.push_back(std::move(sorted));
+    return LowerNodeOver(node, std::move(children));
+  }
   std::vector<OperatorPtr> children;
   children.reserve(node.children.size());
   for (const PlanPtr& child : node.children) {
@@ -177,8 +201,11 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
       return OperatorPtr(std::make_unique<AggregateOperator>(
           std::move(children[0]), node.group_keys, node.aggs));
     case PlanKind::kSort:
+      // The operator sorts via SortTable; a single-thread pool (the
+      // serial engine) degrades to the classic serial sort, identically.
       return OperatorPtr(std::make_unique<SortOperator>(
-          std::move(children[0]), node.sort_key, node.sort_ascending));
+          std::move(children[0]), node.sort_key, node.sort_ascending,
+          pool_.get()));
     case PlanKind::kLimit:
       return OperatorPtr(std::make_unique<LimitOperator>(
           std::move(children[0]), node.limit));
@@ -237,7 +264,14 @@ Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(const PlanPtr& plan) {
 
 Result<std::string> Engine::Explain(const PlanPtr& plan) {
   Optimizer optimizer = MakeOptimizer();
-  return optimizer.Explain(plan);
+  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+  // Append the parallel driver's routing: per-pipeline degree of
+  // parallelism and scheduling mode (morsel scheduler / shared row
+  // budget / parallel sort / serial pull loop).
+  const std::size_t dop = pool_ == nullptr ? 1 : pool_->num_threads();
+  return optimized->ToString() + "\n" +
+         DescribePipelines(*optimized, dop,
+                           options_.optimizer.radix_agg_min_groups);
 }
 
 }  // namespace cre

@@ -1,5 +1,6 @@
 #include "engine/parallel_driver.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "exec/aggregate.h"
 #include "exec/filter.h"
 #include "exec/morsel.h"
+#include "exec/parallel_sort.h"
 #include "exec/scan.h"
 
 namespace cre {
@@ -39,12 +41,10 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
       return engine_->catalog().Get(source.table_name);
     case PlanKind::kAggregate:
       return RunAggregate(source);
-    case PlanKind::kLimit: {
-      // Serial pull loop: LIMIT bounds useful work, so early termination
-      // beats fanning out the whole subtree.
-      CRE_ASSIGN_OR_RETURN(OperatorPtr op, engine_->Lower(source));
-      return ExecuteToTable(op.get());
-    }
+    case PlanKind::kLimit:
+      return RunLimit(source);
+    case PlanKind::kSort:
+      return RunSort(source, /*limit_hint=*/0);
     case PlanKind::kDetectScan: {
       // The operator parallelizes detection over images internally.
       CRE_ASSIGN_OR_RETURN(OperatorPtr op,
@@ -61,7 +61,6 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
       op = Instrument(&source, std::move(op));
       return ExecuteToTable(op.get());
     }
-    case PlanKind::kSort:
     case PlanKind::kSemanticGroupBy: {
       // Materialize the input in parallel, then run the (order-sensitive)
       // operator serially over it. Feeding morsels in order keeps the
@@ -185,6 +184,84 @@ Result<TablePtr> ParallelPlanDriver::RunSegment(
       options);
 }
 
+Result<TablePtr> ParallelPlanDriver::RunSort(const PlanNode& sort,
+                                             std::size_t limit_hint) {
+  Timer timer;
+  CRE_ASSIGN_OR_RETURN(TablePtr input, Run(*sort.children[0]));
+  SortPhaseTimings timings;
+  CRE_ASSIGN_OR_RETURN(
+      TablePtr out, SortTable(input, sort.sort_key, sort.sort_ascending,
+                              pool_, limit_hint, &timings));
+  if (stats_ != nullptr) {
+    stats_->SlotFor(&sort, "Sort(" + sort.sort_key + ")")
+        ->AddBatch(out->num_rows(), timer.Seconds());
+    stats_->SlotFor(&sort, 1,
+                    "  Sort phase: local sort (" +
+                        std::to_string(timings.runs) + " runs)")
+        ->AddBatch(0, timings.local_sort_seconds);
+    stats_->SlotFor(&sort, 2,
+                    "  Sort phase: merge (" +
+                        std::to_string(timings.merge_partitions) +
+                        " partitions)")
+        ->AddBatch(0, timings.merge_seconds);
+  }
+  return out;
+}
+
+Result<TablePtr> ParallelPlanDriver::RunLimit(const PlanNode& limit) {
+  const PlanNode& child = *limit.children[0];
+  Timer timer;
+  if (child.kind == PlanKind::kSort && limit.limit == 0) {
+    // LIMIT 0 needs only the schema; skip the sort (order of zero rows
+    // is moot), not just its gather.
+    CRE_ASSIGN_OR_RETURN(TablePtr input, Run(*child.children[0]));
+    return input->Slice(0, 0);
+  }
+  if (child.kind == PlanKind::kSort) {
+    // Sort feeding a LIMIT = top-k: per-run partial sorts + a merge that
+    // stops at the shared budget, instead of a full sort then a cut.
+    CRE_ASSIGN_OR_RETURN(TablePtr sorted, RunSort(child, limit.limit));
+    if (sorted->num_rows() > limit.limit) {
+      sorted = sorted->Slice(0, limit.limit);
+    }
+    if (stats_ != nullptr) {
+      stats_->SlotFor(&limit, "Limit(" + std::to_string(limit.limit) +
+                                  ") [top-k sort]")
+          ->AddBatch(sorted->num_rows(), timer.Seconds());
+    }
+    return sorted;
+  }
+
+  // The child's streamable segment runs through the morsel scheduler
+  // under a shared row budget; breakers beneath it materialize as usual.
+  PipelineSegment segment = DecomposePipeline(child);
+  CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*segment.source));
+  CRE_ASSIGN_OR_RETURN(JoinStates joins, BuildJoinStates(segment));
+  CRE_ASSIGN_OR_RETURN(SelectStates selects, BuildSelectStates(segment));
+  MorselOptions options;
+  options.morsel_rows = morsel_rows_;
+  options.pool = pool_;
+  MorselBudgetStats budget;
+  CRE_ASSIGN_OR_RETURN(
+      TablePtr out,
+      MorselParallelMapLimited(
+          base,
+          [&](std::size_t, const TablePtr& slice) {
+            return BuildChain(segment, slice, joins, selects);
+          },
+          limit.limit, options, &budget));
+  if (stats_ != nullptr) {
+    stats_->SlotFor(&limit,
+                    "Limit(" + std::to_string(limit.limit) +
+                        ") [shared row budget: " +
+                        std::to_string(budget.morsels_run) + "/" +
+                        std::to_string(budget.morsels_total) +
+                        " morsels run]")
+        ->AddBatch(out->num_rows(), timer.Seconds());
+  }
+  return out;
+}
+
 Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   Timer timer;
   PipelineSegment segment = DecomposePipeline(*agg.children[0]);
@@ -199,12 +276,25 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   CRE_RETURN_NOT_OK(prototype->Open());
   const Schema input_schema = prototype->output_schema();
 
-  GroupedAggregationState total;
-  CRE_RETURN_NOT_OK(total.Init(input_schema, agg.group_keys, agg.aggs));
-
   const std::size_t n = base->num_rows();
   const std::size_t num_morsels = (n + morsel_rows_ - 1) / morsel_rows_;
-  if (num_morsels <= 1 || pool_ == nullptr || pool_->num_threads() <= 1) {
+  const bool parallel =
+      num_morsels > 1 && pool_ != nullptr && pool_->num_threads() > 1;
+  // High estimated group cardinality flips accumulation to the two-phase
+  // radix scheme: the serial whole-map merge would otherwise dominate.
+  // Unoptimized plans carry no estimate (est_rows < 0); then a threshold
+  // of 0 explicitly forces the radix form for keyed aggregates.
+  const std::size_t radix_threshold =
+      engine_->options().optimizer.radix_agg_min_groups;
+  const bool use_radix =
+      parallel && !agg.group_keys.empty() &&
+      (agg.est_rows >= 0
+           ? agg.est_rows >= static_cast<double>(radix_threshold)
+           : radix_threshold == 0);
+
+  if (!parallel) {
+    GroupedAggregationState total;
+    CRE_RETURN_NOT_OK(total.Init(input_schema, agg.group_keys, agg.aggs));
     CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
                          BuildChain(segment, base, joins, selects));
     CRE_RETURN_NOT_OK(chain->Open());
@@ -213,15 +303,57 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
       if (batch == nullptr) break;
       CRE_RETURN_NOT_OK(total.Consume(*batch));
     }
-  } else {
-    // Fixed chunk layout with per-chunk slots: workers race only on
-    // their own slot, and the chunk-index merge order below makes the
-    // final group map — and thus the output row order — deterministic
-    // run-to-run for a given thread count.
-    const std::size_t chunks = std::min<std::size_t>(
-        num_morsels, std::max<std::size_t>(1, pool_->num_threads() * 4));
-    const std::size_t per_chunk = (num_morsels + chunks - 1) / chunks;
-    const std::size_t num_chunks = (num_morsels + per_chunk - 1) / per_chunk;
+    CRE_ASSIGN_OR_RETURN(TablePtr out, total.Finalize());
+    if (stats_ != nullptr) {
+      stats_->SlotFor(&agg, "Aggregate")
+          ->AddBatch(out->num_rows(), timer.Seconds());
+    }
+    return out;
+  }
+
+  // Fixed chunk layout with per-chunk slots: workers race only on their
+  // own slot, and the deterministic merge orders below (chunk index, or
+  // partition-then-chunk index for radix) make the final group map — and
+  // thus the output row order — deterministic run-to-run for a given
+  // thread count. The radix form uses exactly one chunk per worker:
+  // phase 2 merges every chunk's copy of every partition, so its work
+  // grows with chunks x groups, and per-row hash work is uniform enough
+  // that finer chunks buy no balance.
+  const std::size_t chunks = std::min<std::size_t>(
+      num_morsels,
+      std::max<std::size_t>(1, use_radix ? pool_->num_threads()
+                                         : pool_->num_threads() * 4));
+  const std::size_t per_chunk = (num_morsels + chunks - 1) / chunks;
+  const std::size_t num_chunks = (num_morsels + per_chunk - 1) / per_chunk;
+
+  // Drives chunk `c`'s morsel chains into `consume`.
+  auto run_chunk = [&](std::size_t c,
+                       const std::function<Status(const Table&)>& consume)
+      -> Status {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(num_morsels, begin + per_chunk);
+    for (std::size_t m = begin; m < end; ++m) {
+      TablePtr slice = base->Slice(m * morsel_rows_, morsel_rows_);
+      CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
+                           BuildChain(segment, slice, joins, selects));
+      CRE_RETURN_NOT_OK(chain->Open());
+      for (;;) {
+        CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());
+        if (batch == nullptr) break;
+        CRE_RETURN_NOT_OK(consume(*batch));
+      }
+    }
+    return Status::OK();
+  };
+
+  TablePtr out;
+  double accumulate_seconds = 0;
+  double merge_seconds = 0;
+  std::size_t partitions_used = 0;
+  if (!use_radix) {
+    // Phase 1: one private hash state per chunk. Phase 2: serial
+    // chunk-order merge (the tail the radix form removes).
+    Timer accumulate_timer;
     std::vector<GroupedAggregationState> partials(num_chunks);
     std::vector<Status> statuses(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
@@ -230,32 +362,86 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
         statuses[c] = [&]() -> Status {
           CRE_RETURN_NOT_OK(
               local.Init(input_schema, agg.group_keys, agg.aggs));
-          const std::size_t begin = c * per_chunk;
-          const std::size_t end = std::min(num_morsels, begin + per_chunk);
-          for (std::size_t m = begin; m < end; ++m) {
-            TablePtr slice = base->Slice(m * morsel_rows_, morsel_rows_);
-            CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
-                                 BuildChain(segment, slice, joins, selects));
-            CRE_RETURN_NOT_OK(chain->Open());
-            for (;;) {
-              CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());
-              if (batch == nullptr) break;
-              CRE_RETURN_NOT_OK(local.Consume(*batch));
-            }
-          }
-          return Status::OK();
+          return run_chunk(
+              c, [&](const Table& batch) { return local.Consume(batch); });
         }();
       });
     }
     pool_->Wait();
     for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
+    accumulate_seconds = accumulate_timer.Seconds();
+
+    Timer merge_timer;
+    GroupedAggregationState total;
+    CRE_RETURN_NOT_OK(total.Init(input_schema, agg.group_keys, agg.aggs));
     for (auto& partial : partials) total.Merge(std::move(partial));
+    CRE_ASSIGN_OR_RETURN(out, total.Finalize());
+    merge_seconds = merge_timer.Seconds();
+  } else {
+    // Phase 1: every chunk partitions its rows by group-key hash radix
+    // into a private set of partition states.
+    const std::size_t num_partitions = std::min<std::size_t>(
+        64, std::max<std::size_t>(2, pool_->num_threads() * 4));
+    Timer accumulate_timer;
+    std::vector<RadixAggregationState> partials(num_chunks);
+    std::vector<Status> statuses(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      pool_->Submit([&, c] {
+        RadixAggregationState& local = partials[c];
+        statuses[c] = [&]() -> Status {
+          CRE_RETURN_NOT_OK(local.Init(input_schema, agg.group_keys,
+                                       agg.aggs, num_partitions));
+          return run_chunk(
+              c, [&](const Table& batch) { return local.Consume(batch); });
+        }();
+      });
+    }
+    pool_->Wait();
+    for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
+    accumulate_seconds = accumulate_timer.Seconds();
+    partitions_used = partials.front().num_partitions();
+
+    // Phase 2: all occurrences of a group share a partition index, so
+    // partitions merge and finalize independently — one task each, no
+    // serial tail. Chunk-order merges within a partition plus
+    // partition-order concatenation keep the output deterministic.
+    Timer merge_timer;
+    std::vector<Result<TablePtr>> merged(
+        partitions_used,
+        Result<TablePtr>(Status::Internal("partition not merged")));
+    pool_->ParallelFor(
+        partitions_used,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            GroupedAggregationState& acc = partials[0].partition(p);
+            for (std::size_t c = 1; c < num_chunks; ++c) {
+              acc.Merge(std::move(partials[c].partition(p)));
+            }
+            merged[p] = acc.Finalize();
+          }
+        },
+        /*min_chunk=*/1);
+    for (auto& part : merged) {
+      if (!part.ok()) return part.status();
+      TablePtr table = std::move(part).ValueUnsafe();
+      if (out == nullptr) {
+        out = Table::Make(table->schema());
+      }
+      CRE_RETURN_NOT_OK(out->AppendTable(*table));
+    }
+    merge_seconds = merge_timer.Seconds();
   }
 
-  CRE_ASSIGN_OR_RETURN(TablePtr out, total.Finalize());
   if (stats_ != nullptr) {
-    stats_->SlotFor(&agg, "Aggregate")
-        ->AddBatch(out->num_rows(), timer.Seconds());
+    const std::string label =
+        use_radix ? "Aggregate [radix, " + std::to_string(partitions_used) +
+                        " partitions]"
+                  : "Aggregate";
+    stats_->SlotFor(&agg, label)->AddBatch(out->num_rows(), timer.Seconds());
+    stats_->SlotFor(&agg, 1, "  Aggregate phase: accumulate")
+        ->AddBatch(0, accumulate_seconds);
+    stats_->SlotFor(&agg, 2, "  Aggregate phase: merge")
+        ->AddBatch(0, merge_seconds);
   }
   return out;
 }

@@ -21,19 +21,29 @@ namespace cre {
 ///  - hash Join: the build side is executed (recursively, in parallel),
 ///    hashed once into a shared read-only HashJoinTable, and probed from
 ///    every morsel pipeline concurrently;
-///  - Aggregate: each worker chunk accumulates a private
-///    GroupedAggregationState over its morsels; partials merge at the
-///    barrier in chunk-index order (associative for all five aggregate
-///    kinds, so results are exact; the group row order is deterministic
-///    for a fixed thread count, though — like any hash aggregate — it is
-///    not a sorted order);
-///  - Sort / SemanticGroupBy / SemanticJoin / DetectScan: inputs are
+///  - Aggregate: each worker chunk accumulates private state over its
+///    morsels. At low group cardinality that is one
+///    GroupedAggregationState per chunk whose partials merge at the
+///    barrier in chunk-index order; above
+///    OptimizerOptions::radix_agg_min_groups estimated groups the chunks
+///    instead partition by group-key hash radix
+///    (RadixAggregationState) and the merge fans out over the pool, one
+///    task per partition — removing the serial merge tail. Either way
+///    results are exact (all five aggregate kinds merge associatively)
+///    and the output row order is deterministic for a fixed thread count;
+///  - Sort: the input materializes in parallel, then SortTable runs
+///    per-run local sorts feeding a range-partitioned k-way loser-tree
+///    merge on the pool (exec/parallel_sort.h) — the output permutation
+///    is the serial stable-sort order;
+///  - Limit: the subtree's streamable segment runs through the morsel
+///    scheduler under a shared atomic row budget with an exact
+///    prefix-complete cutoff (MorselParallelMapLimited), so limit plans
+///    get both parallelism and early termination; Limit directly over
+///    Sort additionally turns into a parallel top-k sort;
+///  - SemanticGroupBy / SemanticJoin / DetectScan: inputs are
 ///    materialized in parallel, the operator itself runs on the driver
 ///    thread (SemanticJoin and DetectScan parallelize internally over the
-///    pool);
-///  - Limit: the subtree runs through the serial pull loop, preserving
-///    early termination — a LIMIT bounds useful work, so fanning out the
-///    whole child first would often be slower.
+///    pool).
 ///
 /// All scheduling happens on the driver (caller) thread; worker tasks
 /// never block on the pool themselves, which keeps the fixed-size pool
@@ -58,6 +68,12 @@ class ParallelPlanDriver {
   Result<TablePtr> RunSegment(const PipelineSegment& segment);
   Result<TablePtr> MaterializeSource(const PlanNode& source);
   Result<TablePtr> RunAggregate(const PlanNode& agg);
+  /// Materializes the sort input (in parallel) and sorts it on the pool;
+  /// `limit_hint` > 0 = top-k for a Limit parent.
+  Result<TablePtr> RunSort(const PlanNode& sort, std::size_t limit_hint);
+  /// Runs the limit's child segment through the morsel scheduler under a
+  /// shared row budget (or as a parallel top-k sort for Limit over Sort).
+  Result<TablePtr> RunLimit(const PlanNode& limit);
   Result<JoinStates> BuildJoinStates(const PipelineSegment& segment);
   Result<SelectStates> BuildSelectStates(const PipelineSegment& segment);
 

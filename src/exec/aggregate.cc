@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/hash.h"
+
 namespace cre {
 
 namespace {
@@ -63,40 +65,51 @@ void GroupedAggregationState::InitAccumulators(GroupState* state) const {
   }
 }
 
+std::string GroupedAggregationState::GroupKey(const Table& batch,
+                                              std::size_t row) const {
+  return MakeGroupKey(batch, key_cols_, row);
+}
+
+Status GroupedAggregationState::ConsumeRow(const Table& batch,
+                                           std::size_t row,
+                                           std::string&& key) {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.key_values.reserve(key_cols_.size());
+    for (const std::size_t c : key_cols_) {
+      state.key_values.push_back(batch.GetValue(row, c));
+    }
+    InitAccumulators(&state);
+    it = groups_.emplace(std::move(key), std::move(state)).first;
+  }
+  GroupState& g = it->second;
+  for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    ++g.counts[a];
+    if (aggs_[a].kind == AggKind::kCount) continue;
+    const double v = batch.GetValue(row, agg_cols_[a]).AsNumeric();
+    switch (aggs_[a].kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        g.acc[a] += v;
+        break;
+      case AggKind::kMin:
+        g.acc[a] = std::min(g.acc[a], v);
+        break;
+      case AggKind::kMax:
+        g.acc[a] = std::max(g.acc[a], v);
+        break;
+      case AggKind::kCount:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 Status GroupedAggregationState::Consume(const Table& batch) {
   const std::size_t n = batch.num_rows();
   for (std::size_t r = 0; r < n; ++r) {
-    std::string key = MakeGroupKey(batch, key_cols_, r);
-    auto it = groups_.find(key);
-    if (it == groups_.end()) {
-      GroupState state;
-      state.key_values.reserve(key_cols_.size());
-      for (const std::size_t c : key_cols_) {
-        state.key_values.push_back(batch.GetValue(r, c));
-      }
-      InitAccumulators(&state);
-      it = groups_.emplace(std::move(key), std::move(state)).first;
-    }
-    GroupState& g = it->second;
-    for (std::size_t a = 0; a < aggs_.size(); ++a) {
-      ++g.counts[a];
-      if (aggs_[a].kind == AggKind::kCount) continue;
-      const double v = batch.GetValue(r, agg_cols_[a]).AsNumeric();
-      switch (aggs_[a].kind) {
-        case AggKind::kSum:
-        case AggKind::kAvg:
-          g.acc[a] += v;
-          break;
-        case AggKind::kMin:
-          g.acc[a] = std::min(g.acc[a], v);
-          break;
-        case AggKind::kMax:
-          g.acc[a] = std::max(g.acc[a], v);
-          break;
-        case AggKind::kCount:
-          break;
-      }
-    }
+    CRE_RETURN_NOT_OK(ConsumeRow(batch, r, MakeGroupKey(batch, key_cols_, r)));
   }
   return Status::OK();
 }
@@ -164,6 +177,39 @@ Result<TablePtr> GroupedAggregationState::Finalize() {
     CRE_RETURN_NOT_OK(out->AppendRow(row));
   }
   return out;
+}
+
+Status RadixAggregationState::Init(const Schema& input,
+                                   const std::vector<std::string>& group_keys,
+                                   const std::vector<AggSpec>& aggs,
+                                   std::size_t num_partitions) {
+  std::size_t p = 2;
+  while (p < num_partitions) p <<= 1;
+  partitions_.clear();
+  partitions_.resize(p);
+  mask_ = p - 1;
+  for (auto& partition : partitions_) {
+    CRE_RETURN_NOT_OK(partition.Init(input, group_keys, aggs));
+  }
+  return Status::OK();
+}
+
+std::size_t RadixAggregationState::PartitionOf(const std::string& key,
+                                               std::size_t mask) {
+  // Mix the full FNV hash so the masked bits are well distributed even
+  // for short integer-ish keys; the unordered_map inside each partition
+  // hashes independently, so radix bits and bucket bits don't collide.
+  return static_cast<std::size_t>(MixHash(HashString(key))) & mask;
+}
+
+Status RadixAggregationState::Consume(const Table& batch) {
+  const std::size_t n = batch.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    std::string key = partitions_.front().GroupKey(batch, r);
+    const std::size_t p = PartitionOf(key, mask_);
+    CRE_RETURN_NOT_OK(partitions_[p].ConsumeRow(batch, r, std::move(key)));
+  }
+  return Status::OK();
 }
 
 AggregateOperator::AggregateOperator(OperatorPtr child,

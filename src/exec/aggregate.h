@@ -35,6 +35,14 @@ class GroupedAggregationState {
   /// Accumulates one input batch (single-threaded per state).
   Status Consume(const Table& batch);
 
+  /// Serialized group-key of one row (collision-free across columns). The
+  /// radix router computes keys once to pick a partition, then hands them
+  /// to ConsumeRow unchanged.
+  std::string GroupKey(const Table& batch, std::size_t row) const;
+
+  /// Accumulates one row under a precomputed group key.
+  Status ConsumeRow(const Table& batch, std::size_t row, std::string&& key);
+
   /// Folds `other`'s groups into this state.
   void Merge(GroupedAggregationState&& other);
 
@@ -60,6 +68,41 @@ class GroupedAggregationState {
   std::vector<int> agg_cols_;
   Schema schema_;
   std::unordered_map<std::string, GroupState> groups_;
+};
+
+/// Radix-partitioned accumulation state for high group cardinalities: one
+/// GroupedAggregationState per hash-radix partition, rows routed by a
+/// fixed bit-slice of the group-key hash. Every worker partitions the same
+/// way, so after phase 1 all occurrences of a group live in the same
+/// partition slot of every worker — phase 2 merges each partition across
+/// workers independently (one task per partition), replacing the serial
+/// whole-map merge tail of the per-worker-hash scheme with parallel
+/// per-partition merges. Partition routing is a pure function of the key
+/// bytes, so results are independent of row distribution across workers.
+class RadixAggregationState {
+ public:
+  /// `num_partitions` is rounded up to a power of two (the router uses a
+  /// bit mask). Must be called before Consume.
+  Status Init(const Schema& input, const std::vector<std::string>& group_keys,
+              const std::vector<AggSpec>& aggs, std::size_t num_partitions);
+
+  /// Routes each row of `batch` to its hash-radix partition.
+  Status Consume(const Table& batch);
+
+  std::size_t num_partitions() const { return partitions_.size(); }
+  GroupedAggregationState& partition(std::size_t p) { return partitions_[p]; }
+
+  /// Partition of a serialized group key — exposed so callers (and tests)
+  /// can verify routing stability.
+  static std::size_t PartitionOf(const std::string& key, std::size_t mask);
+
+  const Schema& output_schema() const {
+    return partitions_.front().output_schema();
+  }
+
+ private:
+  std::vector<GroupedAggregationState> partitions_;
+  std::size_t mask_ = 0;
 };
 
 /// Hash group-by with streaming accumulation; emits one batch of group

@@ -37,6 +37,33 @@ Result<TablePtr> MorselParallelMap(const TablePtr& table,
                                    const MorselPipelineBuilder& build,
                                    const MorselOptions& options = {});
 
+/// Outcome counters of one budgeted (LIMIT) morsel map, for EXPLAIN
+/// ANALYZE and the scale-up benches: how much of the input the shared row
+/// budget let the scheduler skip.
+struct MorselBudgetStats {
+  std::size_t morsels_total = 0;
+  std::size_t morsels_run = 0;      ///< pipelines actually executed
+  std::size_t morsels_skipped = 0;  ///< cut off by the exhausted budget
+};
+
+/// LIMIT-aware variant: runs morsel pipelines through the pool under a
+/// shared atomic row budget and returns the first `limit` rows of the
+/// morsel-order concatenation — byte-identical to running the full map
+/// and slicing, but with early termination. Workers claim morsel indices
+/// in increasing order; every completed morsel advances a contiguous
+/// "prefix done" row count, and once that prefix alone covers the limit
+/// all unclaimed morsels are skipped (rows from morsels beyond a
+/// completed prefix can never displace prefix rows, so the cutoff is
+/// exact, not heuristic). Each pipeline also stops pulling batches once
+/// its own output reaches the budget remaining at claim time, bounding
+/// work inside a morsel. With no pool (or one thread) this is the classic
+/// serial pull loop with early exit.
+Result<TablePtr> MorselParallelMapLimited(const TablePtr& table,
+                                          const MorselPipelineBuilder& build,
+                                          std::size_t limit,
+                                          const MorselOptions& options = {},
+                                          MorselBudgetStats* stats = nullptr);
+
 }  // namespace cre
 
 #endif  // CRE_EXEC_MORSEL_H_

@@ -1,7 +1,8 @@
 #include "exec/sort_limit.h"
 
 #include <algorithm>
-#include <numeric>
+
+#include "exec/parallel_sort.h"
 
 namespace cre {
 
@@ -9,49 +10,7 @@ Result<TablePtr> SortOperator::Next() {
   if (done_) return TablePtr(nullptr);
   done_ = true;
   CRE_ASSIGN_OR_RETURN(TablePtr all, CollectAll(child_.get()));
-  CRE_ASSIGN_OR_RETURN(std::size_t key_idx,
-                       all->schema().RequireField(key_));
-  const Column& key = all->column(key_idx);
-  std::vector<std::uint32_t> order(all->num_rows());
-  std::iota(order.begin(), order.end(), 0);
-
-  auto sort_by = [&](auto cmp) {
-    std::stable_sort(order.begin(), order.end(), cmp);
-  };
-  switch (key.type()) {
-    case DataType::kInt64:
-    case DataType::kDate: {
-      const auto& d = key.i64();
-      sort_by([&](std::uint32_t a, std::uint32_t b) {
-        return ascending_ ? d[a] < d[b] : d[a] > d[b];
-      });
-      break;
-    }
-    case DataType::kFloat64: {
-      const auto& d = key.f64();
-      sort_by([&](std::uint32_t a, std::uint32_t b) {
-        return ascending_ ? d[a] < d[b] : d[a] > d[b];
-      });
-      break;
-    }
-    case DataType::kString: {
-      const auto& d = key.strings();
-      sort_by([&](std::uint32_t a, std::uint32_t b) {
-        return ascending_ ? d[a] < d[b] : d[a] > d[b];
-      });
-      break;
-    }
-    case DataType::kBool: {
-      const auto& d = key.bools();
-      sort_by([&](std::uint32_t a, std::uint32_t b) {
-        return ascending_ ? d[a] < d[b] : d[a] > d[b];
-      });
-      break;
-    }
-    default:
-      return Status::TypeError("cannot sort on vector column");
-  }
-  return all->Take(order);
+  return SortTable(all, key_, ascending_, pool_, limit_hint_);
 }
 
 Result<TablePtr> LimitOperator::Next() {

@@ -4,15 +4,27 @@
 #include <string>
 #include <utility>
 
+#include "core/thread_pool.h"
 #include "exec/operator.h"
 
 namespace cre {
 
 /// Full-materialize sort on a single key column (ascending or descending).
+/// Sorting delegates to SortTable (exec/parallel_sort.h): with a pool the
+/// materialized input splits into per-run local sorts feeding a
+/// range-partitioned k-way loser-tree merge; without one it is the classic
+/// serial sort. Either way the output permutation is the stable-sort
+/// order. A non-zero `limit_hint` (Sort feeding a LIMIT) switches to
+/// top-k: only the first `limit_hint` rows are produced.
 class SortOperator : public PhysicalOperator {
  public:
-  SortOperator(OperatorPtr child, std::string key, bool ascending = true)
-      : child_(std::move(child)), key_(std::move(key)), ascending_(ascending) {}
+  SortOperator(OperatorPtr child, std::string key, bool ascending = true,
+               ThreadPool* pool = nullptr, std::size_t limit_hint = 0)
+      : child_(std::move(child)),
+        key_(std::move(key)),
+        ascending_(ascending),
+        pool_(pool),
+        limit_hint_(limit_hint) {}
 
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -25,6 +37,8 @@ class SortOperator : public PhysicalOperator {
   OperatorPtr child_;
   std::string key_;
   bool ascending_;
+  ThreadPool* pool_;
+  std::size_t limit_hint_;
   bool done_ = false;
 };
 

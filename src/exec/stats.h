@@ -2,10 +2,11 @@
 #define CRE_EXEC_STATS_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/operator.h"
@@ -55,11 +56,20 @@ class StatsCollector {
   /// Shared slot keyed by an opaque identity (the driver passes the plan
   /// node pointer); created with `name` on first use.
   OperatorStats* SlotFor(const void* key, const std::string& name) {
+    return SlotFor(key, /*phase=*/0, name);
+  }
+
+  /// Per-stage slot of one plan node: the driver records where a parallel
+  /// breaker spends its time (e.g. Sort's local-sort vs merge phase,
+  /// radix aggregation's partition vs merge phase) under distinct phase
+  /// ids, so EXPLAIN ANALYZE and the benches can report the breakdown.
+  OperatorStats* SlotFor(const void* key, int phase,
+                         const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = by_key_.find(key);
+    auto it = by_key_.find({key, phase});
     if (it != by_key_.end()) return it->second;
     OperatorStats* slot = AddSlotLocked(name);
-    by_key_.emplace(key, slot);
+    by_key_.emplace(std::make_pair(key, phase), slot);
     return slot;
   }
 
@@ -80,7 +90,7 @@ class StatsCollector {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<OperatorStats>> slots_;
-  std::unordered_map<const void*, OperatorStats*> by_key_;
+  std::map<std::pair<const void*, int>, OperatorStats*> by_key_;
 };
 
 /// Decorator measuring a child operator's Open/Next time and output rows.

@@ -32,9 +32,12 @@ double CostModel::SemanticIndexBuildCost(SemanticJoinStrategy strategy,
              params_.ivf_kmeans_iters;
     case SemanticJoinStrategy::kHnsw:
       // Each insert runs an ef_construction beam search per layer;
-      // expected layer count per node is a small constant.
+      // expected layer count per node is a small constant. The
+      // multiplier covers neighbor selection and reverse-link shrinking
+      // (fitted; see CostParams::hnsw_build_cost_multiplier).
       return base_rows * params_.hnsw_ef_construction *
-             params_.hnsw_expansion_factor * dot;
+             params_.hnsw_expansion_factor *
+             params_.hnsw_build_cost_multiplier * dot;
   }
   return 0;
 }
@@ -130,10 +133,16 @@ double CostModel::SelfCost(const PlanNode& node) const {
     case PlanKind::kProject:
       return ParallelCost(in_rows * params_.materialize);
     case PlanKind::kSort:
-      return in_rows * params_.hash_build *
-             std::max(1.0, std::log2(std::max(2.0, in_rows)) / 4.0);
+      // Per-run local sorts and the splitter-partitioned loser-tree
+      // merge both spread over the pool; sampling, boundary search, and
+      // scheduling are the serial residue inside parallel_fraction.
+      return ParallelCost(
+          in_rows * params_.hash_build *
+          std::max(1.0, std::log2(std::max(2.0, in_rows)) / 4.0));
     case PlanKind::kLimit:
-      return out_rows * params_.row_scan;
+      // Runs through the morsel scheduler under a shared row budget; the
+      // budget's prefix cutoff bounds work by output, not input.
+      return ParallelCost(out_rows * params_.row_scan);
     case PlanKind::kSemanticSelect: {
       if (node.IndexBackedSelect()) {
         // Index-backed range search: embed one query and probe the managed
@@ -187,11 +196,35 @@ double CostModel::SelfCost(const PlanNode& node) const {
                         clusters * params_.vector_dim * params_.dot_per_dim);
     }
     case PlanKind::kAggregate:
-      // Accumulation runs per-worker; the merge+emit tail is serial.
-      return ParallelCost(in_rows * params_.hash_build) +
-             out_rows * params_.materialize;
+      return AggregateCost(in_rows, out_rows);
   }
   return 0;
+}
+
+double CostModel::AggregateMergeFormCost(double in_rows,
+                                         double out_groups) const {
+  const double p = std::max(1.0, params_.parallelism);
+  // Accumulation spreads over workers, then each of the p-1 non-first
+  // partials folds its (up to out_groups) entries into the total on the
+  // driver thread — the serial merge tail — before the serial emit.
+  return ParallelCost(in_rows * params_.hash_build) +
+         out_groups * (p - 1.0) * params_.hash_probe +
+         out_groups * params_.materialize;
+}
+
+double CostModel::AggregateRadixFormCost(double in_rows,
+                                         double out_groups) const {
+  const double p = std::max(1.0, params_.parallelism);
+  // Phase 1 pays per-row radix routing on top of the hash accumulation;
+  // phase 2's per-partition merges and emits fan out over the pool.
+  return ParallelCost(in_rows * (params_.hash_build + params_.radix_route)) +
+         ParallelCost(out_groups * (p - 1.0) * params_.hash_probe +
+                      out_groups * params_.materialize);
+}
+
+double CostModel::AggregateCost(double in_rows, double out_groups) const {
+  return std::min(AggregateMergeFormCost(in_rows, out_groups),
+                  AggregateRadixFormCost(in_rows, out_groups));
 }
 
 double CostModel::Annotate(PlanNode* node) const {

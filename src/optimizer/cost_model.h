@@ -43,8 +43,18 @@ struct CostParams {
   double hnsw_ef_construction = 128.0;
   double hnsw_ef_search = 96.0;
   /// Each beam-search hop scores the expanded node's neighbors, so a probe
-  /// touches roughly ef_search * neighbor_overlap_factor candidates.
-  double hnsw_expansion_factor = 4.0;
+  /// touches roughly ef_search * hnsw_expansion_factor candidates.
+  /// Fitted from bench/fig_parallel_tails measurements (8k vectors of a
+  /// 64-dim hash model): 65.7us/probe = ~2930 dot-equivalents at
+  /// 0.35 ns/dim -> (2930 - descent) / ef_search ~ 28. The old default of
+  /// 4 undercounted the layer-0 degree (2*M neighbors scored per hop)
+  /// plus queue/visited bookkeeping per candidate.
+  double hnsw_expansion_factor = 28.0;
+  /// Construction does strictly more per scored candidate than a probe
+  /// (neighbor selection, reverse-link shrinking, multi-layer beams).
+  /// Fitted from the same bench: 145us/insert vs
+  /// ef_construction * expansion * dot = 80us -> ~1.8x.
+  double hnsw_build_cost_multiplier = 1.8;
   /// Expected number of future queries that will reuse a managed index
   /// before its table changes. Cold builds over reusable (bare catalog
   /// scan) bases are charged build_cost / horizon: raising it makes the
@@ -55,14 +65,25 @@ struct CostParams {
   /// choices once an index is actually resident. Tuned per workload via
   /// OptimizerOptions::index_reuse_horizon.
   double index_reuse_horizon = 1.0;
+  /// Per-row routing cost of the radix-partitioned aggregation's phase 1
+  /// (hash the serialized group key, pick a partition).
+  double radix_route = 2.0;
   /// Engine worker-thread count visible to the planner. Costs of operators
   /// the morsel-driven executor can spread across cores (scans, filters,
-  /// projections, semantic selects, join probes, aggregate accumulation,
-  /// detection, semantic-join probing) are discounted by an Amdahl factor.
+  /// projections, semantic selects, join probes, sorts, aggregate
+  /// accumulation, detection, semantic-join probing) are discounted by an
+  /// Amdahl factor.
   double parallelism = 1.0;
   /// Fraction of a parallelizable operator's work that actually scales
   /// with threads — the rest is per-query coordination (morsel
   /// scheduling, shared-state builds, result concatenation and merges).
+  /// Calibrated against bench/fig_parallel_tails: its per-stage timings
+  /// put the parallelizable share of a 120k-row sort at ~0.89 (local
+  /// sort 9.2ms + partitioned merge 7.4ms of an 18.6ms total; the
+  /// residue is splitter sampling, boundary search, and scheduling), and
+  /// the bench prints a direct Amdahl-inversion fit of this constant
+  /// from its 1/2/4/8-thread speedups on multi-core runners. 0.9 is the
+  /// rounded fit; re-fit with the bench when operator internals change.
   double parallel_fraction = 0.9;
 };
 
@@ -114,6 +135,18 @@ class CostModel {
   /// Per-row embedding cost of `model_name` (the model's own annotation
   /// when registered, params().embed otherwise).
   double EmbedCost(const std::string& model_name) const;
+
+  /// Grouped-aggregation cost: the cheaper of the two physical forms the
+  /// parallel driver can run. The crossover (radix wins once the serial
+  /// whole-map merge tail outweighs the per-row routing overhead) is what
+  /// OptimizerOptions::radix_agg_min_groups approximates as a threshold.
+  double AggregateCost(double in_rows, double out_groups) const;
+  /// Per-worker hash states whose partials fold into one map serially at
+  /// the barrier — cheap at low group counts, a tail at high ones.
+  double AggregateMergeFormCost(double in_rows, double out_groups) const;
+  /// Two-phase radix partitioning: per-row routing in phase 1 buys
+  /// per-partition parallel merges in phase 2.
+  double AggregateRadixFormCost(double in_rows, double out_groups) const;
 
   const CostParams& params() const { return params_; }
 

@@ -31,6 +31,16 @@ struct OptimizerOptions {
   /// speculatively; raise for repeated-traffic workloads so the optimizer
   /// invests in IndexManager builds that later queries hit warm.
   double index_reuse_horizon = 1.0;
+  /// Minimum estimated group cardinality at which the parallel driver
+  /// switches grouped aggregation from per-worker hash states (whose
+  /// partials merge serially at the barrier) to the two-phase
+  /// radix-partitioned form (per-partition merges fan out over the pool).
+  /// Few groups merge cheaply, so the partition pass would only add
+  /// routing overhead; many groups make the serial merge the tail. When
+  /// the estimate is unavailable (unoptimized execution), 0 forces the
+  /// radix form for every keyed aggregate. Mirrored by
+  /// CostModel::AggregateCost, which costs both forms.
+  std::size_t radix_agg_min_groups = 4096;
 };
 
 /// The holistic rule- and cost-based optimizer spanning relational and

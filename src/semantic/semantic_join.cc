@@ -94,9 +94,15 @@ Status SemanticJoinOperator::BuildRightSide() {
     case SemanticJoinStrategy::kIvf:
       owned = std::make_unique<IvfIndex>(options_.ivf);
       break;
-    case SemanticJoinStrategy::kHnsw:
-      owned = std::make_unique<HnswIndex>(options_.hnsw);
+    case SemanticJoinStrategy::kHnsw: {
+      // Local (per-execution) builds borrow the operator's probe pool;
+      // the canonical batched construction keeps the graph identical to
+      // a serial build.
+      HnswOptions hnsw = options_.hnsw;
+      if (hnsw.build_pool == nullptr) hnsw.build_pool = options_.pool;
+      owned = std::make_unique<HnswIndex>(hnsw);
       break;
+    }
   }
   CRE_RETURN_NOT_OK(owned->Build(right_matrix_.data(), words.size(), dim));
   index_ = std::move(owned);
@@ -211,7 +217,9 @@ std::vector<MatchPair> SemanticStringJoin(
   if (options.strategy == SemanticJoinStrategy::kLsh) {
     index = std::make_unique<LshIndex>(options.lsh);
   } else if (options.strategy == SemanticJoinStrategy::kHnsw) {
-    index = std::make_unique<HnswIndex>(options.hnsw);
+    HnswOptions hnsw = options.hnsw;
+    if (hnsw.build_pool == nullptr) hnsw.build_pool = options.pool;
+    index = std::make_unique<HnswIndex>(hnsw);
   } else {
     index = std::make_unique<IvfIndex>(options.ivf);
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "core/hash.h"
 #include "core/rng.h"
 
 namespace cre {
@@ -17,7 +18,10 @@ struct ScoreLess {
   }
 };
 
-/// Min-heap on score (worst retained result on top).
+/// Min-heap on score (worst retained result on top); doubles as the
+/// best-first (descending score, ascending id) ordering every candidate
+/// sort in this file uses — one definition keeps the deterministic
+/// tie-break in one place.
 struct ScoreGreater {
   bool operator()(const ScoredId& a, const ScoredId& b) const {
     return a.score > b.score || (a.score == b.score && a.id < b.id);
@@ -52,9 +56,168 @@ Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
     const int level = static_cast<int>(-std::log(u) * ml);
     levels_[i] = level;
     links_[i].assign(static_cast<std::size_t>(level) + 1, {});
-    Insert(i, level);
+  }
+
+  // Canonical batched construction. The first build_bootstrap nodes
+  // insert one-at-a-time (each sees all of its predecessors). After
+  // that, nodes insert in id-ordered batches: every batch member plans
+  // its links against the graph as frozen at the batch start — plus the
+  // earlier members of its own batch, folded in by exact scoring, so no
+  // candidate a sequential insert would have seen goes missing — then
+  // the plans apply in canonical order (phase B). The batch schedule,
+  // the frozen-snapshot searches, and the canonical application make the
+  // graph a pure function of (data, options) — identical with or without
+  // a pool — while phase A, where nearly all distance computations
+  // happen, scales with cores. Batch size grows with the graph (cur / 4,
+  // capped) so members search a structure several times their batch, and
+  // the cap keeps the exact intra-batch scoring linear overall.
+  const std::uint32_t bootstrap = static_cast<std::uint32_t>(
+      std::min<std::size_t>(n, std::max<std::size_t>(1,
+                                                     options_.build_bootstrap)));
+  for (std::uint32_t i = 0; i < bootstrap; ++i) {
+    Insert(i, levels_[i]);
+  }
+
+  ThreadPool* pool = options_.build_pool;
+  std::vector<InsertPlan> plans;
+  for (std::uint32_t cur = bootstrap; cur < n;) {
+    const std::size_t batch = std::min<std::size_t>(
+        {n - cur, std::max<std::size_t>(128, cur / 4), std::size_t{1024}});
+    plans.assign(batch, {});
+    if (pool != nullptr && pool->num_threads() > 1 && batch > 1) {
+      pool->ParallelFor(
+          batch,
+          [&](std::size_t begin, std::size_t end) {
+            std::vector<char> visited(n_, 0);
+            for (std::size_t j = begin; j < end; ++j) {
+              const std::uint32_t id = cur + static_cast<std::uint32_t>(j);
+              plans[j] = PlanInsert(id, levels_[id], cur, &visited);
+            }
+          },
+          /*min_chunk=*/1);
+    } else {
+      std::vector<char> visited(n_, 0);
+      for (std::size_t j = 0; j < batch; ++j) {
+        const std::uint32_t id = cur + static_cast<std::uint32_t>(j);
+        plans[j] = PlanInsert(id, levels_[id], cur, &visited);
+      }
+    }
+    ApplyBatch(cur, batch, &plans);
+    cur += static_cast<std::uint32_t>(batch);
   }
   return Status::OK();
+}
+
+HnswIndex::InsertPlan HnswIndex::PlanInsert(std::uint32_t id, int level,
+                                            std::uint32_t batch_first,
+                                            std::vector<char>* visited) const {
+  // Mirrors Insert()'s search half on the frozen graph: greedy descent
+  // through the upper layers, then an ef_construction beam per layer with
+  // the Malkov-Yashunin neighbor selection. No writes.
+  InsertPlan plan;
+  plan.links.assign(static_cast<std::size_t>(level) + 1, {});
+  const float* q = Vec(id);
+  std::uint32_t ep = entry_;
+  for (int layer = max_level_; layer > level; --layer) {
+    ep = GreedyStep(q, ep, layer);
+  }
+  // Earlier batch members are invisible to the frozen-graph search, so
+  // score them exactly once and merge them into every layer's candidate
+  // set below — the same neighbors a sequential insert would have
+  // reached through the graph.
+  std::vector<ScoredId> peers;
+  peers.reserve(id - batch_first);
+  for (std::uint32_t i = batch_first; i < id; ++i) {
+    peers.push_back({i, dot_(q, Vec(i), dim_)});
+  }
+  for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+    std::vector<ScoredId> found =
+        SearchLayer(q, ep, options_.ef_construction, layer, visited);
+    std::sort(found.begin(), found.end(), ScoreGreater{});
+    if (!found.empty()) ep = found.front().id;
+    for (const ScoredId& peer : peers) {
+      if (levels_[peer.id] >= layer) found.push_back(peer);
+    }
+    if (!peers.empty()) std::sort(found.begin(), found.end(), ScoreGreater{});
+    plan.links[layer] = SelectNeighbors(found, MaxDegree(layer));
+  }
+  return plan;
+}
+
+void HnswIndex::ApplyBatch(std::uint32_t first, std::size_t count,
+                           std::vector<InsertPlan>* plans) {
+  // Own links first (batch members may point at pre-batch nodes and at
+  // earlier batch peers); the reverse-edge pass below runs strictly
+  // after, so a peer's list is complete before anything appends to it.
+  for (std::size_t j = 0; j < count; ++j) {
+    InsertPlan& plan = (*plans)[j];
+    const std::uint32_t id = first + static_cast<std::uint32_t>(j);
+    const int top = static_cast<int>(plan.links.size()) - 1;
+    for (int layer = std::min(top, max_level_); layer >= 0; --layer) {
+      links_[id][layer] = std::move(plan.links[layer]);
+    }
+  }
+
+  // Reverse edges, grouped by (target, layer) in canonical order: each
+  // group appends its new ids (ascending) and re-selects the target's
+  // links once. Distinct groups touch disjoint adjacency lists, so the
+  // groups can fan out over the pool without changing the result.
+  struct Edge {
+    std::uint32_t target;
+    int layer;
+    std::uint32_t id;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t id = first + static_cast<std::uint32_t>(j);
+    for (std::size_t layer = 0; layer < links_[id].size(); ++layer) {
+      for (const std::uint32_t nb : links_[id][layer]) {
+        edges.push_back({nb, static_cast<int>(layer), id});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.target < b.target ||
+           (a.target == b.target &&
+            (a.layer < b.layer || (a.layer == b.layer && a.id < b.id)));
+  });
+  std::vector<std::size_t> group_starts;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].target != edges[i - 1].target ||
+        edges[i].layer != edges[i - 1].layer) {
+      group_starts.push_back(i);
+    }
+  }
+  group_starts.push_back(edges.size());
+
+  auto apply_groups = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t g = begin; g < end; ++g) {
+      const std::size_t lo = group_starts[g];
+      const std::size_t hi = group_starts[g + 1];
+      const std::uint32_t target = edges[lo].target;
+      const int layer = edges[lo].layer;
+      auto& nbrs = links_[target][layer];
+      for (std::size_t i = lo; i < hi; ++i) nbrs.push_back(edges[i].id);
+      ShrinkLinks(target, layer);
+    }
+  };
+  const std::size_t groups = group_starts.size() - 1;
+  ThreadPool* pool = options_.build_pool;
+  if (pool != nullptr && pool->num_threads() > 1 && groups > 1) {
+    pool->ParallelFor(groups, apply_groups, /*min_chunk=*/8);
+  } else {
+    apply_groups(0, groups);
+  }
+
+  // Entry-point handover in id order, exactly as sequential inserts
+  // would have done it.
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t id = first + static_cast<std::uint32_t>(j);
+    if (levels_[id] > max_level_) {
+      max_level_ = levels_[id];
+      entry_ = id;
+    }
+  }
 }
 
 std::uint32_t HnswIndex::GreedyStep(const float* query, std::uint32_t entry,
@@ -144,10 +307,7 @@ void HnswIndex::ShrinkLinks(std::uint32_t node, int layer) {
   for (const std::uint32_t id : nbrs) {
     scored.push_back({id, dot_(v, Vec(id), dim_)});
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredId& a, const ScoredId& b) {
-              return a.score > b.score || (a.score == b.score && a.id < b.id);
-            });
+  std::sort(scored.begin(), scored.end(), ScoreGreater{});
   nbrs = SelectNeighbors(scored, cap);
 }
 
@@ -168,11 +328,7 @@ void HnswIndex::Insert(std::uint32_t id, int level) {
   for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
     std::vector<ScoredId> found =
         SearchLayer(q, ep, options_.ef_construction, layer, &visited);
-    std::sort(found.begin(), found.end(),
-              [](const ScoredId& a, const ScoredId& b) {
-                return a.score > b.score ||
-                       (a.score == b.score && a.id < b.id);
-              });
+    std::sort(found.begin(), found.end(), ScoreGreater{});
     auto& own = links_[id][layer];
     own = SelectNeighbors(found, MaxDegree(layer));
     for (const std::uint32_t nb : own) {
@@ -198,10 +354,7 @@ std::vector<ScoredId> HnswIndex::TopK(const float* query,
   std::vector<char> visited(n_, 0);
   std::vector<ScoredId> found = SearchLayer(
       query, ep, std::max(options_.ef_search, k), 0, &visited);
-  std::sort(found.begin(), found.end(),
-            [](const ScoredId& a, const ScoredId& b) {
-              return a.score > b.score || (a.score == b.score && a.id < b.id);
-            });
+  std::sort(found.begin(), found.end(), ScoreGreater{});
   if (found.size() > k) found.resize(k);
   return found;
 }
@@ -239,6 +392,20 @@ void HnswIndex::RangeSearch(const float* query, float threshold,
       if (s >= explore) frontier.push_back(nb);
     }
   }
+}
+
+std::uint64_t HnswIndex::GraphChecksum() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashCombine(h, entry_);
+  h = HashCombine(h, static_cast<std::uint64_t>(max_level_ + 1));
+  for (std::size_t i = 0; i < n_; ++i) {
+    h = HashCombine(h, static_cast<std::uint64_t>(levels_[i]));
+    for (const auto& layer : links_[i]) {
+      h = HashCombine(h, layer.size());
+      for (const std::uint32_t id : layer) h = HashCombine(h, id);
+    }
+  }
+  return h;
 }
 
 std::size_t HnswIndex::MemoryBytes() const {

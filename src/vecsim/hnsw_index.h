@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "vecsim/kernels.h"
 #include "vecsim/vector_index.h"
 
@@ -30,6 +31,20 @@ struct HnswOptions {
   /// small similarity dips inside a threshold region without admitting
   /// false positives (every hit is exactly verified).
   float range_slack = 0.05f;
+  /// Worker pool for construction. Build always runs the *canonical
+  /// batched* insertion schedule — bootstrap incrementally, then insert
+  /// id-ordered batches whose candidate searches read a frozen graph
+  /// snapshot and whose link updates apply in canonical order — so the
+  /// resulting graph is a pure function of (data, options) and
+  /// byte-identical for any pool size, including none. The pool only
+  /// decides whether each batch's searches and per-node link updates run
+  /// concurrently.
+  ThreadPool* build_pool = nullptr;
+  /// Nodes inserted one-at-a-time before batching starts (a tiny frozen
+  /// graph would give batch members too little structure to search, and
+  /// small builds are too cheap to be worth batching at all — below this
+  /// size construction is exactly the sequential algorithm).
+  std::size_t build_bootstrap = 512;
 };
 
 class HnswIndex : public VectorIndex {
@@ -48,7 +63,34 @@ class HnswIndex : public VectorIndex {
 
   int max_level() const { return max_level_; }
 
+  /// Order-sensitive digest of the whole graph (levels, adjacency, entry
+  /// point): equal checksums mean byte-identical graphs. Used by the
+  /// parallel-vs-serial build identity tests.
+  std::uint64_t GraphChecksum() const;
+
  private:
+  /// Per-node output of a batch's frozen-graph candidate search
+  /// (phase A): the node's proposed out-links per layer.
+  struct InsertPlan {
+    std::vector<std::vector<std::uint32_t>> links;
+  };
+
+  /// Computes `id`'s insertion plan against the current (frozen) graph.
+  /// Earlier batch members ([batch_first, id), invisible in the frozen
+  /// snapshot) join the candidate set by exact scoring, so the plan sees
+  /// everything a sequential insert would have seen. Read-only; safe to
+  /// run concurrently for all members of a batch.
+  InsertPlan PlanInsert(std::uint32_t id, int level,
+                        std::uint32_t batch_first,
+                        std::vector<char>* visited) const;
+
+  /// Applies a batch's plans: assigns own links, then groups the reverse
+  /// edges by target node and appends+shrinks each target once, in
+  /// canonical (target, layer, id) order — deterministic regardless of
+  /// how the per-target work is scheduled, because distinct targets touch
+  /// disjoint adjacency lists.
+  void ApplyBatch(std::uint32_t first, std::size_t count,
+                  std::vector<InsertPlan>* plans);
   std::size_t MaxDegree(int layer) const {
     return layer == 0 ? 2 * options_.M : options_.M;
   }

@@ -257,6 +257,71 @@ TEST_P(ParallelExecTest, StreamablePipelinePreservesRowOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelExecTest, ::testing::Range(1, 7));
 
+TEST_P(ParallelExecTest, ParallelSortReproducesSerialOrderByteExactly) {
+  // The sort key has heavy duplication (num draws from 1000 values over
+  // 6000 rows), so this exercises stability: equal keys must keep input
+  // order through per-run sorts and the partitioned loser-tree merge.
+  for (const bool ascending : {true, false}) {
+    for (const char* key : {"num", "word", "id"}) {
+      PlanPtr plan = PlanNode::Sort(PlanNode::Scan("big"), key, ascending);
+      auto serial = serial_->ExecuteUnoptimized(plan);
+      ASSERT_TRUE(serial.ok()) << serial.status();
+      auto run1 = parallel_->ExecuteUnoptimized(plan);
+      ASSERT_TRUE(run1.ok()) << run1.status();
+      auto run2 = parallel_->ExecuteUnoptimized(plan);
+      ASSERT_TRUE(run2.ok()) << run2.status();
+      const auto expected = OrderedRows(*serial.ValueOrDie());
+      EXPECT_EQ(expected, OrderedRows(*run1.ValueOrDie()))
+          << key << (ascending ? " asc" : " desc");
+      EXPECT_EQ(expected, OrderedRows(*run2.ValueOrDie()))
+          << key << (ascending ? " asc" : " desc");
+    }
+  }
+}
+
+TEST_P(ParallelExecTest, LimitThroughMorselSchedulerMatchesSerial) {
+  // Limit over a streamable chain routes through the budgeted morsel
+  // scheduler; the first-N-rows semantics must hold byte-exactly for
+  // budgets below, at, and above the child's output size.
+  Rng rng(seed_ * 31 + 7);
+  PlanPtr child = PlanNode::Filter(PlanNode::Scan("big"),
+                                   Gt(Col("num"), Lit(250.0)));
+  child = PlanNode::SemanticSelect(child, "word",
+                                   words_[rng.Uniform(words_.size())], "m",
+                                   0.75f);
+  for (const std::size_t limit : {1ul, 37ul, 700ul, 100000ul}) {
+    PlanPtr plan = PlanNode::Limit(child, limit);
+    auto serial = serial_->ExecuteUnoptimized(plan);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    auto run1 = parallel_->ExecuteUnoptimized(plan);
+    ASSERT_TRUE(run1.ok()) << run1.status();
+    auto run2 = parallel_->ExecuteUnoptimized(plan);
+    ASSERT_TRUE(run2.ok()) << run2.status();
+    EXPECT_EQ(OrderedRows(*serial.ValueOrDie()),
+              OrderedRows(*run1.ValueOrDie()))
+        << "limit=" << limit;
+    EXPECT_EQ(OrderedRows(*run1.ValueOrDie()),
+              OrderedRows(*run2.ValueOrDie()))
+        << "limit=" << limit;
+  }
+}
+
+TEST_P(ParallelExecTest, TopKSortLimitMatchesSerial) {
+  for (const bool ascending : {true, false}) {
+    for (const std::size_t k : {5ul, 250ul, 9000ul}) {
+      PlanPtr plan = PlanNode::Limit(
+          PlanNode::Sort(PlanNode::Scan("big"), "num", ascending), k);
+      auto serial = serial_->ExecuteUnoptimized(plan);
+      ASSERT_TRUE(serial.ok()) << serial.status();
+      auto parallel = parallel_->ExecuteUnoptimized(plan);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      EXPECT_EQ(OrderedRows(*serial.ValueOrDie()),
+                OrderedRows(*parallel.ValueOrDie()))
+          << "k=" << k << (ascending ? " asc" : " desc");
+    }
+  }
+}
+
 TEST(ParallelExecPlain, AggregatePartialsMergeExactly) {
   EngineOptions serial_opts;
   serial_opts.num_threads = 1;
@@ -291,6 +356,88 @@ TEST(ParallelExecPlain, AggregatePartialsMergeExactly) {
   EXPECT_EQ(OrderedRows(*b), OrderedRows(*c));
 }
 
+TEST(ParallelExecPlain, RadixAggregationMatchesSerialAtHighCardinality) {
+  EngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  EngineOptions radix_opts;
+  radix_opts.num_threads = kThreads;
+  radix_opts.morsel_rows = 256;
+  // Unoptimized plans carry no group estimate; threshold 0 forces the
+  // radix form so this test pins its serial/parallel equivalence.
+  radix_opts.optimizer.radix_agg_min_groups = 0;
+  Engine serial(serial_opts), radix(radix_opts);
+
+  auto t = Table::Make(Schema({{"k", DataType::kInt64, 0},
+                               {"v", DataType::kFloat64, 0}}));
+  Rng rng(97);
+  for (std::size_t i = 0; i < 30000; ++i) {
+    // ~8000 distinct groups: high cardinality relative to input.
+    t->column(0).AppendInt64(static_cast<std::int64_t>(rng.Uniform(8000)));
+    t->column(1).AppendFloat64(static_cast<double>(rng.Uniform(100000)));
+  }
+  serial.catalog().Put("t", t);
+  radix.catalog().Put("t", t);
+
+  PlanPtr plan = PlanNode::Aggregate(PlanNode::Scan("t"), {"k"},
+                                     {{AggKind::kCount, "", "n"},
+                                      {AggKind::kSum, "v", "sum"},
+                                      {AggKind::kMin, "v", "lo"},
+                                      {AggKind::kMax, "v", "hi"},
+                                      {AggKind::kAvg, "v", "mean"}});
+  auto a = serial.ExecuteUnoptimized(plan).ValueOrDie();
+  auto b = radix.ExecuteUnoptimized(plan).ValueOrDie();
+  EXPECT_EQ(Fingerprint(*a), Fingerprint(*b));
+  // Partition-then-chunk merge order: radix output order is stable
+  // run-to-run for a fixed thread count.
+  auto c = radix.ExecuteUnoptimized(plan).ValueOrDie();
+  EXPECT_EQ(OrderedRows(*b), OrderedRows(*c));
+
+  // The optimized path estimates group cardinality and crosses the
+  // default threshold on its own once the threshold is in reach.
+  radix.set_optimizer_options([] {
+    OptimizerOptions o;
+    o.radix_agg_min_groups = 1000;  // est = 30000 * 0.1 = 3000 >= 1000
+    o.allow_approximate_similarity = false;
+    return o;
+  }());
+  auto optimized = radix.Execute(plan).ValueOrDie();
+  EXPECT_EQ(Fingerprint(*a), Fingerprint(*optimized));
+}
+
+TEST(ParallelExecPlain, ExplainAnnotatesPipelineSchedulingAndBudget) {
+  EngineOptions parallel_opts;
+  parallel_opts.num_threads = kThreads;
+  EngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  Engine parallel(parallel_opts), serial(serial_opts);
+  auto t = Table::Make(Schema({{"x", DataType::kInt64, 0}}));
+  for (std::size_t i = 0; i < 100; ++i) {
+    t->column(0).AppendInt64(static_cast<std::int64_t>(i));
+  }
+  parallel.catalog().Put("t", t);
+  serial.catalog().Put("t", t);
+
+  PlanPtr plan = PlanNode::Limit(
+      PlanNode::Filter(PlanNode::Scan("t"), Gt(Col("x"), Lit(10))), 5);
+  const std::string par = parallel.Explain(plan).ValueOrDie();
+  EXPECT_NE(par.find("pipelines (dop=" + std::to_string(kThreads) + ")"),
+            std::string::npos)
+      << par;
+  EXPECT_NE(par.find("shared row budget"), std::string::npos) << par;
+  EXPECT_NE(par.find("morsel scheduler"), std::string::npos) << par;
+  EXPECT_EQ(par.find("serial pull loop"), std::string::npos) << par;
+
+  const std::string ser = serial.Explain(plan).ValueOrDie();
+  EXPECT_NE(ser.find("serial pull loop"), std::string::npos) << ser;
+
+  // Top-k folding and the sort's parallel form are visible too.
+  PlanPtr topk = PlanNode::Limit(
+      PlanNode::Sort(PlanNode::Scan("t"), "x", false), 3);
+  const std::string topk_explain = parallel.Explain(topk).ValueOrDie();
+  EXPECT_NE(topk_explain.find("parallel top-k sort"), std::string::npos)
+      << topk_explain;
+}
+
 TEST(ParallelExecPlain, GlobalAggregateOverEmptyInput) {
   EngineOptions eo;
   eo.num_threads = kThreads;
@@ -303,6 +450,42 @@ TEST(ParallelExecPlain, GlobalAggregateOverEmptyInput) {
   auto out = engine.ExecuteUnoptimized(plan).ValueOrDie();
   ASSERT_EQ(out->num_rows(), 1u);
   EXPECT_EQ(out->GetValue(0, 0).AsInt64(), 0);
+}
+
+TEST(ParallelExecPlain, SortAndAggregateStageTimingsCollected) {
+  EngineOptions eo;
+  eo.num_threads = kThreads;
+  eo.morsel_rows = 512;
+  Engine engine(eo);
+  auto t = Table::Make(Schema({{"k", DataType::kInt64, 0},
+                               {"v", DataType::kFloat64, 0}}));
+  Rng rng(5);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    t->column(0).AppendInt64(static_cast<std::int64_t>(rng.Uniform(50)));
+    t->column(1).AppendFloat64(static_cast<double>(rng.Uniform(1000)));
+  }
+  engine.catalog().Put("t", t);
+
+  PlanPtr plan = PlanNode::Aggregate(
+      PlanNode::Sort(PlanNode::Scan("t"), "v", true), {"k"},
+      {{AggKind::kSum, "v", "sum"}});
+  auto analyzed = engine.ExecuteWithStats(plan).ValueOrDie();
+  bool sort_local = false, sort_merge = false;
+  bool agg_accumulate = false, agg_merge = false;
+  for (const auto& s : analyzed.stats->slots()) {
+    if (s->name.find("Sort phase: local sort") != std::string::npos) {
+      sort_local = true;
+    } else if (s->name.find("Sort phase: merge") != std::string::npos) {
+      sort_merge = true;
+    } else if (s->name.find("Aggregate phase: accumulate") !=
+               std::string::npos) {
+      agg_accumulate = true;
+    } else if (s->name.find("Aggregate phase: merge") != std::string::npos) {
+      agg_merge = true;
+    }
+  }
+  EXPECT_TRUE(sort_local && sort_merge) << analyzed.stats->ToString();
+  EXPECT_TRUE(agg_accumulate && agg_merge) << analyzed.stats->ToString();
 }
 
 TEST(ParallelExecPlain, PipelineBreakerClassification) {

@@ -1,0 +1,30 @@
+#ifndef CRE_CORE_CANCEL_H_
+#define CRE_CORE_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+namespace cre {
+
+/// Shared cooperative-cancellation flag. The caller keeps one handle and
+/// may flip it from any thread; a query's drivers poll it at morsel and
+/// segment boundaries and unwind with Status::Cancelled. Cancellation is
+/// cooperative — in-flight batches finish, then the query stops claiming
+/// work. Lives in core so the exec-layer morsel scheduler can poll it
+/// without depending on the engine's QueryContext.
+class CancelFlag {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CancelFlagPtr = std::shared_ptr<CancelFlag>;
+
+}  // namespace cre
+
+#endif  // CRE_CORE_CANCEL_H_

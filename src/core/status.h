@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kAborted,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -67,6 +68,9 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -83,6 +87,7 @@ class Status {
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

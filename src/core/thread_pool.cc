@@ -56,7 +56,7 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(
+void TaskRunner::ParallelFor(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t min_chunk) {
   if (n == 0) return;

@@ -12,32 +12,62 @@
 
 namespace cre {
 
+/// Abstract task-execution surface the parallel operators run on. Two
+/// implementations exist: the raw fixed-size ThreadPool (one exclusive
+/// user, the pre-serving behavior) and QueryScheduler::Group
+/// (engine/scheduler.h), which multiplexes the tasks of many concurrently
+/// admitted queries over one shared pool with fair dispatch. Operators
+/// take a TaskRunner* so the same code serves both worlds.
+///
+/// Contract: Wait() blocks until every task submitted *through this
+/// runner* has finished — never tasks submitted through a different
+/// runner sharing the same threads. Tasks must not call Wait() themselves
+/// (all scheduling happens on the driver thread; workers never block on
+/// the pool), which keeps fixed-size pools deadlock-free.
+class TaskRunner {
+ public:
+  virtual ~TaskRunner() = default;
+
+  /// Enqueues a task for execution on some worker thread.
+  virtual void Submit(std::function<void()> task) = 0;
+
+  /// Blocks until every task submitted through this runner has completed.
+  virtual void Wait() = 0;
+
+  /// Worker threads behind this runner (callers use <= 1 as the
+  /// "run serially instead" signal).
+  virtual std::size_t num_threads() const = 0;
+
+  /// Convenience: splits [0, n) into contiguous chunks and runs
+  /// fn(begin, end) on the runner, blocking until done. Falls back to a
+  /// direct call when n is small or only one thread backs the runner.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   std::size_t min_chunk = 1024);
+};
+
 /// Fixed-size worker pool used by the morsel-driven parallel executor.
 /// Tasks are std::function<void()>; Wait() blocks until all submitted tasks
 /// have finished.
-class ThreadPool {
+class ThreadPool : public TaskRunner {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
   explicit ThreadPool(std::size_t num_threads);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) override;
 
-  /// Blocks until every task submitted so far has completed.
-  void Wait();
+  /// Blocks until every task submitted so far has completed. Note this is
+  /// pool-global: with multiple concurrent submitters it waits for all of
+  /// them (the QueryScheduler's per-query groups exist to avoid exactly
+  /// this coupling on the query path).
+  void Wait() override;
 
-  std::size_t num_threads() const { return workers_.size(); }
-
-  /// Convenience: splits [0, n) into contiguous chunks and runs
-  /// fn(begin, end) on the pool, blocking until done. Falls back to a
-  /// direct call when n is small or the pool has one thread.
-  void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& fn,
-                   std::size_t min_chunk = 1024);
+  std::size_t num_threads() const override { return workers_.size(); }
 
   /// Shared process-wide pool sized to the hardware concurrency.
   static ThreadPool& Default();

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <thread>
+#include <utility>
 
 #include "core/timer.h"
 #include "engine/parallel_driver.h"
@@ -25,14 +26,51 @@ Engine::Engine(EngineOptions options) : options_(options) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
-  // Cold managed HNSW builds (IndexManager::GetOrBuild) run their
-  // canonical batched construction on the engine pool; results are
-  // identical to a serial build, just faster.
+  scheduler_ = std::make_unique<QueryScheduler>(pool_.get());
+  background_group_ = scheduler_->Admit(QueryPriority::kBackground);
+  // Cold managed HNSW builds requested synchronously (GetOrBuild from a
+  // driver thread) fan their canonical batched construction out through
+  // the background group: group-scoped Wait keeps concurrent queries'
+  // barriers independent (a raw pool Wait would couple every admitted
+  // query), and background priority keeps build tasks behind query
+  // morsels. Asynchronous background builds override this to a serial
+  // build inside their single task (see IndexManager::BuildIndex).
   if (options_.index.hnsw.build_pool == nullptr && threads > 1) {
-    options_.index.hnsw.build_pool = pool_.get();
+    options_.index.hnsw.build_pool = background_group_.get();
   }
   index_manager_ =
       std::make_unique<IndexManager>(&catalog_, &models_, options_.index);
+  index_manager_->EnableAsyncBuilds(background_group_.get());
+}
+
+Engine::~Engine() {
+  // Drain the pool before any member it feeds is destroyed: queued
+  // scheduler pumps and background index builds touch scheduler_,
+  // index_manager_, catalog_, and models_.
+  pool_.reset();
+}
+
+QueryContext Engine::MakeContext(const QueryOptions& query,
+                                 StatsCollector* stats) {
+  return QueryContext(catalog_.Snapshot(), scheduler_->Admit(query.priority),
+                      query.cancel, stats);
+}
+
+OptimizerOptions Engine::EffectiveOptimizerOptions() const {
+  OptimizerOptions options = options_.optimizer;
+  if (options.degree_of_parallelism == 0) {
+    options.degree_of_parallelism = pool_->num_threads();
+  }
+  if (options_.index.async_builds &&
+      options.background_build_discount >= 1.0) {
+    // Backgrounded builds cost the query stream pool cycles, not
+    // latency; charge a quarter of the synchronous build so the
+    // optimizer starts investing in indexes earlier. Applied in both
+    // MakeOptimizer and MakeOptimizerFor so EXPLAIN renders the plan
+    // Execute actually runs.
+    options.background_build_discount = 0.25;
+  }
+  return options;
 }
 
 Optimizer Engine::MakeOptimizer() const {
@@ -40,64 +78,120 @@ Optimizer Engine::MakeOptimizer() const {
   SubplanExecutor executor = [self](const PlanPtr& subplan) {
     return self->ExecuteUnoptimized(subplan);
   };
-  OptimizerOptions options = options_.optimizer;
-  if (options.degree_of_parallelism == 0) {
-    options.degree_of_parallelism = pool_->num_threads();
-  }
+  OptimizerOptions options = EffectiveOptimizerOptions();
   IndexResidencyProbe residency = nullptr;
   if (options_.index.enabled) {
     IndexManager* manager = index_manager_.get();
     residency = [manager](const std::string& table, const std::string& column,
                           const std::string& model,
                           SemanticJoinStrategy kind) {
-      return manager->IsResident({table, column, model, kind});
+      return manager->Residency({table, column, model, kind});
     };
   }
   return Optimizer(&catalog_, &models_, &detectors_, options,
                    std::move(executor), std::move(residency));
 }
 
-Result<OperatorPtr> Engine::Lower(const PlanNode& node) {
-  CRE_ASSIGN_OR_RETURN(OperatorPtr op, LowerImpl(node));
-  if (active_stats_ != nullptr) {
-    OperatorStats* slot = active_stats_->AddSlot(op->name());
+Optimizer Engine::MakeOptimizerFor(QueryContext* ctx) const {
+  auto* self = const_cast<Engine*>(this);
+  // DIP subplans execute inside the requesting query: same snapshot,
+  // same scheduler group, same cancellation flag.
+  SubplanExecutor executor = [self, ctx](const PlanPtr& subplan) {
+    return self->RunPhysical(ctx, subplan);
+  };
+  OptimizerOptions options = EffectiveOptimizerOptions();
+  IndexResidencyProbe residency = nullptr;
+  if (options_.index.enabled) {
+    IndexManager* manager = index_manager_.get();
+    residency = [manager](const std::string& table, const std::string& column,
+                          const std::string& model,
+                          SemanticJoinStrategy kind) {
+      return manager->Residency({table, column, model, kind});
+    };
+  }
+  // Cardinality estimation and schema-dependent rules resolve names
+  // against the query's pinned snapshot, so planning and execution see
+  // the same tables even under concurrent catalog writes.
+  return Optimizer(&ctx->snapshot(), &models_, &detectors_, options,
+                   std::move(executor), std::move(residency));
+}
+
+Result<OperatorPtr> Engine::Lower(QueryContext* ctx, const PlanNode& node) {
+  CRE_ASSIGN_OR_RETURN(OperatorPtr op, LowerImpl(ctx, node));
+  if (ctx->stats() != nullptr) {
+    OperatorStats* slot = ctx->stats()->AddSlot(op->name());
     op = std::make_unique<InstrumentedOperator>(std::move(op), slot);
   }
   return op;
 }
 
-Result<OperatorPtr> Engine::LowerImpl(const PlanNode& node) {
+Result<OperatorPtr> Engine::LowerImpl(QueryContext* ctx,
+                                      const PlanNode& node) {
   if (node.kind == PlanKind::kLimit && node.limit > 0 &&
       node.children[0]->kind == PlanKind::kSort) {
     // Top-k peephole for the serial path (the parallel driver folds this
     // shape itself): Sort feeding a LIMIT only needs the first n rows.
     const PlanNode& sort = *node.children[0];
-    CRE_ASSIGN_OR_RETURN(OperatorPtr input, Lower(*sort.children[0]));
+    CRE_ASSIGN_OR_RETURN(OperatorPtr input, Lower(ctx, *sort.children[0]));
     OperatorPtr sorted = std::make_unique<SortOperator>(
-        std::move(input), sort.sort_key, sort.sort_ascending, pool_.get(),
+        std::move(input), sort.sort_key, sort.sort_ascending, ctx->runner(),
         /*limit_hint=*/node.limit);
-    if (active_stats_ != nullptr) {
+    if (ctx->stats() != nullptr) {
       sorted = std::make_unique<InstrumentedOperator>(
-          std::move(sorted), active_stats_->AddSlot(sorted->name()));
+          std::move(sorted), ctx->stats()->AddSlot(sorted->name()));
     }
     std::vector<OperatorPtr> children;
     children.push_back(std::move(sorted));
-    return LowerNodeOver(node, std::move(children));
+    return LowerNodeOver(ctx, node, std::move(children));
   }
   std::vector<OperatorPtr> children;
   children.reserve(node.children.size());
   for (const PlanPtr& child : node.children) {
-    CRE_ASSIGN_OR_RETURN(OperatorPtr lowered, Lower(*child));
+    CRE_ASSIGN_OR_RETURN(OperatorPtr lowered, Lower(ctx, *child));
     children.push_back(std::move(lowered));
   }
-  return LowerNodeOver(node, std::move(children));
+  return LowerNodeOver(ctx, node, std::move(children));
 }
 
-Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
+Result<OperatorPtr> Engine::TryLowerIndexSelect(QueryContext* ctx,
+                                                const PlanNode& node) {
+  if (!node.IndexBackedSelect() || !options_.index.enabled) {
+    return OperatorPtr();
+  }
+  CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model, models_.Get(node.model_name));
+  const std::string& table_name = node.children[0]->table_name;
+  // The operator must pair the index with the exact table snapshot this
+  // query pinned at plan time; version stamps (not row counts) rule out
+  // a same-cardinality replacement racing the query.
+  CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
+                       ctx->snapshot().GetVersioned(table_name));
+  const IndexKey key{table_name, node.column, node.model_name, node.strategy};
+  auto lookup = index_manager_->GetOrBuildAsync(key);
+  if (!lookup.ok()) {
+    // Correctness never depends on the cache: a failed lookup/build
+    // (e.g. the live table was dropped after this query's snapshot)
+    // just means the scanning fallback serves the pinned rows.
+    return OperatorPtr();
+  }
+  IndexManager::AsyncIndex ready = std::move(lookup).ValueUnsafe();
+  if (ready.index != nullptr && ready.built_version == vt.version) {
+    return OperatorPtr(std::make_unique<SemanticIndexSelectOperator>(
+        std::move(vt.table), node.column, node.query, std::move(model),
+        node.threshold, std::move(ready.index)));
+  }
+  // Build in flight (the background task will serve future queries), or
+  // the ready index was built against a different version than this
+  // query's snapshot: serve this query via the scanning fallback.
+  return OperatorPtr();
+}
+
+Result<OperatorPtr> Engine::LowerNodeOver(QueryContext* ctx,
+                                          const PlanNode& node,
                                           std::vector<OperatorPtr> children) {
   switch (node.kind) {
     case PlanKind::kScan: {
-      CRE_ASSIGN_OR_RETURN(TablePtr table, catalog_.Get(node.table_name));
+      CRE_ASSIGN_OR_RETURN(TablePtr table,
+                           ctx->snapshot().Get(node.table_name));
       OperatorPtr scan = std::make_unique<TableScanOperator>(table);
       if (node.predicate) {
         scan = std::make_unique<FilterOperator>(std::move(scan),
@@ -110,7 +204,7 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
                            detectors_.Get(node.table_name));
       return OperatorPtr(std::make_unique<DetectionScanOperator>(
           binding.store, binding.detector, node.predicate,
-          /*images_per_batch=*/256, pool_.get()));
+          /*images_per_batch=*/256, ctx->runner()));
     }
     case PlanKind::kFilter:
       return OperatorPtr(std::make_unique<FilterOperator>(
@@ -124,35 +218,17 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
           node.right_key));
     case PlanKind::kSemanticSelect: {
       if (node.IndexBackedSelect() && options_.index.enabled) {
-        CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
-                             models_.Get(node.model_name));
-        const std::string& table_name = node.children[0]->table_name;
-        const IndexKey key{table_name, node.column, node.model_name,
-                           node.strategy};
-        // The operator must pair the index with the exact table snapshot
-        // it was built against; stamps (not row counts) rule out a
-        // same-cardinality replacement racing this lookup. A concurrent
-        // writer can invalidate between the two reads, so retry briefly.
-        for (int attempt = 0; attempt < 3; ++attempt) {
-          std::uint64_t built_version = 0;
-          CRE_ASSIGN_OR_RETURN(
-              std::shared_ptr<const VectorIndex> index,
-              index_manager_->GetOrBuild(key, &built_version));
-          CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
-                               catalog_.GetVersioned(table_name));
-          if (vt.version != built_version) continue;
-          return OperatorPtr(std::make_unique<SemanticIndexSelectOperator>(
-              std::move(vt.table), node.column, node.query, std::move(model),
-              node.threshold, std::move(index)));
-        }
-        return Status::Aborted("table '" + table_name +
-                               "' kept changing while building its index");
+        CRE_ASSIGN_OR_RETURN(OperatorPtr indexed,
+                             TryLowerIndexSelect(ctx, node));
+        if (indexed != nullptr) return indexed;
       }
       if (children.empty()) {
-        // Reached as a pipeline-segment source with the manager disabled
-        // (e.g. a pinned index strategy): lower the child scan ourselves
-        // so the scanning fallback still executes.
-        CRE_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*node.children[0]));
+        // Reached as a pipeline-segment source whose managed index could
+        // not serve this query (manager disabled, build in flight, or
+        // snapshot/version mismatch): lower the child scan ourselves so
+        // the scanning fallback still executes.
+        CRE_ASSIGN_OR_RETURN(OperatorPtr child,
+                             Lower(ctx, *node.children[0]));
         children.push_back(std::move(child));
       }
       return LowerSemanticSelectOver(node, std::move(children[0]), nullptr);
@@ -165,24 +241,31 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
       options.strategy = node.strategy;
       options.top_k = node.top_k;
       options.variant = options_.kernel_variant;
-      options.pool = pool_.get();
+      options.pool = ctx->runner();
       if (options_.index.enabled &&
           node.strategy != SemanticJoinStrategy::kBruteForce) {
         if (const PlanNode* scan = node.IndexableBuildScan()) {
-          std::uint64_t built_version = 0;
-          auto shared = index_manager_->GetOrBuild(
+          auto lookup = index_manager_->GetOrBuildAsync(
               {scan->table_name, node.right_key, node.model_name,
-               node.strategy},
-              &built_version);
-          // Adopt only when the index stamp matches the catalog's current
-          // stamp for the build-side table (a same-cardinality racing
-          // replacement would otherwise slip past the operator's own
-          // row-count check). Any failure or mismatch falls back to the
-          // per-execution local build — correctness never depends on the
-          // cache.
-          if (shared.ok() &&
-              catalog_.Version(scan->table_name) == built_version) {
-            options.shared_index = std::move(shared).ValueUnsafe();
+               node.strategy});
+          // Adopt only when the index stamp matches this query's pinned
+          // snapshot stamp for the build-side table — the build side's
+          // rows are materialized from the same snapshot, so index and
+          // rows can never mix versions (a same-cardinality racing
+          // replacement would slip past the operator's own row-count
+          // check). Any failure or mismatch falls back to a
+          // per-execution local build; an in-flight background build
+          // falls back to brute force so the query never blocks and
+          // never duplicates the build.
+          if (lookup.ok()) {
+            IndexManager::AsyncIndex ready = std::move(lookup).ValueUnsafe();
+            if (ready.index != nullptr &&
+                ctx->snapshot().Version(scan->table_name) ==
+                    ready.built_version) {
+              options.shared_index = std::move(ready.index);
+            } else if (ready.build_in_flight) {
+              options.strategy = SemanticJoinStrategy::kBruteForce;
+            }
           }
         }
       }
@@ -205,7 +288,7 @@ Result<OperatorPtr> Engine::LowerNodeOver(const PlanNode& node,
       // serial engine) degrades to the classic serial sort, identically.
       return OperatorPtr(std::make_unique<SortOperator>(
           std::move(children[0]), node.sort_key, node.sort_ascending,
-          pool_.get()));
+          ctx->runner()));
     case PlanKind::kLimit:
       return OperatorPtr(std::make_unique<LimitOperator>(
           std::move(children[0]), node.limit));
@@ -226,52 +309,101 @@ Result<OperatorPtr> Engine::LowerSemanticSelectOver(
       node.threshold, std::move(shared_query)));
 }
 
-Result<TablePtr> Engine::RunPhysical(const PlanPtr& plan) {
+Result<TablePtr> Engine::RunPhysical(QueryContext* ctx, const PlanPtr& plan) {
+  CRE_RETURN_NOT_OK(ctx->CheckCancelled());
   if (pool_ == nullptr || pool_->num_threads() <= 1) {
-    CRE_ASSIGN_OR_RETURN(OperatorPtr root, Lower(*plan));
-    return ExecuteToTable(root.get());
+    CRE_ASSIGN_OR_RETURN(OperatorPtr root, Lower(ctx, *plan));
+    // The classic serial pull loop, polling the cancellation flag
+    // between batches.
+    CRE_RETURN_NOT_OK(root->Open());
+    auto out = Table::Make(root->output_schema());
+    for (;;) {
+      CRE_RETURN_NOT_OK(ctx->CheckCancelled());
+      CRE_ASSIGN_OR_RETURN(TablePtr batch, root->Next());
+      if (batch == nullptr) break;
+      CRE_RETURN_NOT_OK(out->AppendTable(*batch));
+    }
+    return out;
   }
-  ParallelPlanDriver driver(this, pool_.get(), options_.morsel_rows,
-                            active_stats_);
+  ParallelPlanDriver driver(this, ctx, options_.morsel_rows);
   return driver.Run(*plan);
 }
 
 Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan) {
-  return RunPhysical(plan);
+  return ExecuteUnoptimized(plan, QueryOptions{});
+}
+
+Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan,
+                                            const QueryOptions& query) {
+  QueryContext ctx = MakeContext(query, /*stats=*/nullptr);
+  return RunPhysical(&ctx, plan);
 }
 
 Result<TablePtr> Engine::Execute(const PlanPtr& plan) {
-  Optimizer optimizer = MakeOptimizer();
+  return Execute(plan, QueryOptions{});
+}
+
+Result<TablePtr> Engine::Execute(const PlanPtr& plan,
+                                 const QueryOptions& query) {
+  QueryContext ctx = MakeContext(query, /*stats=*/nullptr);
+  Optimizer optimizer = MakeOptimizerFor(&ctx);
   CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
-  return RunPhysical(optimized);
+  return RunPhysical(&ctx, optimized);
 }
 
 Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(const PlanPtr& plan) {
-  Optimizer optimizer = MakeOptimizer();
-  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+  return ExecuteWithStats(plan, QueryOptions{});
+}
 
+Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(
+    const PlanPtr& plan, const QueryOptions& query) {
   AnalyzedResult out;
   out.stats = std::make_shared<StatsCollector>();
-  active_stats_ = out.stats.get();
+  QueryContext ctx = MakeContext(query, out.stats.get());
+  Optimizer optimizer = MakeOptimizerFor(&ctx);
+  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+
   Timer timer;
-  auto result = RunPhysical(optimized);
+  auto result = RunPhysical(&ctx, optimized);
   out.total_seconds = timer.Seconds();
-  active_stats_ = nullptr;
   if (!result.ok()) return result.status();
   out.table = std::move(result).ValueUnsafe();
+
+  // Surface the serving layer next to the operator timings: how long
+  // this query's tasks queued behind concurrently admitted work.
+  out.scheduling = ctx.scheduling();
+  out.stats
+      ->AddSlot("Scheduler: queue wait (" +
+                std::to_string(out.scheduling.tasks_dispatched) +
+                " task dispatches)")
+      ->AddBatch(0, out.scheduling.queue_wait_seconds);
+  out.stats->AddSlot("Scheduler: admission wait")
+      ->AddBatch(0, out.scheduling.admission_seconds);
   return out;
 }
 
 Result<std::string> Engine::Explain(const PlanPtr& plan) {
   Optimizer optimizer = MakeOptimizer();
   CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
-  // Append the parallel driver's routing: per-pipeline degree of
-  // parallelism and scheduling mode (morsel scheduler / shared row
-  // budget / parallel sort / serial pull loop).
+  // Append the parallel driver's routing (per-pipeline degree of
+  // parallelism and scheduling mode) plus the serving-layer state the
+  // query would be admitted into.
   const std::size_t dop = pool_ == nullptr ? 1 : pool_->num_threads();
-  return optimized->ToString() + "\n" +
-         DescribePipelines(*optimized, dop,
-                           options_.optimizer.radix_agg_min_groups);
+  const IndexManager::Stats index_stats = index_manager_->stats();
+  std::string out =
+      optimized->ToString() + "\n" +
+      DescribePipelines(*optimized, dop,
+                        options_.optimizer.radix_agg_min_groups);
+  // The engine's own permanent background group is not a query.
+  const std::size_t active = scheduler_->active_queries() - 1;
+  out += "serving: scheduler dop=" + std::to_string(dop) +
+         ", active queries=" + std::to_string(active) +
+         ", pending tasks=" + std::to_string(scheduler_->pending_tasks()) +
+         ", background index builds=" +
+         std::to_string(index_stats.background_builds) +
+         (options_.index.async_builds ? " (async on)" : " (async off)") +
+         "\n";
+  return out;
 }
 
 }  // namespace cre

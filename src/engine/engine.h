@@ -7,6 +7,8 @@
 
 #include "core/thread_pool.h"
 #include "embed/model_registry.h"
+#include "engine/query_context.h"
+#include "engine/scheduler.h"
 #include "exec/operator.h"
 #include "exec/stats.h"
 #include "index/index_manager.h"
@@ -29,21 +31,33 @@ struct EngineOptions {
   std::size_t morsel_rows = 8 * 1024;
   /// Kernel variant for similarity operators.
   KernelVariant kernel_variant = BestKernelVariant();
-  /// Persistent vector-index subsystem: cache/eviction budget and build
-  /// parameters for managed indexes shared across queries.
+  /// Persistent vector-index subsystem: cache/eviction budget, build
+  /// parameters, and async (background) build policy for managed indexes
+  /// shared across queries.
   IndexManagerOptions index;
 };
 
 /// The context-rich analytical engine: a catalog of relational tables, a
 /// registry of representation models, detector bindings for image stores,
 /// a holistic optimizer over all of them, and a morsel-driven parallel
-/// executor. This is the declarative entry point the paper envisions —
-/// users state what to compute (a logical plan, usually via QueryBuilder)
-/// and the engine decides how, including how to spread it across cores.
+/// executor behind a concurrent serving layer. Users state what to
+/// compute (a logical plan, usually via QueryBuilder) and the engine
+/// decides how — including how to spread it across cores and how to
+/// multiplex it against concurrently admitted queries.
+///
+/// Serving architecture: Execute (and friends) are re-entrant and
+/// thread-safe. Each call admits a QueryContext — a pinned catalog
+/// snapshot plus a QueryScheduler group — then optimizes, lowers, and
+/// drives the plan entirely against that context. Concurrent queries
+/// interleave their morsel tasks fairly on the shared pool (round-robin
+/// within a priority class, strict across classes) and produce
+/// byte-identical results to running them serially; background index
+/// builds run at the lowest priority and never block a query.
 class Engine {
  public:
   Engine();
   explicit Engine(EngineOptions options);
+  ~Engine();
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -53,6 +67,8 @@ class Engine {
   const DetectorRegistry& detectors() const { return detectors_; }
 
   ThreadPool* pool() { return pool_.get(); }
+  /// The fair multi-query task scheduler all admitted queries run on.
+  QueryScheduler* scheduler() { return scheduler_.get(); }
   /// The engine's persistent vector-index subsystem (never null; its use
   /// is gated by options().index.enabled).
   IndexManager* index_manager() { return index_manager_.get(); }
@@ -64,35 +80,51 @@ class Engine {
 
   /// Optimizes and executes a logical plan. With more than one worker
   /// thread, streamable pipeline segments run per-morsel on the pool.
+  /// Safe to call from many threads at once; each call is admitted as an
+  /// independent query.
   Result<TablePtr> Execute(const PlanPtr& plan);
+  /// As above with per-call admission knobs: priority class and an
+  /// optional cooperative cancellation handle.
+  Result<TablePtr> Execute(const PlanPtr& plan, const QueryOptions& query);
 
   /// Execution result with per-operator counters (EXPLAIN ANALYZE).
   struct AnalyzedResult {
     TablePtr table;
     std::shared_ptr<StatsCollector> stats;
     double total_seconds = 0;
+    /// Serving-layer counters for this query: queue wait, admission
+    /// latency, task dispatches (all zero on the serial pull path).
+    SchedulingCounters scheduling;
   };
 
   /// Optimizes and executes with per-operator instrumentation.
   Result<AnalyzedResult> ExecuteWithStats(const PlanPtr& plan);
+  Result<AnalyzedResult> ExecuteWithStats(const PlanPtr& plan,
+                                          const QueryOptions& query);
 
   /// Executes the plan exactly as written (the "analyst's hand-rolled
   /// pipeline") — the baseline side of E3/E8. Uses the same parallel
   /// driver as Execute, just without the optimizer pass.
   Result<TablePtr> ExecuteUnoptimized(const PlanPtr& plan);
+  Result<TablePtr> ExecuteUnoptimized(const PlanPtr& plan,
+                                      const QueryOptions& query);
 
-  /// Optimized plan rendering with cardinality and cost annotations.
+  /// Optimized plan rendering with cardinality and cost annotations,
+  /// pipeline routing, and the serving-layer state (scheduler load,
+  /// background builds) the query would be admitted into.
   Result<std::string> Explain(const PlanPtr& plan);
 
   /// Lowers a logical node to a physical operator tree (serial form:
-  /// every child lowered recursively).
-  Result<OperatorPtr> Lower(const PlanNode& node);
+  /// every child lowered recursively) against `ctx`'s pinned snapshot.
+  /// Operators may capture ctx's task runner; the context must outlive
+  /// the returned tree.
+  Result<OperatorPtr> Lower(QueryContext* ctx, const PlanNode& node);
 
   /// Constructs the physical operator for `node` over already-lowered
   /// children (for leaves pass an empty vector). This is the shared
   /// lowering core used both by Lower and by the parallel driver, which
   /// substitutes materialized tables / shared join states for children.
-  Result<OperatorPtr> LowerNodeOver(const PlanNode& node,
+  Result<OperatorPtr> LowerNodeOver(QueryContext* ctx, const PlanNode& node,
                                     std::vector<OperatorPtr> children);
 
   /// Lowers a scanning kSemanticSelect over `child`, optionally adopting
@@ -104,25 +136,50 @@ class Engine {
                                               OperatorPtr child,
                                               SharedQueryMatrix shared_query);
 
+  /// Resolves an index-backed kSemanticSelect against ctx's snapshot and
+  /// the (possibly asynchronous) IndexManager. Returns the index-probing
+  /// operator when a ready index pairs exactly with the snapshot's
+  /// version of the table; returns null (OK status) when the caller must
+  /// use the scanning brute-force fallback instead — because a
+  /// background build is still in flight, or the resident index was
+  /// built against a different table version than this query's snapshot.
+  Result<OperatorPtr> TryLowerIndexSelect(QueryContext* ctx,
+                                          const PlanNode& node);
+
   /// An optimizer bound to this engine's catalog/models/detectors, with
   /// subplan execution enabled for data-induced predicates and the cost
-  /// model aware of the engine's degree of parallelism.
+  /// model aware of the engine's degree of parallelism. Reads the live
+  /// catalog; per-query optimizers (pinned snapshot + in-context subplan
+  /// execution) are built internally by Execute.
   Optimizer MakeOptimizer() const;
 
  private:
-  Result<OperatorPtr> LowerImpl(const PlanNode& node);
+  Result<OperatorPtr> LowerImpl(QueryContext* ctx, const PlanNode& node);
+  /// Admits one query: pins the catalog snapshot and joins the scheduler
+  /// at `query.priority`.
+  QueryContext MakeContext(const QueryOptions& query, StatsCollector* stats);
+  /// Per-query optimizer over ctx's pinned snapshot.
+  Optimizer MakeOptimizerFor(QueryContext* ctx) const;
+  /// Engine-level optimizer options with the pool's dop and the async
+  /// build discount filled in (shared by MakeOptimizer/MakeOptimizerFor
+  /// so EXPLAIN and Execute agree on plans).
+  OptimizerOptions EffectiveOptimizerOptions() const;
   /// Executes a (possibly optimized) plan through the serial pull loop or
   /// the morsel-driven parallel driver, depending on pool size.
-  Result<TablePtr> RunPhysical(const PlanPtr& plan);
+  Result<TablePtr> RunPhysical(QueryContext* ctx, const PlanPtr& plan);
 
   EngineOptions options_;
   Catalog catalog_;
   ModelRegistry models_;
   DetectorRegistry detectors_;
+  /// Destruction order matters: ~Engine drains pool_ first, so scheduler
+  /// pumps and background index builds finish while everything they
+  /// touch (scheduler_, index_manager_, catalog_, models_) is alive.
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<QueryScheduler> scheduler_;
+  /// Long-lived background-priority group for IndexManager builds.
+  std::shared_ptr<QueryScheduler::Group> background_group_;
   std::unique_ptr<IndexManager> index_manager_;
-  /// Non-null while executing under ExecuteWithStats.
-  StatsCollector* active_stats_ = nullptr;
 };
 
 }  // namespace cre

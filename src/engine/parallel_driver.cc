@@ -13,15 +13,16 @@
 
 namespace cre {
 
-ParallelPlanDriver::ParallelPlanDriver(Engine* engine, ThreadPool* pool,
-                                       std::size_t morsel_rows,
-                                       StatsCollector* stats)
+ParallelPlanDriver::ParallelPlanDriver(Engine* engine, QueryContext* ctx,
+                                       std::size_t morsel_rows)
     : engine_(engine),
-      pool_(pool),
+      ctx_(ctx),
+      runner_(ctx->runner()),
       morsel_rows_(std::max<std::size_t>(1, morsel_rows)),
-      stats_(stats) {}
+      stats_(ctx->stats()) {}
 
 Result<TablePtr> ParallelPlanDriver::Run(const PlanNode& root) {
+  CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
   return RunSegment(DecomposePipeline(root));
 }
 
@@ -36,9 +37,9 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
     const PlanNode& source) {
   switch (source.kind) {
     case PlanKind::kScan:
-      // The catalog table is the morsel base; a pushed-down predicate is
+      // The snapshot table is the morsel base; a pushed-down predicate is
       // applied inside each morsel pipeline (see BuildChain).
-      return engine_->catalog().Get(source.table_name);
+      return ctx_->snapshot().Get(source.table_name);
     case PlanKind::kAggregate:
       return RunAggregate(source);
     case PlanKind::kLimit:
@@ -48,18 +49,28 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
     case PlanKind::kDetectScan: {
       // The operator parallelizes detection over images internally.
       CRE_ASSIGN_OR_RETURN(OperatorPtr op,
-                           engine_->LowerNodeOver(source, {}));
+                           engine_->LowerNodeOver(ctx_, source, {}));
       op = Instrument(&source, std::move(op));
       return ExecuteToTable(op.get());
     }
     case PlanKind::kSemanticSelect: {
       // Only the index-backed form reaches here (the scanning form is
-      // morsel-streamable): one range search against the managed
-      // whole-table index, gathered on the driver thread.
+      // morsel-streamable). When a ready managed index pairs with this
+      // query's snapshot: one range search, gathered on the driver
+      // thread. Otherwise (background build in flight, or a version
+      // mismatch against the snapshot) the brute-force fallback runs as
+      // a scanning segment through the morsel scheduler — a cold query
+      // is served parallel and never blocks on the build.
       CRE_ASSIGN_OR_RETURN(OperatorPtr op,
-                           engine_->LowerNodeOver(source, {}));
-      op = Instrument(&source, std::move(op));
-      return ExecuteToTable(op.get());
+                           engine_->TryLowerIndexSelect(ctx_, source));
+      if (op != nullptr) {
+        op = Instrument(&source, std::move(op));
+        return ExecuteToTable(op.get());
+      }
+      PipelineSegment fallback;
+      fallback.source = source.children[0].get();
+      fallback.ops.push_back(&source);
+      return RunSegment(fallback);
     }
     case PlanKind::kSemanticGroupBy: {
       // Materialize the input in parallel, then run the (order-sensitive)
@@ -69,8 +80,9 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
       std::vector<OperatorPtr> children;
       children.push_back(
           std::make_unique<TableScanOperator>(std::move(input), morsel_rows_));
-      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
-                           engine_->LowerNodeOver(source, std::move(children)));
+      CRE_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          engine_->LowerNodeOver(ctx_, source, std::move(children)));
       op = Instrument(&source, std::move(op));
       return ExecuteToTable(op.get());
     }
@@ -84,8 +96,9 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
           std::make_unique<TableScanOperator>(std::move(left), morsel_rows_));
       children.push_back(
           std::make_unique<TableScanOperator>(std::move(right), morsel_rows_));
-      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
-                           engine_->LowerNodeOver(source, std::move(children)));
+      CRE_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          engine_->LowerNodeOver(ctx_, source, std::move(children)));
       op = Instrument(&source, std::move(op));
       return ExecuteToTable(op.get());
     }
@@ -153,7 +166,7 @@ Result<OperatorPtr> ParallelPlanDriver::BuildChain(
       std::vector<OperatorPtr> children;
       children.push_back(std::move(cur));
       CRE_ASSIGN_OR_RETURN(
-          cur, engine_->LowerNodeOver(*op, std::move(children)));
+          cur, engine_->LowerNodeOver(ctx_, *op, std::move(children)));
     }
     cur = Instrument(op, std::move(cur));
   }
@@ -162,11 +175,12 @@ Result<OperatorPtr> ParallelPlanDriver::BuildChain(
 
 Result<TablePtr> ParallelPlanDriver::RunSegment(
     const PipelineSegment& segment) {
+  CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
   CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*segment.source));
   // Breaker outputs are freshly materialized tables the caller may own
   // outright. A bare Scan must still flow through the morsel map: it
-  // copies (the catalog's live table must not alias into query results)
-  // and it records Scan stats, matching the serial path's CollectAll.
+  // copies (the snapshot table must not alias into query results) and it
+  // records Scan stats, matching the serial path's CollectAll.
   if (segment.ops.empty() && segment.source->kind != PlanKind::kScan) {
     return base;
   }
@@ -175,7 +189,8 @@ Result<TablePtr> ParallelPlanDriver::RunSegment(
   CRE_ASSIGN_OR_RETURN(SelectStates selects, BuildSelectStates(segment));
   MorselOptions options;
   options.morsel_rows = morsel_rows_;
-  options.pool = pool_;
+  options.pool = runner_;
+  options.cancel = ctx_->cancel_flag();
   return MorselParallelMap(
       base,
       [&](std::size_t, const TablePtr& slice) {
@@ -188,10 +203,11 @@ Result<TablePtr> ParallelPlanDriver::RunSort(const PlanNode& sort,
                                              std::size_t limit_hint) {
   Timer timer;
   CRE_ASSIGN_OR_RETURN(TablePtr input, Run(*sort.children[0]));
+  CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
   SortPhaseTimings timings;
   CRE_ASSIGN_OR_RETURN(
       TablePtr out, SortTable(input, sort.sort_key, sort.sort_ascending,
-                              pool_, limit_hint, &timings));
+                              runner_, limit_hint, &timings));
   if (stats_ != nullptr) {
     stats_->SlotFor(&sort, "Sort(" + sort.sort_key + ")")
         ->AddBatch(out->num_rows(), timer.Seconds());
@@ -240,7 +256,8 @@ Result<TablePtr> ParallelPlanDriver::RunLimit(const PlanNode& limit) {
   CRE_ASSIGN_OR_RETURN(SelectStates selects, BuildSelectStates(segment));
   MorselOptions options;
   options.morsel_rows = morsel_rows_;
-  options.pool = pool_;
+  options.pool = runner_;
+  options.cancel = ctx_->cancel_flag();
   MorselBudgetStats budget;
   CRE_ASSIGN_OR_RETURN(
       TablePtr out,
@@ -279,7 +296,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   const std::size_t n = base->num_rows();
   const std::size_t num_morsels = (n + morsel_rows_ - 1) / morsel_rows_;
   const bool parallel =
-      num_morsels > 1 && pool_ != nullptr && pool_->num_threads() > 1;
+      num_morsels > 1 && runner_ != nullptr && runner_->num_threads() > 1;
   // High estimated group cardinality flips accumulation to the two-phase
   // radix scheme: the serial whole-map merge would otherwise dominate.
   // Unoptimized plans carry no estimate (est_rows < 0); then a threshold
@@ -299,6 +316,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
                          BuildChain(segment, base, joins, selects));
     CRE_RETURN_NOT_OK(chain->Open());
     for (;;) {
+      CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
       CRE_ASSIGN_OR_RETURN(TablePtr batch, chain->Next());
       if (batch == nullptr) break;
       CRE_RETURN_NOT_OK(total.Consume(*batch));
@@ -321,18 +339,20 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   // that finer chunks buy no balance.
   const std::size_t chunks = std::min<std::size_t>(
       num_morsels,
-      std::max<std::size_t>(1, use_radix ? pool_->num_threads()
-                                         : pool_->num_threads() * 4));
+      std::max<std::size_t>(1, use_radix ? runner_->num_threads()
+                                         : runner_->num_threads() * 4));
   const std::size_t per_chunk = (num_morsels + chunks - 1) / chunks;
   const std::size_t num_chunks = (num_morsels + per_chunk - 1) / per_chunk;
 
-  // Drives chunk `c`'s morsel chains into `consume`.
+  // Drives chunk `c`'s morsel chains into `consume`, polling the
+  // cancellation flag between morsels.
   auto run_chunk = [&](std::size_t c,
                        const std::function<Status(const Table&)>& consume)
       -> Status {
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(num_morsels, begin + per_chunk);
     for (std::size_t m = begin; m < end; ++m) {
+      CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
       TablePtr slice = base->Slice(m * morsel_rows_, morsel_rows_);
       CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
                            BuildChain(segment, slice, joins, selects));
@@ -357,7 +377,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     std::vector<GroupedAggregationState> partials(num_chunks);
     std::vector<Status> statuses(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      pool_->Submit([&, c] {
+      runner_->Submit([&, c] {
         GroupedAggregationState& local = partials[c];
         statuses[c] = [&]() -> Status {
           CRE_RETURN_NOT_OK(
@@ -367,7 +387,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
         }();
       });
     }
-    pool_->Wait();
+    runner_->Wait();
     for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
     accumulate_seconds = accumulate_timer.Seconds();
 
@@ -381,12 +401,12 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     // Phase 1: every chunk partitions its rows by group-key hash radix
     // into a private set of partition states.
     const std::size_t num_partitions = std::min<std::size_t>(
-        64, std::max<std::size_t>(2, pool_->num_threads() * 4));
+        64, std::max<std::size_t>(2, runner_->num_threads() * 4));
     Timer accumulate_timer;
     std::vector<RadixAggregationState> partials(num_chunks);
     std::vector<Status> statuses(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      pool_->Submit([&, c] {
+      runner_->Submit([&, c] {
         RadixAggregationState& local = partials[c];
         statuses[c] = [&]() -> Status {
           CRE_RETURN_NOT_OK(local.Init(input_schema, agg.group_keys,
@@ -396,7 +416,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
         }();
       });
     }
-    pool_->Wait();
+    runner_->Wait();
     for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
     accumulate_seconds = accumulate_timer.Seconds();
     partitions_used = partials.front().num_partitions();
@@ -409,7 +429,7 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     std::vector<Result<TablePtr>> merged(
         partitions_used,
         Result<TablePtr>(Status::Internal("partition not merged")));
-    pool_->ParallelFor(
+    runner_->ParallelFor(
         partitions_used,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t p = begin; p < end; ++p) {

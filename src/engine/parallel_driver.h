@@ -6,6 +6,7 @@
 
 #include "core/thread_pool.h"
 #include "engine/engine.h"
+#include "engine/query_context.h"
 #include "exec/hash_join.h"
 #include "exec/pipeline.h"
 
@@ -16,6 +17,13 @@ namespace cre {
 /// into morsels and the segment's operator chain is instantiated once per
 /// morsel on the worker pool, with results concatenated in morsel order —
 /// so parallel output row order equals serial output row order.
+///
+/// One driver instance drives one query, entirely against that query's
+/// QueryContext: tables resolve from the pinned catalog snapshot, tasks
+/// submit through the query's scheduler group (so concurrent queries
+/// interleave fairly and barriers never couple across queries), the
+/// cancellation flag is polled at every morsel boundary, and stats go to
+/// the per-query collector.
 ///
 /// Breakers around the segments:
 ///  - hash Join: the build side is executed (recursively, in parallel),
@@ -43,15 +51,20 @@ namespace cre {
 ///  - SemanticGroupBy / SemanticJoin / DetectScan: inputs are
 ///    materialized in parallel, the operator itself runs on the driver
 ///    thread (SemanticJoin and DetectScan parallelize internally over the
-///    pool).
+///    pool);
+///  - an index-backed SemanticSelect whose managed index cannot serve
+///    this query (background build in flight, or built against a
+///    different version than the query's snapshot) is re-routed through
+///    the morsel scheduler as a scanning segment, so the brute-force
+///    fallback still runs parallel.
 ///
 /// All scheduling happens on the driver (caller) thread; worker tasks
 /// never block on the pool themselves, which keeps the fixed-size pool
 /// deadlock-free.
 class ParallelPlanDriver {
  public:
-  ParallelPlanDriver(Engine* engine, ThreadPool* pool,
-                     std::size_t morsel_rows, StatsCollector* stats);
+  ParallelPlanDriver(Engine* engine, QueryContext* ctx,
+                     std::size_t morsel_rows);
 
   /// Executes the plan tree and returns the materialized result.
   Result<TablePtr> Run(const PlanNode& root);
@@ -90,7 +103,8 @@ class ParallelPlanDriver {
   OperatorPtr Instrument(const PlanNode* node, OperatorPtr op);
 
   Engine* engine_;
-  ThreadPool* pool_;
+  QueryContext* ctx_;
+  TaskRunner* runner_;
   std::size_t morsel_rows_;
   StatsCollector* stats_;
 };

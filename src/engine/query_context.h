@@ -1,0 +1,77 @@
+#ifndef CRE_ENGINE_QUERY_CONTEXT_H_
+#define CRE_ENGINE_QUERY_CONTEXT_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/cancel.h"
+#include "core/result.h"
+#include "engine/scheduler.h"
+#include "exec/stats.h"
+#include "storage/catalog.h"
+
+namespace cre {
+
+/// Per-call knobs of one Engine::Execute admission.
+struct QueryOptions {
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Optional external cancellation handle (create one, keep it, pass it
+  /// here; Cancel() from any thread to abandon the query).
+  CancelFlagPtr cancel;
+};
+
+/// Everything one in-flight query needs, created by the engine at
+/// admission and threaded through optimizer, lowering, and the parallel
+/// driver (replacing the ad-hoc live-catalog lookups and the engine-level
+/// mutable stats pointer that made Execute single-occupancy):
+///
+///  - a pinned catalog snapshot: all name resolution inside the query —
+///    cardinality estimation, scan lowering, semantic-join build sides,
+///    index version pairing — reads one immutable point-in-time copy, so
+///    concurrent table replacement can never mix row versions mid-query;
+///  - the query's scheduler group: the TaskRunner all parallel operators
+///    submit through, scoping barriers to this query and multiplexing
+///    its tasks fairly against concurrently admitted queries;
+///  - the cooperative cancellation flag;
+///  - the per-query StatsCollector (null unless ExecuteWithStats).
+class QueryContext {
+ public:
+  QueryContext(std::shared_ptr<const Catalog> snapshot,
+               std::shared_ptr<QueryScheduler::Group> group,
+               CancelFlagPtr cancel, StatsCollector* stats)
+      : snapshot_(std::move(snapshot)),
+        group_(std::move(group)),
+        cancel_(std::move(cancel)),
+        stats_(stats) {}
+
+  /// The pinned catalog state this query plans and executes against.
+  const Catalog& snapshot() const { return *snapshot_; }
+
+  /// Task surface for this query's parallel work (never null; backed by
+  /// one worker for a serial engine).
+  TaskRunner* runner() const { return group_.get(); }
+  QueryScheduler::Group* group() const { return group_.get(); }
+
+  StatsCollector* stats() const { return stats_; }
+
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+  /// OK, or Status::Cancelled once the flag is set — the drivers' poll.
+  Status CheckCancelled() const {
+    if (cancelled()) return Status::Cancelled("query cancelled by caller");
+    return Status::OK();
+  }
+  const CancelFlag* cancel_flag() const { return cancel_.get(); }
+
+  SchedulingCounters scheduling() const { return group_->counters(); }
+  QueryPriority priority() const { return group_->priority(); }
+
+ private:
+  std::shared_ptr<const Catalog> snapshot_;
+  std::shared_ptr<QueryScheduler::Group> group_;
+  CancelFlagPtr cancel_;
+  StatsCollector* stats_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_ENGINE_QUERY_CONTEXT_H_

@@ -1,0 +1,166 @@
+#include "engine/scheduler.h"
+
+#include <utility>
+
+namespace cre {
+
+const char* QueryPriorityName(QueryPriority p) {
+  switch (p) {
+    case QueryPriority::kHigh:
+      return "high";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+/// All mutable group state lives here (not in Group) so queued tasks keep
+/// it alive via shared_ptr even if the Group handle is destroyed early.
+struct QueryScheduler::GroupState {
+  struct PendingTask {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
+  explicit GroupState(QueryPriority p) : priority(p), admitted(Clock::now()) {}
+
+  const QueryPriority priority;
+  const Clock::time_point admitted;
+
+  // Guarded by the scheduler's mu_.
+  std::deque<PendingTask> queue;
+  bool in_ready_ring = false;
+  std::size_t outstanding = 0;  ///< submitted and not yet finished
+  std::condition_variable done_cv;
+  SchedulingCounters counters;
+};
+
+QueryScheduler::QueryScheduler(ThreadPool* pool) : pool_(pool) {}
+
+QueryScheduler::~QueryScheduler() = default;
+
+std::shared_ptr<QueryScheduler::Group> QueryScheduler::Admit(
+    QueryPriority priority) {
+  auto state = std::make_shared<GroupState>(priority);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_groups_;
+  }
+  // Group's constructor is private; expose it to make_shared via new.
+  auto* scheduler = this;
+  std::shared_ptr<Group> group(new Group(scheduler, std::move(state)));
+  return group;
+}
+
+std::size_t QueryScheduler::active_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_groups_;
+}
+
+std::size_t QueryScheduler::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_tasks_;
+}
+
+bool QueryScheduler::PopNextLocked(std::function<void()>* task,
+                                   std::shared_ptr<GroupState>* state,
+                                   Clock::time_point* enqueued) {
+  for (auto& ring : ready_) {
+    if (ring.empty()) continue;
+    std::shared_ptr<GroupState> group = ring.front();
+    ring.pop_front();
+    GroupState::PendingTask pending = std::move(group->queue.front());
+    group->queue.pop_front();
+    --pending_tasks_;
+    if (group->queue.empty()) {
+      group->in_ready_ring = false;
+    } else {
+      // One task per turn: back of the ring, so siblings in this class
+      // get their slice before this group runs again.
+      ring.push_back(group);
+    }
+    *task = std::move(pending.fn);
+    *state = std::move(group);
+    *enqueued = pending.enqueued;
+    return true;
+  }
+  return false;
+}
+
+void QueryScheduler::Pump() {
+  std::function<void()> task;
+  std::shared_ptr<GroupState> state;
+  Clock::time_point enqueued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!PopNextLocked(&task, &state, &enqueued)) return;
+    const double wait = SecondsSince(enqueued);
+    state->counters.queue_wait_seconds += wait;
+    if (state->counters.tasks_dispatched == 0) {
+      state->counters.admission_seconds = SecondsSince(state->admitted);
+    }
+    ++state->counters.tasks_dispatched;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--state->outstanding == 0) state->done_cv.notify_all();
+  }
+}
+
+QueryScheduler::Group::~Group() {
+  // Defensive: a well-behaved driver has already waited at its barriers,
+  // but never let queued tasks outlive their query's stack frames.
+  Wait();
+  std::lock_guard<std::mutex> lock(scheduler_->mu_);
+  --scheduler_->active_groups_;
+}
+
+void QueryScheduler::Group::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    state_->queue.push_back({std::move(task), Clock::now()});
+    ++state_->outstanding;
+    ++state_->counters.tasks_submitted;
+    ++scheduler_->pending_tasks_;
+    if (!state_->in_ready_ring) {
+      state_->in_ready_ring = true;
+      scheduler_->ready_[static_cast<std::size_t>(state_->priority)]
+          .push_back(state_);
+    }
+  }
+  // One pump per task keeps pumps == pending tasks, so every task is
+  // eventually executed no matter which pump picks it up.
+  QueryScheduler* scheduler = scheduler_;
+  scheduler_->pool_->Submit([scheduler] { scheduler->Pump(); });
+}
+
+void QueryScheduler::Group::Wait() {
+  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+  state_->done_cv.wait(lock, [this] { return state_->outstanding == 0; });
+}
+
+std::size_t QueryScheduler::Group::num_threads() const {
+  return scheduler_->pool_->num_threads();
+}
+
+QueryPriority QueryScheduler::Group::priority() const {
+  return state_->priority;
+}
+
+SchedulingCounters QueryScheduler::Group::counters() const {
+  std::lock_guard<std::mutex> lock(scheduler_->mu_);
+  return state_->counters;
+}
+
+}  // namespace cre

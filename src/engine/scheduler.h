@@ -1,0 +1,132 @@
+#ifndef CRE_ENGINE_SCHEDULER_H_
+#define CRE_ENGINE_SCHEDULER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/thread_pool.h"
+
+namespace cre {
+
+/// Priority classes for admitted queries. Strict: a pending task of a
+/// higher class always dispatches before any task of a lower one.
+/// kBackground is meant for work no user is waiting on — asynchronous
+/// IndexManager builds run there, so a cold index build only consumes
+/// cycles the query stream leaves idle.
+enum class QueryPriority { kHigh = 0, kNormal = 1, kBackground = 2 };
+
+const char* QueryPriorityName(QueryPriority p);
+
+/// Per-query scheduling counters, surfaced through
+/// Engine::ExecuteWithStats (EXPLAIN ANALYZE) and the concurrent-serving
+/// bench: how long this query's tasks sat in the scheduler's queues and
+/// how many worker dispatches it received.
+struct SchedulingCounters {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_dispatched = 0;
+  /// Cumulative enqueue -> dispatch latency over all tasks (seconds).
+  double queue_wait_seconds = 0;
+  /// Admit() -> first task dispatch (seconds); 0 until the query runs its
+  /// first task. This is the query's admission latency under load.
+  double admission_seconds = 0;
+};
+
+/// Fair multi-query task scheduler over one shared ThreadPool — the
+/// serving-layer analogue of the morsel scheduler's intra-query dispatch
+/// (Leis et al.'s multi-query scheduling model). Each admitted query gets
+/// a Group: a TaskRunner whose Submit/Wait are scoped to that query, so
+/// N concurrent ParallelPlanDrivers (and the parallel operators beneath
+/// them) share the pool without waiting on each other's barriers — the
+/// coupling ThreadPool's global Wait() would impose.
+///
+/// Dispatch discipline: every Submit enqueues the task on its group's
+/// private queue and posts one generic "pump" to the pool; a pump pops
+/// the next task by (1) strict priority class, then (2) round-robin over
+/// the groups of that class, one task per turn. So two normal-priority
+/// queries interleave their morsels 1:1 regardless of who submitted
+/// first or how many tasks each has pending, and background work (index
+/// builds) only runs when no query task is waiting.
+///
+/// Deadlock-freedom: pumps never block (a pump runs exactly one task and
+/// returns) and the TaskRunner contract forbids tasks from calling
+/// Wait(); only driver threads wait, on their own group's counter.
+class QueryScheduler {
+ public:
+  class Group;
+
+  explicit QueryScheduler(ThreadPool* pool);
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Admits a query (or a background activity) and returns its task
+  /// group. Groups are independent: destroying one (after Wait) does not
+  /// affect others. The scheduler must outlive every group.
+  std::shared_ptr<Group> Admit(QueryPriority priority = QueryPriority::kNormal);
+
+  /// Groups admitted and not yet destroyed (the serving load signal shown
+  /// by EXPLAIN).
+  std::size_t active_queries() const;
+  /// Tasks enqueued across all groups and not yet dispatched.
+  std::size_t pending_tasks() const;
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  struct GroupState;
+
+  /// Runs on a pool worker: dequeues and executes exactly one task
+  /// according to the fairness policy above.
+  void Pump();
+  /// Pops the next task to run (strict priority, round-robin in class).
+  /// Caller holds mu_. Returns false when every queue is empty (a stale
+  /// pump racing a faster sibling).
+  bool PopNextLocked(std::function<void()>* task,
+                     std::shared_ptr<GroupState>* state,
+                     std::chrono::steady_clock::time_point* enqueued);
+
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  /// Ready rings, one per priority class: groups with pending tasks, each
+  /// present at most once; pumps pop the front group, run one of its
+  /// tasks, and re-append it while tasks remain.
+  std::array<std::deque<std::shared_ptr<GroupState>>, 3> ready_;
+  std::size_t active_groups_ = 0;
+  std::size_t pending_tasks_ = 0;
+};
+
+/// One admitted query's task surface. Thread-safe; typically driven by
+/// one driver thread submitting morsel tasks and waiting at pipeline
+/// barriers, while pool workers execute the tasks.
+class QueryScheduler::Group : public TaskRunner {
+ public:
+  ~Group() override;
+
+  void Submit(std::function<void()> task) override;
+  /// Waits for this group's tasks only — concurrent queries' tasks and
+  /// background builds do not extend the wait.
+  void Wait() override;
+  std::size_t num_threads() const override;
+
+  QueryPriority priority() const;
+  SchedulingCounters counters() const;
+
+ private:
+  friend class QueryScheduler;
+  Group(QueryScheduler* scheduler, std::shared_ptr<GroupState> state)
+      : scheduler_(scheduler), state_(std::move(state)) {}
+
+  QueryScheduler* scheduler_;
+  std::shared_ptr<GroupState> state_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_ENGINE_SCHEDULER_H_

@@ -15,6 +15,9 @@ Result<TablePtr> MorselParallelMap(const TablePtr& table,
 
   if (num_morsels <= 1 || options.pool == nullptr ||
       options.pool->num_threads() <= 1) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("query cancelled before morsel execution");
+    }
     CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(0, table));
     return ExecuteToTable(pipeline.get());
   }
@@ -27,6 +30,10 @@ Result<TablePtr> MorselParallelMap(const TablePtr& table,
       num_morsels,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t m = begin; m < end; ++m) {
+          if (options.cancel != nullptr && options.cancel->cancelled()) {
+            results[m] = Status::Cancelled("query cancelled mid-morsel-map");
+            continue;
+          }
           TablePtr slice = table->Slice(m * morsel, morsel);
           results[m] = [&]() -> Result<TablePtr> {
             CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(m, slice));
@@ -94,6 +101,9 @@ Result<TablePtr> MorselParallelMapLimited(const TablePtr& table,
 
   if (num_morsels <= 1 || options.pool == nullptr ||
       options.pool->num_threads() <= 1) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("query cancelled before morsel execution");
+    }
     // Serial pull with early exit — the classic LIMIT loop.
     CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(0, table));
     if (stats != nullptr) stats->morsels_run = num_morsels;
@@ -144,11 +154,15 @@ Result<TablePtr> MorselParallelMapLimited(const TablePtr& table,
           ++skipped;
           continue;
         }
-        results[m] = [&]() -> Result<TablePtr> {
-          CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline,
-                               build(m, table->Slice(m * morsel, morsel)));
-          return RunPipelineCapped(pipeline.get(), cap);
-        }();
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+          results[m] = Status::Cancelled("query cancelled mid-morsel-map");
+        } else {
+          results[m] = [&]() -> Result<TablePtr> {
+            CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline,
+                                 build(m, table->Slice(m * morsel, morsel)));
+            return RunPipelineCapped(pipeline.get(), cap);
+          }();
+        }
         const std::size_t produced =
             results[m].ok() ? results[m].ValueUnsafe()->num_rows() : 0;
 

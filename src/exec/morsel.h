@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "core/cancel.h"
 #include "core/result.h"
 #include "core/thread_pool.h"
 #include "exec/operator.h"
@@ -19,7 +20,11 @@ namespace cre {
 /// driver around calls to this primitive.
 struct MorselOptions {
   std::size_t morsel_rows = 8 * 1024;
-  ThreadPool* pool = nullptr;  ///< nullptr = run serially
+  TaskRunner* pool = nullptr;  ///< nullptr = run serially
+  /// Cooperative cancellation: polled before each morsel pipeline runs;
+  /// once set, remaining morsels resolve to Status::Cancelled and the
+  /// map returns it. nullptr = not cancellable.
+  const CancelFlag* cancel = nullptr;
 };
 
 /// Instantiates the per-morsel pipeline for morsel `index` over `slice`.

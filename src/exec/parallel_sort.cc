@@ -113,7 +113,7 @@ class LoserTree {
 /// leaving it serial would cap the measured scale-up on wide tables.
 TablePtr TakeParallel(const TablePtr& input,
                       const std::vector<std::uint32_t>& order,
-                      ThreadPool* pool) {
+                      TaskRunner* pool) {
   if (pool == nullptr || pool->num_threads() <= 1 ||
       input->num_columns() <= 1) {
     return input->Take(order);
@@ -137,7 +137,7 @@ constexpr std::size_t kSplitterOversample = 8;
 
 template <typename T>
 Result<TablePtr> SortTyped(const TablePtr& input, const std::vector<T>& keys,
-                           bool ascending, ThreadPool* pool,
+                           bool ascending, TaskRunner* pool,
                            std::size_t limit_hint,
                            SortPhaseTimings* timings) {
   const std::size_t n = input->num_rows();
@@ -297,7 +297,7 @@ Result<TablePtr> SortTyped(const TablePtr& input, const std::vector<T>& keys,
 }  // namespace
 
 Result<TablePtr> SortTable(const TablePtr& input, const std::string& key,
-                           bool ascending, ThreadPool* pool,
+                           bool ascending, TaskRunner* pool,
                            std::size_t limit_hint,
                            SortPhaseTimings* timings) {
   CRE_ASSIGN_OR_RETURN(std::size_t key_idx, input->schema().RequireField(key));

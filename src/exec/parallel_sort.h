@@ -39,7 +39,7 @@ struct SortPhaseTimings {
 /// O(n log k) top-k work. The returned table then holds at most
 /// `limit_hint` rows.
 Result<TablePtr> SortTable(const TablePtr& input, const std::string& key,
-                           bool ascending, ThreadPool* pool,
+                           bool ascending, TaskRunner* pool,
                            std::size_t limit_hint = 0,
                            SortPhaseTimings* timings = nullptr);
 

@@ -19,7 +19,7 @@ namespace cre {
 class SortOperator : public PhysicalOperator {
  public:
   SortOperator(OperatorPtr child, std::string key, bool ascending = true,
-               ThreadPool* pool = nullptr, std::size_t limit_hint = 0)
+               TaskRunner* pool = nullptr, std::size_t limit_hint = 0)
       : child_(std::move(child)),
         key_(std::move(key)),
         ascending_(ascending),
@@ -37,7 +37,7 @@ class SortOperator : public PhysicalOperator {
   OperatorPtr child_;
   std::string key_;
   bool ascending_;
-  ThreadPool* pool_;
+  TaskRunner* pool_;
   std::size_t limit_hint_;
   bool done_ = false;
 };

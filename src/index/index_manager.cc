@@ -98,7 +98,7 @@ IndexManager::IndexManager(const Catalog* catalog, const ModelRegistry* models,
     : catalog_(catalog), models_(models), options_(std::move(options)) {}
 
 Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
-    const IndexKey& key, std::uint64_t* table_version) const {
+    const IndexKey& key, std::uint64_t* table_version, bool serial) const {
   // Snapshot table + version atomically: the entry must never pair a new
   // table's contents with an older stamp (it would mask an invalidation).
   CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
@@ -135,6 +135,12 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
   std::vector<float> matrix(distinct.size() * dim);
   model->EmbedBatch(distinct, matrix.data());
 
+  // Background builds execute on a pool worker; fanning construction out
+  // over the pool from there would make a worker block in Wait (deadlock
+  // on small pools), so they build serially inside their one task.
+  HnswOptions hnsw = options_.hnsw;
+  if (serial) hnsw.build_pool = nullptr;
+
   std::unique_ptr<VectorIndex> index;
   switch (key.kind) {
     case SemanticJoinStrategy::kBruteForce:
@@ -147,7 +153,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
       index = std::make_unique<IvfIndex>(options_.ivf);
       break;
     case SemanticJoinStrategy::kHnsw:
-      index = std::make_unique<HnswIndex>(options_.hnsw);
+      index = std::make_unique<HnswIndex>(hnsw);
       break;
   }
   CRE_RETURN_NOT_OK(index->Build(matrix.data(), distinct.size(), dim));
@@ -190,13 +196,25 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
   EntryPtr entry = std::make_shared<Entry>();
   entry->building = true;
   entries_[key] = entry;
+  ++builds_in_flight_;
   lock.unlock();
 
   std::uint64_t version = 0;
   auto built = BuildIndex(key, &version);
 
   lock.lock();
+  const Status status = built.ok() ? Status::OK() : built.status();
+  FinishBuildLocked(key, entry, std::move(built), version, built_version);
+  if (!status.ok()) return status;
+  return entry->index;
+}
+
+void IndexManager::FinishBuildLocked(
+    const IndexKey& key, const EntryPtr& entry,
+    Result<std::shared_ptr<const VectorIndex>>&& built,
+    std::uint64_t version, std::uint64_t* built_version) {
   entry->building = false;
+  --builds_in_flight_;
   if (!built.ok()) {
     entry->build_status = built.status();
     ++counters_.build_failures;
@@ -205,9 +223,9 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second == entry) entries_.erase(it);
     cv_.notify_all();
-    return built.status();
+    return;
   }
-  entry->index = built.ValueOrDie();
+  entry->index = std::move(built).ValueUnsafe();
   entry->table_version = version;
   if (built_version != nullptr) *built_version = version;
   entry->bytes = entry->index->MemoryBytes();
@@ -216,7 +234,73 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
   ++counters_.builds;
   EvictForBudgetLocked(entry.get());
   cv_.notify_all();
-  return entry->index;
+}
+
+void IndexManager::EnableAsyncBuilds(TaskRunner* background_runner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  background_runner_ = background_runner;
+}
+
+Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
+    const IndexKey& key) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool async =
+        background_runner_ != nullptr && options_.async_builds;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      EntryPtr entry = it->second;
+      if (entry->building) {
+        if (async) {
+          // Someone (a sibling query or the background runner) is
+          // already on it; report in-flight instead of joining the wait.
+          ++counters_.async_fallbacks;
+          return AsyncIndex{nullptr, 0, true};
+        }
+        // Async off: fall through to the blocking path below, which
+        // joins the single-flight wait exactly like GetOrBuild.
+      } else if (entry->table_version == catalog_->Version(key.table)) {
+        entry->lru_tick = ++tick_;
+        ++counters_.hits;
+        return AsyncIndex{entry->index, entry->table_version, false};
+      } else {
+        // Stale: drop and fall through to scheduling a rebuild.
+        resident_bytes_ -= entry->bytes;
+        entries_.erase(it);
+        ++counters_.invalidations;
+      }
+    }
+    // Reaching here async: the entry was absent or stale (a building
+    // entry returned in-flight above) — schedule the background build.
+    if (async) {
+      ++counters_.misses;
+      ++counters_.background_builds;
+      ++counters_.async_fallbacks;
+      EntryPtr entry = std::make_shared<Entry>();
+      entry->building = true;
+      entries_[key] = entry;
+      ++builds_in_flight_;
+      // Single-flight still holds: subsequent lookups of this key see the
+      // building placeholder above until the task completes.
+      background_runner_->Submit([this, key, entry] {
+        std::uint64_t version = 0;
+        auto built = BuildIndex(key, &version, /*serial=*/true);
+        std::lock_guard<std::mutex> lock(mu_);
+        FinishBuildLocked(key, entry, std::move(built), version, nullptr);
+      });
+      return AsyncIndex{nullptr, 0, true};
+    }
+  }
+  // Async disabled: preserve the blocking single-flight behavior.
+  std::uint64_t version = 0;
+  CRE_ASSIGN_OR_RETURN(std::shared_ptr<const VectorIndex> index,
+                       GetOrBuild(key, &version));
+  return AsyncIndex{std::move(index), version, false};
+}
+
+void IndexManager::WaitForBuilds() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return builds_in_flight_ == 0; });
 }
 
 void IndexManager::EvictForBudgetLocked(const Entry* keep) {
@@ -237,10 +321,17 @@ void IndexManager::EvictForBudgetLocked(const Entry* keep) {
 }
 
 bool IndexManager::IsResident(const IndexKey& key) const {
+  return Residency(key) == IndexResidency::kResident;
+}
+
+IndexResidency IndexManager::Residency(const IndexKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
-  return it != entries_.end() && !it->second->building &&
-         it->second->table_version == catalog_->Version(key.table);
+  if (it == entries_.end()) return IndexResidency::kAbsent;
+  if (it->second->building) return IndexResidency::kBuilding;
+  return it->second->table_version == catalog_->Version(key.table)
+             ? IndexResidency::kResident
+             : IndexResidency::kAbsent;
 }
 
 void IndexManager::InvalidateTable(const std::string& table) {

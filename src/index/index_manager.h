@@ -43,6 +43,13 @@ struct IndexManagerOptions {
   /// Master switch: when false the engine never consults the manager and
   /// semantic operators build per-execution indexes as before.
   bool enabled = true;
+  /// Asynchronous builds: when true (and the engine has wired a
+  /// background runner), a cold GetOrBuildAsync lookup enqueues the build
+  /// as a background-priority task and returns immediately so the
+  /// requesting query is served by the brute-force path — the cold-build
+  /// latency is hidden from the query stream entirely. When false,
+  /// GetOrBuildAsync degrades to the blocking GetOrBuild.
+  bool async_builds = false;
   /// Total bytes of resident indexes before LRU eviction kicks in. The
   /// most recently built index is never evicted by its own insertion.
   std::size_t memory_budget_bytes = 256ull << 20;
@@ -79,6 +86,11 @@ class IndexManager {
     std::uint64_t build_failures = 0;
     std::uint64_t evictions = 0;      ///< entries dropped for the budget
     std::uint64_t invalidations = 0;  ///< entries dropped as version-stale
+    /// Builds enqueued onto the background runner by GetOrBuildAsync.
+    std::uint64_t background_builds = 0;
+    /// Async lookups answered "build in flight" (the caller served the
+    /// query through the brute-force fallback instead of blocking).
+    std::uint64_t async_fallbacks = 0;
     std::size_t resident_count = 0;
     std::size_t resident_bytes = 0;
   };
@@ -97,10 +109,45 @@ class IndexManager {
   Result<std::shared_ptr<const VectorIndex>> GetOrBuild(
       const IndexKey& key, std::uint64_t* built_version = nullptr);
 
+  /// Outcome of a non-blocking lookup: either a ready index (with the
+  /// catalog version it was built against) or "a build is in flight" —
+  /// never both, never a wait.
+  struct AsyncIndex {
+    std::shared_ptr<const VectorIndex> index;  ///< null while building
+    std::uint64_t built_version = 0;
+    bool build_in_flight = false;
+  };
+
+  /// Non-blocking variant of GetOrBuild for the serving path. A fresh
+  /// resident entry returns immediately (a hit, same as GetOrBuild). On
+  /// a miss with async builds enabled, the build is enqueued once on the
+  /// background runner (single-flight: concurrent misses and lookups of
+  /// a building key all get build_in_flight) — lowering then emits the
+  /// brute-force fallback, so a cold semantic query never blocks behind
+  /// index construction. Without a background runner (or with
+  /// options().async_builds off) this behaves exactly like GetOrBuild,
+  /// including blocking on another caller's in-flight single-flight
+  /// build.
+  Result<AsyncIndex> GetOrBuildAsync(const IndexKey& key);
+
+  /// Wires the executor background builds run on — the engine passes a
+  /// QueryScheduler group admitted at QueryPriority::kBackground, so
+  /// builds only consume pool cycles the query stream leaves idle. Call
+  /// before serving; the runner must outlive the manager's last build.
+  void EnableAsyncBuilds(TaskRunner* background_runner);
+
   /// True when a fresh (current-version) index for `key` is resident —
   /// the optimizer's amortization signal: a resident index makes the
   /// index-backed strategy's build cost zero.
   bool IsResident(const IndexKey& key) const;
+
+  /// Three-state amortization signal for the optimizer: resident, build
+  /// in flight (sunk cost), or absent.
+  IndexResidency Residency(const IndexKey& key) const;
+
+  /// Blocks until no build (background or single-flight synchronous) is
+  /// in flight. Test/shutdown aid; new builds may start afterwards.
+  void WaitForBuilds();
 
   /// Drops every entry built over `table` (any column/model/kind).
   void InvalidateTable(const std::string& table);
@@ -123,8 +170,20 @@ class IndexManager {
   using EntryPtr = std::shared_ptr<Entry>;
 
   /// Embeds the key's column and constructs+builds the index (no locks).
+  /// `serial` forces a pool-free build: background builds run *on* a
+  /// worker thread, and a task that fanned out and waited on the pool
+  /// would break the workers-never-block invariant (deadlock on small
+  /// pools).
   Result<std::shared_ptr<const VectorIndex>> BuildIndex(
-      const IndexKey& key, std::uint64_t* table_version) const;
+      const IndexKey& key, std::uint64_t* table_version,
+      bool serial = false) const;
+
+  /// Installs a finished build into `entry` (or removes the placeholder
+  /// on failure) and wakes waiters. Caller holds mu_.
+  void FinishBuildLocked(const IndexKey& key, const EntryPtr& entry,
+                         Result<std::shared_ptr<const VectorIndex>>&& built,
+                         std::uint64_t version,
+                         std::uint64_t* built_version);
 
   /// Evicts least-recently-used ready entries (never `keep`) until the
   /// budget holds. Caller holds mu_.
@@ -139,6 +198,8 @@ class IndexManager {
   std::unordered_map<IndexKey, EntryPtr, IndexKeyHash> entries_;
   std::uint64_t tick_ = 0;
   std::size_t resident_bytes_ = 0;
+  std::size_t builds_in_flight_ = 0;
+  TaskRunner* background_runner_ = nullptr;
   Stats counters_;
 };
 

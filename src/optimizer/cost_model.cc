@@ -85,6 +85,15 @@ double CostModel::SemanticSelectStrategyCost(double base_rows,
                                              const std::string& model_name,
                                              SemanticJoinStrategy strategy,
                                              bool resident) const {
+  return SemanticSelectStrategyCost(
+      base_rows, model_name, strategy,
+      resident ? IndexResidency::kResident : IndexResidency::kAbsent);
+}
+
+double CostModel::SemanticSelectStrategyCost(double base_rows,
+                                             const std::string& model_name,
+                                             SemanticJoinStrategy strategy,
+                                             IndexResidency residency) const {
   if (strategy == SemanticJoinStrategy::kBruteForce) {
     return ParallelCost(base_rows *
                         (EmbedCost(model_name) +
@@ -92,9 +101,10 @@ double CostModel::SemanticSelectStrategyCost(double base_rows,
   }
   double c = EmbedCost(model_name) +
              SemanticIndexProbeCost(strategy, 1.0, base_rows);
-  if (!resident) {
+  if (residency == IndexResidency::kAbsent) {
     c += (base_rows * EmbedCost(model_name) +
-          SemanticIndexBuildCost(strategy, base_rows)) /
+          SemanticIndexBuildCost(strategy, base_rows)) *
+         params_.background_build_discount /
          std::max(1.0, params_.index_reuse_horizon);
   }
   return c;
@@ -103,14 +113,25 @@ double CostModel::SemanticSelectStrategyCost(double base_rows,
 double CostModel::AmortizedStrategyCost(SemanticJoinStrategy strategy,
                                         double probe_rows, double base_rows,
                                         bool resident, bool reusable) const {
+  return AmortizedStrategyCost(
+      strategy, probe_rows, base_rows,
+      resident ? IndexResidency::kResident : IndexResidency::kAbsent,
+      reusable);
+}
+
+double CostModel::AmortizedStrategyCost(SemanticJoinStrategy strategy,
+                                        double probe_rows, double base_rows,
+                                        IndexResidency residency,
+                                        bool reusable) const {
   const double probe =
       SemanticIndexProbeCost(strategy, probe_rows, base_rows);
   if (strategy == SemanticJoinStrategy::kBruteForce) return probe;
-  if (resident) return probe;  // warm: the manager already holds it
+  // Warm, or a background build the stream has already paid for.
+  if (residency != IndexResidency::kAbsent) return probe;
   const double build = SemanticIndexBuildCost(strategy, base_rows);
   const double horizon =
       reusable ? std::max(1.0, params_.index_reuse_horizon) : 1.0;
-  return build / horizon + probe;
+  return build * params_.background_build_discount / horizon + probe;
 }
 
 double CostModel::SelfCost(const PlanNode& node) const {

@@ -68,6 +68,14 @@ struct CostParams {
   /// Per-row routing cost of the radix-partitioned aggregation's phase 1
   /// (hash the serialized group key, pick a partition).
   double radix_route = 2.0;
+  /// Multiplier on the amortized cold-build charge when the IndexManager
+  /// runs builds asynchronously (Engine sets < 1 with async builds on).
+  /// A background build never adds latency to the requesting query — it
+  /// runs at QueryPriority::kBackground while the query is served by the
+  /// brute-force path — so only its steady-state CPU draw on the shared
+  /// pool is charged, making the optimizer invest in indexes earlier for
+  /// repeated-traffic workloads.
+  double background_build_discount = 1.0;
   /// Engine worker-thread count visible to the planner. Costs of operators
   /// the morsel-driven executor can spread across cores (scans, filters,
   /// projections, semantic selects, join probes, sorts, aggregate
@@ -121,6 +129,14 @@ class CostModel {
   double AmortizedStrategyCost(SemanticJoinStrategy strategy,
                                double probe_rows, double base_rows,
                                bool resident, bool reusable) const;
+  /// Three-state form: kResident and kBuilding both charge probe only
+  /// (an in-flight background build is sunk cost — see IndexResidency);
+  /// kAbsent charges the amortized build, discounted by
+  /// background_build_discount when builds are asynchronous.
+  double AmortizedStrategyCost(SemanticJoinStrategy strategy,
+                               double probe_rows, double base_rows,
+                               IndexResidency residency,
+                               bool reusable) const;
 
   /// Full self-cost of a single-query semantic select over `base_rows`
   /// under `strategy`: brute = embed-and-score every row; index families
@@ -131,6 +147,11 @@ class CostModel {
                                     const std::string& model_name,
                                     SemanticJoinStrategy strategy,
                                     bool resident) const;
+  /// Three-state form (see AmortizedStrategyCost).
+  double SemanticSelectStrategyCost(double base_rows,
+                                    const std::string& model_name,
+                                    SemanticJoinStrategy strategy,
+                                    IndexResidency residency) const;
 
   /// Per-row embedding cost of `model_name` (the model's own annotation
   /// when registered, params().embed otherwise).

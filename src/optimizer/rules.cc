@@ -266,12 +266,16 @@ PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost,
     double best = -1;
     bool best_resident = false;
     for (const auto s : kAllStrategies) {
-      const bool resident =
-          scan != nullptr && residency != nullptr &&
-          s != SemanticJoinStrategy::kBruteForce &&
-          residency(scan->table_name, plan->right_key, plan->model_name, s);
-      // A resident index also spares the build-side embedding pass.
-      double c = cost.AmortizedStrategyCost(s, l, r, resident,
+      const IndexResidency res =
+          (scan != nullptr && residency != nullptr &&
+           s != SemanticJoinStrategy::kBruteForce)
+              ? residency(scan->table_name, plan->right_key,
+                          plan->model_name, s)
+              : IndexResidency::kAbsent;
+      // A resident index also spares the build-side embedding pass (an
+      // in-flight build does not: the fallback embeds the build side).
+      const bool resident = res == IndexResidency::kResident;
+      double c = cost.AmortizedStrategyCost(s, l, r, res,
                                             /*reusable=*/scan != nullptr) +
                  (resident ? 0.0 : r * cost.EmbedCost(plan->model_name));
       if (best < 0 || c < best) {
@@ -300,16 +304,17 @@ PlanPtr RulePickSemanticSelectStrategy(PlanPtr plan, const CostModel& cost,
   const double base = std::max(0.0, plan->children[0]->est_rows);
   double best = -1;
   for (const auto s : kAllStrategies) {
-    const bool resident =
-        s != SemanticJoinStrategy::kBruteForce &&
-        residency(plan->children[0]->table_name, plan->column,
-                  plan->model_name, s);
+    const IndexResidency res =
+        s != SemanticJoinStrategy::kBruteForce
+            ? residency(plan->children[0]->table_name, plan->column,
+                        plan->model_name, s)
+            : IndexResidency::kAbsent;
     const double c =
-        cost.SemanticSelectStrategyCost(base, plan->model_name, s, resident);
+        cost.SemanticSelectStrategyCost(base, plan->model_name, s, res);
     if (best < 0 || c < best) {
       best = c;
       plan->strategy = s;
-      plan->index_resident = resident;
+      plan->index_resident = res == IndexResidency::kResident;
     }
   }
   return plan;

@@ -39,11 +39,13 @@ Result<PlanPtr> RuleDataInducedPredicates(PlanPtr plan,
                                           const SubplanExecutor& executor,
                                           std::size_t max_inducing_rows = 64);
 
-/// Answers "does the IndexManager hold a fresh index of family `kind`
-/// over (table, column, model) right now?" — the optimizer's residency
-/// signal. Provided by the engine; null means "no index subsystem" (all
-/// lookups cold, index-backed semantic selects unavailable).
-using IndexResidencyProbe = std::function<bool(
+/// Answers "what amortization state is the managed index of family
+/// `kind` over (table, column, model) in right now?" — the optimizer's
+/// residency signal (kResident / kBuilding for an in-flight background
+/// build / kAbsent). Provided by the engine; null means "no index
+/// subsystem" (all lookups cold, index-backed semantic selects
+/// unavailable).
+using IndexResidencyProbe = std::function<IndexResidency(
     const std::string& table, const std::string& column,
     const std::string& model, SemanticJoinStrategy kind)>;
 

@@ -31,11 +31,24 @@ enum class SemanticJoinStrategy {
 
 const char* SemanticJoinStrategyName(SemanticJoinStrategy s);
 
+/// Amortization state of one managed index, as seen by the optimizer's
+/// residency probe (defined here next to SemanticJoinStrategy because it
+/// names the same physical families and is shared by the index and
+/// optimizer layers):
+///  - kResident: a fresh index is in the IndexManager — probe cost only;
+///  - kBuilding: a background build is in flight — this query is served
+///    by the brute-force fallback, but the build is a sunk cost the
+///    stream already paid, so the optimizer costs the index family as if
+///    (nearly) warm;
+///  - kAbsent: cold — choosing an index family pays the (possibly
+///    background-discounted) amortized build.
+enum class IndexResidency { kAbsent = 0, kBuilding, kResident };
+
 struct SemanticJoinOptions {
   float threshold = 0.9f;
   SemanticJoinStrategy strategy = SemanticJoinStrategy::kBruteForce;
   KernelVariant variant = BestKernelVariant();
-  ThreadPool* pool = nullptr;  ///< enables parallel probing when set
+  TaskRunner* pool = nullptr;  ///< enables parallel probing when set
   LshOptions lsh;
   IvfOptions ivf;
   HnswOptions hnsw;

@@ -57,6 +57,15 @@ Result<Catalog::VersionedTable> Catalog::GetVersioned(
   return VersionedTable{it->second, versions_.at(name)};
 }
 
+std::shared_ptr<const Catalog> Catalog::Snapshot() const {
+  auto snapshot = std::make_shared<Catalog>();
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->tables_ = tables_;
+  snapshot->versions_ = versions_;
+  snapshot->version_counter_ = version_counter_;
+  return snapshot;
+}
+
 std::vector<std::string> Catalog::ListTables() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;

@@ -50,6 +50,16 @@ class Catalog {
   };
   Result<VersionedTable> GetVersioned(const std::string& name) const;
 
+  /// An immutable point-in-time copy of the whole catalog: every name's
+  /// (table pointer, version stamp) pair captured under one lock hold —
+  /// the multi-table generalization of GetVersioned. Table contents are
+  /// shared (tables are immutable once registered), so a snapshot is
+  /// O(#names). QueryContext pins one per query at plan time: optimizer,
+  /// lowering, and operators all resolve names against it, so a
+  /// concurrent Put/Drop can never hand one query two versions of a
+  /// table (or pair a fresh index with stale rows).
+  std::shared_ptr<const Catalog> Snapshot() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, TablePtr> tables_;

@@ -48,7 +48,7 @@ std::vector<MatchPair> SimilarityJoinBrute(const float* left,
 
 std::vector<MatchPair> SimilarityJoinBruteHalf(
     const std::uint16_t* left, std::size_t n_left, const std::uint16_t* right,
-    std::size_t n_right, std::size_t dim, float threshold, ThreadPool* pool) {
+    std::size_t n_right, std::size_t dim, float threshold, TaskRunner* pool) {
   std::vector<MatchPair> matches;
   auto scan_range = [&](std::size_t begin, std::size_t end,
                         std::vector<MatchPair>* out) {

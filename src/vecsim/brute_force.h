@@ -21,7 +21,7 @@ struct MatchPair {
 /// Options controlling the brute-force similarity join kernels.
 struct BruteForceOptions {
   KernelVariant variant = KernelVariant::kUnrolled;
-  ThreadPool* pool = nullptr;  ///< parallel over left rows when set
+  TaskRunner* pool = nullptr;  ///< parallel over left rows when set
 };
 
 /// Exact all-pairs similarity join over two row-major, unit-normalized
@@ -37,7 +37,7 @@ std::vector<MatchPair> SimilarityJoinBrute(
 std::vector<MatchPair> SimilarityJoinBruteHalf(
     const std::uint16_t* left, std::size_t n_left, const std::uint16_t* right,
     std::size_t n_right, std::size_t dim, float threshold,
-    ThreadPool* pool = nullptr);
+    TaskRunner* pool = nullptr);
 
 /// Exact flat index: linear scan with the best available kernel.
 class FlatIndex : public VectorIndex {

@@ -78,7 +78,7 @@ Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
     Insert(i, levels_[i]);
   }
 
-  ThreadPool* pool = options_.build_pool;
+  TaskRunner* pool = options_.build_pool;
   std::vector<InsertPlan> plans;
   for (std::uint32_t cur = bootstrap; cur < n;) {
     const std::size_t batch = std::min<std::size_t>(
@@ -202,7 +202,7 @@ void HnswIndex::ApplyBatch(std::uint32_t first, std::size_t count,
     }
   };
   const std::size_t groups = group_starts.size() - 1;
-  ThreadPool* pool = options_.build_pool;
+  TaskRunner* pool = options_.build_pool;
   if (pool != nullptr && pool->num_threads() > 1 && groups > 1) {
     pool->ParallelFor(groups, apply_groups, /*min_chunk=*/8);
   } else {

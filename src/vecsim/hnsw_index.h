@@ -39,7 +39,7 @@ struct HnswOptions {
   /// byte-identical for any pool size, including none. The pool only
   /// decides whether each batch's searches and per-node link updates run
   /// concurrently.
-  ThreadPool* build_pool = nullptr;
+  TaskRunner* build_pool = nullptr;
   /// Nodes inserted one-at-a-time before batching starts (a tiny frozen
   /// graph would give batch members too little structure to search, and
   /// small builds are too cheap to be worth batching at all — below this

@@ -11,7 +11,7 @@ DetectionScanOperator::DetectionScanOperator(const ImageStore* store,
                                              const ObjectDetector* detector,
                                              ExprPtr predicate,
                                              std::size_t images_per_batch,
-                                             ThreadPool* pool)
+                                             TaskRunner* pool)
     : store_(store),
       detector_(detector),
       pool_(pool),

@@ -33,7 +33,7 @@ class DetectionScanOperator : public PhysicalOperator {
   DetectionScanOperator(const ImageStore* store, const ObjectDetector* detector,
                         ExprPtr predicate = nullptr,
                         std::size_t images_per_batch = 256,
-                        ThreadPool* pool = nullptr);
+                        TaskRunner* pool = nullptr);
 
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
@@ -46,7 +46,7 @@ class DetectionScanOperator : public PhysicalOperator {
  private:
   const ImageStore* store_;
   const ObjectDetector* detector_;
-  ThreadPool* pool_;
+  TaskRunner* pool_;
   ExprPtr predicate_;
   ExprPtr metadata_predicate_;  ///< pre-inference terms (split at Open)
   ExprPtr post_predicate_;      ///< post-inference terms

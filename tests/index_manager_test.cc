@@ -424,7 +424,7 @@ TEST(IndexSelectionRuleTest, SelectFlipsToIndexOnlyWithManager) {
   // pre-IndexManager engine would run.
   IndexResidencyProbe cold = [](const std::string&, const std::string&,
                                 const std::string&, SemanticJoinStrategy) {
-    return false;
+    return IndexResidency::kAbsent;
   };
   PlanPtr conservative =
       RulePickSemanticSelectStrategy(make_plan(), cost, cold);
@@ -444,7 +444,7 @@ TEST(IndexSelectionRuleTest, SelectFlipsToIndexOnlyWithManager) {
   // resident, and strictly cheaper than its own cold form.
   IndexResidencyProbe warm = [](const std::string&, const std::string&,
                                 const std::string&, SemanticJoinStrategy) {
-    return true;
+    return IndexResidency::kResident;
   };
   PlanPtr resident = RulePickSemanticSelectStrategy(make_plan(), cost, warm);
   EXPECT_NE(resident->strategy, SemanticJoinStrategy::kBruteForce);

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cre::bench {
 
@@ -20,6 +22,83 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");
 }
+
+/// Parses `--json <path>` from argv; empty string when absent. The flag
+/// makes a figure harness emit its measurements machine-readably (for the
+/// perf-trajectory artifacts) next to the human-readable table.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Minimal machine-readable bench output: rows of (label, metric->value)
+/// accumulated during the run and written as one JSON document
+///   {"bench": "<name>", "rows": [{"label": "...", "<metric>": v, ...}]}
+/// on Write(). No third-party JSON dependency; labels are escaped, values
+/// are finite doubles (printed with %.17g so nothing is lost).
+class JsonReport {
+ public:
+  JsonReport(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& label,
+           std::vector<std::pair<std::string, double>> metrics) {
+    if (!enabled()) return;
+    rows_.push_back({label, std::move(metrics)});
+  }
+
+  /// Writes the document; returns false (and prints to stderr) on IO
+  /// failure. Call once at the end of the harness.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write JSON to %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", Escaped(bench_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) std::fprintf(f, ",");
+      std::fprintf(f, "\n  {\"label\": \"%s\"", Escaped(rows_[i].label).c_str());
+      for (const auto& [name, value] : rows_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.17g", Escaped(name).c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("\nwrote JSON metrics to %s\n", path_.c_str());
+    return ok;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace cre::bench
 

@@ -130,8 +130,10 @@ TablePtr MakeTable(const std::vector<std::string>& words, std::size_t n) {
 }  // namespace
 }  // namespace cre
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cre;
+  bench::JsonReport json("fig_concurrent_throughput",
+                         bench::JsonPathFromArgs(argc, argv));
   const std::size_t rows = bench::EnvSize("CRE_CONC_ROWS", 40000);
   const std::size_t queries = bench::EnvSize("CRE_CONC_QUERIES", 24);
   const std::vector<std::size_t> client_counts = {1, 2, 4, 8};
@@ -188,24 +190,29 @@ int main() {
 
   std::printf("%-10s %8s %10s %10s %12s %12s\n", "workload", "clients",
               "wall [s]", "QPS", "p50 [ms]", "p99 [ms]");
+  auto report = [&](const char* section, std::size_t clients,
+                    const RunResult& r) {
+    std::printf("%-10s %8zu %10.3f %10.1f %12.3f %12.3f\n", section, clients,
+                r.wall_seconds, r.qps, r.p50_ms, r.p99_ms);
+    json.Add(section, {{"clients", static_cast<double>(clients)},
+                       {"wall_seconds", r.wall_seconds},
+                       {"qps", r.qps},
+                       {"p50_ms", r.p50_ms},
+                       {"p99_ms", r.p99_ms}});
+  };
   for (const std::size_t clients : client_counts) {
     // Fresh engine state between client counts is not needed for the
     // relational mix; for semantics, cold runs clear the manager first.
-    RunResult rel = RunClients(&engine, relational, clients, queries);
-    std::printf("%-10s %8zu %10.3f %10.1f %12.3f %12.3f\n", "relational",
-                clients, rel.wall_seconds, rel.qps, rel.p50_ms, rel.p99_ms);
+    report("relational", clients,
+           RunClients(&engine, relational, clients, queries));
 
     engine.index_manager()->Clear();
-    RunResult cold = RunClients(&engine, semantic, clients, queries);
-    std::printf("%-10s %8zu %10.3f %10.1f %12.3f %12.3f\n", "sem-cold",
-                clients, cold.wall_seconds, cold.qps, cold.p50_ms,
-                cold.p99_ms);
+    report("sem-cold", clients,
+           RunClients(&engine, semantic, clients, queries));
 
     engine.index_manager()->WaitForBuilds();
-    RunResult warm = RunClients(&engine, semantic, clients, queries);
-    std::printf("%-10s %8zu %10.3f %10.1f %12.3f %12.3f\n", "sem-warm",
-                clients, warm.wall_seconds, warm.qps, warm.p50_ms,
-                warm.p99_ms);
+    report("sem-warm", clients,
+           RunClients(&engine, semantic, clients, queries));
   }
 
   const IndexManager::Stats istats = engine.index_manager()->stats();
@@ -219,5 +226,5 @@ int main() {
       "(single-core runners: QPS stays flat with clients; the signals are\n"
       " bounded p99 under fair round-robin and cold p50 ~= warm p50 —\n"
       " background builds keep cold-index latency off the query path.)\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

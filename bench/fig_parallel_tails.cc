@@ -96,7 +96,7 @@ void PrintTable(const std::vector<std::size_t>& threads,
   }
 }
 
-void RunParallelTails() {
+void RunParallelTails(bench::JsonReport* json) {
   const std::size_t n_rows = bench::EnvSize("CRE_TAILS_ROWS", 200000);
   const std::size_t n_groups = bench::EnvSize("CRE_TAILS_GROUPS", 50000);
   const std::size_t n_vecs = bench::EnvSize("CRE_TAILS_VECS", 20000);
@@ -169,6 +169,14 @@ void RunParallelTails() {
 
   PrintTable(thread_counts, workloads);
 
+  for (const auto& w : workloads) {
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      json->Add(w.name, {{"threads", static_cast<double>(thread_counts[i])},
+                         {"seconds", w.seconds[i]},
+                         {"speedup", w.seconds.front() / w.seconds[i]}});
+    }
+  }
+
   // ---- phase breakdown at the highest thread count ----
   {
     EngineOptions eo;
@@ -239,7 +247,9 @@ void RunParallelTails() {
 }  // namespace
 }  // namespace cre
 
-int main() {
-  cre::RunParallelTails();
-  return 0;
+int main(int argc, char** argv) {
+  cre::bench::JsonReport json("fig_parallel_tails",
+                              cre::bench::JsonPathFromArgs(argc, argv));
+  cre::RunParallelTails(&json);
+  return json.Write() ? 0 : 1;
 }

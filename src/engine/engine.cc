@@ -242,6 +242,9 @@ Result<OperatorPtr> Engine::LowerNodeOver(QueryContext* ctx,
       options.top_k = node.top_k;
       options.variant = options_.kernel_variant;
       options.pool = ctx->runner();
+      // Cancellation reaches the operator's probe loops and local index
+      // builds, not just the driver's morsel/segment polls.
+      options.cancel = ctx->cancel_flag();
       if (options_.index.enabled &&
           node.strategy != SemanticJoinStrategy::kBruteForce) {
         if (const PlanNode* scan = node.IndexableBuildScan()) {
@@ -401,8 +404,14 @@ Result<std::string> Engine::Explain(const PlanPtr& plan) {
          ", pending tasks=" + std::to_string(scheduler_->pending_tasks()) +
          ", background index builds=" +
          std::to_string(index_stats.background_builds) +
-         (options_.index.async_builds ? " (async on)" : " (async off)") +
-         "\n";
+         (options_.index.async_builds ? " (async on)" : " (async off)");
+  if (!options_.index.persist_dir.empty()) {
+    out += ", index persistence: dir=" + options_.index.persist_dir +
+           ", disk loads=" + std::to_string(index_stats.disk_loads) +
+           ", disk writes=" + std::to_string(index_stats.disk_writes) +
+           ", refreshes=" + std::to_string(index_stats.refreshes);
+  }
+  out += "\n";
   return out;
 }
 

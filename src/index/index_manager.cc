@@ -1,17 +1,55 @@
 #include "index/index_manager.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "core/logging.h"
 #include "vecsim/hnsw_index.h"
+#include "vecsim/index_io.h"
 #include "vecsim/ivf_index.h"
 #include "vecsim/lsh_index.h"
 
 namespace cre {
 
 namespace {
+
+/// Order-sensitive digest of an indexed string column (row count + every
+/// value). This — not the process-local catalog stamp — is what proves a
+/// persisted index image still matches the live table across restarts.
+std::uint64_t ColumnContentHash(const std::vector<std::string>& words) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashCombine(h, words.size());
+  for (const auto& w : words) h = HashCombine(h, HashString(w));
+  return h;
+}
+
+/// Constructs an unbuilt index of the requested managed family. `serial`
+/// strips the HNSW build pool (see IndexManager::BuildIndex).
+std::unique_ptr<VectorIndex> MakeInnerIndex(SemanticJoinStrategy kind,
+                                            const IndexManagerOptions& options,
+                                            bool serial) {
+  switch (kind) {
+    case SemanticJoinStrategy::kBruteForce:
+      return nullptr;
+    case SemanticJoinStrategy::kLsh:
+      return std::make_unique<LshIndex>(options.lsh);
+    case SemanticJoinStrategy::kIvf:
+      return std::make_unique<IvfIndex>(options.ivf);
+    case SemanticJoinStrategy::kHnsw: {
+      HnswOptions hnsw = options.hnsw;
+      if (serial) hnsw.build_pool = nullptr;
+      return std::make_unique<HnswIndex>(hnsw);
+    }
+  }
+  return nullptr;
+}
 
 /// Serves hits in base-table row ids from an index built over the
 /// column's *distinct* values. Each distinct string embeds (and indexes)
@@ -21,18 +59,63 @@ namespace {
 /// expand through the postings lists back to every base row holding the
 /// value, so callers see ids 0..num_rows as if the index covered the
 /// full column.
+///
+/// The distinct values themselves are retained: the incremental refresh
+/// path needs them to tell "appended row holds a known value" (a postings
+/// append) from "appended row introduces a new value" (an embedding + an
+/// incremental insert into the inner index).
 class DistinctExpandedIndex : public VectorIndex {
  public:
   DistinctExpandedIndex(std::unique_ptr<VectorIndex> inner,
+                        std::vector<std::string> distinct,
                         std::vector<std::vector<std::uint32_t>> postings,
                         std::size_t num_rows)
       : inner_(std::move(inner)),
+        distinct_(std::move(distinct)),
         postings_(std::move(postings)),
         rows_(num_rows) {}
 
   Status Build(const float*, std::size_t, std::size_t) override {
     return Status::Internal(
         "DistinctExpandedIndex is constructed over a prebuilt inner index");
+  }
+
+  /// Incremental append of base rows [first, words.size()): known values
+  /// extend their postings list, new values embed once and insert into
+  /// the inner index. Deterministic given (current state, appended rows).
+  Status AppendRows(const std::vector<std::string>& words, std::size_t first,
+                    const EmbeddingModel& model) {
+    if (first != rows_ || words.size() < first) {
+      return Status::Internal("append prefix does not line up with index");
+    }
+    std::unordered_map<std::string, std::uint32_t> seen;
+    seen.reserve(distinct_.size() * 2);
+    for (std::size_t i = 0; i < distinct_.size(); ++i) {
+      seen.emplace(distinct_[i], static_cast<std::uint32_t>(i));
+    }
+    std::vector<std::string> fresh;
+    for (std::size_t i = first; i < words.size(); ++i) {
+      auto it = seen.find(words[i]);
+      std::uint32_t id;
+      if (it == seen.end()) {
+        id = static_cast<std::uint32_t>(distinct_.size());
+        seen.emplace(words[i], id);
+        distinct_.push_back(words[i]);
+        postings_.emplace_back();
+        fresh.push_back(words[i]);
+      } else {
+        id = it->second;
+      }
+      postings_[id].push_back(static_cast<std::uint32_t>(i));
+    }
+    if (!fresh.empty()) {
+      const std::size_t dim = model.dim();
+      std::vector<float> matrix(fresh.size() * dim);
+      model.EmbedBatch(fresh, matrix.data());
+      CRE_RETURN_NOT_OK(inner_->Add(matrix.data(), fresh.size(), dim));
+    }
+    rows_ = words.size();
+    return Status::OK();
   }
 
   void RangeSearch(const float* query, float threshold,
@@ -69,14 +152,133 @@ class DistinctExpandedIndex : public VectorIndex {
     for (const auto& p : postings_) {
       bytes += p.size() * sizeof(std::uint32_t);
     }
+    for (const auto& d : distinct_) bytes += d.size();
     return bytes;
   }
 
+  std::unique_ptr<VectorIndex> Clone() const override {
+    std::unique_ptr<VectorIndex> inner = inner_->Clone();
+    if (inner == nullptr) return nullptr;
+    return std::make_unique<DistinctExpandedIndex>(std::move(inner), distinct_,
+                                                   postings_, rows_);
+  }
+
+  Status Save(std::ostream& out) const override {
+    CRE_RETURN_NOT_OK(vecio::WriteTag(out, kWrapperMagic, kWrapperVersion));
+    CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, rows_));
+    CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, distinct_.size()));
+    for (const auto& d : distinct_) {
+      CRE_RETURN_NOT_OK(vecio::WriteString(out, d));
+    }
+    CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, postings_.size()));
+    for (const auto& p : postings_) {
+      CRE_RETURN_NOT_OK(vecio::WriteVec(out, p));
+    }
+    return inner_->Save(out);
+  }
+
+  /// Deserializes a wrapper image into `inner` (an unbuilt index of the
+  /// right family) and returns the reassembled managed index. Every
+  /// structural claim in the file is validated before it is trusted.
+  static Result<std::unique_ptr<DistinctExpandedIndex>> LoadManaged(
+      std::istream& in, std::unique_ptr<VectorIndex> inner) {
+    CRE_RETURN_NOT_OK(
+        vecio::ExpectTag(in, kWrapperMagic, kWrapperVersion, "managed index"));
+    std::uint64_t rows = 0, distinct_count = 0, postings_count = 0;
+    CRE_RETURN_NOT_OK(vecio::ReadPod(in, &rows));
+    CRE_RETURN_NOT_OK(vecio::ReadPod(in, &distinct_count));
+    if (distinct_count > rows) {
+      return Status::InvalidArgument(
+          "managed index load: more distinct values than rows");
+    }
+    std::vector<std::string> distinct(
+        static_cast<std::size_t>(distinct_count));
+    for (auto& d : distinct) {
+      CRE_RETURN_NOT_OK(vecio::ReadString(in, &d));
+    }
+    CRE_RETURN_NOT_OK(vecio::ReadPod(in, &postings_count));
+    if (postings_count != distinct_count) {
+      return Status::InvalidArgument(
+          "managed index load: postings/distinct mismatch");
+    }
+    std::vector<std::vector<std::uint32_t>> postings(
+        static_cast<std::size_t>(postings_count));
+    std::uint64_t total = 0;
+    for (auto& p : postings) {
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &p));
+      total += p.size();
+      for (const std::uint32_t row : p) {
+        if (row >= rows) {
+          return Status::InvalidArgument(
+              "managed index load: posting row out of range");
+        }
+      }
+    }
+    if (total != rows) {
+      return Status::InvalidArgument(
+          "managed index load: postings do not partition the rows");
+    }
+    CRE_RETURN_NOT_OK(inner->Load(in));
+    if (inner->size() != distinct.size()) {
+      return Status::InvalidArgument(
+          "managed index load: inner size does not match distinct values");
+    }
+    return std::make_unique<DistinctExpandedIndex>(
+        std::move(inner), std::move(distinct), std::move(postings),
+        static_cast<std::size_t>(rows));
+  }
+
  private:
+  static constexpr std::uint32_t kWrapperMagic = 0x43575250;  // "CWRP"
+  static constexpr std::uint32_t kWrapperVersion = 1;
+
   std::unique_ptr<VectorIndex> inner_;
+  std::vector<std::string> distinct_;
   std::vector<std::vector<std::uint32_t>> postings_;
   std::size_t rows_;
 };
+
+// ---- persisted image header ----
+// One image = [manager header][wrapper payload][inner payload]. The
+// header carries the full index identity plus the freshness evidence, so
+// a scan can build the on-disk catalog from headers alone and a load can
+// reject a stale or foreign image before touching the payload.
+
+constexpr std::uint32_t kImageMagic = 0x43524D47;  // "CRMG"
+constexpr std::uint32_t kImageVersion = 1;
+
+Status WriteImageHeader(std::ostream& out, const IndexKey& key,
+                        std::uint64_t catalog_stamp,
+                        std::uint64_t content_hash, std::uint64_t rows) {
+  CRE_RETURN_NOT_OK(vecio::WriteTag(out, kImageMagic, kImageVersion));
+  CRE_RETURN_NOT_OK(vecio::WriteString(out, key.table));
+  CRE_RETURN_NOT_OK(vecio::WriteString(out, key.column));
+  CRE_RETURN_NOT_OK(vecio::WriteString(out, key.model));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint32_t>(out, static_cast<std::uint32_t>(key.kind)));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, catalog_stamp));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, content_hash));
+  return vecio::WritePod<std::uint64_t>(out, rows);
+}
+
+Status ReadImageHeader(std::istream& in, IndexKey* key,
+                       std::uint64_t* catalog_stamp,
+                       std::uint64_t* content_hash, std::uint64_t* rows) {
+  CRE_RETURN_NOT_OK(
+      vecio::ExpectTag(in, kImageMagic, kImageVersion, "index image"));
+  CRE_RETURN_NOT_OK(vecio::ReadString(in, &key->table));
+  CRE_RETURN_NOT_OK(vecio::ReadString(in, &key->column));
+  CRE_RETURN_NOT_OK(vecio::ReadString(in, &key->model));
+  std::uint32_t kind = 0;
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &kind));
+  if (kind > static_cast<std::uint32_t>(SemanticJoinStrategy::kHnsw)) {
+    return Status::InvalidArgument("index image: unknown family");
+  }
+  key->kind = static_cast<SemanticJoinStrategy>(kind);
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, catalog_stamp));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, content_hash));
+  return vecio::ReadPod(in, rows);
+}
 
 }  // namespace
 
@@ -95,10 +297,13 @@ std::size_t IndexKeyHash::operator()(const IndexKey& k) const {
 
 IndexManager::IndexManager(const Catalog* catalog, const ModelRegistry* models,
                            IndexManagerOptions options)
-    : catalog_(catalog), models_(models), options_(std::move(options)) {}
+    : catalog_(catalog), models_(models), options_(std::move(options)) {
+  ScanPersistDir();
+}
 
 Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
-    const IndexKey& key, std::uint64_t* table_version, bool serial) const {
+    const IndexKey& key, std::uint64_t* table_version,
+    std::uint64_t* content_hash, bool serial) const {
   // Snapshot table + version atomically: the entry must never pair a new
   // table's contents with an older stamp (it would mask an invalidation).
   CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
@@ -113,6 +318,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
   CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model, models_->Get(key.model));
 
   const auto& words = col->strings();
+  if (content_hash != nullptr) *content_hash = ColumnContentHash(words);
   const std::size_t dim = model->dim();
 
   // Embed and index each distinct value once; remember which rows hold it.
@@ -138,33 +344,211 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
   // Background builds execute on a pool worker; fanning construction out
   // over the pool from there would make a worker block in Wait (deadlock
   // on small pools), so they build serially inside their one task.
-  HnswOptions hnsw = options_.hnsw;
-  if (serial) hnsw.build_pool = nullptr;
-
-  std::unique_ptr<VectorIndex> index;
-  switch (key.kind) {
-    case SemanticJoinStrategy::kBruteForce:
-      return Status::InvalidArgument(
-          "brute force is not an index kind (nothing to cache)");
-    case SemanticJoinStrategy::kLsh:
-      index = std::make_unique<LshIndex>(options_.lsh);
-      break;
-    case SemanticJoinStrategy::kIvf:
-      index = std::make_unique<IvfIndex>(options_.ivf);
-      break;
-    case SemanticJoinStrategy::kHnsw:
-      index = std::make_unique<HnswIndex>(hnsw);
-      break;
+  std::unique_ptr<VectorIndex> index = MakeInnerIndex(key.kind, options_,
+                                                      serial);
+  if (index == nullptr) {
+    return Status::InvalidArgument(
+        "brute force is not an index kind (nothing to cache)");
   }
   CRE_RETURN_NOT_OK(index->Build(matrix.data(), distinct.size(), dim));
   return std::shared_ptr<const VectorIndex>(std::make_shared<
-      DistinctExpandedIndex>(std::move(index), std::move(postings),
-                             words.size()));
+      DistinctExpandedIndex>(std::move(index), std::move(distinct),
+                             std::move(postings), words.size()));
+}
+
+Result<std::shared_ptr<const VectorIndex>> IndexManager::RefreshIndex(
+    const IndexKey& key, const std::shared_ptr<const VectorIndex>& old_index,
+    std::uint64_t old_version, std::uint64_t* new_version,
+    std::uint64_t* content_hash) const {
+  // Re-fetch the chain under the catalog lock: the table, its head
+  // stamp, and the proof that everything since old_version was
+  // append-style arrive as one consistent unit, so the refreshed entry
+  // is stamped with exactly the contents it indexed. If yet another
+  // append lands while we refresh, the entry comes out stale again and
+  // the next lookup refreshes once more — never wrong, at worst late.
+  CRE_ASSIGN_OR_RETURN(Catalog::AppendChain chain,
+                       catalog_->AppendedSince(key.table, old_version));
+  const auto* old_wrapper =
+      dynamic_cast<const DistinctExpandedIndex*>(old_index.get());
+  if (old_wrapper == nullptr || old_wrapper->size() != chain.prefix_rows) {
+    return Status::Internal("refresh prefix does not match resident index");
+  }
+  CRE_ASSIGN_OR_RETURN(const Column* col,
+                       chain.table->ColumnByName(key.column));
+  if (col->type() != DataType::kString) {
+    return Status::TypeError("index column '" + key.column +
+                             "' must be a string column");
+  }
+  CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model, models_->Get(key.model));
+  const auto& words = col->strings();
+
+  // Copy-on-write: queries holding the old shared_ptr keep probing an
+  // untouched immutable graph; all mutation goes into the clone.
+  std::unique_ptr<VectorIndex> cloned = old_wrapper->Clone();
+  auto* wrapper = dynamic_cast<DistinctExpandedIndex*>(cloned.get());
+  if (wrapper == nullptr) {
+    return Status::Internal("managed index family does not support cloning");
+  }
+  CRE_RETURN_NOT_OK(wrapper->AppendRows(words, chain.prefix_rows, *model));
+  *new_version = chain.to_version;
+  if (content_hash != nullptr) *content_hash = ColumnContentHash(words);
+  return std::shared_ptr<const VectorIndex>(std::move(cloned));
+}
+
+std::string IndexManager::PersistPathFor(const IndexKey& key) const {
+  return options_.persist_dir + "/cre_" +
+         std::to_string(IndexKeyHash{}(key)) + ".idx";
+}
+
+void IndexManager::ScanPersistDir() {
+  if (options_.persist_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.persist_dir, ec);
+  std::filesystem::directory_iterator dir(options_.persist_dir, ec);
+  if (ec) return;
+  for (const auto& de : dir) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string path = de.path().string();
+    if (de.path().extension() != ".idx") continue;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) continue;
+    IndexKey key;
+    PersistedMeta meta;
+    if (!ReadImageHeader(in, &key, &meta.catalog_stamp, &meta.content_hash,
+                         &meta.rows)
+             .ok()) {
+      continue;  // foreign or corrupt header: not a warm-start candidate
+    }
+    meta.path = path;
+    persisted_[key] = std::move(meta);
+  }
+}
+
+void IndexManager::PersistToDisk(
+    const IndexKey& key, const std::shared_ptr<const VectorIndex>& index,
+    std::uint64_t catalog_stamp, std::uint64_t content_hash) {
+  if (options_.persist_dir.empty() || index == nullptr) return;
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string path = PersistPathFor(key);
+  // Unique across threads (counter) AND across processes sharing one
+  // persist_dir (pid) — e.g. a blue-green restart overlap; colliding tmp
+  // names would interleave two writers' bytes and publish garbage over a
+  // good image.
+  const std::string tmp = path + ".tmp" + std::to_string(::getpid()) + "_" +
+                          std::to_string(tmp_seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return;
+    Status s = WriteImageHeader(out, key, catalog_stamp, content_hash,
+                                index->size());
+    if (s.ok()) s = index->Save(out);
+    out.flush();
+    if (!s.ok() || !out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  // Atomic publish: readers only ever see a complete image. The rename
+  // runs under mu_ so a slow writer that lost the race to a newer
+  // install (a refresh that finished after this build released the
+  // lock) cannot roll the published image back to an older stamp.
+  std::error_code ec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = persisted_.find(key);
+    // Only a stamp written by THIS process is comparable (catalog
+    // stamps restart with the process); a scanned image from a previous
+    // run never outranks a fresh write.
+    if (it != persisted_.end() && it->second.stamp_local &&
+        it->second.catalog_stamp > catalog_stamp) {
+      // A newer image is already published; discard ours.
+    } else {
+      std::filesystem::rename(tmp, path, ec);
+      if (!ec) {
+        persisted_[key] = PersistedMeta{path, catalog_stamp, content_hash,
+                                        index->size(), /*stamp_local=*/true};
+        ++counters_.disk_writes;
+        return;
+      }
+    }
+  }
+  std::filesystem::remove(tmp, ec);
+}
+
+void IndexManager::DropPersisted(const IndexKey& key) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = persisted_.find(key);
+    if (it == persisted_.end()) return;
+    path = it->second.path;
+    persisted_.erase(it);
+    ++counters_.disk_rejects;
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+Result<std::shared_ptr<const VectorIndex>> IndexManager::LoadFromDisk(
+    const IndexKey& key, std::uint64_t* table_version,
+    std::uint64_t* content_hash) const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = persisted_.find(key);
+    if (it == persisted_.end()) {
+      return Status::NotFound("no persisted image for " + key.ToString());
+    }
+    path = it->second.path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("persisted image unreadable: " + path);
+  }
+  IndexKey file_key;
+  std::uint64_t saved_stamp = 0, saved_hash = 0, saved_rows = 0;
+  CRE_RETURN_NOT_OK(
+      ReadImageHeader(in, &file_key, &saved_stamp, &saved_hash, &saved_rows));
+  if (!(file_key == key)) {
+    return Status::InvalidArgument("persisted image identity mismatch");
+  }
+  // Freshness is judged against the *live* table, by content: catalog
+  // stamps are process-local, so after a restart only the column digest
+  // can prove the image still matches. A mismatch (the table changed
+  // while the image sat on disk) is a rejection, never a stale serve.
+  CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
+                       catalog_->GetVersioned(key.table));
+  CRE_ASSIGN_OR_RETURN(const Column* col, vt.table->ColumnByName(key.column));
+  if (col->type() != DataType::kString) {
+    return Status::TypeError("persisted image over non-string column");
+  }
+  const auto& words = col->strings();
+  if (words.size() != saved_rows ||
+      ColumnContentHash(words) != saved_hash) {
+    return Status::InvalidArgument(
+        "persisted image stale: table content changed since save");
+  }
+  std::unique_ptr<VectorIndex> inner =
+      MakeInnerIndex(key.kind, options_, /*serial=*/true);
+  if (inner == nullptr) {
+    return Status::InvalidArgument("persisted image of non-index family");
+  }
+  CRE_ASSIGN_OR_RETURN(std::unique_ptr<DistinctExpandedIndex> wrapper,
+                       DistinctExpandedIndex::LoadManaged(in, std::move(inner)));
+  if (wrapper->size() != words.size()) {
+    return Status::InvalidArgument("persisted image row count mismatch");
+  }
+  *table_version = vt.version;
+  if (content_hash != nullptr) *content_hash = saved_hash;
+  return std::shared_ptr<const VectorIndex>(std::move(wrapper));
 }
 
 Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     const IndexKey& key, std::uint64_t* built_version) {
   std::unique_lock<std::mutex> lock(mu_);
+  bool counted_miss = false;
   for (;;) {
     auto it = entries_.find(key);
     if (it == entries_.end()) break;
@@ -175,65 +559,159 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
       cv_.wait(lock, [&] { return !entry->building; });
       continue;  // re-find: the entry may have been replaced or removed
     }
-    if (entry->table_version != catalog_->Version(key.table)) {
-      // Version-stamped invalidation: the base table changed since the
-      // build; drop the stale entry and fall through to a rebuild.
-      resident_bytes_ -= entry->bytes;
-      entries_.erase(it);
-      ++counters_.invalidations;
-      break;
+    if (entry->table_version == catalog_->Version(key.table)) {
+      entry->lru_tick = ++tick_;
+      ++counters_.hits;
+      if (built_version != nullptr) *built_version = entry->table_version;
+      return entry->index;
     }
-    entry->lru_tick = ++tick_;
-    ++counters_.hits;
-    if (built_version != nullptr) *built_version = entry->table_version;
-    return entry->index;
+    // Stale. When everything since the build was append-style, renew the
+    // entry in place: clone + insert only the appended rows — a fraction
+    // of the rebuild cost. Single-flight like a build.
+    if (options_.incremental_maintenance &&
+        catalog_->AppendedSince(key.table, entry->table_version).ok()) {
+      if (!counted_miss) {
+        ++counters_.misses;
+        counted_miss = true;
+      }
+      const std::shared_ptr<const VectorIndex> old_index = entry->index;
+      const std::uint64_t old_version = entry->table_version;
+      entry->building = true;
+      ++builds_in_flight_;
+      lock.unlock();
+      std::uint64_t version = 0, hash = 0;
+      // The content hash only feeds the persisted-image header; skip the
+      // O(column) hashing pass entirely when persistence is off.
+      std::uint64_t* hash_out =
+          options_.persist_dir.empty() ? nullptr : &hash;
+      auto refreshed =
+          RefreshIndex(key, old_index, old_version, &version, hash_out);
+      lock.lock();
+      const bool ok = refreshed.ok();
+      FinishInstallLocked(key, entry, std::move(refreshed), version,
+                          built_version, InstallSource::kRefresh);
+      if (ok) {
+        std::shared_ptr<const VectorIndex> index = entry->index;
+        lock.unlock();
+        PersistToDisk(key, index, version, hash);
+        return index;
+      }
+      continue;  // chain broke mid-flight: fall back to a full rebuild
+    }
+    // Version-stamped invalidation: the base table changed destructively
+    // since the build; drop the stale entry and fall through to a rebuild.
+    resident_bytes_ -= entry->bytes;
+    entries_.erase(it);
+    ++counters_.invalidations;
+    CheckAccountingLocked();
+    break;
   }
 
   // Miss: install a building placeholder, then build outside the lock so
   // concurrent lookups of other keys (and waiters on this one) don't
-  // serialize behind embedding + construction.
-  ++counters_.misses;
+  // serialize behind embedding + construction. A persisted image, when
+  // present and still matching the live table, is adopted instead of
+  // paying the build.
+  if (!counted_miss) ++counters_.misses;
   EntryPtr entry = std::make_shared<Entry>();
   entry->building = true;
   entries_[key] = entry;
   ++builds_in_flight_;
+  const bool try_disk = HasPersistedLocked(key);
   lock.unlock();
 
-  std::uint64_t version = 0;
-  auto built = BuildIndex(key, &version);
+  std::uint64_t version = 0, hash = 0;
+  std::uint64_t* hash_out = options_.persist_dir.empty() ? nullptr : &hash;
+  InstallSource source = InstallSource::kBuild;
+  Result<std::shared_ptr<const VectorIndex>> built(
+      Status::Internal("index lookup never attempted"));
+  if (try_disk) {
+    built = LoadFromDisk(key, &version, &hash);
+    if (built.ok()) {
+      source = InstallSource::kDiskLoad;
+    } else if (built.status().IsInvalidArgument() ||
+               built.status().code() == StatusCode::kOutOfRange) {
+      // Only a validation verdict (foreign/corrupt/truncated/stale
+      // content) proves the image bad. Transient failures — the file
+      // unreadable under fd pressure, the table momentarily dropped —
+      // must leave a still-valid image in place for the next start.
+      DropPersisted(key);
+    }
+  }
+  if (source != InstallSource::kDiskLoad) {
+    built = BuildIndex(key, &version, hash_out);
+  }
 
   lock.lock();
   const Status status = built.ok() ? Status::OK() : built.status();
-  FinishBuildLocked(key, entry, std::move(built), version, built_version);
+  FinishInstallLocked(key, entry, std::move(built), version,
+                      built_version, source);
   if (!status.ok()) return status;
-  return entry->index;
+  if (source == InstallSource::kDiskLoad) {
+    // The adopted image is now proven fresh for the live table at
+    // `version`: localize its stamp so subsequent plausibility probes
+    // and anti-rollback checks compare real (this-process) versions.
+    auto pit = persisted_.find(key);
+    if (pit != persisted_.end()) {
+      pit->second.catalog_stamp = version;
+      pit->second.stamp_local = true;
+    }
+  }
+  std::shared_ptr<const VectorIndex> index = entry->index;
+  lock.unlock();
+  if (source == InstallSource::kBuild) {
+    PersistToDisk(key, index, version, hash);
+  }
+  return index;
 }
 
-void IndexManager::FinishBuildLocked(
+void IndexManager::FinishInstallLocked(
     const IndexKey& key, const EntryPtr& entry,
-    Result<std::shared_ptr<const VectorIndex>>&& built,
-    std::uint64_t version, std::uint64_t* built_version) {
+    Result<std::shared_ptr<const VectorIndex>>&& built, std::uint64_t version,
+    std::uint64_t* built_version, InstallSource source) {
   entry->building = false;
   --builds_in_flight_;
   if (!built.ok()) {
     entry->build_status = built.status();
-    ++counters_.build_failures;
-    // Only remove our own placeholder (a concurrent invalidation path
-    // never replaces a building entry, but stay defensive).
+    if (source == InstallSource::kBuild) ++counters_.build_failures;
+    if (source == InstallSource::kRefresh) ++counters_.invalidations;
+    // Only remove our own entry (a concurrent invalidation path never
+    // replaces a building entry, but stay defensive). A failed refresh
+    // drops the stale entry it was renewing — its footprint leaves the
+    // aggregate with it — and the caller falls back to a rebuild.
     auto it = entries_.find(key);
-    if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    if (it != entries_.end() && it->second == entry) {
+      resident_bytes_ -= entry->bytes;
+      entries_.erase(it);
+    }
     cv_.notify_all();
+    CheckAccountingLocked();
     return;
   }
+  // Byte accounting is recomputed on every install: refreshes grow the
+  // index, so a footprint captured at first build would drift under the
+  // real one and the budget would silently over-admit.
+  resident_bytes_ -= entry->bytes;
   entry->index = std::move(built).ValueUnsafe();
   entry->table_version = version;
   if (built_version != nullptr) *built_version = version;
   entry->bytes = entry->index->MemoryBytes();
-  entry->lru_tick = ++tick_;
   resident_bytes_ += entry->bytes;
-  ++counters_.builds;
+  entry->lru_tick = ++tick_;
+  switch (source) {
+    case InstallSource::kBuild:
+      ++counters_.builds;
+      break;
+    case InstallSource::kRefresh:
+      ++counters_.refreshes;
+      break;
+    case InstallSource::kDiskLoad:
+      ++counters_.disk_loads;
+      break;
+  }
   EvictForBudgetLocked(entry.get());
   cv_.notify_all();
+  CheckAccountingLocked();
 }
 
 void IndexManager::EnableAsyncBuilds(TaskRunner* background_runner) {
@@ -263,16 +741,59 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
         entry->lru_tick = ++tick_;
         ++counters_.hits;
         return AsyncIndex{entry->index, entry->table_version, false};
+      } else if (!async) {
+        // Stale with async off: the blocking path below refreshes or
+        // rebuilds as appropriate; don't pre-judge here.
+      } else if (options_.incremental_maintenance &&
+                 catalog_->AppendedSince(key.table, entry->table_version)
+                     .ok()) {
+        // Stale by appends only: renew incrementally at background
+        // priority — the query stream keeps probing brute-force (or the
+        // old index via its own snapshot pairing) until the refresh
+        // lands. Single-flight via the building flag.
+        ++counters_.misses;
+        ++counters_.background_builds;
+        ++counters_.async_fallbacks;
+        const std::shared_ptr<const VectorIndex> old_index = entry->index;
+        const std::uint64_t old_version = entry->table_version;
+        entry->building = true;
+        ++builds_in_flight_;
+        background_runner_->Submit(
+            [this, key, entry, old_index, old_version] {
+              std::uint64_t version = 0, hash = 0;
+              auto refreshed = RefreshIndex(
+                  key, old_index, old_version, &version,
+                  options_.persist_dir.empty() ? nullptr : &hash);
+              // Persist BEFORE installing: FinishInstallLocked releases
+              // WaitForBuilds (builds_in_flight_), so nothing in this
+              // task may touch the manager after it — a waiter is free
+              // to destroy the manager the moment the count drops.
+              if (refreshed.ok()) {
+                PersistToDisk(key, refreshed.ValueUnsafe(), version, hash);
+              }
+              std::lock_guard<std::mutex> inner_lock(mu_);
+              FinishInstallLocked(key, entry, std::move(refreshed), version,
+                                  nullptr, InstallSource::kRefresh);
+            });
+        return AsyncIndex{nullptr, 0, true};
       } else {
-        // Stale: drop and fall through to scheduling a rebuild.
+        // Stale destructively: drop and fall through to scheduling a
+        // full background rebuild.
         resident_bytes_ -= entry->bytes;
         entries_.erase(it);
         ++counters_.invalidations;
+        CheckAccountingLocked();
       }
     }
     // Reaching here async: the entry was absent or stale (a building
-    // entry returned in-flight above) — schedule the background build.
-    if (async) {
+    // entry returned in-flight above) — schedule the background build,
+    // unless a plausibly fresh persisted image can serve it:
+    // deserialization is orders of magnitude cheaper than a build, so
+    // warm-starting synchronously makes even the first post-restart
+    // query index-backed. Mere image existence is not enough — a stale
+    // image would be rejected at load and drag this serving-path call
+    // into a blocking rebuild.
+    if (async && !PersistedPlausibleLocked(key)) {
       ++counters_.misses;
       ++counters_.background_builds;
       ++counters_.async_fallbacks;
@@ -283,15 +804,26 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
       // Single-flight still holds: subsequent lookups of this key see the
       // building placeholder above until the task completes.
       background_runner_->Submit([this, key, entry] {
-        std::uint64_t version = 0;
-        auto built = BuildIndex(key, &version, /*serial=*/true);
-        std::lock_guard<std::mutex> lock(mu_);
-        FinishBuildLocked(key, entry, std::move(built), version, nullptr);
+        std::uint64_t version = 0, hash = 0;
+        auto built =
+            BuildIndex(key, &version,
+                       options_.persist_dir.empty() ? nullptr : &hash,
+                       /*serial=*/true);
+        // Persist BEFORE installing — see the refresh task above: the
+        // install releases WaitForBuilds, after which this task must
+        // not touch the manager.
+        if (built.ok()) {
+          PersistToDisk(key, built.ValueUnsafe(), version, hash);
+        }
+        std::lock_guard<std::mutex> inner_lock(mu_);
+        FinishInstallLocked(key, entry, std::move(built), version,
+                            nullptr, InstallSource::kBuild);
       });
       return AsyncIndex{nullptr, 0, true};
     }
   }
-  // Async disabled: preserve the blocking single-flight behavior.
+  // Async disabled, or a persisted image is available: preserve the
+  // blocking single-flight behavior (which itself prefers disk to build).
   std::uint64_t version = 0;
   CRE_ASSIGN_OR_RETURN(std::shared_ptr<const VectorIndex> index,
                        GetOrBuild(key, &version));
@@ -314,36 +846,97 @@ void IndexManager::EvictForBudgetLocked(const Entry* keep) {
       }
     }
     if (victim == entries_.end()) return;  // nothing evictable
+    // The persisted image (write-through at install) outlives the
+    // eviction, so the key degrades to kOnDisk rather than kAbsent.
     resident_bytes_ -= victim->second->bytes;
     entries_.erase(victim);
     ++counters_.evictions;
   }
 }
 
+void IndexManager::CheckAccountingLocked() const {
+#ifndef NDEBUG
+  std::size_t sum = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    sum += entry->bytes;
+  }
+  CRE_CHECK(sum == resident_bytes_);
+#endif
+}
+
 bool IndexManager::IsResident(const IndexKey& key) const {
   return Residency(key) == IndexResidency::kResident;
+}
+
+bool IndexManager::PersistedPlausibleLocked(const IndexKey& key) const {
+  // Cheap probe only (the optimizer calls this per considered strategy,
+  // and the async serving path gates its synchronous warm start on it).
+  // An image stamped by this process is exact: fresh iff the stamp
+  // still matches, so a same-cardinality Put can't lure the serving
+  // path into a doomed blocking load. A scanned image (previous run)
+  // can only be row-count plausible; the content-hash proof runs at
+  // load time, and a lying image is rejected there — the plan's
+  // load-cost estimate was merely optimistic.
+  auto it = persisted_.find(key);
+  if (it == persisted_.end()) return false;
+  if (it->second.stamp_local) {
+    return it->second.catalog_stamp == catalog_->Version(key.table);
+  }
+  auto vt = catalog_->GetVersioned(key.table);
+  return vt.ok() && vt.ValueOrDie().table->num_rows() == it->second.rows;
 }
 
 IndexResidency IndexManager::Residency(const IndexKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
-  if (it == entries_.end()) return IndexResidency::kAbsent;
-  if (it->second->building) return IndexResidency::kBuilding;
-  return it->second->table_version == catalog_->Version(key.table)
-             ? IndexResidency::kResident
-             : IndexResidency::kAbsent;
+  if (it != entries_.end()) {
+    if (it->second->building) return IndexResidency::kBuilding;
+    if (it->second->table_version == catalog_->Version(key.table)) {
+      return IndexResidency::kResident;
+    }
+    // Stale — but stale *by appends only* means the next lookup renews
+    // it incrementally at a fraction of a rebuild. The optimizer must
+    // see that (kRefreshable), or with a conservative reuse horizon it
+    // would flip to brute force after every append and planned queries
+    // would never reach the refresh path at all.
+    if (options_.incremental_maintenance &&
+        catalog_->AppendedSince(key.table, it->second->table_version).ok()) {
+      return IndexResidency::kRefreshable;
+    }
+  }
+  if (PersistedPlausibleLocked(key)) return IndexResidency::kOnDisk;
+  return IndexResidency::kAbsent;
 }
 
 void IndexManager::InvalidateTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.table == table && !it->second->building) {
-      resident_bytes_ -= it->second->bytes;
-      it = entries_.erase(it);
-      ++counters_.invalidations;
-    } else {
-      ++it;
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.table == table && !it->second->building) {
+        resident_bytes_ -= it->second->bytes;
+        it = entries_.erase(it);
+        ++counters_.invalidations;
+      } else {
+        ++it;
+      }
     }
+    // An explicit invalidation is a destructive signal: the persisted
+    // images over this table can never validate again, so reclaim them.
+    for (auto it = persisted_.begin(); it != persisted_.end();) {
+      if (it->first.table == table) {
+        doomed.push_back(it->second.path);
+        it = persisted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    CheckAccountingLocked();
+  }
+  for (const auto& path : doomed) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
   }
 }
 
@@ -357,6 +950,7 @@ void IndexManager::Clear() {
       it = entries_.erase(it);
     }
   }
+  CheckAccountingLocked();
 }
 
 IndexManager::Stats IndexManager::stats() const {

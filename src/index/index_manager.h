@@ -50,6 +50,26 @@ struct IndexManagerOptions {
   /// latency is hidden from the query stream entirely. When false,
   /// GetOrBuildAsync degrades to the blocking GetOrBuild.
   bool async_builds = false;
+  /// Incremental maintenance: when true, a stale entry whose base table
+  /// changed only by catalog Appends since the build is *refreshed* —
+  /// the resident index is cloned (copy-on-write: in-flight queries keep
+  /// probing the old immutable instance), the appended rows' new
+  /// distinct values are embedded and inserted incrementally, and the
+  /// clone is swapped in under the append chain's stamp — instead of
+  /// being invalidated and rebuilt from scratch. Refreshes are
+  /// single-flight and run at background priority under async_builds.
+  bool incremental_maintenance = true;
+  /// On-disk persistence: when non-empty, every successful build/refresh
+  /// write-throughs a versioned index image into this directory
+  /// (<dir>/cre_<keyhash>.idx, atomic tmp+rename), and a cold lookup
+  /// warm-starts from the matching image instead of rebuilding — so
+  /// resident indexes survive both LRU eviction and process restarts.
+  /// Images carry the (table, column, model, family) identity, the
+  /// catalog stamp at save time, and a content hash of the indexed
+  /// column; a load whose identity/content does not match the live
+  /// table, or whose file is truncated/corrupt, is rejected and the
+  /// lookup falls back to a clean rebuild. Never serves stale data.
+  std::string persist_dir;
   /// Total bytes of resident indexes before LRU eviction kicks in. The
   /// most recently built index is never evicted by its own insertion.
   std::size_t memory_budget_bytes = 256ull << 20;
@@ -67,23 +87,32 @@ struct IndexManagerOptions {
 ///  - cross-query reuse: GetOrBuild returns a shared, immutable index;
 ///    repeated queries over the same (table, column, model, kind) pay the
 ///    embedding + build cost once;
-///  - versioned invalidation: each entry records the Catalog version stamp
-///    of its base table at build time; a Register/Put/Drop of that table
-///    makes the entry stale and the next lookup rebuilds;
-///  - a memory budget with LRU eviction over ready entries;
+///  - versioned invalidation with incremental maintenance: each entry
+///    records the Catalog version stamp of its base table at build time.
+///    A destructive change (Put/Drop) makes the entry stale and the next
+///    lookup rebuilds; an append-style change (Catalog::Append) makes the
+///    next lookup *refresh* the entry in place — clone, insert only the
+///    appended rows, swap — at a fraction of the rebuild cost;
+///  - a memory budget with LRU eviction over ready entries, with byte
+///    accounting recomputed on every install (builds grow on refresh);
+///  - on-disk persistence (persist_dir): built indexes spill to disk and
+///    cold lookups warm-start from it, surviving process restarts;
 ///  - thread-safe concurrent access with single-flight builds: concurrent
 ///    queries needing the same absent index block on one build instead of
 ///    duplicating it.
 ///
 /// Returned indexes are immutable and safe to probe from any thread; they
-/// stay alive (shared_ptr) even if evicted or invalidated mid-query.
+/// stay alive (shared_ptr) even if evicted, refreshed, or invalidated
+/// mid-query.
 class IndexManager {
  public:
   struct Stats {
     std::uint64_t hits = 0;           ///< lookups served by a fresh entry
     std::uint64_t misses = 0;         ///< lookups that required a build
-    std::uint64_t builds = 0;         ///< successful index constructions
+    std::uint64_t builds = 0;         ///< successful full constructions
     std::uint64_t build_failures = 0;
+    /// Stale entries renewed by the incremental append path (no rebuild).
+    std::uint64_t refreshes = 0;
     std::uint64_t evictions = 0;      ///< entries dropped for the budget
     std::uint64_t invalidations = 0;  ///< entries dropped as version-stale
     /// Builds enqueued onto the background runner by GetOrBuildAsync.
@@ -91,6 +120,13 @@ class IndexManager {
     /// Async lookups answered "build in flight" (the caller served the
     /// query through the brute-force fallback instead of blocking).
     std::uint64_t async_fallbacks = 0;
+    /// Lookups served by deserializing a persisted image (no rebuild).
+    std::uint64_t disk_loads = 0;
+    /// Successful write-throughs of built/refreshed indexes to disk.
+    std::uint64_t disk_writes = 0;
+    /// Persisted images rejected at load time: identity/stamp/content
+    /// mismatch against the live table, or a truncated/corrupt file.
+    std::uint64_t disk_rejects = 0;
     std::size_t resident_count = 0;
     std::size_t resident_bytes = 0;
   };
@@ -99,13 +135,15 @@ class IndexManager {
                IndexManagerOptions options = {});
 
   /// Returns the shared index for `key`, building it if absent or stale.
-  /// Concurrent callers with the same key wait for a single build. Errors
-  /// (missing table/model, non-string column, failed build) are returned
-  /// to every waiter and nothing is cached. When `built_version` is
-  /// non-null it receives the catalog version stamp the returned index
-  /// was built against — callers pairing the index with their own table
-  /// snapshot compare stamps (not just row counts) to rule out a
-  /// same-cardinality table replacement racing the lookup.
+  /// Stale-by-append entries refresh incrementally; cold lookups try the
+  /// persisted on-disk image before paying a build. Concurrent callers
+  /// with the same key wait for a single build. Errors (missing
+  /// table/model, non-string column, failed build) are returned to every
+  /// waiter and nothing is cached. When `built_version` is non-null it
+  /// receives the catalog version stamp the returned index was built
+  /// against — callers pairing the index with their own table snapshot
+  /// compare stamps (not just row counts) to rule out a same-cardinality
+  /// table replacement racing the lookup.
   Result<std::shared_ptr<const VectorIndex>> GetOrBuild(
       const IndexKey& key, std::uint64_t* built_version = nullptr);
 
@@ -120,11 +158,15 @@ class IndexManager {
 
   /// Non-blocking variant of GetOrBuild for the serving path. A fresh
   /// resident entry returns immediately (a hit, same as GetOrBuild). On
-  /// a miss with async builds enabled, the build is enqueued once on the
-  /// background runner (single-flight: concurrent misses and lookups of
-  /// a building key all get build_in_flight) — lowering then emits the
-  /// brute-force fallback, so a cold semantic query never blocks behind
-  /// index construction. Without a background runner (or with
+  /// a miss with async builds enabled, the build — or the incremental
+  /// refresh, when the staleness is append-only — is enqueued once on
+  /// the background runner (single-flight: concurrent misses and lookups
+  /// of a building key all get build_in_flight) — lowering then emits
+  /// the brute-force fallback, so a cold semantic query never blocks
+  /// behind index construction. A cold key with a persisted on-disk
+  /// image loads synchronously instead (deserialization is orders of
+  /// magnitude cheaper than a build), so the first query after a restart
+  /// is index-backed. Without a background runner (or with
   /// options().async_builds off) this behaves exactly like GetOrBuild,
   /// including blocking on another caller's in-flight single-flight
   /// build.
@@ -141,18 +183,24 @@ class IndexManager {
   /// index-backed strategy's build cost zero.
   bool IsResident(const IndexKey& key) const;
 
-  /// Three-state amortization signal for the optimizer: resident, build
-  /// in flight (sunk cost), or absent.
+  /// Four-state amortization signal for the optimizer: resident, build
+  /// in flight (sunk cost), persisted on disk (load cost ≪ rebuild
+  /// cost), or absent. The on-disk probe is intentionally cheap — image
+  /// identity and row count only; the full content-hash validation runs
+  /// at load time, falling back to a rebuild on mismatch (costing is
+  /// advisory, correctness never depends on it).
   IndexResidency Residency(const IndexKey& key) const;
 
   /// Blocks until no build (background or single-flight synchronous) is
   /// in flight. Test/shutdown aid; new builds may start afterwards.
   void WaitForBuilds();
 
-  /// Drops every entry built over `table` (any column/model/kind).
+  /// Drops every entry built over `table` (any column/model/kind), along
+  /// with their persisted images — an explicit destructive signal.
   void InvalidateTable(const std::string& table);
 
-  /// Drops everything.
+  /// Drops every resident entry. Persisted on-disk images are kept: they
+  /// are the warm-start source, and stale ones are rejected at load.
   void Clear();
 
   Stats stats() const;
@@ -169,21 +217,95 @@ class IndexManager {
   };
   using EntryPtr = std::shared_ptr<Entry>;
 
+  /// Identity card of one persisted image, cached so Residency() and
+  /// warm-start probes never re-read headers. Populated by the startup
+  /// directory scan and by write-throughs.
+  struct PersistedMeta {
+    std::string path;
+    std::uint64_t catalog_stamp = 0;
+    std::uint64_t content_hash = 0;
+    std::uint64_t rows = 0;
+    /// True when catalog_stamp came from THIS process (a write-through
+    /// or an adoption), false for stamps read off disk at scan time.
+    /// Catalog stamps are process-local counters, so only local stamps
+    /// may ever be compared against live catalog versions — a scanned
+    /// stamp from a previous run is just provenance.
+    bool stamp_local = false;
+  };
+
+  /// How a finished index reached its entry; selects the stats counter
+  /// and whether a write-through is warranted.
+  enum class InstallSource { kBuild, kRefresh, kDiskLoad };
+
   /// Embeds the key's column and constructs+builds the index (no locks).
   /// `serial` forces a pool-free build: background builds run *on* a
   /// worker thread, and a task that fanned out and waited on the pool
   /// would break the workers-never-block invariant (deadlock on small
-  /// pools).
+  /// pools). `content_hash` receives the indexed column's content hash.
   Result<std::shared_ptr<const VectorIndex>> BuildIndex(
       const IndexKey& key, std::uint64_t* table_version,
-      bool serial = false) const;
+      std::uint64_t* content_hash, bool serial = false) const;
 
-  /// Installs a finished build into `entry` (or removes the placeholder
-  /// on failure) and wakes waiters. Caller holds mu_.
-  void FinishBuildLocked(const IndexKey& key, const EntryPtr& entry,
-                         Result<std::shared_ptr<const VectorIndex>>&& built,
-                         std::uint64_t version,
-                         std::uint64_t* built_version);
+  /// Incremental renewal of a stale-by-append entry (no locks): clones
+  /// `old_index`, embeds the rows appended since `old_version`, inserts
+  /// them, and returns the refreshed instance stamped with the append
+  /// chain's head version. Fails (caller then rebuilds) when the chain
+  /// broke or the clone does not line up with the prefix.
+  Result<std::shared_ptr<const VectorIndex>> RefreshIndex(
+      const IndexKey& key,
+      const std::shared_ptr<const VectorIndex>& old_index,
+      std::uint64_t old_version, std::uint64_t* new_version,
+      std::uint64_t* content_hash) const;
+
+  /// Deserializes the persisted image for `key` and validates it against
+  /// the *live* table (identity, row count, content hash) — a mismatch
+  /// or short file is an error, never a stale index (no locks).
+  Result<std::shared_ptr<const VectorIndex>> LoadFromDisk(
+      const IndexKey& key, std::uint64_t* table_version,
+      std::uint64_t* content_hash) const;
+
+  /// Installs a finished build/refresh/load into `entry` (or removes the
+  /// entry on failure) and wakes waiters. Recomputes the entry's byte
+  /// footprint from the installed index — entries grow across refreshes,
+  /// so bytes are never trusted from a previous install. Caller holds
+  /// mu_.
+  void FinishInstallLocked(const IndexKey& key, const EntryPtr& entry,
+                           Result<std::shared_ptr<const VectorIndex>>&& built,
+                           std::uint64_t version, std::uint64_t* built_version,
+                           InstallSource source);
+
+  /// Write-through of a ready index image (tmp + atomic rename), then
+  /// records it in persisted_. No-op when persist_dir is empty. No locks
+  /// held during file IO.
+  void PersistToDisk(const IndexKey& key,
+                     const std::shared_ptr<const VectorIndex>& index,
+                     std::uint64_t catalog_stamp, std::uint64_t content_hash);
+
+  /// Scans persist_dir for image headers at construction. Unreadable or
+  /// foreign files are ignored.
+  void ScanPersistDir();
+
+  /// Forgets (and deletes) a rejected/stale persisted image.
+  void DropPersisted(const IndexKey& key);
+
+  bool HasPersistedLocked(const IndexKey& key) const {
+    return persisted_.find(key) != persisted_.end();
+  }
+
+  /// Cheap plausibility of the persisted image against the live table
+  /// (identity known, row counts agree) — the same probe Residency uses.
+  /// Gates the async path's synchronous warm start: a stale image must
+  /// not lure a serving-path lookup into a blocking rebuild. Caller
+  /// holds mu_.
+  bool PersistedPlausibleLocked(const IndexKey& key) const;
+
+  std::string PersistPathFor(const IndexKey& key) const;
+
+  /// Debug-mode invariant: resident_bytes_ equals the sum of every
+  /// entry's recorded bytes (placeholders count 0). Catches the class of
+  /// accounting drift where an entry's footprint changes without the
+  /// aggregate following. Caller holds mu_. No-op in release builds.
+  void CheckAccountingLocked() const;
 
   /// Evicts least-recently-used ready entries (never `keep`) until the
   /// budget holds. Caller holds mu_.
@@ -196,6 +318,7 @@ class IndexManager {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<IndexKey, EntryPtr, IndexKeyHash> entries_;
+  std::unordered_map<IndexKey, PersistedMeta, IndexKeyHash> persisted_;
   std::uint64_t tick_ = 0;
   std::size_t resident_bytes_ = 0;
   std::size_t builds_in_flight_ = 0;

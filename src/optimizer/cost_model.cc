@@ -101,7 +101,13 @@ double CostModel::SemanticSelectStrategyCost(double base_rows,
   }
   double c = EmbedCost(model_name) +
              SemanticIndexProbeCost(strategy, 1.0, base_rows);
-  if (residency == IndexResidency::kAbsent) {
+  if (residency == IndexResidency::kOnDisk) {
+    // Adopt the persisted image: deserialize + validate, no embedding.
+    c += base_rows * params_.index_load_per_row;
+  } else if (residency == IndexResidency::kRefreshable) {
+    // Incremental renewal: insert only the appended slice.
+    c += base_rows * params_.index_refresh_per_row;
+  } else if (residency == IndexResidency::kAbsent) {
     c += (base_rows * EmbedCost(model_name) +
           SemanticIndexBuildCost(strategy, base_rows)) *
          params_.background_build_discount /
@@ -126,6 +132,14 @@ double CostModel::AmortizedStrategyCost(SemanticJoinStrategy strategy,
   const double probe =
       SemanticIndexProbeCost(strategy, probe_rows, base_rows);
   if (strategy == SemanticJoinStrategy::kBruteForce) return probe;
+  // A persisted image loads, and a stale-by-append index renews
+  // incrementally, for a fraction of any rebuild.
+  if (residency == IndexResidency::kOnDisk) {
+    return probe + base_rows * params_.index_load_per_row;
+  }
+  if (residency == IndexResidency::kRefreshable) {
+    return probe + base_rows * params_.index_refresh_per_row;
+  }
   // Warm, or a background build the stream has already paid for.
   if (residency != IndexResidency::kAbsent) return probe;
   const double build = SemanticIndexBuildCost(strategy, base_rows);
@@ -168,11 +182,19 @@ double CostModel::SelfCost(const PlanNode& node) const {
       if (node.IndexBackedSelect()) {
         // Index-backed range search: embed one query and probe the managed
         // whole-table index instead of embedding every input row. Cold
-        // builds amortize over the reuse horizon; resident indexes are
-        // free to reuse (the IndexManager already holds them).
+        // builds amortize over the reuse horizon; a persisted on-disk
+        // image charges its load; resident indexes are free to reuse
+        // (the IndexManager already holds them).
         double c = EmbedCost(node.model_name) +
                    SemanticIndexProbeCost(node.strategy, 1.0, in_rows);
-        if (!node.index_resident) {
+        const bool warm = node.index_resident ||
+                          node.index_residency == IndexResidency::kResident ||
+                          node.index_residency == IndexResidency::kBuilding;
+        if (node.index_residency == IndexResidency::kOnDisk) {
+          c += in_rows * params_.index_load_per_row;
+        } else if (node.index_residency == IndexResidency::kRefreshable) {
+          c += in_rows * params_.index_refresh_per_row;
+        } else if (!warm) {
           c += (in_rows * EmbedCost(node.model_name) +
                 SemanticIndexBuildCost(node.strategy, in_rows)) /
                std::max(1.0, params_.index_reuse_horizon);

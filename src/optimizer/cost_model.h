@@ -68,6 +68,19 @@ struct CostParams {
   /// Per-row routing cost of the radix-partitioned aggregation's phase 1
   /// (hash the serialized group key, pick a partition).
   double radix_route = 2.0;
+  /// Per-base-row cost of adopting a persisted on-disk index image
+  /// (IndexResidency::kOnDisk): deserialization + validation hashing —
+  /// pure memory/IO work, no embedding and no distance computations, so
+  /// it sits orders of magnitude under the per-row build cost (HNSW
+  /// builds run tens of microseconds per row; a load streams bytes).
+  double index_load_per_row = 25.0;
+  /// Per-base-row cost of incrementally renewing a stale-by-append
+  /// index (IndexResidency::kRefreshable): clone + embed/insert only
+  /// the appended slice. At the ~10% appends incremental maintenance
+  /// targets, that is ~a tenth of the per-row build cost amortized over
+  /// the base — small like a load, far under a rebuild; bench
+  /// fig_index_persistence measures the refresh at ~8x under rebuild.
+  double index_refresh_per_row = 120.0;
   /// Multiplier on the amortized cold-build charge when the IndexManager
   /// runs builds asynchronously (Engine sets < 1 with async builds on).
   /// A background build never adds latency to the requesting query — it
@@ -129,10 +142,13 @@ class CostModel {
   double AmortizedStrategyCost(SemanticJoinStrategy strategy,
                                double probe_rows, double base_rows,
                                bool resident, bool reusable) const;
-  /// Three-state form: kResident and kBuilding both charge probe only
+  /// Multi-state form: kResident and kBuilding both charge probe only
   /// (an in-flight background build is sunk cost — see IndexResidency);
-  /// kAbsent charges the amortized build, discounted by
-  /// background_build_discount when builds are asynchronous.
+  /// kOnDisk charges probe + a deserialization load (index_load_per_row,
+  /// far under a rebuild); kRefreshable charges probe + the incremental
+  /// renewal (index_refresh_per_row); kAbsent charges the amortized
+  /// build, discounted by background_build_discount when builds are
+  /// asynchronous.
   double AmortizedStrategyCost(SemanticJoinStrategy strategy,
                                double probe_rows, double base_rows,
                                IndexResidency residency,

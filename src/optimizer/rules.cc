@@ -264,7 +264,7 @@ PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost,
     const double r = std::max(0.0, plan->children[1]->est_rows);
     const PlanNode* scan = plan->IndexableBuildScan();
     double best = -1;
-    bool best_resident = false;
+    IndexResidency best_residency = IndexResidency::kAbsent;
     for (const auto s : kAllStrategies) {
       const IndexResidency res =
           (scan != nullptr && residency != nullptr &&
@@ -272,19 +272,26 @@ PlanPtr RulePickSemanticJoinStrategy(PlanPtr plan, const CostModel& cost,
               ? residency(scan->table_name, plan->right_key,
                           plan->model_name, s)
               : IndexResidency::kAbsent;
-      // A resident index also spares the build-side embedding pass (an
-      // in-flight build does not: the fallback embeds the build side).
-      const bool resident = res == IndexResidency::kResident;
+      // An index the operator will actually adopt also spares the
+      // build-side embedding pass: resident ones outright, on-disk
+      // images (the image contains the build-side embeddings) and
+      // refreshable ones (only the appended slice embeds, charged via
+      // index_refresh_per_row) after their cheap renewal. Only an
+      // in-flight build re-embeds: its fallback runs brute-force.
+      const bool spares_embed = res == IndexResidency::kResident ||
+                                res == IndexResidency::kOnDisk ||
+                                res == IndexResidency::kRefreshable;
       double c = cost.AmortizedStrategyCost(s, l, r, res,
                                             /*reusable=*/scan != nullptr) +
-                 (resident ? 0.0 : r * cost.EmbedCost(plan->model_name));
+                 (spares_embed ? 0.0 : r * cost.EmbedCost(plan->model_name));
       if (best < 0 || c < best) {
         best = c;
         plan->strategy = s;
-        best_resident = resident;
+        best_residency = res;
       }
     }
-    plan->index_resident = best_resident;
+    plan->index_residency = best_residency;
+    plan->index_resident = best_residency == IndexResidency::kResident;
   }
   return plan;
 }
@@ -314,6 +321,7 @@ PlanPtr RulePickSemanticSelectStrategy(PlanPtr plan, const CostModel& cost,
     if (best < 0 || c < best) {
       best = c;
       plan->strategy = s;
+      plan->index_residency = res;
       plan->index_resident = res == IndexResidency::kResident;
     }
   }

@@ -4,6 +4,29 @@
 
 namespace cre {
 
+namespace {
+
+/// EXPLAIN suffix for the managed-index residency annotation. The legacy
+/// bool keeps older call sites rendering "(resident)" even when the
+/// four-state field was never set.
+const char* ResidencySuffix(IndexResidency residency, bool resident) {
+  if (resident || residency == IndexResidency::kResident) {
+    return " (resident)";
+  }
+  switch (residency) {
+    case IndexResidency::kBuilding:
+      return " (building)";
+    case IndexResidency::kRefreshable:
+      return " (refreshable)";
+    case IndexResidency::kOnDisk:
+      return " (on-disk)";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
 const char* PlanKindName(PlanKind kind) {
   switch (kind) {
     case PlanKind::kScan:
@@ -198,7 +221,7 @@ std::string PlanNode::Describe() const {
            << ", model=" << model_name;
         if (strategy != SemanticJoinStrategy::kBruteForce) {
           os << ", strategy=" << SemanticJoinStrategyName(strategy)
-             << (index_resident ? " (resident)" : "");
+             << ResidencySuffix(index_residency, index_resident);
         }
         os << ")";
       }
@@ -207,7 +230,7 @@ std::string PlanNode::Describe() const {
       os << "(" << left_key << " ~ " << right_key << " >= " << threshold
          << ", model=" << model_name << ", strategy="
          << SemanticJoinStrategyName(strategy)
-         << (index_resident ? " (resident)" : "") << ")";
+         << ResidencySuffix(index_residency, index_resident) << ")";
       break;
     case PlanKind::kSemanticGroupBy:
       os << "(" << column << " @ " << threshold << ", model=" << model_name

@@ -79,6 +79,13 @@ class PlanNode {
   /// is already resident in the IndexManager, so the cost model charges
   /// probe cost only (the amortized "warm" case, Sec. V).
   bool index_resident = false;
+  /// Optimizer annotation: full four-state residency of the chosen
+  /// strategy's managed index (resident / building / on-disk / absent) —
+  /// what EXPLAIN renders and what the cost model charges. The on-disk
+  /// state is how a warm start shows up: the first post-restart EXPLAIN
+  /// prints "(on-disk)", and once the image is adopted the next prints
+  /// "(resident)".
+  IndexResidency index_residency = IndexResidency::kAbsent;
   /// Semantic join top-k mode (0 = threshold range join).
   std::size_t top_k = 0;
 

@@ -5,6 +5,23 @@
 
 namespace cre {
 
+namespace {
+
+/// Left rows probed between cancellation polls: a few hundred index
+/// probes is well under a millisecond, so cancel latency inside a heavy
+/// probe loop stays bounded without measurable polling overhead.
+constexpr std::size_t kProbeCancelStride = 256;
+
+Status CheckProbeCancel(const CancelFlag* cancel, std::size_t i) {
+  if (i % kProbeCancelStride == 0 && cancel != nullptr &&
+      cancel->cancelled()) {
+    return Status::Cancelled("semantic join probe cancelled");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 const char* SemanticJoinStrategyName(SemanticJoinStrategy s) {
   switch (s) {
     case SemanticJoinStrategy::kBruteForce:
@@ -97,9 +114,11 @@ Status SemanticJoinOperator::BuildRightSide() {
     case SemanticJoinStrategy::kHnsw: {
       // Local (per-execution) builds borrow the operator's probe pool;
       // the canonical batched construction keeps the graph identical to
-      // a serial build.
+      // a serial build. The query's cancel flag reaches the construction
+      // batch loops, so cancellation lands mid-build, not after it.
       HnswOptions hnsw = options_.hnsw;
       if (hnsw.build_pool == nullptr) hnsw.build_pool = options_.pool;
+      if (hnsw.cancel == nullptr) hnsw.cancel = options_.cancel;
       owned = std::make_unique<HnswIndex>(hnsw);
       break;
     }
@@ -128,6 +147,7 @@ Result<TablePtr> SemanticJoinOperator::Next() {
       const DotFn dot = GetDotKernel(options_.variant);
       const std::size_t n_right = right_matrix_.size() / dim;
       for (std::size_t i = 0; i < words.size(); ++i) {
+        CRE_RETURN_NOT_OK(CheckProbeCancel(options_.cancel, i));
         const float* q = left_matrix.data() + i * dim;
         std::vector<ScoredId> hits;
         if (index_ == nullptr) {
@@ -150,12 +170,16 @@ Result<TablePtr> SemanticJoinOperator::Next() {
       BruteForceOptions bf;
       bf.variant = options_.variant;
       bf.pool = options_.pool;
+      bf.cancel = options_.cancel;
       matches = SimilarityJoinBrute(left_matrix.data(), words.size(),
                                     right_matrix_.data(),
                                     right_matrix_.size() / dim, dim,
                                     options_.threshold, bf);
+      // A cancelled scan returns partial matches; discard and unwind.
+      CRE_RETURN_NOT_OK(CheckProbeCancel(options_.cancel, 0));
     } else {
       for (std::size_t i = 0; i < words.size(); ++i) {
+        CRE_RETURN_NOT_OK(CheckProbeCancel(options_.cancel, i));
         std::vector<ScoredId> hits;
         CRE_RETURN_NOT_OK(index_->RangeSearchChecked(
             left_matrix.data() + i * dim, dim, options_.threshold, &hits));

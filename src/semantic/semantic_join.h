@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/thread_pool.h"
 #include "embed/model_registry.h"
 #include "exec/operator.h"
@@ -40,15 +41,34 @@ const char* SemanticJoinStrategyName(SemanticJoinStrategy s);
 ///    by the brute-force fallback, but the build is a sunk cost the
 ///    stream already paid, so the optimizer costs the index family as if
 ///    (nearly) warm;
+///  - kRefreshable: resident but stale only by catalog Appends — the
+///    manager renews it incrementally (clone + insert the appended
+///    rows) at the next lookup, a small fraction of a rebuild;
+///  - kOnDisk: not in memory, but a persisted image with a matching
+///    identity exists under the manager's persist_dir — choosing the
+///    index family pays a deserialization load (bytes off disk, no
+///    embedding, no distance computations), which is orders of magnitude
+///    cheaper than a rebuild;
 ///  - kAbsent: cold — choosing an index family pays the (possibly
 ///    background-discounted) amortized build.
-enum class IndexResidency { kAbsent = 0, kBuilding, kResident };
+enum class IndexResidency {
+  kAbsent = 0,
+  kOnDisk,
+  kRefreshable,
+  kBuilding,
+  kResident,
+};
 
 struct SemanticJoinOptions {
   float threshold = 0.9f;
   SemanticJoinStrategy strategy = SemanticJoinStrategy::kBruteForce;
   KernelVariant variant = BestKernelVariant();
   TaskRunner* pool = nullptr;  ///< enables parallel probing when set
+  /// Cooperative cancellation, polled inside the per-batch probe loops
+  /// (and threaded into local index builds) so cancelling a heavy
+  /// semantic join takes effect within a few hundred probes instead of
+  /// at the next batch boundary. The engine wires the query's flag here.
+  const CancelFlag* cancel = nullptr;
   LshOptions lsh;
   IvfOptions ivf;
   HnswOptions hnsw;

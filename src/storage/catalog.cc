@@ -16,6 +16,92 @@ void Catalog::Put(const std::string& name, TablePtr table) {
   std::lock_guard<std::mutex> lock(mu_);
   tables_[name] = std::move(table);
   versions_[name] = ++version_counter_;
+  // Destructive: nothing guarantees the old rows survive as a prefix, so
+  // no delta chain may span this transition.
+  deltas_.erase(name);
+}
+
+Result<TablePtr> Catalog::Append(const std::string& name, const Table& rows) {
+  // The merged table is built OUTSIDE the lock — copying a large base
+  // table under mu_ would stall every concurrent Get/Version/Snapshot
+  // for the duration — and published only if the base version is still
+  // current; a racing mutation restarts the merge from the new base.
+  for (;;) {
+    TablePtr old;
+    std::uint64_t from = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::NotFound("table '" + name + "' not in catalog");
+      }
+      old = it->second;
+      from = versions_.at(name);
+    }
+    // Tables are immutable once registered (snapshots and in-flight
+    // queries share them), so an append publishes a copy-plus-suffix.
+    auto merged = Table::Make(old->schema());
+    CRE_RETURN_NOT_OK(merged->AppendTable(*old));
+    CRE_RETURN_NOT_OK(merged->AppendTable(rows));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "' dropped during append");
+    }
+    if (versions_.at(name) != from) continue;  // raced: re-merge from new base
+    it->second = merged;
+    versions_[name] = ++version_counter_;
+    auto& history = deltas_[name];
+    history.push_back({from, versions_[name], old->num_rows()});
+    if (history.size() > kMaxDeltaHistory) {
+      // Forget the oldest transition: artifacts built before it lose
+      // their chain and rebuild, the right call after that many deltas.
+      history.erase(history.begin());
+    }
+    return merged;
+  }
+}
+
+Result<Catalog::AppendChain> Catalog::AppendedSince(
+    const std::string& name, std::uint64_t since_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(name);
+  if (table_it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  const std::uint64_t current = versions_.at(name);
+  auto delta_it = deltas_.find(name);
+  const std::vector<AppendDelta>* history =
+      delta_it == deltas_.end() ? nullptr : &delta_it->second;
+  // Walk the chain from since_version; it must connect transition by
+  // transition all the way to the current stamp, or the mutations were
+  // not purely append-style.
+  std::uint64_t at = since_version;
+  std::size_t prefix_rows = table_it->second->num_rows();
+  bool first = true;
+  while (at != current) {
+    const AppendDelta* next = nullptr;
+    if (history != nullptr) {
+      for (const AppendDelta& d : *history) {
+        if (d.from_version == at) {
+          next = &d;
+          break;
+        }
+      }
+    }
+    if (next == nullptr) {
+      return Status::NotFound("no unbroken append chain for '" + name +
+                              "' since version " +
+                              std::to_string(since_version));
+    }
+    if (first) {
+      prefix_rows = next->old_rows;
+      first = false;
+    }
+    at = next->to_version;
+  }
+  return AppendChain{table_it->second, current, prefix_rows};
 }
 
 Result<TablePtr> Catalog::Get(const std::string& name) const {
@@ -38,6 +124,7 @@ Status Catalog::Drop(const std::string& name) {
     return Status::NotFound("table '" + name + "' not in catalog");
   }
   versions_[name] = ++version_counter_;
+  deltas_.erase(name);
   return Status::OK();
 }
 
@@ -62,6 +149,7 @@ std::shared_ptr<const Catalog> Catalog::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot->tables_ = tables_;
   snapshot->versions_ = versions_;
+  snapshot->deltas_ = deltas_;
   snapshot->version_counter_ = version_counter_;
   return snapshot;
 }

@@ -17,10 +17,18 @@ namespace cre {
 /// nodes against a catalog; multiple sources (RDBMS tables, KB exports,
 /// vision outputs) register here for holistic optimization.
 ///
-/// Every mutation of a name (Register/Put/Drop) advances that name's
-/// version stamp. Derived artifacts built over a table's contents — e.g.
-/// the IndexManager's vector indexes — record the version they were built
-/// against and treat a stamp change as invalidation.
+/// Every mutation of a name (Register/Put/Append/Drop) advances that
+/// name's version stamp. Derived artifacts built over a table's contents
+/// — e.g. the IndexManager's vector indexes — record the version they
+/// were built against and treat a stamp change as invalidation.
+///
+/// Append-style mutations additionally record a per-version *row delta*:
+/// the new table is the old table's rows as an unchanged prefix plus
+/// appended rows. Derived artifacts can then refresh incrementally
+/// (insert only the appended rows) instead of rebuilding; any Put/Drop
+/// breaks the delta chain, so a chain that spans from an artifact's
+/// build stamp to the current stamp proves the artifact's base rows are
+/// still a prefix of the live table.
 class Catalog {
  public:
   Catalog() = default;
@@ -28,8 +36,17 @@ class Catalog {
   /// Registers `table` under `name`; fails if the name exists.
   Status Register(const std::string& name, TablePtr table);
 
-  /// Replaces or inserts.
+  /// Replaces or inserts. Recorded as a destructive change: derived
+  /// artifacts over the old contents must rebuild (use Append for the
+  /// incremental-maintenance-friendly mutation).
   void Put(const std::string& name, TablePtr table);
+
+  /// Append-style mutation: publishes a new version of `name` whose rows
+  /// are the current rows (unchanged, as a prefix) followed by all rows
+  /// of `rows` (schemas must match). Records the append delta so derived
+  /// artifacts built against any version in the unbroken delta chain can
+  /// refresh incrementally. Returns the new table.
+  Result<TablePtr> Append(const std::string& name, const Table& rows);
 
   Result<TablePtr> Get(const std::string& name) const;
   bool Contains(const std::string& name) const;
@@ -60,10 +77,37 @@ class Catalog {
   /// table (or pair a fresh index with stale rows).
   std::shared_ptr<const Catalog> Snapshot() const;
 
+  /// Proof that `name`'s mutations since `since_version` were all
+  /// append-style, together with everything an incremental refresher
+  /// needs, captured under one lock hold: the current table and stamp,
+  /// and the row count at `since_version` (the unchanged prefix).
+  /// Fails (NotFound) when the chain is broken — a Put/Drop intervened,
+  /// `since_version` fell out of the bounded history, or the name is
+  /// gone — in which case the caller must rebuild from scratch.
+  struct AppendChain {
+    TablePtr table;                 ///< current contents
+    std::uint64_t to_version = 0;   ///< current stamp
+    std::size_t prefix_rows = 0;    ///< rows at since_version
+  };
+  Result<AppendChain> AppendedSince(const std::string& name,
+                                    std::uint64_t since_version) const;
+
  private:
+  /// One recorded append transition (from_version's rows are a prefix of
+  /// to_version's).
+  struct AppendDelta {
+    std::uint64_t from_version = 0;
+    std::uint64_t to_version = 0;
+    std::size_t old_rows = 0;
+  };
+  /// Bounded per-name history: beyond this many un-refreshed appends the
+  /// chain is treated as destructive (a rebuild amortizes better anyway).
+  static constexpr std::size_t kMaxDeltaHistory = 64;
+
   mutable std::mutex mu_;
   std::map<std::string, TablePtr> tables_;
   std::map<std::string, std::uint64_t> versions_;
+  std::map<std::string, std::vector<AppendDelta>> deltas_;
   std::uint64_t version_counter_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "vecsim/index_io.h"
+
 namespace cre {
 
 std::vector<MatchPair> SimilarityJoinBrute(const float* left,
@@ -16,6 +18,13 @@ std::vector<MatchPair> SimilarityJoinBrute(const float* left,
   auto scan_range = [&](std::size_t begin, std::size_t end,
                         std::vector<MatchPair>* out) {
     for (std::size_t i = begin; i < end; ++i) {
+      // Cancellation lands between left rows (one row = n_right dots),
+      // so a cancelled query stops scanning within microseconds instead
+      // of finishing the whole all-pairs block.
+      if ((i & 63) == 0 && options.cancel != nullptr &&
+          options.cancel->cancelled()) {
+        return;
+      }
       const float* lv = left + i * dim;
       for (std::size_t j = 0; j < n_right; ++j) {
         const float s = dot(lv, right + j * dim, dim);
@@ -85,6 +94,47 @@ Status FlatIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   data_.assign(data, data + n * dim);
   n_ = n;
   dim_ = dim;
+  return Status::OK();
+}
+
+Status FlatIndex::Add(const float* data, std::size_t n, std::size_t dim) {
+  if (dim_ == 0) return Build(data, n, dim);
+  if (dim != dim_) {
+    return Status::InvalidArgument("flat Add: dim mismatch");
+  }
+  data_.insert(data_.end(), data, data + n * dim);
+  n_ += n;
+  return Status::OK();
+}
+
+namespace {
+constexpr std::uint32_t kFlatMagic = 0x43464C54;  // "CFLT"
+constexpr std::uint32_t kFlatVersion = 1;
+}  // namespace
+
+Status FlatIndex::Save(std::ostream& out) const {
+  CRE_RETURN_NOT_OK(vecio::WriteTag(out, kFlatMagic, kFlatVersion));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, n_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, dim_));
+  return vecio::WriteVec(out, data_);
+}
+
+Status FlatIndex::Load(std::istream& in) {
+  CRE_RETURN_NOT_OK(vecio::ExpectTag(in, kFlatMagic, kFlatVersion, "flat"));
+  std::uint64_t n = 0, dim = 0;
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &n));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &dim));
+  // Bound before multiplying: a crafted n*dim must not wrap into a
+  // "consistent" product.
+  if (dim == 0 || dim > vecio::kMaxDim || n > vecio::kMaxArrayElems) {
+    return Status::InvalidArgument("flat load: implausible header");
+  }
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &data_));
+  if (data_.size() != n * dim) {
+    return Status::InvalidArgument("flat load: inconsistent sizes");
+  }
+  n_ = static_cast<std::size_t>(n);
+  dim_ = static_cast<std::size_t>(dim);
   return Status::OK();
 }
 

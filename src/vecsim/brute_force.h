@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/thread_pool.h"
 #include "vecsim/kernels.h"
 #include "vecsim/top_k.h"
@@ -22,6 +23,11 @@ struct MatchPair {
 struct BruteForceOptions {
   KernelVariant variant = KernelVariant::kUnrolled;
   TaskRunner* pool = nullptr;  ///< parallel over left rows when set
+  /// Cooperative cancellation, polled between left rows. A flipped flag
+  /// makes the scan stop early and return a partial result — the caller
+  /// (who owns the flag) must check it afterwards and discard the
+  /// matches, unwinding with Status::Cancelled.
+  const CancelFlag* cancel = nullptr;
 };
 
 /// Exact all-pairs similarity join over two row-major, unit-normalized
@@ -46,6 +52,12 @@ class FlatIndex : public VectorIndex {
       : variant_(variant) {}
 
   Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  Status Add(const float* data, std::size_t n, std::size_t dim) override;
+  std::unique_ptr<VectorIndex> Clone() const override {
+    return std::make_unique<FlatIndex>(*this);
+  }
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
   void RangeSearch(const float* query, float threshold,
                    std::vector<ScoredId>* out) const override;
   std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;

@@ -6,6 +6,7 @@
 
 #include "core/hash.h"
 #include "core/rng.h"
+#include "vecsim/index_io.h"
 
 namespace cre {
 
@@ -28,7 +29,23 @@ struct ScoreGreater {
   }
 };
 
+/// Poll cadence for cooperative cancellation inside sequential insert
+/// loops (bootstrap and Add): cheap enough to be noise, frequent enough
+/// that cancel latency is a handful of inserts.
+constexpr std::uint32_t kCancelPollStride = 32;
+
+bool Cancelled(const CancelFlag* cancel) {
+  return cancel != nullptr && cancel->cancelled();
+}
+
 }  // namespace
+
+int HnswIndex::DrawLevel() {
+  const double ml = 1.0 / std::log(static_cast<double>(options_.M));
+  const double u = std::max(level_rng_.NextDouble(), 1e-12);
+  ++level_draws_;
+  return static_cast<int>(-std::log(u) * ml);
+}
 
 Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   if (dim == 0) return Status::InvalidArgument("dim must be positive");
@@ -45,15 +62,15 @@ Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   levels_.assign(n, 0);
   entry_ = 0;
   max_level_ = -1;
+  // Geometric level draws (mL = 1/ln(M)) with a fixed seed keep the graph
+  // deterministic across rebuilds of the same data; Add() continues the
+  // same stream for appended nodes.
+  level_rng_ = Rng(options_.seed);
+  level_draws_ = 0;
   if (n == 0) return Status::OK();
 
-  // Geometric level draws (mL = 1/ln(M)) with a fixed seed keep the graph
-  // deterministic across rebuilds of the same data.
-  Rng rng(options_.seed);
-  const double ml = 1.0 / std::log(static_cast<double>(options_.M));
   for (std::uint32_t i = 0; i < n; ++i) {
-    const double u = std::max(rng.NextDouble(), 1e-12);
-    const int level = static_cast<int>(-std::log(u) * ml);
+    const int level = DrawLevel();
     levels_[i] = level;
     links_[i].assign(static_cast<std::size_t>(level) + 1, {});
   }
@@ -75,12 +92,20 @@ Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
       std::min<std::size_t>(n, std::max<std::size_t>(1,
                                                      options_.build_bootstrap)));
   for (std::uint32_t i = 0; i < bootstrap; ++i) {
+    if (i % kCancelPollStride == 0 && Cancelled(options_.cancel)) {
+      return Status::Cancelled("hnsw build cancelled");
+    }
     Insert(i, levels_[i]);
   }
 
   TaskRunner* pool = options_.build_pool;
   std::vector<InsertPlan> plans;
   for (std::uint32_t cur = bootstrap; cur < n;) {
+    // Batch-level cancellation check: a flipped flag aborts construction
+    // within one batch instead of after the whole multi-second build.
+    if (Cancelled(options_.cancel)) {
+      return Status::Cancelled("hnsw build cancelled");
+    }
     const std::size_t batch = std::min<std::size_t>(
         {n - cur, std::max<std::size_t>(128, cur / 4), std::size_t{1024}});
     plans.assign(batch, {});
@@ -392,6 +417,163 @@ void HnswIndex::RangeSearch(const float* query, float threshold,
       if (s >= explore) frontier.push_back(nb);
     }
   }
+}
+
+Status HnswIndex::Add(const float* data, std::size_t n, std::size_t dim) {
+  if (dim_ == 0) return Build(data, n, dim);
+  if (dim != dim_) return Status::InvalidArgument("hnsw Add: dim mismatch");
+  if (n == 0) return Status::OK();
+
+  const std::uint32_t first = static_cast<std::uint32_t>(n_);
+  data_.insert(data_.end(), data, data + n * dim);
+  n_ += n;
+  levels_.resize(n_, 0);
+  links_.resize(n_);
+  for (std::size_t i = first; i < n_; ++i) {
+    const int level = DrawLevel();
+    levels_[i] = level;
+    links_[i].assign(static_cast<std::size_t>(level) + 1, {});
+  }
+  // Sequential canonical inserts — exactly the algorithm the batched
+  // build reproduces, applied to the appended suffix. Appends are small
+  // relative to the graph (large deltas are cheaper as rebuilds), so no
+  // batching machinery is warranted here.
+  for (std::size_t i = first; i < n_; ++i) {
+    if ((i - first) % kCancelPollStride == 0 && Cancelled(options_.cancel)) {
+      return Status::Cancelled("hnsw incremental insert cancelled");
+    }
+    Insert(static_cast<std::uint32_t>(i), levels_[i]);
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr std::uint32_t kHnswMagic = 0x43484E57;  // "CHNW"
+constexpr std::uint32_t kHnswVersion = 1;
+}  // namespace
+
+Status HnswIndex::Save(std::ostream& out) const {
+  CRE_RETURN_NOT_OK(vecio::WriteTag(out, kHnswMagic, kHnswVersion));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, options_.M));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint64_t>(out, options_.ef_construction));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, options_.ef_search));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, options_.seed));
+  CRE_RETURN_NOT_OK(vecio::WritePod<float>(out, options_.range_slack));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint64_t>(out, options_.build_bootstrap));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, n_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, dim_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint32_t>(out, entry_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::int32_t>(out, max_level_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, level_draws_));
+  CRE_RETURN_NOT_OK(vecio::WriteVec(out, data_));
+  CRE_RETURN_NOT_OK(vecio::WriteVec(out, levels_));
+  for (const auto& per_node : links_) {
+    CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, per_node.size()));
+    for (const auto& layer : per_node) {
+      CRE_RETURN_NOT_OK(vecio::WriteVec(out, layer));
+    }
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::Load(std::istream& in) {
+  CRE_RETURN_NOT_OK(vecio::ExpectTag(in, kHnswMagic, kHnswVersion, "hnsw"));
+  std::uint64_t m = 0, efc = 0, efs = 0, seed = 0, bootstrap = 0;
+  std::uint64_t n = 0, dim = 0, draws = 0;
+  float slack = 0;
+  std::uint32_t entry = 0;
+  std::int32_t max_level = -1;
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &m));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &efc));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &efs));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &seed));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &slack));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &bootstrap));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &n));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &dim));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &entry));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &max_level));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &draws));
+  // Build and Add each consume exactly one level draw per node, so an
+  // honest image always has draws == n; anything else is corruption (and
+  // an unbounded value would spin the fast-forward loop below forever).
+  // The n/dim caps additionally keep the n*dim consistency check below
+  // far from uint64 wraparound.
+  if (m < 2 || m > 1024 || dim == 0 || dim > vecio::kMaxDim ||
+      n > vecio::kMaxArrayElems || draws != n) {
+    return Status::InvalidArgument("hnsw load: implausible header");
+  }
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &data_));
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &levels_));
+  if (data_.size() != n * dim || levels_.size() != n ||
+      (n > 0 && entry >= n)) {
+    return Status::InvalidArgument("hnsw load: inconsistent sizes");
+  }
+  for (const int level : levels_) {
+    if (level < 0 || level > 63) {
+      return Status::InvalidArgument("hnsw load: level out of range");
+    }
+  }
+  links_.assign(static_cast<std::size_t>(n), {});
+  for (std::size_t node = 0; node < links_.size(); ++node) {
+    auto& per_node = links_[node];
+    std::uint64_t layer_count = 0;
+    CRE_RETURN_NOT_OK(vecio::ReadPod(in, &layer_count));
+    // Every search indexes links_[x][layer] for layer <= levels_[x], so
+    // the structural invariants of a real build must hold before the
+    // graph is trusted: one adjacency list per level (inclusive), and
+    // every link at layer L pointing at a node that reaches layer L.
+    if (layer_count > 64 ||
+        layer_count != static_cast<std::uint64_t>(levels_[node]) + 1) {
+      return Status::InvalidArgument("hnsw load: implausible layer count");
+    }
+    per_node.resize(static_cast<std::size_t>(layer_count));
+    for (std::size_t layer = 0; layer < per_node.size(); ++layer) {
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &per_node[layer]));
+      for (const std::uint32_t id : per_node[layer]) {
+        if (id >= n ||
+            static_cast<std::size_t>(levels_[id]) < layer) {
+          return Status::InvalidArgument("hnsw load: link out of range");
+        }
+      }
+    }
+  }
+  if (n > 0) {
+    int top = 0;
+    for (const int level : levels_) top = std::max(top, level);
+    // The greedy descent starts at (entry, max_level): both must match
+    // the actual level structure or the first search walks off a layer.
+    if (max_level < 0 || max_level != top || levels_[entry] != max_level) {
+      return Status::InvalidArgument("hnsw load: inconsistent entry point");
+    }
+  } else if (max_level != -1) {
+    return Status::InvalidArgument("hnsw load: inconsistent entry point");
+  }
+  // Build-structural options are restored from the image (M bounds the
+  // stored adjacency lists, seed/ef_construction/bootstrap keep future
+  // Adds deterministic); query-time knobs (ef_search, range_slack) stay
+  // as configured on this instance — a recall/latency setting change
+  // must take effect on warm starts, not silently revert to save-time
+  // values.
+  (void)efs;
+  (void)slack;
+  options_.M = static_cast<std::size_t>(m);
+  options_.ef_construction = static_cast<std::size_t>(efc);
+  options_.seed = seed;
+  options_.build_bootstrap = static_cast<std::size_t>(bootstrap);
+  n_ = static_cast<std::size_t>(n);
+  dim_ = static_cast<std::size_t>(dim);
+  entry_ = entry;
+  max_level_ = static_cast<int>(max_level);
+  dot_ = GetDotKernel(BestKernelVariant());
+  // Fast-forward the level stream to where the saved index left it, so a
+  // post-load Add draws exactly what the saved instance would have drawn.
+  level_rng_ = Rng(options_.seed);
+  for (std::uint64_t i = 0; i < draws; ++i) level_rng_.NextDouble();
+  level_draws_ = draws;
+  return Status::OK();
 }
 
 std::uint64_t HnswIndex::GraphChecksum() const {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.h"
+#include "core/rng.h"
 #include "core/thread_pool.h"
 #include "vecsim/kernels.h"
 #include "vecsim/vector_index.h"
@@ -45,6 +47,12 @@ struct HnswOptions {
   /// small builds are too cheap to be worth batching at all — below this
   /// size construction is exactly the sequential algorithm).
   std::size_t build_bootstrap = 512;
+  /// Cooperative cancellation for construction. Build/Add poll this
+  /// between bootstrap inserts and between batches — not just at the
+  /// morsel/segment boundaries the drivers poll — so cancelling a query
+  /// that is cold-building a large graph takes effect within one batch,
+  /// not after the entire multi-second build. Not serialized.
+  const CancelFlag* cancel = nullptr;
 };
 
 class HnswIndex : public VectorIndex {
@@ -52,6 +60,21 @@ class HnswIndex : public VectorIndex {
   explicit HnswIndex(HnswOptions options = {}) : options_(options) {}
 
   Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  /// True incremental insertion: appends `n` vectors to the built graph
+  /// with the exact sequential Malkov-Yashunin insert the batched build
+  /// canonicalizes, drawing each new node's level from the continuation
+  /// of the build's seeded RNG stream. Deterministic: (graph state,
+  /// appended data) fully determine the result, so concurrent refreshers
+  /// starting from the same snapshot produce identical graphs. The
+  /// IndexManager's append-refresh path clones the resident graph and
+  /// Adds into the clone (copy-on-write) — far cheaper than a rebuild
+  /// because the existing nodes' beam searches are not repeated.
+  Status Add(const float* data, std::size_t n, std::size_t dim) override;
+  std::unique_ptr<VectorIndex> Clone() const override {
+    return std::make_unique<HnswIndex>(*this);
+  }
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
   void RangeSearch(const float* query, float threshold,
                    std::vector<ScoredId>* out) const override;
   std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;
@@ -120,6 +143,14 @@ class HnswIndex : public VectorIndex {
     return data_.data() + static_cast<std::size_t>(id) * dim_;
   }
 
+  /// Next geometric level draw from the seeded stream. Build consumes one
+  /// draw per node and Add continues the same stream, so build(A) +
+  /// add(B) assigns B's nodes the levels build(A+B) would have — the
+  /// level distribution (and thus the deterministic-graph contract) is
+  /// independent of how the data arrived. level_draws_ counts consumed
+  /// draws so persistence can fast-forward a fresh stream on Load.
+  int DrawLevel();
+
   HnswOptions options_;
   std::size_t n_ = 0;
   std::size_t dim_ = 0;
@@ -130,6 +161,8 @@ class HnswIndex : public VectorIndex {
   std::uint32_t entry_ = 0;
   int max_level_ = -1;
   DotFn dot_ = nullptr;
+  Rng level_rng_{0};
+  std::uint64_t level_draws_ = 0;
 };
 
 }  // namespace cre

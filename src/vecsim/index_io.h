@@ -1,0 +1,145 @@
+#ifndef CRE_VECSIM_INDEX_IO_H_
+#define CRE_VECSIM_INDEX_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/status.h"
+
+namespace cre {
+namespace vecio {
+
+/// Little binary (de)serialization helpers shared by every VectorIndex
+/// family's Save/Load. The format is intentionally dumb: fixed-width PODs
+/// and length-prefixed arrays, no alignment games, no compression. Every
+/// read is bounds-checked so a truncated or corrupted file surfaces as a
+/// Status (the IndexManager then falls back to a clean rebuild) instead of
+/// garbage state or an out-of-bounds read.
+
+inline Status WriteRaw(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out.good()) return Status::Internal("index save: write failed");
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD only");
+  return WriteRaw(out, &v, sizeof(T));
+}
+
+// WriteString/WriteVec live below the size caps they share with the
+// readers — see the cap comment there.
+
+inline Status ReadRaw(std::istream& in, void* data, std::size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) {
+    return Status::OutOfRange("index load: truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadPod(std::istream& in, T* v) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD only");
+  return ReadRaw(in, v, sizeof(T));
+}
+
+/// Guards against hostile/corrupt length prefixes: serialized strings
+/// are column values (short), arrays top out at a big index's vector
+/// data. Reads additionally grow in bounded chunks, so a lying prefix
+/// over a truncated file fails at the first missing chunk instead of
+/// ballooning memory up front. Writes enforce the SAME caps, so Save
+/// can never produce an image that every future Load rejects.
+constexpr std::uint64_t kMaxStringLen = 1ull << 20;
+constexpr std::uint64_t kMaxArrayElems = 1ull << 28;
+constexpr std::size_t kReadChunkElems = 1u << 20;
+
+inline Status WriteString(std::ostream& out, const std::string& s) {
+  if (s.size() > kMaxStringLen) {
+    return Status::InvalidArgument("index save: string exceeds format cap");
+  }
+  CRE_RETURN_NOT_OK(WritePod<std::uint64_t>(out, s.size()));
+  return WriteRaw(out, s.data(), s.size());
+}
+
+template <typename T>
+Status WriteVec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD vectors only");
+  if (v.size() > kMaxArrayElems) {
+    return Status::InvalidArgument("index save: array exceeds format cap");
+  }
+  CRE_RETURN_NOT_OK(WritePod<std::uint64_t>(out, v.size()));
+  return WriteRaw(out, v.data(), v.size() * sizeof(T));
+}
+/// Cap on serialized vector dimensionality. Together with kMaxArrayElems
+/// this keeps every n*dim-style consistency check in the family Load()s
+/// far from uint64 wraparound — a crafted header whose product wraps to
+/// a "consistent" small value must be rejected, not trusted.
+constexpr std::uint64_t kMaxDim = 1ull << 16;
+
+inline Status ReadString(std::istream& in, std::string* s) {
+  std::uint64_t n = 0;
+  CRE_RETURN_NOT_OK(ReadPod(in, &n));
+  if (n > kMaxStringLen) {
+    return Status::InvalidArgument("index load: implausible string length");
+  }
+  s->resize(static_cast<std::size_t>(n));
+  return ReadRaw(in, s->empty() ? nullptr : &(*s)[0],
+                 static_cast<std::size_t>(n));
+}
+
+template <typename T>
+Status ReadVec(std::istream& in, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD vectors only");
+  std::uint64_t n = 0;
+  CRE_RETURN_NOT_OK(ReadPod(in, &n));
+  if (n > kMaxArrayElems) {
+    return Status::InvalidArgument("index load: implausible array length");
+  }
+  v->clear();
+  std::size_t remaining = static_cast<std::size_t>(n);
+  while (remaining > 0) {
+    const std::size_t take = remaining < kReadChunkElems ? remaining
+                                                         : kReadChunkElems;
+    const std::size_t old = v->size();
+    v->resize(old + take);
+    CRE_RETURN_NOT_OK(ReadRaw(in, v->data() + old, take * sizeof(T)));
+    remaining -= take;
+  }
+  return Status::OK();
+}
+
+/// Per-family format tag: magic + format version, written first so a
+/// mismatched or foreign file is rejected before any payload reads.
+inline Status WriteTag(std::ostream& out, std::uint32_t magic,
+                       std::uint32_t version) {
+  CRE_RETURN_NOT_OK(WritePod(out, magic));
+  return WritePod(out, version);
+}
+
+inline Status ExpectTag(std::istream& in, std::uint32_t magic,
+                        std::uint32_t version, const char* what) {
+  std::uint32_t m = 0, v = 0;
+  CRE_RETURN_NOT_OK(ReadPod(in, &m));
+  CRE_RETURN_NOT_OK(ReadPod(in, &v));
+  if (m != magic) {
+    return Status::InvalidArgument(std::string("index load: bad magic for ") +
+                                   what);
+  }
+  if (v != version) {
+    return Status::InvalidArgument(
+        std::string("index load: unsupported format version for ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace vecio
+}  // namespace cre
+
+#endif  // CRE_VECSIM_INDEX_IO_H_

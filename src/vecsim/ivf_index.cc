@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/rng.h"
+#include "vecsim/index_io.h"
 #include "vecsim/top_k.h"
 
 namespace cre {
@@ -71,6 +72,109 @@ Status IvfIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   for (std::size_t i = 0; i < n; ++i) {
     lists_[assign[i]].push_back(static_cast<std::uint32_t>(i));
   }
+  return Status::OK();
+}
+
+Status IvfIndex::Add(const float* data, std::size_t n, std::size_t dim) {
+  if (n_ == 0) return Build(data, n, dim);  // no trained centroids yet
+  if (dim != dim_) return Status::InvalidArgument("ivf Add: dim mismatch");
+  data_.insert(data_.end(), data, data + n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* v = data + i * dim;
+    float best = -std::numeric_limits<float>::max();
+    std::uint32_t best_c = 0;
+    for (std::size_t c = 0; c < centroid_count_; ++c) {
+      const float s = DotUnrolled(v, centroids_.data() + c * dim, dim);
+      if (s > best) {
+        best = s;
+        best_c = static_cast<std::uint32_t>(c);
+      }
+    }
+    lists_[best_c].push_back(static_cast<std::uint32_t>(n_ + i));
+  }
+  n_ += n;
+  return Status::OK();
+}
+
+namespace {
+constexpr std::uint32_t kIvfMagic = 0x43495646;  // "CIVF"
+constexpr std::uint32_t kIvfVersion = 1;
+}  // namespace
+
+Status IvfIndex::Save(std::ostream& out) const {
+  CRE_RETURN_NOT_OK(vecio::WriteTag(out, kIvfMagic, kIvfVersion));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint64_t>(out, options_.num_centroids));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, options_.nprobe));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint64_t>(out, options_.kmeans_iters));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, options_.seed));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, n_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, dim_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, centroid_count_));
+  CRE_RETURN_NOT_OK(vecio::WriteVec(out, data_));
+  CRE_RETURN_NOT_OK(vecio::WriteVec(out, centroids_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, lists_.size()));
+  for (const auto& list : lists_) {
+    CRE_RETURN_NOT_OK(vecio::WriteVec(out, list));
+  }
+  return Status::OK();
+}
+
+Status IvfIndex::Load(std::istream& in) {
+  CRE_RETURN_NOT_OK(vecio::ExpectTag(in, kIvfMagic, kIvfVersion, "ivf"));
+  std::uint64_t num_centroids = 0, nprobe = 0, iters = 0, seed = 0;
+  std::uint64_t n = 0, dim = 0, centroid_count = 0, list_count = 0;
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &num_centroids));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &nprobe));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &iters));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &seed));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &n));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &dim));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &centroid_count));
+  // Bounds before any multiplication: caps keep n*dim and
+  // centroid_count*dim far from uint64 wraparound.
+  if (dim == 0 || dim > vecio::kMaxDim || n > vecio::kMaxArrayElems ||
+      centroid_count > vecio::kMaxArrayElems) {
+    return Status::InvalidArgument("ivf load: implausible header");
+  }
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &data_));
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &centroids_));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &list_count));
+  if (n == 0) {
+    // An empty build keeps a nominal centroid_count but stores no
+    // centroids and no lists (Build returns before training).
+    if (!data_.empty() || !centroids_.empty() || list_count != 0) {
+      return Status::InvalidArgument("ivf load: inconsistent empty index");
+    }
+    lists_.clear();
+  } else if (data_.size() != n * dim ||
+             centroids_.size() != centroid_count * dim ||
+             list_count != centroid_count) {
+    return Status::InvalidArgument("ivf load: inconsistent sizes");
+  }
+  lists_.assign(static_cast<std::size_t>(list_count), {});
+  std::uint64_t total_ids = 0;
+  for (auto& list : lists_) {
+    CRE_RETURN_NOT_OK(vecio::ReadVec(in, &list));
+    total_ids += list.size();
+    for (const std::uint32_t id : list) {
+      if (id >= n) return Status::InvalidArgument("ivf load: id out of range");
+    }
+  }
+  if (total_ids != n) {
+    return Status::InvalidArgument("ivf load: lists do not partition ids");
+  }
+  // Restore build-structural options only; nprobe is a query-time
+  // recall/latency knob that must follow this instance's configuration,
+  // not silently revert to the save-time value on warm start.
+  (void)nprobe;
+  options_.num_centroids = static_cast<std::size_t>(num_centroids);
+  options_.kmeans_iters = static_cast<std::size_t>(iters);
+  options_.seed = seed;
+  n_ = static_cast<std::size_t>(n);
+  dim_ = static_cast<std::size_t>(dim);
+  centroid_count_ = static_cast<std::size_t>(centroid_count);
   return Status::OK();
 }
 

@@ -25,6 +25,15 @@ class IvfIndex : public VectorIndex {
   explicit IvfIndex(IvfOptions options = {}) : options_(options) {}
 
   Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  /// Incremental append: new vectors join the inverted list of their
+  /// nearest existing centroid (standard IVF maintenance — centroids are
+  /// not retrained, so heavy drift eventually warrants a rebuild).
+  Status Add(const float* data, std::size_t n, std::size_t dim) override;
+  std::unique_ptr<VectorIndex> Clone() const override {
+    return std::make_unique<IvfIndex>(*this);
+  }
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
   void RangeSearch(const float* query, float threshold,
                    std::vector<ScoredId>* out) const override;
   std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;

@@ -1,8 +1,10 @@
 #include "vecsim/lsh_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/rng.h"
+#include "vecsim/index_io.h"
 #include "vecsim/top_k.h"
 
 namespace cre {
@@ -34,6 +36,113 @@ Status LshIndex::Build(const float* data, std::size_t n, std::size_t dim) {
           static_cast<std::uint32_t>(i));
     }
   }
+  return Status::OK();
+}
+
+Status LshIndex::Add(const float* data, std::size_t n, std::size_t dim) {
+  if (dim_ == 0) return Build(data, n, dim);
+  if (dim != dim_) return Status::InvalidArgument("lsh Add: dim mismatch");
+  // Ids ascend, so appending hashes in id order leaves every bucket's
+  // vector exactly as a fresh build over the concatenated data would.
+  data_.insert(data_.end(), data, data + n * dim);
+  for (std::size_t t = 0; t < options_.num_tables; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      tables_[t][Signature(t, data + i * dim)].push_back(
+          static_cast<std::uint32_t>(n_ + i));
+    }
+  }
+  n_ += n;
+  return Status::OK();
+}
+
+namespace {
+constexpr std::uint32_t kLshMagic = 0x434C5348;  // "CLSH"
+constexpr std::uint32_t kLshVersion = 1;
+}  // namespace
+
+Status LshIndex::Save(std::ostream& out) const {
+  CRE_RETURN_NOT_OK(vecio::WriteTag(out, kLshMagic, kLshVersion));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint64_t>(out, options_.num_tables));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint64_t>(out, options_.bits_per_table));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, options_.seed));
+  CRE_RETURN_NOT_OK(
+      vecio::WritePod<std::uint8_t>(out, options_.multiprobe ? 1 : 0));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, n_));
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, dim_));
+  CRE_RETURN_NOT_OK(vecio::WriteVec(out, data_));
+  CRE_RETURN_NOT_OK(vecio::WriteVec(out, planes_));
+  // Buckets in sorted-signature order so the byte image is deterministic
+  // (bucket *contents* determine search results; map order does not).
+  for (const auto& table : tables_) {
+    std::vector<std::pair<std::uint32_t, const std::vector<std::uint32_t>*>>
+        buckets;
+    buckets.reserve(table.size());
+    for (const auto& [sig, ids] : table) buckets.push_back({sig, &ids});
+    std::sort(buckets.begin(), buckets.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, buckets.size()));
+    for (const auto& [sig, ids] : buckets) {
+      CRE_RETURN_NOT_OK(vecio::WritePod(out, sig));
+      CRE_RETURN_NOT_OK(vecio::WriteVec(out, *ids));
+    }
+  }
+  return Status::OK();
+}
+
+Status LshIndex::Load(std::istream& in) {
+  CRE_RETURN_NOT_OK(vecio::ExpectTag(in, kLshMagic, kLshVersion, "lsh"));
+  std::uint64_t num_tables = 0, bits = 0, seed = 0, n = 0, dim = 0;
+  std::uint8_t multiprobe = 0;
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &num_tables));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &bits));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &seed));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &multiprobe));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &n));
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &dim));
+  // Bounds before any multiplication: caps keep num_tables*bits*dim and
+  // n*dim far from uint64 wraparound.
+  if (num_tables == 0 || num_tables > 1024 || bits > 31 || dim == 0 ||
+      dim > vecio::kMaxDim || n > vecio::kMaxArrayElems) {
+    return Status::InvalidArgument("lsh load: implausible options");
+  }
+  // Restore build-structural options only (tables/bits shape the stored
+  // signatures); multiprobe is a query-time recall knob that must follow
+  // this instance's configuration, not the save-time value.
+  (void)multiprobe;
+  options_.num_tables = static_cast<std::size_t>(num_tables);
+  options_.bits_per_table = static_cast<std::size_t>(bits);
+  options_.seed = seed;
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &data_));
+  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &planes_));
+  if (data_.size() != n * dim ||
+      planes_.size() != num_tables * bits * dim) {
+    return Status::InvalidArgument("lsh load: inconsistent sizes");
+  }
+  tables_.assign(options_.num_tables, {});
+  for (auto& table : tables_) {
+    std::uint64_t buckets = 0;
+    CRE_RETURN_NOT_OK(vecio::ReadPod(in, &buckets));
+    if (buckets > n) {
+      return Status::InvalidArgument("lsh load: implausible bucket count");
+    }
+    table.reserve(static_cast<std::size_t>(buckets) * 2);
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+      std::uint32_t sig = 0;
+      CRE_RETURN_NOT_OK(vecio::ReadPod(in, &sig));
+      std::vector<std::uint32_t> ids;
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &ids));
+      for (const std::uint32_t id : ids) {
+        if (id >= n) {
+          return Status::InvalidArgument("lsh load: id out of range");
+        }
+      }
+      table.emplace(sig, std::move(ids));
+    }
+  }
+  n_ = static_cast<std::size_t>(n);
+  dim_ = static_cast<std::size_t>(dim);
   return Status::OK();
 }
 

@@ -27,6 +27,15 @@ class LshIndex : public VectorIndex {
   explicit LshIndex(LshOptions options = {}) : options_(options) {}
 
   Status Build(const float* data, std::size_t n, std::size_t dim) override;
+  /// Incremental append: new vectors hash into the existing tables (the
+  /// hyperplanes are fixed at build time, so an appended index is
+  /// identical to a fresh build over the concatenated data).
+  Status Add(const float* data, std::size_t n, std::size_t dim) override;
+  std::unique_ptr<VectorIndex> Clone() const override {
+    return std::make_unique<LshIndex>(*this);
+  }
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
   void RangeSearch(const float* query, float threshold,
                    std::vector<ScoredId>* out) const override;
   std::vector<ScoredId> TopK(const float* query, std::size_t k) const override;

@@ -2,6 +2,8 @@
 #define CRE_VECSIM_VECTOR_INDEX_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,47 @@ class VectorIndex {
   /// in `data` (must stay alive while the index is used unless the
   /// implementation copies; all implementations here copy).
   virtual Status Build(const float* data, std::size_t n, std::size_t dim) = 0;
+
+  /// Incrementally appends `n` vectors to an already-built index; the new
+  /// base ids continue from size(). Deterministic: the result is a pure
+  /// function of (current index state, appended data). This is what lets
+  /// the IndexManager refresh a resident index after an append-style table
+  /// mutation instead of rebuilding from scratch. Families that cannot
+  /// maintain incrementally keep the default and force a rebuild.
+  virtual Status Add(const float* data, std::size_t n, std::size_t dim) {
+    (void)data;
+    (void)n;
+    (void)dim;
+    return Status::NotImplemented(name() + " does not support incremental Add");
+  }
+
+  /// Deep copy (nullptr when the family does not support cloning). Used by
+  /// the copy-on-write refresh path: queries keep probing the old immutable
+  /// index while appends go into the clone, which is then swapped in.
+  virtual std::unique_ptr<VectorIndex> Clone() const { return nullptr; }
+
+  // ---- persistence contract ----
+  // Save writes a self-contained, versioned binary image of the index
+  // (per-family magic + format version + build options + structure);
+  // Load restores it into an instance of the same family, byte-identical
+  // for search purposes: under equal query-time knobs, every
+  // RangeSearch/TopK over the loaded index returns exactly what the
+  // saved one returned. Build-structural options (graph degree, hash
+  // shapes, seeds) come from the image; query-time knobs (beam widths,
+  // probe counts) stay as configured on the loading instance, so a
+  // recall/latency setting change takes effect on warm starts. Load
+  // validates the format tag and bounds-checks every read, so a
+  // truncated or foreign file yields a Status, never a broken index.
+
+  virtual Status Save(std::ostream& out) const {
+    (void)out;
+    return Status::NotImplemented(name() + " does not support Save");
+  }
+
+  virtual Status Load(std::istream& in) {
+    (void)in;
+    return Status::NotImplemented(name() + " does not support Load");
+  }
 
   /// Appends all base ids whose similarity to `query` is >= `threshold`.
   virtual void RangeSearch(const float* query, float threshold,

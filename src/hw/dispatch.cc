@@ -7,21 +7,32 @@
 
 namespace cre {
 
+namespace {
+/// Base rows in the batch-calibration working set: enough that the kernel's
+/// prefetch pipeline reaches steady state, small enough to stay cheap.
+constexpr std::size_t kBatchCalibrationRows = 64;
+}  // namespace
+
 void AdaptiveKernelDispatcher::Calibrate() {
-  const KernelVariant variants[3] = {KernelVariant::kScalar,
-                                     KernelVariant::kUnrolled,
-                                     KernelVariant::kAvx2};
+  const KernelVariant variants[kNumFloatKernelVariants] = {
+      KernelVariant::kScalar, KernelVariant::kUnrolled, KernelVariant::kAvx2,
+      KernelVariant::kAvx512};
   // Synthetic operands; enough reps to dominate timer noise.
   Rng rng(123);
-  std::vector<float> a(dim_), b(dim_);
+  std::vector<float> a(dim_), b(dim_ * kBatchCalibrationRows);
   for (auto& x : a) x = rng.NextFloat() - 0.5f;
   for (auto& x : b) x = rng.NextFloat() - 0.5f;
+
+  auto unsupported = [](KernelVariant v) {
+    return (v == KernelVariant::kAvx2 && !CpuSupportsAvx2()) ||
+           (v == KernelVariant::kAvx512 && !CpuSupportsAvx512());
+  };
 
   const std::size_t reps = 20000;
   double best = -1;
   volatile float sink = 0;
-  for (int v = 0; v < 3; ++v) {
-    if (variants[v] == KernelVariant::kAvx2 && !CpuSupportsAvx2()) {
+  for (int v = 0; v < kNumFloatKernelVariants; ++v) {
+    if (unsupported(variants[v])) {
       measured_ns_[v] = -1;
       continue;
     }
@@ -39,6 +50,36 @@ void AdaptiveKernelDispatcher::Calibrate() {
       resolved_ = fn;
     }
   }
+
+  // Batch shape: same total dot count so the per-dot numbers compare
+  // directly with the single-pair sweep above.
+  const std::size_t batch_reps = reps / kBatchCalibrationRows;
+  std::vector<float> scores(kBatchCalibrationRows);
+  double batch_best = -1;
+  for (int v = 0; v < kNumFloatKernelVariants; ++v) {
+    if (unsupported(variants[v])) {
+      batch_measured_ns_[v] = -1;
+      continue;
+    }
+    const DotBatchFn fn = GetDotBatchKernel(variants[v]);
+    for (std::size_t i = 0; i < 4; ++i) {
+      fn(a.data(), b.data(), kBatchCalibrationRows, dim_, scores.data());
+      sink += scores[0];
+    }
+    Timer t;
+    for (std::size_t i = 0; i < batch_reps; ++i) {
+      fn(a.data(), b.data(), kBatchCalibrationRows, dim_, scores.data());
+      sink += scores[kBatchCalibrationRows - 1];
+    }
+    batch_measured_ns_[v] =
+        t.Seconds() * 1e9 /
+        static_cast<double>(batch_reps * kBatchCalibrationRows);
+    if (batch_best < 0 || batch_measured_ns_[v] < batch_best) {
+      batch_best = batch_measured_ns_[v];
+      chosen_batch_ = variants[v];
+      resolved_batch_ = fn;
+    }
+  }
   (void)sink;
   calibrated_ = true;
 }
@@ -46,6 +87,11 @@ void AdaptiveKernelDispatcher::Calibrate() {
 DotFn AdaptiveKernelDispatcher::Resolve() {
   if (!calibrated_) Calibrate();
   return resolved_;
+}
+
+DotBatchFn AdaptiveKernelDispatcher::ResolveBatch() {
+  if (!calibrated_) Calibrate();
+  return resolved_batch_;
 }
 
 }  // namespace cre

@@ -11,21 +11,29 @@ namespace cre {
 /// path at compile time, the dispatcher microbenchmarks every available
 /// kernel variant on first use ("after the model outputs first data") and
 /// binds the fastest for the rest of the query. Thread-compatible: bind
-/// once before sharing.
+/// once before sharing. Single-pair and batch (one-to-many) kernels are
+/// calibrated independently — prefetch and load amortization can make a
+/// different variant win the batch shape.
 class AdaptiveKernelDispatcher {
  public:
   explicit AdaptiveKernelDispatcher(std::size_t dim) : dim_(dim) {}
 
-  /// Calibrates (first call) and returns the chosen kernel.
+  /// Calibrates (first call) and returns the chosen single-pair kernel.
   DotFn Resolve();
 
-  /// Variant chosen by calibration (valid after Resolve()).
+  /// Calibrates (first call) and returns the chosen batch kernel.
+  DotBatchFn ResolveBatch();
+
+  /// Variants chosen by calibration (valid after Resolve()/ResolveBatch()).
   KernelVariant chosen_variant() const { return chosen_; }
+  KernelVariant chosen_batch_variant() const { return chosen_batch_; }
   bool calibrated() const { return calibrated_; }
 
   /// Calibration measurements in ns/op, indexed like kernel variants
-  /// (scalar, unrolled, avx2). Valid after Resolve().
+  /// (scalar, unrolled, avx2, avx512); -1 marks a variant the host cannot
+  /// run. Valid after Resolve(). Batch numbers are per dot, not per call.
   const double* measurements() const { return measured_ns_; }
+  const double* batch_measurements() const { return batch_measured_ns_; }
 
  private:
   void Calibrate();
@@ -33,8 +41,11 @@ class AdaptiveKernelDispatcher {
   std::size_t dim_;
   bool calibrated_ = false;
   KernelVariant chosen_ = KernelVariant::kUnrolled;
+  KernelVariant chosen_batch_ = KernelVariant::kUnrolled;
   DotFn resolved_ = nullptr;
-  double measured_ns_[3] = {0, 0, 0};
+  DotBatchFn resolved_batch_ = nullptr;
+  double measured_ns_[kNumFloatKernelVariants] = {0, 0, 0, 0};
+  double batch_measured_ns_[kNumFloatKernelVariants] = {0, 0, 0, 0};
 };
 
 }  // namespace cre

@@ -47,6 +47,8 @@ std::unique_ptr<VectorIndex> MakeInnerIndex(SemanticJoinStrategy kind,
       if (serial) hnsw.build_pool = nullptr;
       return std::make_unique<HnswIndex>(hnsw);
     }
+    case SemanticJoinStrategy::kIvfPq:
+      return std::make_unique<IvfPqIndex>(options.ivfpq);
   }
   return nullptr;
 }
@@ -271,7 +273,7 @@ Status ReadImageHeader(std::istream& in, IndexKey* key,
   CRE_RETURN_NOT_OK(vecio::ReadString(in, &key->model));
   std::uint32_t kind = 0;
   CRE_RETURN_NOT_OK(vecio::ReadPod(in, &kind));
-  if (kind > static_cast<std::uint32_t>(SemanticJoinStrategy::kHnsw)) {
+  if (kind > static_cast<std::uint32_t>(SemanticJoinStrategy::kIvfPq)) {
     return Status::InvalidArgument("index image: unknown family");
   }
   key->kind = static_cast<SemanticJoinStrategy>(kind);
@@ -354,6 +356,14 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
   return std::shared_ptr<const VectorIndex>(std::make_shared<
       DistinctExpandedIndex>(std::move(index), std::move(distinct),
                              std::move(postings), words.size()));
+}
+
+bool IndexManager::RefreshIsCheaper(const Catalog::AppendChain& chain) const {
+  const double total = static_cast<double>(chain.table->num_rows());
+  const double appended = total - static_cast<double>(chain.prefix_rows);
+  if (appended <= 0) return true;  // nothing to insert: trivially cheap
+  return appended * options_.refresh_cost_per_row <=
+         total * options_.rebuild_cost_per_row;
 }
 
 Result<std::shared_ptr<const VectorIndex>> IndexManager::RefreshIndex(
@@ -565,11 +575,16 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
       if (built_version != nullptr) *built_version = entry->table_version;
       return entry->index;
     }
-    // Stale. When everything since the build was append-style, renew the
-    // entry in place: clone + insert only the appended rows — a fraction
-    // of the rebuild cost. Single-flight like a build.
-    if (options_.incremental_maintenance &&
-        catalog_->AppendedSince(key.table, entry->table_version).ok()) {
+    // Stale. When everything since the build was append-style AND the
+    // appended fraction is small enough that per-row incremental inserts
+    // beat a bulk rebuild (RefreshIsCheaper — by estimated cost, not
+    // merely by the chain existing), renew the entry in place: clone +
+    // insert only the appended rows. Single-flight like a build.
+    auto chain = options_.incremental_maintenance
+                     ? catalog_->AppendedSince(key.table, entry->table_version)
+                     : Result<Catalog::AppendChain>(
+                           Status::Aborted("maintenance off"));
+    if (chain.ok() && RefreshIsCheaper(chain.ValueUnsafe())) {
       if (!counted_miss) {
         ++counters_.misses;
         counted_miss = true;
@@ -744,13 +759,19 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
       } else if (!async) {
         // Stale with async off: the blocking path below refreshes or
         // rebuilds as appropriate; don't pre-judge here.
-      } else if (options_.incremental_maintenance &&
-                 catalog_->AppendedSince(key.table, entry->table_version)
-                     .ok()) {
-        // Stale by appends only: renew incrementally at background
-        // priority — the query stream keeps probing brute-force (or the
-        // old index via its own snapshot pairing) until the refresh
-        // lands. Single-flight via the building flag.
+      } else if (auto chain =
+                     options_.incremental_maintenance
+                         ? catalog_->AppendedSince(key.table,
+                                                   entry->table_version)
+                         : Result<Catalog::AppendChain>(
+                               Status::Aborted("maintenance off"));
+                 chain.ok() && RefreshIsCheaper(chain.ValueUnsafe())) {
+        // Stale by appends only, and the appended fraction is below the
+        // cost crossover: renew incrementally at background priority —
+        // the query stream keeps probing brute-force (or the old index
+        // via its own snapshot pairing) until the refresh lands.
+        // Single-flight via the building flag. Past the crossover the
+        // entry drops below and a full rebuild is scheduled instead.
         ++counters_.misses;
         ++counters_.background_builds;
         ++counters_.async_fallbacks;
@@ -895,14 +916,20 @@ IndexResidency IndexManager::Residency(const IndexKey& key) const {
     if (it->second->table_version == catalog_->Version(key.table)) {
       return IndexResidency::kResident;
     }
-    // Stale — but stale *by appends only* means the next lookup renews
-    // it incrementally at a fraction of a rebuild. The optimizer must
-    // see that (kRefreshable), or with a conservative reuse horizon it
-    // would flip to brute force after every append and planned queries
-    // would never reach the refresh path at all.
-    if (options_.incremental_maintenance &&
-        catalog_->AppendedSince(key.table, it->second->table_version).ok()) {
-      return IndexResidency::kRefreshable;
+    // Stale — but stale *by appends only* (and below the refresh-cost
+    // crossover) means the next lookup renews it incrementally at a
+    // fraction of a rebuild. The optimizer must see that (kRefreshable),
+    // or with a conservative reuse horizon it would flip to brute force
+    // after every append and planned queries would never reach the
+    // refresh path at all. Past the crossover the lookup will rebuild,
+    // so advertising kRefreshable would understate the cost — the entry
+    // reports like any other stale entry instead.
+    if (options_.incremental_maintenance) {
+      auto chain =
+          catalog_->AppendedSince(key.table, it->second->table_version);
+      if (chain.ok() && RefreshIsCheaper(chain.ValueUnsafe())) {
+        return IndexResidency::kRefreshable;
+      }
     }
   }
   if (PersistedPlausibleLocked(key)) return IndexResidency::kOnDisk;

@@ -59,6 +59,19 @@ struct IndexManagerOptions {
   /// being invalidated and rebuilt from scratch. Refreshes are
   /// single-flight and run at background priority under async_builds.
   bool incremental_maintenance = true;
+  /// Refresh-vs-rebuild crossover. Refreshing touches only the appended
+  /// rows, but each incrementally inserted row costs a multiple of a
+  /// bulk-build row (HNSW: a full beam search against the grown graph
+  /// with none of the batched build's sharing; plus the clone). A stale
+  /// entry refreshes only while
+  ///   appended_rows * refresh_cost_per_row
+  ///     <= total_rows * rebuild_cost_per_row
+  /// and rebuilds otherwise — with the defaults the crossover sits at
+  /// 25% appended, so a table that nearly doubled since the build takes
+  /// the rebuild (which also re-trains IVF centroids and re-balances the
+  /// graph) instead of grinding through an insert-dominated refresh.
+  double refresh_cost_per_row = 4.0;
+  double rebuild_cost_per_row = 1.0;
   /// On-disk persistence: when non-empty, every successful build/refresh
   /// write-throughs a versioned index image into this directory
   /// (<dir>/cre_<keyhash>.idx, atomic tmp+rename), and a cold lookup
@@ -77,6 +90,7 @@ struct IndexManagerOptions {
   LshOptions lsh;
   IvfOptions ivf;
   HnswOptions hnsw;
+  IvfPqOptions ivfpq;
 };
 
 /// The engine's persistent vector-index subsystem (paper Sec. V: "index
@@ -291,6 +305,14 @@ class IndexManager {
   bool HasPersistedLocked(const IndexKey& key) const {
     return persisted_.find(key) != persisted_.end();
   }
+
+  /// Cost-based refresh-vs-rebuild decision over a verified append
+  /// chain: refresh while appended * refresh_cost_per_row <=
+  /// total * rebuild_cost_per_row (see IndexManagerOptions). Every
+  /// refresh branch (sync, async, Residency's advertisement) runs the
+  /// same predicate so the optimizer's kRefreshable signal and the
+  /// manager's actual behavior never disagree.
+  bool RefreshIsCheaper(const Catalog::AppendChain& chain) const;
 
   /// Cheap plausibility of the persisted image against the live table
   /// (identity known, row counts agree) — the same probe Residency uses.

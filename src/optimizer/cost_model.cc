@@ -38,6 +38,15 @@ double CostModel::SemanticIndexBuildCost(SemanticJoinStrategy strategy,
       return base_rows * params_.hnsw_ef_construction *
              params_.hnsw_expansion_factor *
              params_.hnsw_build_cost_multiplier * dot;
+    case SemanticJoinStrategy::kIvfPq:
+      // Coarse k-means (as IVF, with its own centroid count) + PQ
+      // training: every residual is scanned against 256 codewords per
+      // subspace per Lloyd iteration (subspace dots are dim/m wide, so
+      // one full sweep costs ~256 * dot per row), + encoding (one more
+      // sweep).
+      return base_rows * dot *
+             (params_.ivfpq_centroids * params_.ivf_kmeans_iters +
+              256.0 * (params_.ivfpq_kmeans_iters + 1.0));
   }
   return 0;
 }
@@ -69,6 +78,19 @@ double CostModel::SemanticIndexProbeCost(SemanticJoinStrategy strategy,
           base_rows,
           params_.hnsw_ef_search * params_.hnsw_expansion_factor);
       return probe_rows * (descent + beam) * dot;
+    }
+    case SemanticJoinStrategy::kIvfPq: {
+      // Centroid scoring + LUT fill (256 subspace dots = ~256/m full
+      // dots) + ADC over the probed lists at one table-add per subspace
+      // per row (a fraction of a full dot), + the reconstruction
+      // re-rank of a constant-size band (folded into the ADC term).
+      const double scanned_fraction =
+          std::min(1.0, params_.ivfpq_nprobe / params_.ivfpq_centroids);
+      const double lut = 256.0 / std::max(1.0, params_.ivfpq_m) * dot;
+      const double adc_row = params_.ivfpq_m * params_.ivfpq_adc_per_sub *
+                             params_.dot_per_dim;
+      return probe_rows * (params_.ivfpq_centroids * dot + lut +
+                           base_rows * scanned_fraction * adc_row);
     }
   }
   return 0;

@@ -38,6 +38,18 @@ struct CostParams {
   double ivf_centroids = 64.0;
   double ivf_nprobe = 8.0;
   double ivf_kmeans_iters = 10.0;
+  // IVF-PQ parameters (mirror IvfPqOptions defaults; the coarse stage
+  // reuses the ivf_* knobs' structure but with its own centroid count).
+  double ivfpq_centroids = 32.0;
+  double ivfpq_nprobe = 8.0;
+  double ivfpq_m = 8.0;
+  /// PQ training sweeps 256 codewords per subspace per Lloyd iteration;
+  /// training + encoding dominate the build alongside the coarse k-means.
+  double ivfpq_kmeans_iters = 8.0;
+  /// ADC scan cost per (row, subspace) relative to a per-dimension dot:
+  /// one table load + add per subspace instead of dim/m multiply-adds —
+  /// the scan runs at a fraction of the flat-scan cost per row.
+  double ivfpq_adc_per_sub = 1.0;
   // HNSW parameters (mirror HnswOptions defaults).
   double hnsw_m = 16.0;
   double hnsw_ef_construction = 128.0;

@@ -250,7 +250,8 @@ namespace {
 
 constexpr SemanticJoinStrategy kAllStrategies[] = {
     SemanticJoinStrategy::kBruteForce, SemanticJoinStrategy::kLsh,
-    SemanticJoinStrategy::kIvf, SemanticJoinStrategy::kHnsw};
+    SemanticJoinStrategy::kIvf, SemanticJoinStrategy::kHnsw,
+    SemanticJoinStrategy::kIvfPq};
 
 }  // namespace
 

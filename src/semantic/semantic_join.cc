@@ -32,6 +32,8 @@ const char* SemanticJoinStrategyName(SemanticJoinStrategy s) {
       return "ivf";
     case SemanticJoinStrategy::kHnsw:
       return "hnsw";
+    case SemanticJoinStrategy::kIvfPq:
+      return "ivfpq";
   }
   return "?";
 }
@@ -105,12 +107,27 @@ Status SemanticJoinOperator::BuildRightSide() {
     case SemanticJoinStrategy::kBruteForce:
       index_.reset();
       return Status::OK();
-    case SemanticJoinStrategy::kLsh:
-      owned = std::make_unique<LshIndex>(options_.lsh);
+    case SemanticJoinStrategy::kLsh: {
+      // Thread the query's cancel flag into the index's scan loops: a
+      // cancelled query stops mid-probe (candidate verification /
+      // posting-list scan), not at the next batch boundary.
+      LshOptions lsh = options_.lsh;
+      if (lsh.cancel == nullptr) lsh.cancel = options_.cancel;
+      owned = std::make_unique<LshIndex>(lsh);
       break;
-    case SemanticJoinStrategy::kIvf:
-      owned = std::make_unique<IvfIndex>(options_.ivf);
+    }
+    case SemanticJoinStrategy::kIvf: {
+      IvfOptions ivf = options_.ivf;
+      if (ivf.cancel == nullptr) ivf.cancel = options_.cancel;
+      owned = std::make_unique<IvfIndex>(ivf);
       break;
+    }
+    case SemanticJoinStrategy::kIvfPq: {
+      IvfPqOptions ivfpq = options_.ivfpq;
+      if (ivfpq.cancel == nullptr) ivfpq.cancel = options_.cancel;
+      owned = std::make_unique<IvfPqIndex>(ivfpq);
+      break;
+    }
     case SemanticJoinStrategy::kHnsw: {
       // Local (per-execution) builds borrow the operator's probe pool;
       // the canonical batched construction keeps the graph identical to
@@ -244,6 +261,8 @@ std::vector<MatchPair> SemanticStringJoin(
     HnswOptions hnsw = options.hnsw;
     if (hnsw.build_pool == nullptr) hnsw.build_pool = options.pool;
     index = std::make_unique<HnswIndex>(hnsw);
+  } else if (options.strategy == SemanticJoinStrategy::kIvfPq) {
+    index = std::make_unique<IvfPqIndex>(options.ivfpq);
   } else {
     index = std::make_unique<IvfIndex>(options.ivf);
   }

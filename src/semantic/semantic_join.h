@@ -13,6 +13,7 @@
 #include "vecsim/brute_force.h"
 #include "vecsim/hnsw_index.h"
 #include "vecsim/ivf_index.h"
+#include "vecsim/ivfpq_index.h"
 #include "vecsim/lsh_index.h"
 #include "vecsim/vector_index.h"
 
@@ -28,6 +29,9 @@ enum class SemanticJoinStrategy {
   kLsh,             ///< random-hyperplane LSH candidates + exact verify
   kIvf,             ///< IVF-flat probes + exact verify
   kHnsw,            ///< hierarchical proximity graph + exact verify
+  kIvfPq,           ///< product-quantized IVF: ADC scans + reconstruction
+                    ///< re-rank; ~an order of magnitude smaller resident
+                    ///< footprint than ivf/hnsw at approximate recall
 };
 
 const char* SemanticJoinStrategyName(SemanticJoinStrategy s);
@@ -72,6 +76,7 @@ struct SemanticJoinOptions {
   LshOptions lsh;
   IvfOptions ivf;
   HnswOptions hnsw;
+  IvfPqOptions ivfpq;
   /// Prebuilt index over the build (right) side's key embeddings, usually
   /// served by the engine's IndexManager. When set (and consistent with
   /// the collected build side), the operator probes it directly instead of

@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include <algorithm>
+
 namespace cre {
 
 Column::Column(DataType type, std::size_t vector_dim) : type_(type) {
@@ -116,6 +118,63 @@ Column Column::Take(const std::vector<std::uint32_t>& indices) const {
       break;
   }
   return out;
+}
+
+void Column::ResizeDefault(std::size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      i64_.resize(n);
+      break;
+    case DataType::kFloat64:
+      f64_.resize(n);
+      break;
+    case DataType::kBool:
+      bools_.resize(n);
+      break;
+    case DataType::kString:
+      strings_.resize(n);
+      break;
+    case DataType::kFloatVector:
+      vec_.flat.resize(n * vec_.dim);
+      break;
+  }
+}
+
+void Column::ScatterFrom(const Column& src, const std::uint32_t* indices,
+                         std::size_t count, std::size_t dst) {
+  CRE_CHECK(src.type_ == type_);
+  CRE_CHECK(dst + count <= size());
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      for (std::size_t i = 0; i < count; ++i) {
+        i64_[dst + i] = src.i64_[indices[i]];
+      }
+      break;
+    case DataType::kFloat64:
+      for (std::size_t i = 0; i < count; ++i) {
+        f64_[dst + i] = src.f64_[indices[i]];
+      }
+      break;
+    case DataType::kBool:
+      for (std::size_t i = 0; i < count; ++i) {
+        bools_[dst + i] = src.bools_[indices[i]];
+      }
+      break;
+    case DataType::kString:
+      for (std::size_t i = 0; i < count; ++i) {
+        strings_[dst + i] = src.strings_[indices[i]];
+      }
+      break;
+    case DataType::kFloatVector:
+      for (std::size_t i = 0; i < count; ++i) {
+        std::copy(src.vec_.Row(indices[i]),
+                  src.vec_.Row(indices[i]) + vec_.dim,
+                  vec_.flat.begin() + (dst + i) * vec_.dim);
+      }
+      break;
+  }
 }
 
 Status Column::AppendColumn(const Column& other) {

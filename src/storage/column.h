@@ -91,6 +91,17 @@ class Column {
   /// New column containing rows at `indices`, in order.
   Column Take(const std::vector<std::uint32_t>& indices) const;
 
+  /// Resizes to `n` default-initialized rows — the scatter target shape.
+  void ResizeDefault(std::size_t n);
+
+  /// Scattered gather: writes src rows indices[0..count) into this
+  /// column's rows [dst, dst+count). The column must already span row
+  /// dst+count (ResizeDefault). Writers filling disjoint [dst, dst+count)
+  /// ranges may run concurrently: every element (bools are distinct
+  /// bytes, strings distinct objects) belongs to exactly one range.
+  void ScatterFrom(const Column& src, const std::uint32_t* indices,
+                   std::size_t count, std::size_t dst);
+
   /// Appends all rows of `other` (same type) onto this column.
   Status AppendColumn(const Column& other);
 

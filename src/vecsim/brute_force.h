@@ -6,6 +6,7 @@
 
 #include "core/cancel.h"
 #include "core/thread_pool.h"
+#include "vecsim/codec.h"
 #include "vecsim/kernels.h"
 #include "vecsim/top_k.h"
 #include "vecsim/vector_index.h"
@@ -33,7 +34,8 @@ struct BruteForceOptions {
 /// Exact all-pairs similarity join over two row-major, unit-normalized
 /// vector sets: emits every pair with dot >= threshold. This is the
 /// "tight C++ loop" rung of Figure 4; variant/pool toggle the SIMD and
-/// scale-up rungs.
+/// scale-up rungs. Each left row scores the right side through the
+/// one-to-many batch kernel.
 std::vector<MatchPair> SimilarityJoinBrute(
     const float* left, std::size_t n_left, const float* right,
     std::size_t n_right, std::size_t dim, float threshold,
@@ -45,11 +47,17 @@ std::vector<MatchPair> SimilarityJoinBruteHalf(
     std::size_t n_right, std::size_t dim, float threshold,
     TaskRunner* pool = nullptr);
 
-/// Exact flat index: linear scan with the best available kernel.
+/// Exact flat index: linear scan with the best available batch kernel.
+/// With a quantized codec the scan scores the compressed rows
+/// asymmetrically, over-fetches rescore_factor * k candidates, and
+/// re-ranks them with exact fp32 arithmetic over the decoded vectors.
 class FlatIndex : public VectorIndex {
  public:
-  explicit FlatIndex(KernelVariant variant = BestKernelVariant())
-      : variant_(variant) {}
+  explicit FlatIndex(KernelVariant variant = BestKernelVariant(),
+                     QuantizationOptions quant = {})
+      : variant_(variant), quant_(quant) {
+    store_.SetVariant(variant);
+  }
 
   Status Build(const float* data, std::size_t n, std::size_t dim) override;
   Status Add(const float* data, std::size_t n, std::size_t dim) override;
@@ -65,13 +73,14 @@ class FlatIndex : public VectorIndex {
   std::size_t size() const override { return n_; }
   std::size_t dim() const override { return dim_; }
   std::string name() const override { return "flat"; }
-  std::size_t MemoryBytes() const override {
-    return data_.size() * sizeof(float);
-  }
+  std::size_t MemoryBytes() const override { return store_.MemoryBytes(); }
+
+  VectorCodecKind codec() const { return store_.kind(); }
 
  private:
   KernelVariant variant_;
-  std::vector<float> data_;
+  QuantizationOptions quant_;
+  VectorStore store_;
   std::size_t n_ = 0;
   std::size_t dim_ = 0;
 };

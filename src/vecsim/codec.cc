@@ -1,0 +1,239 @@
+#include "vecsim/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vecsim/fp16.h"
+#include "vecsim/index_io.h"
+
+namespace cre {
+
+const char* VectorCodecName(VectorCodecKind k) {
+  switch (k) {
+    case VectorCodecKind::kFp32:
+      return "fp32";
+    case VectorCodecKind::kFp16:
+      return "fp16";
+    case VectorCodecKind::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+void VectorStore::Reset(VectorCodecKind kind, std::size_t dim) {
+  kind_ = kind;
+  dim_ = dim;
+  n_ = 0;
+  fp32_.clear();
+  fp16_.clear();
+  int8_.clear();
+  scale_.clear();
+  offset_.clear();
+}
+
+void VectorStore::Append(const float* data, std::size_t n) {
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      fp32_.insert(fp32_.end(), data, data + n * dim_);
+      break;
+    case VectorCodecKind::kFp16: {
+      const std::size_t old = fp16_.size();
+      fp16_.resize(old + n * dim_);
+      FloatsToHalves(data, fp16_.data() + old, n * dim_);
+      break;
+    }
+    case VectorCodecKind::kInt8: {
+      const std::size_t old = int8_.size();
+      int8_.resize(old + n * dim_);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* v = data + i * dim_;
+        float lo = v[0], hi = v[0];
+        for (std::size_t d = 1; d < dim_; ++d) {
+          lo = std::min(lo, v[d]);
+          hi = std::max(hi, v[d]);
+        }
+        // Affine code c = round((v - offset) / scale), c in [-127, 127]:
+        // offset centers the range so the full int8 span is used.
+        const float offset = 0.5f * (lo + hi);
+        const float scale = std::max((hi - lo) / 254.f, 1e-20f);
+        const float inv = 1.f / scale;
+        std::int8_t* c = int8_.data() + old + i * dim_;
+        for (std::size_t d = 0; d < dim_; ++d) {
+          const float q = std::round((v[d] - offset) * inv);
+          c[d] = static_cast<std::int8_t>(
+              std::max(-127.f, std::min(127.f, q)));
+        }
+        scale_.push_back(scale);
+        offset_.push_back(offset);
+      }
+      break;
+    }
+  }
+  n_ += n;
+}
+
+float VectorStore::QueryPrecompute(const float* query) const {
+  if (kind_ != VectorCodecKind::kInt8) return 0.f;
+  float sum = 0.f;
+  for (std::size_t d = 0; d < dim_; ++d) sum += query[d];
+  return sum;
+}
+
+void VectorStore::ScoreRange(const float* query, float query_pre,
+                             std::size_t first, std::size_t count,
+                             float* out) const {
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      GetDotBatchKernel(variant_)(query, fp32_.data() + first * dim_, count,
+                                  dim_, out);
+      break;
+    case VectorCodecKind::kFp16:
+      DotHalfAsymBatch(query, fp16_.data() + first * dim_, count, dim_, out);
+      break;
+    case VectorCodecKind::kInt8:
+      DotInt8AsymBatch(query, int8_.data() + first * dim_, count, dim_, out);
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = scale_[first + i] * out[i] + offset_[first + i] * query_pre;
+      }
+      break;
+  }
+}
+
+void VectorStore::ScoreIds(const float* query, float query_pre,
+                           const std::uint32_t* ids, std::size_t count,
+                           float* out) const {
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      GetDotBatchGatherKernel(variant_)(query, fp32_.data(), ids, count, dim_,
+                                        out);
+      break;
+    case VectorCodecKind::kFp16:
+      DotHalfAsymGather(query, fp16_.data(), ids, count, dim_, out);
+      break;
+    case VectorCodecKind::kInt8:
+      DotInt8AsymGather(query, int8_.data(), ids, count, dim_, out);
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = scale_[ids[i]] * out[i] + offset_[ids[i]] * query_pre;
+      }
+      break;
+  }
+}
+
+float VectorStore::ScoreOne(const float* query, float query_pre,
+                            std::uint32_t id) const {
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      return GetDotKernel(variant_)(query, fp32_.data() + id * dim_, dim_);
+    case VectorCodecKind::kFp16:
+      return DotHalfAsym(query, fp16_.data() + id * dim_, dim_);
+    case VectorCodecKind::kInt8:
+      return scale_[id] * DotInt8Asym(query, int8_.data() + id * dim_, dim_) +
+             offset_[id] * query_pre;
+  }
+  return 0.f;
+}
+
+void VectorStore::Decode(std::uint32_t id, float* out) const {
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      std::copy(fp32_.begin() + id * dim_, fp32_.begin() + (id + 1) * dim_,
+                out);
+      break;
+    case VectorCodecKind::kFp16:
+      HalvesToFloats(fp16_.data() + id * dim_, out, dim_);
+      break;
+    case VectorCodecKind::kInt8: {
+      const std::int8_t* c = int8_.data() + id * dim_;
+      const float scale = scale_[id], offset = offset_[id];
+      for (std::size_t d = 0; d < dim_; ++d) {
+        out[d] = scale * static_cast<float>(c[d]) + offset;
+      }
+      break;
+    }
+  }
+}
+
+float VectorStore::RescoreOne(const float* query, std::uint32_t id,
+                              float* scratch) const {
+  if (kind_ == VectorCodecKind::kFp32) {
+    return GetDotKernel(variant_)(query, fp32_.data() + id * dim_, dim_);
+  }
+  Decode(id, scratch);
+  return GetDotKernel(variant_)(query, scratch, dim_);
+}
+
+float VectorStore::ScoreSlack() const {
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      return 0.f;
+    case VectorCodecKind::kFp16:
+      // ~2^-11 relative per component; unit vectors keep the dot error
+      // well under this.
+      return 5e-3f;
+    case VectorCodecKind::kInt8:
+      // Per-component error <= scale/2 = (hi-lo)/508; summed against a
+      // unit query this stays near 1/254.
+      return 2e-2f;
+  }
+  return 0.f;
+}
+
+std::size_t VectorStore::MemoryBytes() const {
+  return fp32_.size() * sizeof(float) + fp16_.size() * sizeof(std::uint16_t) +
+         int8_.size() * sizeof(std::int8_t) +
+         (scale_.size() + offset_.size()) * sizeof(float);
+}
+
+Status VectorStore::Save(std::ostream& out) const {
+  CRE_RETURN_NOT_OK(vecio::WritePod<std::uint8_t>(
+      out, static_cast<std::uint8_t>(kind_)));
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      return vecio::WriteVec(out, fp32_);
+    case VectorCodecKind::kFp16:
+      return vecio::WriteVec(out, fp16_);
+    case VectorCodecKind::kInt8:
+      CRE_RETURN_NOT_OK(vecio::WriteVec(out, int8_));
+      CRE_RETURN_NOT_OK(vecio::WriteVec(out, scale_));
+      return vecio::WriteVec(out, offset_);
+  }
+  return Status::InvalidArgument("codec save: unknown kind");
+}
+
+Status VectorStore::Load(std::istream& in, std::size_t expected_n,
+                         std::size_t expected_dim) {
+  std::uint8_t kind = 0;
+  CRE_RETURN_NOT_OK(vecio::ReadPod(in, &kind));
+  if (kind > static_cast<std::uint8_t>(VectorCodecKind::kInt8)) {
+    return Status::InvalidArgument("codec load: unknown codec kind");
+  }
+  Reset(static_cast<VectorCodecKind>(kind), expected_dim);
+  const std::size_t elems = expected_n * expected_dim;
+  switch (kind_) {
+    case VectorCodecKind::kFp32:
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &fp32_));
+      if (fp32_.size() != elems) {
+        return Status::InvalidArgument("codec load: fp32 size mismatch");
+      }
+      break;
+    case VectorCodecKind::kFp16:
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &fp16_));
+      if (fp16_.size() != elems) {
+        return Status::InvalidArgument("codec load: fp16 size mismatch");
+      }
+      break;
+    case VectorCodecKind::kInt8:
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &int8_));
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &scale_));
+      CRE_RETURN_NOT_OK(vecio::ReadVec(in, &offset_));
+      if (int8_.size() != elems || scale_.size() != expected_n ||
+          offset_.size() != expected_n) {
+        return Status::InvalidArgument("codec load: int8 size mismatch");
+      }
+      break;
+  }
+  n_ = expected_n;
+  return Status::OK();
+}
+
+}  // namespace cre

@@ -7,6 +7,7 @@
 #include "core/hash.h"
 #include "core/rng.h"
 #include "vecsim/index_io.h"
+#include "vecsim/top_k.h"
 
 namespace cre {
 
@@ -47,6 +48,16 @@ int HnswIndex::DrawLevel() {
   return static_cast<int>(-std::log(u) * ml);
 }
 
+const float* HnswIndex::NodeVec(std::uint32_t id,
+                                std::vector<float>* scratch) const {
+  if (!store_.quantized()) {
+    return store_.Fp32Data() + static_cast<std::size_t>(id) * dim_;
+  }
+  scratch->resize(dim_);
+  store_.Decode(id, scratch->data());
+  return scratch->data();
+}
+
 Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   if (dim == 0) return Status::InvalidArgument("dim must be positive");
   if (options_.M < 2) {
@@ -56,8 +67,8 @@ Status HnswIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   }
   n_ = n;
   dim_ = dim;
-  dot_ = GetDotKernel(BestKernelVariant());
-  data_.assign(data, data + n * dim);
+  store_.Reset(options_.quant.codec, dim);
+  store_.Append(data, n);
   links_.assign(n, {});
   levels_.assign(n, 0);
   entry_ = 0;
@@ -141,23 +152,31 @@ HnswIndex::InsertPlan HnswIndex::PlanInsert(std::uint32_t id, int level,
   // the Malkov-Yashunin neighbor selection. No writes.
   InsertPlan plan;
   plan.links.assign(static_cast<std::size_t>(level) + 1, {});
-  const float* q = Vec(id);
+  std::vector<float> qbuf;
+  const float* q = NodeVec(id, &qbuf);
+  const float pre = store_.QueryPrecompute(q);
   std::uint32_t ep = entry_;
   for (int layer = max_level_; layer > level; --layer) {
-    ep = GreedyStep(q, ep, layer);
+    ep = GreedyStep(q, pre, ep, layer);
   }
   // Earlier batch members are invisible to the frozen-graph search, so
-  // score them exactly once and merge them into every layer's candidate
-  // set below — the same neighbors a sequential insert would have
-  // reached through the graph.
+  // score them exactly once (one contiguous batch-kernel call) and merge
+  // them into every layer's candidate set below — the same neighbors a
+  // sequential insert would have reached through the graph.
   std::vector<ScoredId> peers;
-  peers.reserve(id - batch_first);
-  for (std::uint32_t i = batch_first; i < id; ++i) {
-    peers.push_back({i, dot_(q, Vec(i), dim_)});
+  if (id > batch_first) {
+    const std::size_t peer_count = id - batch_first;
+    std::vector<float> peer_scores(peer_count);
+    store_.ScoreRange(q, pre, batch_first, peer_count, peer_scores.data());
+    peers.reserve(peer_count);
+    for (std::size_t i = 0; i < peer_count; ++i) {
+      peers.push_back(
+          {batch_first + static_cast<std::uint32_t>(i), peer_scores[i]});
+    }
   }
   for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
     std::vector<ScoredId> found =
-        SearchLayer(q, ep, options_.ef_construction, layer, visited);
+        SearchLayer(q, pre, ep, options_.ef_construction, layer, visited);
     std::sort(found.begin(), found.end(), ScoreGreater{});
     if (!found.empty()) ep = found.front().id;
     for (const ScoredId& peer : peers) {
@@ -245,17 +264,23 @@ void HnswIndex::ApplyBatch(std::uint32_t first, std::size_t count,
   }
 }
 
-std::uint32_t HnswIndex::GreedyStep(const float* query, std::uint32_t entry,
-                                    int layer) const {
+std::uint32_t HnswIndex::GreedyStep(const float* query, float query_pre,
+                                    std::uint32_t entry, int layer) const {
   std::uint32_t cur = entry;
-  float cur_score = dot_(query, Vec(cur), dim_);
+  float cur_score = store_.ScoreOne(query, query_pre, cur);
+  std::vector<float> scores;
   for (;;) {
+    const auto& nbrs = links_[cur][layer];
+    if (nbrs.empty()) return cur;
+    // One gather-batch call scores the whole adjacency list.
+    scores.resize(nbrs.size());
+    store_.ScoreIds(query, query_pre, nbrs.data(), nbrs.size(),
+                    scores.data());
     bool improved = false;
-    for (const std::uint32_t nb : links_[cur][layer]) {
-      const float s = dot_(query, Vec(nb), dim_);
-      if (s > cur_score) {
-        cur = nb;
-        cur_score = s;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (scores[i] > cur_score) {
+        cur = nbrs[i];
+        cur_score = scores[i];
         improved = true;
       }
     }
@@ -264,6 +289,7 @@ std::uint32_t HnswIndex::GreedyStep(const float* query, std::uint32_t entry,
 }
 
 std::vector<ScoredId> HnswIndex::SearchLayer(const float* query,
+                                             float query_pre,
                                              std::uint32_t entry,
                                              std::size_t ef, int layer,
                                              std::vector<char>* visited) const {
@@ -271,22 +297,36 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* query,
   std::priority_queue<ScoredId, std::vector<ScoredId>, ScoreLess> candidates;
   std::priority_queue<ScoredId, std::vector<ScoredId>, ScoreGreater> results;
 
-  const float entry_score = dot_(query, Vec(entry), dim_);
+  const float entry_score = store_.ScoreOne(query, query_pre, entry);
   (*visited)[entry] = 1;
   candidates.push({entry, entry_score});
   results.push({entry, entry_score});
 
+  std::vector<std::uint32_t> fresh;
+  std::vector<float> scores;
+  fresh.reserve(MaxDegree(layer));
+  scores.reserve(MaxDegree(layer));
   while (!candidates.empty()) {
     const ScoredId c = candidates.top();
     candidates.pop();
     if (results.size() >= ef && c.score < results.top().score) break;
+    // Collect the node's unvisited links, then score them in one
+    // gather-batch kernel call (prefetch hides the row loads).
+    fresh.clear();
     for (const std::uint32_t nb : links_[c.id][layer]) {
       if ((*visited)[nb]) continue;
       (*visited)[nb] = 1;
-      const float s = dot_(query, Vec(nb), dim_);
+      fresh.push_back(nb);
+    }
+    if (fresh.empty()) continue;
+    scores.resize(fresh.size());
+    store_.ScoreIds(query, query_pre, fresh.data(), fresh.size(),
+                    scores.data());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      const float s = scores[i];
       if (results.size() < ef || s > results.top().score) {
-        candidates.push({nb, s});
-        results.push({nb, s});
+        candidates.push({fresh[i], s});
+        results.push({fresh[i], s});
         if (results.size() > ef) results.pop();
       }
     }
@@ -304,11 +344,14 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* query,
 std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
     const std::vector<ScoredId>& candidates, std::size_t m) const {
   std::vector<std::uint32_t> selected, pruned;
+  std::vector<float> cbuf;
   for (const ScoredId& cand : candidates) {
     if (selected.size() >= m) break;
+    const float* cq = NodeVec(cand.id, &cbuf);
+    const float cpre = store_.QueryPrecompute(cq);
     bool keep = true;
     for (const std::uint32_t s : selected) {
-      if (dot_(Vec(cand.id), Vec(s), dim_) > cand.score) {
+      if (store_.ScoreOne(cq, cpre, s) > cand.score) {
         keep = false;
         break;
       }
@@ -326,11 +369,15 @@ void HnswIndex::ShrinkLinks(std::uint32_t node, int layer) {
   auto& nbrs = links_[node][layer];
   const std::size_t cap = MaxDegree(layer);
   if (nbrs.size() <= cap) return;
-  const float* v = Vec(node);
+  std::vector<float> vbuf;
+  const float* v = NodeVec(node, &vbuf);
+  const float pre = store_.QueryPrecompute(v);
   std::vector<ScoredId> scored;
   scored.reserve(nbrs.size());
-  for (const std::uint32_t id : nbrs) {
-    scored.push_back({id, dot_(v, Vec(id), dim_)});
+  std::vector<float> scores(nbrs.size());
+  store_.ScoreIds(v, pre, nbrs.data(), nbrs.size(), scores.data());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    scored.push_back({nbrs[i], scores[i]});
   }
   std::sort(scored.begin(), scored.end(), ScoreGreater{});
   nbrs = SelectNeighbors(scored, cap);
@@ -343,16 +390,18 @@ void HnswIndex::Insert(std::uint32_t id, int level) {
     return;
   }
 
-  const float* q = Vec(id);
+  std::vector<float> qbuf;
+  const float* q = NodeVec(id, &qbuf);
+  const float pre = store_.QueryPrecompute(q);
   std::uint32_t ep = entry_;
   for (int layer = max_level_; layer > level; --layer) {
-    ep = GreedyStep(q, ep, layer);
+    ep = GreedyStep(q, pre, ep, layer);
   }
 
   std::vector<char> visited(n_, 0);
   for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
     std::vector<ScoredId> found =
-        SearchLayer(q, ep, options_.ef_construction, layer, &visited);
+        SearchLayer(q, pre, ep, options_.ef_construction, layer, &visited);
     std::sort(found.begin(), found.end(), ScoreGreater{});
     auto& own = links_[id][layer];
     own = SelectNeighbors(found, MaxDegree(layer));
@@ -372,49 +421,90 @@ void HnswIndex::Insert(std::uint32_t id, int level) {
 std::vector<ScoredId> HnswIndex::TopK(const float* query,
                                       std::size_t k) const {
   if (n_ == 0 || k == 0) return {};
+  const float pre = store_.QueryPrecompute(query);
   std::uint32_t ep = entry_;
   for (int layer = max_level_; layer > 0; --layer) {
-    ep = GreedyStep(query, ep, layer);
+    ep = GreedyStep(query, pre, ep, layer);
   }
+  // Quantized codecs over-fetch so the exact re-rank below can repair
+  // ordering errors inside the top-k band.
+  const std::size_t fetch =
+      store_.quantized()
+          ? std::max(k, k * std::max<std::size_t>(
+                            options_.quant.rescore_factor, 1))
+          : k;
   std::vector<char> visited(n_, 0);
   std::vector<ScoredId> found = SearchLayer(
-      query, ep, std::max(options_.ef_search, k), 0, &visited);
+      query, pre, ep, std::max(options_.ef_search, fetch), 0, &visited);
   std::sort(found.begin(), found.end(), ScoreGreater{});
-  if (found.size() > k) found.resize(k);
-  return found;
+  if (found.size() > fetch) found.resize(fetch);
+  if (!store_.quantized()) {
+    if (found.size() > k) found.resize(k);
+    return found;
+  }
+  std::vector<float> scratch(dim_);
+  TopKCollector rescored(k);
+  for (const ScoredId& cand : found) {
+    rescored.Offer(cand.id,
+                   store_.RescoreOne(query, cand.id, scratch.data()));
+  }
+  return rescored.TakeSorted();
 }
 
 void HnswIndex::RangeSearch(const float* query, float threshold,
                             std::vector<ScoredId>* out) const {
   if (n_ == 0) return;
+  const float pre = store_.QueryPrecompute(query);
   std::uint32_t ep = entry_;
   for (int layer = max_level_; layer > 0; --layer) {
-    ep = GreedyStep(query, ep, layer);
+    ep = GreedyStep(query, pre, ep, layer);
   }
   // Seed the threshold region with an ef_search beam, then flood-fill the
   // layer-0 graph over nodes scoring within range_slack of the threshold.
-  // Only exact hits (>= threshold) are reported: no false positives.
+  // Only exact hits (>= threshold) are reported: no false positives —
+  // quantized codecs widen the exploration band by the codec's error
+  // bound and re-verify every hit with exact fp32 arithmetic.
   std::vector<char> visited(n_, 0);
   std::vector<ScoredId> seeds =
-      SearchLayer(query, ep, options_.ef_search, 0, &visited);
+      SearchLayer(query, pre, ep, options_.ef_search, 0, &visited);
 
-  const float explore = threshold - options_.range_slack;
+  const float quant_slack = store_.ScoreSlack();
+  const float explore = threshold - options_.range_slack - quant_slack;
+  const float gate = threshold - quant_slack;
+  std::vector<float> scratch(dim_);
+  auto emit = [&](std::uint32_t id, float approx_score) {
+    if (approx_score < gate) return;
+    if (!store_.quantized()) {
+      out->push_back({id, approx_score});
+      return;
+    }
+    const float exact = store_.RescoreOne(query, id, scratch.data());
+    if (exact >= threshold) out->push_back({id, exact});
+  };
   std::fill(visited.begin(), visited.end(), 0);
   std::vector<std::uint32_t> frontier;
+  std::vector<float> scores;
   for (const ScoredId& s : seeds) {
     visited[s.id] = 1;
-    if (s.score >= threshold) out->push_back(s);
+    emit(s.id, s.score);
     if (s.score >= explore) frontier.push_back(s.id);
   }
+  std::vector<std::uint32_t> fresh;
   while (!frontier.empty()) {
     const std::uint32_t cur = frontier.back();
     frontier.pop_back();
+    fresh.clear();
     for (const std::uint32_t nb : links_[cur][0]) {
       if (visited[nb]) continue;
       visited[nb] = 1;
-      const float s = dot_(query, Vec(nb), dim_);
-      if (s >= threshold) out->push_back({nb, s});
-      if (s >= explore) frontier.push_back(nb);
+      fresh.push_back(nb);
+    }
+    if (fresh.empty()) continue;
+    scores.resize(fresh.size());
+    store_.ScoreIds(query, pre, fresh.data(), fresh.size(), scores.data());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      emit(fresh[i], scores[i]);
+      if (scores[i] >= explore) frontier.push_back(fresh[i]);
     }
   }
 }
@@ -425,7 +515,7 @@ Status HnswIndex::Add(const float* data, std::size_t n, std::size_t dim) {
   if (n == 0) return Status::OK();
 
   const std::uint32_t first = static_cast<std::uint32_t>(n_);
-  data_.insert(data_.end(), data, data + n * dim);
+  store_.Append(data, n);
   n_ += n;
   levels_.resize(n_, 0);
   links_.resize(n_);
@@ -449,7 +539,8 @@ Status HnswIndex::Add(const float* data, std::size_t n, std::size_t dim) {
 
 namespace {
 constexpr std::uint32_t kHnswMagic = 0x43484E57;  // "CHNW"
-constexpr std::uint32_t kHnswVersion = 1;
+// v2: codec-encoded base vectors (kind byte + blobs) instead of raw fp32.
+constexpr std::uint32_t kHnswVersion = 2;
 }  // namespace
 
 Status HnswIndex::Save(std::ostream& out) const {
@@ -467,7 +558,7 @@ Status HnswIndex::Save(std::ostream& out) const {
   CRE_RETURN_NOT_OK(vecio::WritePod<std::uint32_t>(out, entry_));
   CRE_RETURN_NOT_OK(vecio::WritePod<std::int32_t>(out, max_level_));
   CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, level_draws_));
-  CRE_RETURN_NOT_OK(vecio::WriteVec(out, data_));
+  CRE_RETURN_NOT_OK(store_.Save(out));
   CRE_RETURN_NOT_OK(vecio::WriteVec(out, levels_));
   for (const auto& per_node : links_) {
     CRE_RETURN_NOT_OK(vecio::WritePod<std::uint64_t>(out, per_node.size()));
@@ -505,10 +596,10 @@ Status HnswIndex::Load(std::istream& in) {
       n > vecio::kMaxArrayElems || draws != n) {
     return Status::InvalidArgument("hnsw load: implausible header");
   }
-  CRE_RETURN_NOT_OK(vecio::ReadVec(in, &data_));
+  CRE_RETURN_NOT_OK(store_.Load(in, static_cast<std::size_t>(n),
+                                static_cast<std::size_t>(dim)));
   CRE_RETURN_NOT_OK(vecio::ReadVec(in, &levels_));
-  if (data_.size() != n * dim || levels_.size() != n ||
-      (n > 0 && entry >= n)) {
+  if (levels_.size() != n || (n > 0 && entry >= n)) {
     return Status::InvalidArgument("hnsw load: inconsistent sizes");
   }
   for (const int level : levels_) {
@@ -553,21 +644,21 @@ Status HnswIndex::Load(std::istream& in) {
   }
   // Build-structural options are restored from the image (M bounds the
   // stored adjacency lists, seed/ef_construction/bootstrap keep future
-  // Adds deterministic); query-time knobs (ef_search, range_slack) stay
-  // as configured on this instance — a recall/latency setting change
-  // must take effect on warm starts, not silently revert to save-time
-  // values.
+  // Adds deterministic, and the codec shapes every stored score);
+  // query-time knobs (ef_search, range_slack, rescore_factor) stay as
+  // configured on this instance — a recall/latency setting change must
+  // take effect on warm starts, not silently revert to save-time values.
   (void)efs;
   (void)slack;
   options_.M = static_cast<std::size_t>(m);
   options_.ef_construction = static_cast<std::size_t>(efc);
   options_.seed = seed;
   options_.build_bootstrap = static_cast<std::size_t>(bootstrap);
+  options_.quant.codec = store_.kind();
   n_ = static_cast<std::size_t>(n);
   dim_ = static_cast<std::size_t>(dim);
   entry_ = entry;
   max_level_ = static_cast<int>(max_level);
-  dot_ = GetDotKernel(BestKernelVariant());
   // Fast-forward the level stream to where the saved index left it, so a
   // post-load Add draws exactly what the saved instance would have drawn.
   level_rng_ = Rng(options_.seed);
@@ -591,8 +682,7 @@ std::uint64_t HnswIndex::GraphChecksum() const {
 }
 
 std::size_t HnswIndex::MemoryBytes() const {
-  std::size_t bytes = data_.size() * sizeof(float) +
-                      levels_.size() * sizeof(int);
+  std::size_t bytes = store_.MemoryBytes() + levels_.size() * sizeof(int);
   for (const auto& per_node : links_) {
     for (const auto& layer : per_node) {
       bytes += layer.size() * sizeof(std::uint32_t) +

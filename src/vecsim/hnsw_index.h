@@ -7,6 +7,7 @@
 #include "core/cancel.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "vecsim/codec.h"
 #include "vecsim/kernels.h"
 #include "vecsim/vector_index.h"
 
@@ -53,6 +54,12 @@ struct HnswOptions {
   /// that is cold-building a large graph takes effect within one batch,
   /// not after the entire multi-second build. Not serialized.
   const CancelFlag* cancel = nullptr;
+  /// Base-vector codec. With a quantized codec both construction and
+  /// search score the compressed rows asymmetrically (the graph stays a
+  /// pure function of (data, options) — codec included), and TopK
+  /// over-fetches rescore_factor * k beam results for an exact fp32
+  /// re-rank over the decoded vectors.
+  QuantizationOptions quant;
 };
 
 class HnswIndex : public VectorIndex {
@@ -85,6 +92,7 @@ class HnswIndex : public VectorIndex {
   std::size_t MemoryBytes() const override;
 
   int max_level() const { return max_level_; }
+  VectorCodecKind codec() const { return store_.kind(); }
 
   /// Order-sensitive digest of the whole graph (levels, adjacency, entry
   /// point): equal checksums mean byte-identical graphs. Used by the
@@ -118,14 +126,17 @@ class HnswIndex : public VectorIndex {
     return layer == 0 ? 2 * options_.M : options_.M;
   }
   /// Best-first beam search at `layer` from `entry`; returns up to `ef`
-  /// results, unsorted.
-  std::vector<ScoredId> SearchLayer(const float* query, std::uint32_t entry,
-                                    std::size_t ef, int layer,
+  /// results, unsorted. All of a node's unvisited links are scored in one
+  /// batch-kernel call (the gather shape with software prefetch).
+  std::vector<ScoredId> SearchLayer(const float* query, float query_pre,
+                                    std::uint32_t entry, std::size_t ef,
+                                    int layer,
                                     std::vector<char>* visited) const;
   /// One greedy descent step chain: from `entry`, repeatedly hop to the
-  /// best-scoring neighbor at `layer` until no neighbor improves.
-  std::uint32_t GreedyStep(const float* query, std::uint32_t entry,
-                           int layer) const;
+  /// best-scoring neighbor at `layer` until no neighbor improves; each
+  /// hop scores the node's whole adjacency list in one batch call.
+  std::uint32_t GreedyStep(const float* query, float query_pre,
+                           std::uint32_t entry, int layer) const;
   void Insert(std::uint32_t id, int level);
   /// Malkov & Yashunin's neighbor-selection heuristic (Alg. 4): from
   /// `candidates` (scored against the base point, sorted descending),
@@ -139,9 +150,10 @@ class HnswIndex : public VectorIndex {
   /// Re-selects the links of `node` at `layer` when they exceed capacity.
   void ShrinkLinks(std::uint32_t node, int layer);
 
-  const float* Vec(std::uint32_t id) const {
-    return data_.data() + static_cast<std::size_t>(id) * dim_;
-  }
+  /// fp32 view of node `id`: a direct pointer for the fp32 codec, a
+  /// decode into *scratch otherwise. Construction uses this for the
+  /// query side of node-vs-node scoring.
+  const float* NodeVec(std::uint32_t id, std::vector<float>* scratch) const;
 
   /// Next geometric level draw from the seeded stream. Build consumes one
   /// draw per node and Add continues the same stream, so build(A) +
@@ -154,13 +166,12 @@ class HnswIndex : public VectorIndex {
   HnswOptions options_;
   std::size_t n_ = 0;
   std::size_t dim_ = 0;
-  std::vector<float> data_;
+  VectorStore store_;
   /// links_[node][layer] = adjacency list (layer <= levels_[node]).
   std::vector<std::vector<std::vector<std::uint32_t>>> links_;
   std::vector<int> levels_;
   std::uint32_t entry_ = 0;
   int max_level_ = -1;
-  DotFn dot_ = nullptr;
   Rng level_rng_{0};
   std::uint64_t level_draws_ = 0;
 };

@@ -9,6 +9,19 @@
 
 namespace cre {
 
+namespace {
+
+/// Posting-list ids scored per batch-gather kernel call; also the
+/// cancellation poll granularity of the scans, so a cancelled query
+/// stops within one block rather than after the whole probe set.
+constexpr std::size_t kListBlock = 64;
+
+bool Cancelled(const CancelFlag* cancel) {
+  return cancel != nullptr && cancel->cancelled();
+}
+
+}  // namespace
+
 Status IvfIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   if (dim == 0) return Status::InvalidArgument("dim must be positive");
   n_ = n;
@@ -36,6 +49,11 @@ Status IvfIndex::Build(const float* data, std::size_t n, std::size_t dim) {
   std::vector<float> sums(centroid_count_ * dim);
   std::vector<std::size_t> counts(centroid_count_);
   for (std::size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+    // Iteration-level cancellation: k-means dominates build time, and a
+    // cancelled build must not run the remaining iterations.
+    if (Cancelled(options_.cancel)) {
+      return Status::Cancelled("ivf build cancelled");
+    }
     // Assign step (L2 on unit vectors == ordering by dot).
     for (std::size_t i = 0; i < n; ++i) {
       const float* v = data + i * dim;
@@ -193,11 +211,20 @@ std::vector<std::uint32_t> IvfIndex::NearestCentroids(
 void IvfIndex::RangeSearch(const float* query, float threshold,
                            std::vector<ScoredId>* out) const {
   if (n_ == 0) return;
-  const DotFn dot = GetDotKernel(BestKernelVariant());
+  // Posting lists score through the batch-gather kernel (one call per
+  // block, software prefetch hiding the scattered row loads).
+  const DotBatchGatherFn dot_gather = GetDotBatchGatherKernel(
+      BestKernelVariant());
+  float scores[kListBlock];
   for (const std::uint32_t c : NearestCentroids(query, options_.nprobe)) {
-    for (const std::uint32_t id : lists_[c]) {
-      const float s = dot(query, data_.data() + id * dim_, dim_);
-      if (s >= threshold) out->push_back({id, s});
+    const auto& list = lists_[c];
+    for (std::size_t i0 = 0; i0 < list.size(); i0 += kListBlock) {
+      if (Cancelled(options_.cancel)) return;
+      const std::size_t count = std::min(kListBlock, list.size() - i0);
+      dot_gather(query, data_.data(), list.data() + i0, count, dim_, scores);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (scores[i] >= threshold) out->push_back({list[i0 + i], scores[i]});
+      }
     }
   }
 }
@@ -205,10 +232,18 @@ void IvfIndex::RangeSearch(const float* query, float threshold,
 std::vector<ScoredId> IvfIndex::TopK(const float* query, std::size_t k) const {
   TopKCollector collector(k);
   if (n_ == 0) return collector.TakeSorted();
-  const DotFn dot = GetDotKernel(BestKernelVariant());
+  const DotBatchGatherFn dot_gather = GetDotBatchGatherKernel(
+      BestKernelVariant());
+  float scores[kListBlock];
   for (const std::uint32_t c : NearestCentroids(query, options_.nprobe)) {
-    for (const std::uint32_t id : lists_[c]) {
-      collector.Offer(id, dot(query, data_.data() + id * dim_, dim_));
+    const auto& list = lists_[c];
+    for (std::size_t i0 = 0; i0 < list.size(); i0 += kListBlock) {
+      if (Cancelled(options_.cancel)) return collector.TakeSorted();
+      const std::size_t count = std::min(kListBlock, list.size() - i0);
+      dot_gather(query, data_.data(), list.data() + i0, count, dim_, scores);
+      for (std::size_t i = 0; i < count; ++i) {
+        collector.Offer(list[i0 + i], scores[i]);
+      }
     }
   }
   return collector.TakeSorted();

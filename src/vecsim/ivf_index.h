@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.h"
 #include "vecsim/kernels.h"
 #include "vecsim/vector_index.h"
 
@@ -18,6 +19,13 @@ struct IvfOptions {
   std::size_t nprobe = 8;
   std::size_t kmeans_iters = 10;
   std::uint64_t seed = 11;
+  /// Cooperative cancellation, polled every few rows inside the
+  /// posting-list scans (RangeSearch/TopK) and between k-means
+  /// iterations during Build. A flipped flag makes a scan stop early and
+  /// return a partial result; the caller (who owns the flag) must check
+  /// it afterwards and discard the output, unwinding with
+  /// Status::Cancelled. Not serialized.
+  const CancelFlag* cancel = nullptr;
 };
 
 class IvfIndex : public VectorIndex {

@@ -1,0 +1,79 @@
+// AVX-512F kernel bodies. Compiled with -mavx512f via per-file CMake
+// compile options; only reached after CpuSupportsAvx512() (kernels.cc),
+// so AVX2-only and older hosts never execute these instructions.
+
+#include <immintrin.h>
+
+#include "vecsim/kernels_internal.h"
+
+namespace cre::detail {
+
+namespace {
+
+constexpr std::size_t kPrefetchRows = 4;
+
+// Manual lane reduction: _mm512_reduce_add_ps (and the extract
+// intrinsics) expand through _mm*_undefined_* placeholders and trip
+// gcc's -W(maybe-)uninitialized. A spill to the stack sidesteps the
+// intrinsic expansion entirely; gcc turns the fixed-trip loop into a
+// short shuffle/add sequence.
+inline float ReduceAdd(__m512 v) {
+  alignas(64) float lanes[16];
+  _mm512_store_ps(lanes, v);
+  float s = 0.f;
+  for (int i = 0; i < 16; ++i) s += lanes[i];
+  return s;
+}
+
+}  // namespace
+
+float DotAvx512Impl(const float* a, const float* b, std::size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  if (i < dim) {
+    // Masked tail: one 16-lane op covers the remaining dim % 16 floats.
+    const __mmask16 m =
+        static_cast<__mmask16>((1u << (dim - i)) - 1u);
+    acc0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + i),
+                           _mm512_maskz_loadu_ps(m, b + i), acc0);
+  }
+  return ReduceAdd(_mm512_add_ps(acc0, acc1));
+}
+
+void DotBatchAvx512Impl(const float* query, const float* base, std::size_t n,
+                        std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchRows < n) {
+      const float* next = base + (i + kPrefetchRows) * dim;
+      _mm_prefetch(reinterpret_cast<const char*>(next), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(next + 16), _MM_HINT_T0);
+    }
+    out[i] = DotAvx512Impl(query, base + i * dim, dim);
+  }
+}
+
+void DotBatchGatherAvx512Impl(const float* query, const float* base,
+                              const std::uint32_t* ids, std::size_t n,
+                              std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchRows < n) {
+      const float* next = base + ids[i + kPrefetchRows] * dim;
+      _mm_prefetch(reinterpret_cast<const char*>(next), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(next + 16), _MM_HINT_T0);
+    }
+    out[i] = DotAvx512Impl(query, base + ids[i] * dim, dim);
+  }
+}
+
+}  // namespace cre::detail

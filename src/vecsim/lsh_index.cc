@@ -178,26 +178,50 @@ void LshIndex::CollectCandidates(const float* query,
   cand->erase(std::unique(cand->begin(), cand->end()), cand->end());
 }
 
+namespace {
+/// Candidates verified per batch-gather kernel call; also the poll
+/// granularity for cooperative cancellation, so a cancelled query stops
+/// within one block instead of verifying the whole multiprobe set.
+constexpr std::size_t kVerifyBlock = 64;
+}  // namespace
+
 void LshIndex::RangeSearch(const float* query, float threshold,
                            std::vector<ScoredId>* out) const {
   std::vector<std::uint32_t> cand;
   CollectCandidates(query, &cand);
   last_scan_fraction_ =
       n_ == 0 ? 0.0 : static_cast<double>(cand.size()) / static_cast<double>(n_);
-  const DotFn dot = GetDotKernel(BestKernelVariant());
-  for (const std::uint32_t id : cand) {
-    const float s = dot(query, data_.data() + id * dim_, dim_);
-    if (s >= threshold) out->push_back({id, s});
+  // The deduped candidate list verifies through the batch-gather kernel:
+  // one call per block, software prefetch hiding the scattered row loads.
+  const DotBatchGatherFn dot_gather =
+      GetDotBatchGatherKernel(BestKernelVariant());
+  float scores[kVerifyBlock];
+  for (std::size_t i0 = 0; i0 < cand.size(); i0 += kVerifyBlock) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) return;
+    const std::size_t count = std::min(kVerifyBlock, cand.size() - i0);
+    dot_gather(query, data_.data(), cand.data() + i0, count, dim_, scores);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (scores[i] >= threshold) out->push_back({cand[i0 + i], scores[i]});
+    }
   }
 }
 
 std::vector<ScoredId> LshIndex::TopK(const float* query, std::size_t k) const {
   std::vector<std::uint32_t> cand;
   CollectCandidates(query, &cand);
-  const DotFn dot = GetDotKernel(BestKernelVariant());
+  const DotBatchGatherFn dot_gather =
+      GetDotBatchGatherKernel(BestKernelVariant());
   TopKCollector collector(k);
-  for (const std::uint32_t id : cand) {
-    collector.Offer(id, dot(query, data_.data() + id * dim_, dim_));
+  float scores[kVerifyBlock];
+  for (std::size_t i0 = 0; i0 < cand.size(); i0 += kVerifyBlock) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return collector.TakeSorted();
+    }
+    const std::size_t count = std::min(kVerifyBlock, cand.size() - i0);
+    dot_gather(query, data_.data(), cand.data() + i0, count, dim_, scores);
+    for (std::size_t i = 0; i < count; ++i) {
+      collector.Offer(cand[i0 + i], scores[i]);
+    }
   }
   return collector.TakeSorted();
 }

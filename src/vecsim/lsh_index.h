@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cancel.h"
 #include "vecsim/kernels.h"
 #include "vecsim/vector_index.h"
 
@@ -20,6 +21,14 @@ struct LshOptions {
   std::uint64_t seed = 7;
   /// Also probe buckets at Hamming distance 1 from the query signature.
   bool multiprobe = true;
+  /// Cooperative cancellation, polled every few candidates inside the
+  /// exact-verification loops of RangeSearch/TopK (the dominant cost —
+  /// multiprobe candidate sets can approach a large fraction of the base
+  /// set on hard data). A flipped flag makes a scan stop early and return
+  /// a partial result; the caller (who owns the flag) must check it
+  /// afterwards and discard the output, unwinding with
+  /// Status::Cancelled. Not serialized.
+  const CancelFlag* cancel = nullptr;
 };
 
 class LshIndex : public VectorIndex {

@@ -534,10 +534,55 @@ TEST(IncrementalRefreshTest, ByteAccountingFollowsRefreshGrowth) {
   EXPECT_GT(after, before);
 }
 
+TEST(IncrementalRefreshTest, CostCrossoverPicksRefreshOrRebuild) {
+  // Default cost knobs (refresh 4x the per-row cost of a rebuild row)
+  // place the crossover at 25% appended: a 5% append must refresh, a 30%
+  // append must fall through to a full rebuild.
+  Fixture f;
+  f.catalog.Put("t", MakeStringTable(Words(400, "w_")));
+  IndexManager manager = f.MakeManager();
+  IndexKey key{"t", "name", "m", SemanticJoinStrategy::kHnsw};
+  ASSERT_TRUE(manager.GetOrBuild(key).ok());
+  EXPECT_EQ(manager.stats().builds, 1u);
+
+  // 5% appended (20 of 420): refresh wins.
+  ASSERT_TRUE(f.catalog.Append("t", *MakeStringTable(Words(20, "s_"))).ok());
+  auto small = manager.GetOrBuild(key);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.ValueOrDie()->size(), 420u);
+  EXPECT_EQ(manager.stats().refreshes, 1u);
+  EXPECT_EQ(manager.stats().builds, 1u);
+
+  // 30% appended (180 of 600): estimated refresh cost exceeds the
+  // rebuild, so the stale entry is invalidated and rebuilt instead.
+  ASSERT_TRUE(f.catalog.Append("t", *MakeStringTable(Words(180, "l_"))).ok());
+  auto large = manager.GetOrBuild(key);
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large.ValueOrDie()->size(), 600u);
+  EXPECT_EQ(manager.stats().refreshes, 1u) << "past crossover must rebuild";
+  EXPECT_EQ(manager.stats().builds, 2u);
+
+  // The knobs steer the decision: with refresh priced at zero the same
+  // 30%-scale append refreshes again.
+  IndexManagerOptions cheap;
+  cheap.refresh_cost_per_row = 0.0;
+  IndexManager always_refresh = f.MakeManager(cheap);
+  ASSERT_TRUE(always_refresh.GetOrBuild(key).ok());
+  ASSERT_TRUE(f.catalog.Append("t", *MakeStringTable(Words(250, "x_"))).ok());
+  ASSERT_TRUE(always_refresh.GetOrBuild(key).ok());
+  EXPECT_EQ(always_refresh.stats().refreshes, 1u);
+  EXPECT_EQ(always_refresh.stats().builds, 1u);
+}
+
 TEST(IncrementalRefreshTest, ConcurrentQueriesDuringAppendsAreClean) {
   Fixture f;
   f.catalog.Put("t", MakeStringTable(Words(900, "w_", 300)));
-  IndexManager manager = f.MakeManager();
+  // This test exercises refresh/read concurrency, not the cost policy:
+  // pin refresh as always-cheaper so a reader that observes many pending
+  // appends at once never crosses into the rebuild regime.
+  IndexManagerOptions concurrency_options;
+  concurrency_options.refresh_cost_per_row = 0.0;
+  IndexManager manager = f.MakeManager(concurrency_options);
   IndexKey key{"t", "name", "m", SemanticJoinStrategy::kHnsw};
   ASSERT_TRUE(manager.GetOrBuild(key).ok());
 

@@ -51,6 +51,14 @@ class JsonReport {
     rows_.push_back({label, std::move(metrics)});
   }
 
+  /// Attaches an engine metrics snapshot (MetricsSnapshot::ToJson() — an
+  /// already-serialized JSON object) to the document, emitted verbatim as
+  /// an "engine_metrics" member. The bench artifact then carries the full
+  /// cre_* namespace next to its own measurements.
+  void SetEngineMetrics(std::string json_object) {
+    engine_metrics_ = std::move(json_object);
+  }
+
   /// Writes the document; returns false (and prints to stderr) on IO
   /// failure. Call once at the end of the harness.
   bool Write() const {
@@ -69,7 +77,11 @@ class JsonReport {
       }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n]}\n");
+    std::fprintf(f, "\n]");
+    if (!engine_metrics_.empty()) {
+      std::fprintf(f, ",\n\"engine_metrics\": %s", engine_metrics_.c_str());
+    }
+    std::fprintf(f, "}\n");
     const bool ok = std::fclose(f) == 0;
     if (ok) std::printf("\nwrote JSON metrics to %s\n", path_.c_str());
     return ok;
@@ -98,6 +110,7 @@ class JsonReport {
   std::string bench_;
   std::string path_;
   std::vector<Row> rows_;
+  std::string engine_metrics_;
 };
 
 }  // namespace cre::bench

@@ -23,6 +23,18 @@
 //
 // Scaling knobs: CRE_CONC_ROWS (base table rows), CRE_CONC_QUERIES
 // (queries per client).
+//
+// Observability hooks:
+//   --metrics-out <path>        write the engine's metrics snapshot
+//                               (Prometheus text format) after the run;
+//   --assert-overhead-pct <x>   measure the telemetry overhead on the
+//                               relational mix (one obs-off engine vs one
+//                               obs-on engine, interleaved best-of runs)
+//                               and exit nonzero when obs-on costs more
+//                               than x percent QPS — the CI gate for
+//                               "telemetry is effectively free";
+//   --json <path>               (existing) additionally embeds the full
+//                               cre_* metrics snapshot as engine_metrics.
 
 #include <algorithm>
 #include <chrono>
@@ -111,6 +123,13 @@ RunResult RunClients(Engine* engine, const std::vector<PlanPtr>& plans,
   return out;
 }
 
+std::string StringFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return "";
+}
+
 TablePtr MakeTable(const std::vector<std::string>& words, std::size_t n) {
   auto t = Table::Make(Schema({{"id", DataType::kInt64, 0},
                                {"word", DataType::kString, 0},
@@ -153,8 +172,10 @@ int main(int argc, char** argv) {
   eo.num_threads = 0;  // hardware concurrency
   eo.index.async_builds = true;
   Engine engine(eo);
-  engine.catalog().Put("items", MakeTable(words, rows));
-  engine.catalog().Put("dims", MakeTable(words, rows / 20));
+  const TablePtr items = MakeTable(words, rows);
+  const TablePtr dims = MakeTable(words, rows / 20);
+  engine.catalog().Put("items", items);
+  engine.catalog().Put("dims", dims);
   engine.models().Put("m", model);
 
   // Relational mix.
@@ -226,5 +247,72 @@ int main(int argc, char** argv) {
       "(single-core runners: QPS stays flat with clients; the signals are\n"
       " bounded p99 under fair round-robin and cold p50 ~= warm p50 —\n"
       " background builds keep cold-index latency off the query path.)\n");
+
+  // The full cre_* namespace accumulated over the run rides along in the
+  // JSON artifact, and --metrics-out exports it as Prometheus text.
+  const MetricsSnapshot snap = engine.metrics()->Snapshot();
+  json.SetEngineMetrics(snap.ToJson());
+  const std::string metrics_out = StringFlag(argc, argv, "--metrics-out");
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
+    const std::string text = snap.ToPrometheusText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+
+  // Telemetry overhead gate: one engine with observability fully off vs
+  // one with the defaults (metrics on, every query traced), same tables,
+  // interleaved best-of rounds on the relational mix so machine noise
+  // hits both sides equally. Best-of (not mean) because the question is
+  // capability ("how fast CAN each configuration go"), which is the
+  // stable quantity on a shared CI runner.
+  const std::string overhead_flag =
+      StringFlag(argc, argv, "--assert-overhead-pct");
+  if (!overhead_flag.empty()) {
+    const double budget_pct = std::strtod(overhead_flag.c_str(), nullptr);
+    auto make_engine = [&](bool obs_on) {
+      EngineOptions opts;
+      opts.num_threads = 0;
+      opts.obs.metrics_enabled = obs_on;
+      opts.obs.trace_sample_every = obs_on ? 1 : 0;
+      opts.obs.slow_query_seconds = 0;  // latency only, no log IO skew
+      auto e = std::make_unique<Engine>(opts);
+      e->catalog().Put("items", items);
+      e->catalog().Put("dims", dims);
+      e->models().Put("m", model);
+      return e;
+    };
+    auto off = make_engine(false);
+    auto on = make_engine(true);
+    const std::size_t oh_queries = std::min<std::size_t>(queries, 16);
+    double best_off = 0, best_on = 0;
+    for (int round = 0; round < 3; ++round) {
+      best_off = std::max(
+          best_off, RunClients(off.get(), relational, 2, oh_queries).qps);
+      best_on = std::max(
+          best_on, RunClients(on.get(), relational, 2, oh_queries).qps);
+    }
+    const double overhead_pct =
+        best_off > 0 ? (best_off - best_on) / best_off * 100.0 : 0.0;
+    std::printf(
+        "\ntelemetry overhead: obs-off %.1f QPS, obs-on %.1f QPS -> "
+        "%.2f%% (budget %.2f%%)\n",
+        best_off, best_on, overhead_pct, budget_pct);
+    json.Add("overhead", {{"qps_obs_off", best_off},
+                          {"qps_obs_on", best_on},
+                          {"overhead_pct", overhead_pct}});
+    if (overhead_pct > budget_pct) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry overhead %.2f%% exceeds budget %.2f%%\n",
+                   overhead_pct, budget_pct);
+      json.Write();
+      return 1;
+    }
+  }
   return json.Write() ? 0 : 1;
 }

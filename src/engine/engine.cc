@@ -1,10 +1,15 @@
 #include "engine/engine.h"
 
+#include <cstdio>
+#include <sstream>
 #include <thread>
 #include <utility>
 
+#include "core/logging.h"
 #include "core/timer.h"
+#include "embed/embedding_cache.h"
 #include "engine/parallel_driver.h"
+#include "hw/dispatch.h"
 #include "exec/aggregate.h"
 #include "exec/filter.h"
 #include "exec/hash_join.h"
@@ -41,6 +46,92 @@ Engine::Engine(EngineOptions options) : options_(options) {
   index_manager_ =
       std::make_unique<IndexManager>(&catalog_, &models_, options_.index);
   index_manager_->EnableAsyncBuilds(background_group_.get());
+  metrics_ = std::make_unique<MetricsRegistry>(options_.obs.metrics_enabled);
+  traces_ = std::make_unique<TraceRing>(
+      std::max<std::size_t>(1, options_.obs.trace_ring_capacity));
+  RegisterCollectors();
+}
+
+void Engine::RegisterCollectors() {
+  // Pull-style migration of the scattered subsystem ledgers into the one
+  // cre_* namespace: the subsystems keep their internal structs; the
+  // registry reads them at snapshot time.
+  metrics_->AddCollector([this](MetricsRegistry::Emitter* e) {
+    // Serving layer. The engine's permanent background group is not a
+    // query.
+    e->Gauge("cre_scheduler_active_queries", {},
+             static_cast<double>(scheduler_->active_queries() - 1));
+    e->Gauge("cre_scheduler_pending_tasks", {},
+             static_cast<double>(scheduler_->pending_tasks()));
+
+    // Index manager.
+    const IndexManager::Stats s = index_manager_->stats();
+    e->Counter("cre_index_lookups_total", {{"outcome", "hit"}}, s.hits);
+    e->Counter("cre_index_lookups_total", {{"outcome", "miss"}}, s.misses);
+    e->Counter("cre_index_builds_total", {}, s.builds);
+    e->Counter("cre_index_build_failures_total", {}, s.build_failures);
+    e->Counter("cre_index_refreshes_total", {}, s.refreshes);
+    e->Counter("cre_index_evictions_total", {}, s.evictions);
+    e->Counter("cre_index_invalidations_total", {}, s.invalidations);
+    e->Counter("cre_index_background_builds_total", {}, s.background_builds);
+    e->Counter("cre_index_async_fallbacks_total", {}, s.async_fallbacks);
+    e->Counter("cre_index_disk_loads_total", {}, s.disk_loads);
+    e->Counter("cre_index_disk_writes_total", {}, s.disk_writes);
+    e->Counter("cre_index_disk_rejects_total", {}, s.disk_rejects);
+    e->Counter("cre_index_disk_gc_total", {}, s.disk_gc);
+    e->Gauge("cre_index_resident_count", {},
+             static_cast<double>(s.resident_count));
+    e->Gauge("cre_index_resident_bytes", {},
+             static_cast<double>(s.resident_bytes));
+
+    // Embedding caches (every registered model wrapped in the LRU
+    // decorator).
+    for (const std::string& name : models_.ListModels()) {
+      auto model = models_.Get(name);
+      if (!model.ok()) continue;
+      const auto* cache =
+          dynamic_cast<const CachingEmbeddingModel*>(model.ValueUnsafe().get());
+      if (cache == nullptr) continue;
+      e->Counter("cre_embed_cache_hits_total", {{"model", name}},
+                 cache->hits());
+      e->Counter("cre_embed_cache_misses_total", {{"model", name}},
+                 cache->misses());
+      e->Gauge("cre_embed_cache_entries", {{"model", name}},
+               static_cast<double>(cache->size()));
+    }
+
+    // Kernel dispatch: the last adaptive calibration's decisions. The
+    // counter is always present (0 = never calibrated); the chosen/
+    // measured series only exist once a calibration has run.
+    const KernelCalibrationRecord cal = LastKernelCalibration();
+    e->Counter("cre_kernel_calibrations_total", {}, cal.calibrations);
+    if (cal.valid) {
+      e->Gauge("cre_kernel_dispatch_chosen",
+               {{"shape", "single"}, {"variant", KernelVariantName(cal.chosen)}},
+               1);
+      e->Gauge("cre_kernel_dispatch_chosen",
+               {{"shape", "batch"},
+                {"variant", KernelVariantName(cal.chosen_batch)}},
+               1);
+      const KernelVariant variants[kNumFloatKernelVariants] = {
+          KernelVariant::kScalar, KernelVariant::kUnrolled,
+          KernelVariant::kAvx2, KernelVariant::kAvx512};
+      for (int v = 0; v < kNumFloatKernelVariants; ++v) {
+        if (cal.measured_ns[v] >= 0) {
+          e->Gauge("cre_kernel_dispatch_ns",
+                   {{"shape", "single"},
+                    {"variant", KernelVariantName(variants[v])}},
+                   cal.measured_ns[v]);
+        }
+        if (cal.batch_measured_ns[v] >= 0) {
+          e->Gauge("cre_kernel_dispatch_ns",
+                   {{"shape", "batch"},
+                    {"variant", KernelVariantName(variants[v])}},
+                   cal.batch_measured_ns[v]);
+        }
+      }
+    }
+  });
 }
 
 Engine::~Engine() {
@@ -119,7 +210,10 @@ Optimizer Engine::MakeOptimizerFor(QueryContext* ctx) const {
 Result<OperatorPtr> Engine::Lower(QueryContext* ctx, const PlanNode& node) {
   CRE_ASSIGN_OR_RETURN(OperatorPtr op, LowerImpl(ctx, node));
   if (ctx->stats() != nullptr) {
-    OperatorStats* slot = ctx->stats()->AddSlot(op->name());
+    // Keyed by plan-node identity (like the parallel driver's shared
+    // slots), so EXPLAIN ANALYZE can look a node's stats up from the
+    // plan tree on either execution path.
+    OperatorStats* slot = ctx->stats()->SlotFor(&node, op->name());
     op = std::make_unique<InstrumentedOperator>(std::move(op), slot);
   }
   return op;
@@ -138,7 +232,7 @@ Result<OperatorPtr> Engine::LowerImpl(QueryContext* ctx,
         /*limit_hint=*/node.limit);
     if (ctx->stats() != nullptr) {
       sorted = std::make_unique<InstrumentedOperator>(
-          std::move(sorted), ctx->stats()->AddSlot(sorted->name()));
+          std::move(sorted), ctx->stats()->SlotFor(&sort, sorted->name()));
     }
     std::vector<OperatorPtr> children;
     children.push_back(std::move(sorted));
@@ -166,15 +260,21 @@ Result<OperatorPtr> Engine::TryLowerIndexSelect(QueryContext* ctx,
   CRE_ASSIGN_OR_RETURN(Catalog::VersionedTable vt,
                        ctx->snapshot().GetVersioned(table_name));
   const IndexKey key{table_name, node.column, node.model_name, node.strategy};
+  // Span covers any wait inside the manager: single-flight build joins,
+  // synchronous warm-start disk loads. Driver-thread call site only.
+  ScopedSpan span(ctx->trace(), ctx->trace_parent(),
+                  "index:lookup " + key.ToString());
   auto lookup = index_manager_->GetOrBuildAsync(key);
   if (!lookup.ok()) {
     // Correctness never depends on the cache: a failed lookup/build
     // (e.g. the live table was dropped after this query's snapshot)
     // just means the scanning fallback serves the pinned rows.
+    span.Annotate("outcome", "error-fallback");
     return OperatorPtr();
   }
   IndexManager::AsyncIndex ready = std::move(lookup).ValueUnsafe();
   if (ready.index != nullptr && ready.built_version == vt.version) {
+    span.Annotate("outcome", "index");
     return OperatorPtr(std::make_unique<SemanticIndexSelectOperator>(
         std::move(vt.table), node.column, node.query, std::move(model),
         node.threshold, std::move(ready.index)));
@@ -182,6 +282,8 @@ Result<OperatorPtr> Engine::TryLowerIndexSelect(QueryContext* ctx,
   // Build in flight (the background task will serve future queries), or
   // the ready index was built against a different version than this
   // query's snapshot: serve this query via the scanning fallback.
+  span.Annotate("outcome", ready.build_in_flight ? "build-in-flight"
+                                                 : "version-mismatch");
   return OperatorPtr();
 }
 
@@ -332,6 +434,93 @@ Result<TablePtr> Engine::RunPhysical(QueryContext* ctx, const PlanPtr& plan) {
   return driver.Run(*plan);
 }
 
+std::shared_ptr<QueryTrace> Engine::AdmitForObs(QueryContext* ctx,
+                                                const char* kind,
+                                                bool force_trace) {
+  const std::uint64_t id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ctx->set_query_id(id);
+  const std::uint64_t every = options_.obs.trace_sample_every;
+  std::shared_ptr<QueryTrace> trace;
+  if (force_trace || (every > 0 && (id - 1) % every == 0)) {
+    trace = std::make_shared<QueryTrace>(id, kind);
+    ctx->set_trace(trace.get());
+    if (metrics_->enabled()) {
+      metrics_->counter("cre_traces_sampled_total")->Increment();
+    }
+  }
+  return trace;
+}
+
+void Engine::FinishQuery(QueryContext* ctx, const char* kind, double seconds,
+                         const Status& status, std::size_t rows,
+                         std::shared_ptr<QueryTrace> trace) {
+  const SchedulingCounters sched = ctx->scheduling();
+  if (metrics_->enabled()) {
+    metrics_->histogram("cre_query_seconds", {{"kind", kind}})
+        ->Observe(seconds);
+    if (sched.tasks_dispatched > 0) {
+      metrics_->histogram("cre_query_queue_wait_seconds")
+          ->Observe(sched.queue_wait_seconds);
+      metrics_->histogram("cre_query_admission_seconds")
+          ->Observe(sched.admission_seconds);
+      metrics_->counter("cre_tasks_dispatched_total")
+          ->Increment(sched.tasks_dispatched);
+    }
+    const char* outcome =
+        status.ok() ? "ok" : (status.IsCancelled() ? "cancelled" : "error");
+    metrics_->counter("cre_queries_total", {{"status", outcome}})->Increment();
+    if (status.ok()) {
+      metrics_->counter("cre_query_rows_total")->Increment(rows);
+    }
+  }
+  if (trace != nullptr) {
+    trace->Finish();
+    traces_->Push(trace);
+  }
+  const double slow = options_.obs.slow_query_seconds;
+  if (slow > 0 && seconds >= slow) {
+    if (metrics_->enabled()) {
+      metrics_->counter("cre_slow_queries_total")->Increment();
+    }
+    std::vector<LogField> fields;
+    fields.emplace_back("query_id", ctx->query_id());
+    fields.emplace_back("kind", kind);
+    fields.emplace_back("seconds", seconds);
+    fields.emplace_back("rows", static_cast<std::uint64_t>(rows));
+    fields.emplace_back("queue_wait_seconds", sched.queue_wait_seconds);
+    fields.emplace_back("status", status.ok() ? "ok" : status.message());
+    if (trace != nullptr) {
+      fields.emplace_back("trace", trace->ToCompactString());
+    }
+    LogStructured(LogLevel::kWarning, "slow_query", fields);
+  }
+}
+
+Result<TablePtr> Engine::RunTracked(QueryContext* ctx, const PlanPtr& plan,
+                                    bool optimize, const char* kind) {
+  std::shared_ptr<QueryTrace> trace = AdmitForObs(ctx, kind);
+  Timer timer;
+  std::size_t rows = 0;
+  Result<TablePtr> result = [&]() -> Result<TablePtr> {
+    PlanPtr physical = plan;
+    if (optimize) {
+      ScopedSpan span(trace.get(), nullptr, "optimize");
+      Optimizer optimizer = MakeOptimizerFor(ctx);
+      CRE_ASSIGN_OR_RETURN(physical, optimizer.Optimize(plan));
+    }
+    ScopedSpan span(trace.get(), nullptr, "execute");
+    ctx->set_trace_parent(span.span());
+    auto r = RunPhysical(ctx, physical);
+    ctx->set_trace_parent(nullptr);
+    if (r.ok()) rows = r.ValueUnsafe()->num_rows();
+    return r;
+  }();
+  FinishQuery(ctx, kind, timer.Seconds(), result.status(), rows,
+              std::move(trace));
+  return result;
+}
+
 Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan) {
   return ExecuteUnoptimized(plan, QueryOptions{});
 }
@@ -339,7 +528,7 @@ Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan) {
 Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan,
                                             const QueryOptions& query) {
   QueryContext ctx = MakeContext(query, /*stats=*/nullptr);
-  return RunPhysical(&ctx, plan);
+  return RunTracked(&ctx, plan, /*optimize=*/false, "unoptimized");
 }
 
 Result<TablePtr> Engine::Execute(const PlanPtr& plan) {
@@ -349,9 +538,7 @@ Result<TablePtr> Engine::Execute(const PlanPtr& plan) {
 Result<TablePtr> Engine::Execute(const PlanPtr& plan,
                                  const QueryOptions& query) {
   QueryContext ctx = MakeContext(query, /*stats=*/nullptr);
-  Optimizer optimizer = MakeOptimizerFor(&ctx);
-  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
-  return RunPhysical(&ctx, optimized);
+  return RunTracked(&ctx, plan, /*optimize=*/true, "execute");
 }
 
 Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(const PlanPtr& plan) {
@@ -363,11 +550,9 @@ Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(
   AnalyzedResult out;
   out.stats = std::make_shared<StatsCollector>();
   QueryContext ctx = MakeContext(query, out.stats.get());
-  Optimizer optimizer = MakeOptimizerFor(&ctx);
-  CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
 
   Timer timer;
-  auto result = RunPhysical(&ctx, optimized);
+  auto result = RunTracked(&ctx, plan, /*optimize=*/true, "stats");
   out.total_seconds = timer.Seconds();
   if (!result.ok()) return result.status();
   out.table = std::move(result).ValueUnsafe();
@@ -412,6 +597,157 @@ Result<std::string> Engine::Explain(const PlanPtr& plan) {
            ", refreshes=" + std::to_string(index_stats.refreshes);
   }
   out += "\n";
+  return out;
+}
+
+namespace {
+
+/// Managed-index keys a plan consults: index-backed semantic selects and
+/// semantic joins whose build side is an indexable scan.
+void CollectIndexKeys(const PlanNode& node, std::vector<IndexKey>* out) {
+  if (node.IndexBackedSelect()) {
+    out->push_back({node.children[0]->table_name, node.column, node.model_name,
+                    node.strategy});
+  }
+  if (node.kind == PlanKind::kSemanticJoin &&
+      node.strategy != SemanticJoinStrategy::kBruteForce) {
+    if (const PlanNode* scan = node.IndexableBuildScan()) {
+      out->push_back(
+          {scan->table_name, node.right_key, node.model_name, node.strategy});
+    }
+  }
+  for (const PlanPtr& child : node.children) CollectIndexKeys(*child, out);
+}
+
+/// Recursive measured-plan rendering: each node's Describe() line plus the
+/// executed counters looked up by plan-node identity, with breaker phase
+/// breakdowns as sub-lines.
+void RenderAnalyzedNode(const PlanNode& node, int depth,
+                        const StatsCollector& stats, std::size_t engine_dop,
+                        std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += node.Describe();
+  const std::size_t dop =
+      node.kind == PlanKind::kSemanticGroupBy ? 1 : engine_dop;
+  if (OperatorStats* slot = stats.FindSlot(&node)) {
+    const double wall =
+        slot->open_seconds.load(std::memory_order_relaxed) +
+        slot->next_seconds.load(std::memory_order_relaxed);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "  [rows=%zu batches=%zu wall=%.3fms dop=%zu]",
+                  slot->rows.load(std::memory_order_relaxed),
+                  slot->batches.load(std::memory_order_relaxed), wall * 1e3,
+                  dop);
+    *out += buf;
+  } else {
+    // Nodes folded into a parent's execution (e.g. the Sort beneath a
+    // top-k Limit) carry no slot of their own.
+    *out += "  [folded]";
+  }
+  *out += "\n";
+  for (const auto& phase : stats.PhasesFor(&node)) {
+    if (phase.first == 0) continue;
+    out->append(static_cast<std::size_t>(depth) * 2 + 2, ' ');
+    // Phase slot names carry their own "  Sort phase: ..." indent; trim it.
+    const std::string& name = phase.second->name;
+    std::size_t start = name.find_first_not_of(' ');
+    if (start == std::string::npos) start = 0;
+    char buf[96];
+    std::snprintf(
+        buf, sizeof(buf), "%s  wall=%.3fms\n", name.substr(start).c_str(),
+        phase.second->next_seconds.load(std::memory_order_relaxed) * 1e3);
+    *out += buf;
+  }
+  for (const PlanPtr& child : node.children) {
+    RenderAnalyzedNode(*child, depth + 1, stats, engine_dop, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan) {
+  return ExplainAnalyze(plan, QueryOptions{});
+}
+
+Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
+                                           const QueryOptions& query) {
+  StatsCollector stats;
+  QueryContext ctx = MakeContext(query, &stats);
+  std::shared_ptr<QueryTrace> trace =
+      AdmitForObs(&ctx, "explain_analyze", /*force_trace=*/true);
+
+  PlanPtr optimized;
+  {
+    ScopedSpan span(trace.get(), nullptr, "optimize");
+    Optimizer optimizer = MakeOptimizerFor(&ctx);
+    CRE_ASSIGN_OR_RETURN(optimized, optimizer.Optimize(plan));
+  }
+
+  // Residency of every managed index the plan consults, probed before and
+  // after execution — the rendering shows the transition the execution
+  // itself caused (on-disk -> resident for a warm start, absent ->
+  // building for a kicked-off background build, ...).
+  std::vector<IndexKey> index_keys;
+  if (options_.index.enabled) CollectIndexKeys(*optimized, &index_keys);
+  std::vector<IndexResidency> residency_before;
+  residency_before.reserve(index_keys.size());
+  for (const IndexKey& key : index_keys) {
+    residency_before.push_back(index_manager_->Residency(key));
+  }
+
+  Timer timer;
+  Result<TablePtr> result = [&]() -> Result<TablePtr> {
+    ScopedSpan span(trace.get(), nullptr, "execute");
+    ctx.set_trace_parent(span.span());
+    auto r = RunPhysical(&ctx, optimized);
+    ctx.set_trace_parent(nullptr);
+    return r;
+  }();
+  const double total_seconds = timer.Seconds();
+  const std::size_t rows =
+      result.ok() ? result.ValueUnsafe()->num_rows() : 0;
+  FinishQuery(&ctx, "explain_analyze", total_seconds, result.status(), rows,
+              trace);
+  CRE_RETURN_NOT_OK(result.status());
+
+  const std::size_t dop = pool_ == nullptr ? 1 : pool_->num_threads();
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "EXPLAIN ANALYZE  wall=%.3fms rows=%zu dop=%zu\n",
+                total_seconds * 1e3, rows, dop);
+  out += head;
+  RenderAnalyzedNode(*optimized, 0, stats, dop, &out);
+
+  const SchedulingCounters sched = ctx.scheduling();
+  char sched_line[160];
+  std::snprintf(sched_line, sizeof(sched_line),
+                "scheduling: tasks submitted=%llu dispatched=%llu "
+                "queue wait=%.3fms admission=%.3fms\n",
+                static_cast<unsigned long long>(sched.tasks_submitted),
+                static_cast<unsigned long long>(sched.tasks_dispatched),
+                sched.queue_wait_seconds * 1e3, sched.admission_seconds * 1e3);
+  out += sched_line;
+
+  if (!index_keys.empty()) {
+    out += "index residency:\n";
+    for (std::size_t i = 0; i < index_keys.size(); ++i) {
+      const IndexResidency after = index_manager_->Residency(index_keys[i]);
+      out += "  " + index_keys[i].ToString() + ": " +
+             IndexResidencyName(residency_before[i]);
+      if (after != residency_before[i]) {
+        out += std::string(" -> ") + IndexResidencyName(after);
+      } else {
+        out += " (unchanged)";
+      }
+      out += "\n";
+    }
+  }
+
+  out += DescribePipelines(*optimized, dop,
+                           options_.optimizer.radix_agg_min_groups);
+  out += "trace:\n" + trace->ToString();
   return out;
 }
 

@@ -1,6 +1,8 @@
 #ifndef CRE_ENGINE_ENGINE_H_
 #define CRE_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +14,8 @@
 #include "exec/operator.h"
 #include "exec/stats.h"
 #include "index/index_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan_node.h"
 #include "semantic/semantic_select.h"
@@ -20,6 +24,23 @@
 #include "vision/detection_scan.h"
 
 namespace cre {
+
+/// Telemetry knobs (src/obs): the metrics registry, per-query trace
+/// sampling, and the slow-query log.
+struct ObsOptions {
+  /// Master switch for the metrics registry. Disabled, every instrument
+  /// update is a relaxed load + branch and snapshots are empty.
+  bool metrics_enabled = true;
+  /// Trace every Nth admitted query (1 = trace all, 0 = tracing off).
+  /// Untraced queries carry a null QueryTrace* — every span site is a
+  /// branch.
+  std::uint64_t trace_sample_every = 1;
+  /// Finished traces retained in the in-memory ring (Engine::traces()).
+  std::size_t trace_ring_capacity = 64;
+  /// Queries slower than this emit a structured `event=slow_query` log
+  /// line (with the compact trace when sampled). 0 disables.
+  double slow_query_seconds = 1.0;
+};
 
 /// Top-level engine options.
 struct EngineOptions {
@@ -35,6 +56,8 @@ struct EngineOptions {
   /// parameters, and async (background) build policy for managed indexes
   /// shared across queries.
   IndexManagerOptions index;
+  /// Engine telemetry: metrics registry, tracing, slow-query log.
+  ObsOptions obs;
 };
 
 /// The context-rich analytical engine: a catalog of relational tables, a
@@ -73,6 +96,16 @@ class Engine {
   /// is gated by options().index.enabled).
   IndexManager* index_manager() { return index_manager_.get(); }
   const IndexManager* index_manager() const { return index_manager_.get(); }
+
+  /// The engine-wide metrics registry (never null). Snapshot() exports
+  /// the unified namespace — engine-owned latency histograms and query
+  /// counters plus collector-pulled scheduler / index-manager /
+  /// embed-cache / kernel-dispatch state — as JSON or Prometheus text.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  /// Ring of recently finished query traces (sampled per ObsOptions).
+  TraceRing* traces() { return traces_.get(); }
+
   const EngineOptions& options() const { return options_; }
   void set_optimizer_options(const OptimizerOptions& o) {
     options_.optimizer = o;
@@ -113,6 +146,16 @@ class Engine {
   /// pipeline routing, and the serving-layer state (scheduler load,
   /// background builds) the query would be admitted into.
   Result<std::string> Explain(const PlanPtr& plan);
+
+  /// EXPLAIN ANALYZE: optimizes and *executes* the plan (always traced,
+  /// always instrumented), then renders the plan tree annotated with
+  /// measured per-node wall time, rows, batches, and dop — plus breaker
+  /// phase breakdowns, scheduling waits, managed-index residency
+  /// transitions observed across the execution, the pipeline routing,
+  /// and the query's span tree.
+  Result<std::string> ExplainAnalyze(const PlanPtr& plan);
+  Result<std::string> ExplainAnalyze(const PlanPtr& plan,
+                                     const QueryOptions& query);
 
   /// Lowers a logical node to a physical operator tree (serial form:
   /// every child lowered recursively) against `ctx`'s pinned snapshot.
@@ -158,6 +201,21 @@ class Engine {
   /// Admits one query: pins the catalog snapshot and joins the scheduler
   /// at `query.priority`.
   QueryContext MakeContext(const QueryOptions& query, StatsCollector* stats);
+  /// Registers the pull-style metric collectors (scheduler, index
+  /// manager, embed caches, kernel dispatch) on metrics_.
+  void RegisterCollectors();
+  /// Allocates the query id and, when this query is sampled (or `force`),
+  /// its trace. Wires both into `ctx`.
+  std::shared_ptr<QueryTrace> AdmitForObs(QueryContext* ctx, const char* kind,
+                                          bool force_trace = false);
+  /// Telemetry tail of every query: latency/queue-wait histograms, status
+  /// counters, trace ring push, slow-query log.
+  void FinishQuery(QueryContext* ctx, const char* kind, double seconds,
+                   const Status& status, std::size_t rows,
+                   std::shared_ptr<QueryTrace> trace);
+  /// Shared optimize → execute path with tracing + telemetry around it.
+  Result<TablePtr> RunTracked(QueryContext* ctx, const PlanPtr& plan,
+                              bool optimize, const char* kind);
   /// Per-query optimizer over ctx's pinned snapshot.
   Optimizer MakeOptimizerFor(QueryContext* ctx) const;
   /// Engine-level optimizer options with the pool's dop and the async
@@ -180,6 +238,9 @@ class Engine {
   /// Long-lived background-priority group for IndexManager builds.
   std::shared_ptr<QueryScheduler::Group> background_group_;
   std::unique_ptr<IndexManager> index_manager_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceRing> traces_;
+  std::atomic<std::uint64_t> next_query_id_{0};
 };
 
 }  // namespace cre

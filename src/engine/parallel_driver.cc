@@ -19,7 +19,9 @@ ParallelPlanDriver::ParallelPlanDriver(Engine* engine, QueryContext* ctx,
       ctx_(ctx),
       runner_(ctx->runner()),
       morsel_rows_(std::max<std::size_t>(1, morsel_rows)),
-      stats_(ctx->stats()) {}
+      stats_(ctx->stats()),
+      trace_(ctx->trace()),
+      span_parent_(ctx->trace_parent()) {}
 
 Result<TablePtr> ParallelPlanDriver::Run(const PlanNode& root) {
   CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
@@ -129,6 +131,10 @@ Result<ParallelPlanDriver::SelectStates> ParallelPlanDriver::BuildSelectStates(
     if (op->kind != PlanKind::kSemanticSelect) continue;
     CRE_ASSIGN_OR_RETURN(EmbeddingModelPtr model,
                          engine_->models().Get(op->model_name));
+    SpanScope span(this, "embed:queries");
+    span.Annotate("model", op->model_name);
+    span.Annotate("queries",
+                  std::to_string(op->queries.empty() ? 1 : op->queries.size()));
     auto matrix = std::make_shared<std::vector<float>>();
     if (op->queries.empty()) {
       matrix->resize(model->dim());
@@ -176,6 +182,8 @@ Result<OperatorPtr> ParallelPlanDriver::BuildChain(
 Result<TablePtr> ParallelPlanDriver::RunSegment(
     const PipelineSegment& segment) {
   CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
+  SpanScope span(this,
+                 std::string("pipeline:") + PlanKindName(segment.source->kind));
   CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*segment.source));
   // Breaker outputs are freshly materialized tables the caller may own
   // outright. A bare Scan must still flow through the morsel map: it
@@ -204,10 +212,16 @@ Result<TablePtr> ParallelPlanDriver::RunSort(const PlanNode& sort,
   Timer timer;
   CRE_ASSIGN_OR_RETURN(TablePtr input, Run(*sort.children[0]));
   CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
+  SpanScope span(this, "sort:" + sort.sort_key);
   SortPhaseTimings timings;
   CRE_ASSIGN_OR_RETURN(
       TablePtr out, SortTable(input, sort.sort_key, sort.sort_ascending,
                               runner_, limit_hint, &timings));
+  span.Annotate("rows", std::to_string(out->num_rows()));
+  span.Annotate("runs", std::to_string(timings.runs));
+  span.Annotate("local_sort_ms",
+                std::to_string(timings.local_sort_seconds * 1e3));
+  span.Annotate("merge_ms", std::to_string(timings.merge_seconds * 1e3));
   if (stats_ != nullptr) {
     stats_->SlotFor(&sort, "Sort(" + sort.sort_key + ")")
         ->AddBatch(out->num_rows(), timer.Seconds());
@@ -452,6 +466,13 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     merge_seconds = merge_timer.Seconds();
   }
 
+  if (trace_ != nullptr && span_parent_ != nullptr) {
+    trace_->Annotate(span_parent_, "agg_mode", use_radix ? "radix" : "hash");
+    trace_->Annotate(span_parent_, "agg_accumulate_ms",
+                     std::to_string(accumulate_seconds * 1e3));
+    trace_->Annotate(span_parent_, "agg_merge_ms",
+                     std::to_string(merge_seconds * 1e3));
+  }
   if (stats_ != nullptr) {
     const std::string label =
         use_radix ? "Aggregate [radix, " + std::to_string(partitions_used) +

@@ -102,11 +102,36 @@ class ParallelPlanDriver {
   /// plan node `node` when instrumenting.
   OperatorPtr Instrument(const PlanNode* node, OperatorPtr op);
 
+  /// Scoped trace span opened under the driver's current parent span,
+  /// nesting recursive segments (sub-pipelines show as children). All
+  /// span sites run on the driver thread; worker tasks never touch the
+  /// trace. No-ops when the query is not sampled.
+  class SpanScope {
+   public:
+    SpanScope(ParallelPlanDriver* driver, const std::string& name)
+        : driver_(driver),
+          scoped_(driver->trace_, driver->span_parent_, name),
+          saved_parent_(driver->span_parent_) {
+      if (scoped_.span() != nullptr) driver_->span_parent_ = scoped_.span();
+    }
+    ~SpanScope() { driver_->span_parent_ = saved_parent_; }
+    void Annotate(const std::string& key, const std::string& value) {
+      scoped_.Annotate(key, value);
+    }
+
+   private:
+    ParallelPlanDriver* driver_;
+    ScopedSpan scoped_;
+    TraceSpan* saved_parent_;
+  };
+
   Engine* engine_;
   QueryContext* ctx_;
   TaskRunner* runner_;
   std::size_t morsel_rows_;
   StatsCollector* stats_;
+  QueryTrace* trace_;
+  TraceSpan* span_parent_;
 };
 
 }  // namespace cre

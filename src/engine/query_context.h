@@ -8,6 +8,7 @@
 #include "core/result.h"
 #include "engine/scheduler.h"
 #include "exec/stats.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace cre {
@@ -65,11 +66,27 @@ class QueryContext {
   SchedulingCounters scheduling() const { return group_->counters(); }
   QueryPriority priority() const { return group_->priority(); }
 
+  /// The query's trace (null unless this query was sampled for tracing).
+  /// Call sites open spans under trace_parent(), the phase span the engine
+  /// is currently inside ("execute" during RunPhysical).
+  QueryTrace* trace() const { return trace_; }
+  TraceSpan* trace_parent() const { return trace_parent_; }
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
+  void set_trace_parent(TraceSpan* span) { trace_parent_ = span; }
+
+  /// Engine-assigned query id (0 when the context was built outside the
+  /// engine's admission path) — tags slow-query log lines.
+  std::uint64_t query_id() const { return query_id_; }
+  void set_query_id(std::uint64_t id) { query_id_ = id; }
+
  private:
   std::shared_ptr<const Catalog> snapshot_;
   std::shared_ptr<QueryScheduler::Group> group_;
   CancelFlagPtr cancel_;
   StatsCollector* stats_;
+  QueryTrace* trace_ = nullptr;
+  TraceSpan* trace_parent_ = nullptr;
+  std::uint64_t query_id_ = 0;
 };
 
 }  // namespace cre

@@ -73,6 +73,28 @@ class StatsCollector {
     return slot;
   }
 
+  /// The phase-0 slot registered for `key`, or nullptr when the node was
+  /// never keyed (EXPLAIN ANALYZE looks plan nodes up by identity).
+  OperatorStats* FindSlot(const void* key, int phase = 0) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find({key, phase});
+    return it == by_key_.end() ? nullptr : it->second;
+  }
+
+  /// All (phase, slot) pairs registered for `key`, sorted by phase —
+  /// phase 0 is the node's whole-operator slot, higher phases are the
+  /// breaker-internal stages recorded by the parallel driver.
+  std::vector<std::pair<int, OperatorStats*>> PhasesFor(
+      const void* key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<int, OperatorStats*>> out;
+    for (auto it = by_key_.lower_bound({key, 0});
+         it != by_key_.end() && it->first.first == key; ++it) {
+      out.emplace_back(it->first.second, it->second);
+    }
+    return out;
+  }
+
   /// Per-operator rows/time rendering (EXPLAIN ANALYZE output).
   std::string ToString() const;
 

@@ -1,5 +1,6 @@
 #include "hw/dispatch.h"
 
+#include <mutex>
 #include <vector>
 
 #include "core/rng.h"
@@ -11,7 +12,30 @@ namespace {
 /// Base rows in the batch-calibration working set: enough that the kernel's
 /// prefetch pipeline reaches steady state, small enough to stay cheap.
 constexpr std::size_t kBatchCalibrationRows = 64;
+
+std::mutex g_calibration_mu;
+KernelCalibrationRecord g_last_calibration;
+
+void RecordCalibration(std::size_t dim, KernelVariant chosen,
+                       KernelVariant chosen_batch, const double* measured_ns,
+                       const double* batch_measured_ns) {
+  std::lock_guard<std::mutex> lock(g_calibration_mu);
+  g_last_calibration.valid = true;
+  g_last_calibration.dim = dim;
+  g_last_calibration.chosen = chosen;
+  g_last_calibration.chosen_batch = chosen_batch;
+  for (int v = 0; v < kNumFloatKernelVariants; ++v) {
+    g_last_calibration.measured_ns[v] = measured_ns[v];
+    g_last_calibration.batch_measured_ns[v] = batch_measured_ns[v];
+  }
+  ++g_last_calibration.calibrations;
+}
 }  // namespace
+
+KernelCalibrationRecord LastKernelCalibration() {
+  std::lock_guard<std::mutex> lock(g_calibration_mu);
+  return g_last_calibration;
+}
 
 void AdaptiveKernelDispatcher::Calibrate() {
   const KernelVariant variants[kNumFloatKernelVariants] = {
@@ -82,6 +106,8 @@ void AdaptiveKernelDispatcher::Calibrate() {
   }
   (void)sink;
   calibrated_ = true;
+  RecordCalibration(dim_, chosen_, chosen_batch_, measured_ns_,
+                    batch_measured_ns_);
 }
 
 DotFn AdaptiveKernelDispatcher::Resolve() {

@@ -1,6 +1,7 @@
 #ifndef CRE_HW_DISPATCH_H_
 #define CRE_HW_DISPATCH_H_
 
+#include <cstdint>
 #include <string>
 
 #include "vecsim/kernels.h"
@@ -47,6 +48,23 @@ class AdaptiveKernelDispatcher {
   double measured_ns_[kNumFloatKernelVariants] = {0, 0, 0, 0};
   double batch_measured_ns_[kNumFloatKernelVariants] = {0, 0, 0, 0};
 };
+
+/// Process-wide record of the most recent kernel calibration — the
+/// telemetry layer exports it (cre_kernel_dispatch_* metrics) without
+/// holding a reference to any particular dispatcher instance.
+struct KernelCalibrationRecord {
+  bool valid = false;
+  std::size_t dim = 0;
+  KernelVariant chosen = KernelVariant::kUnrolled;
+  KernelVariant chosen_batch = KernelVariant::kUnrolled;
+  double measured_ns[kNumFloatKernelVariants] = {0, 0, 0, 0};
+  double batch_measured_ns[kNumFloatKernelVariants] = {0, 0, 0, 0};
+  std::uint64_t calibrations = 0;  ///< total Calibrate() runs this process
+};
+
+/// Snapshot of the last calibration (thread-safe; `valid` is false until
+/// some dispatcher has calibrated).
+KernelCalibrationRecord LastKernelCalibration();
 
 }  // namespace cre
 

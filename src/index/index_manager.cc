@@ -430,6 +430,12 @@ void IndexManager::ScanPersistDir() {
       continue;  // foreign or corrupt header: not a warm-start candidate
     }
     meta.path = path;
+    std::error_code sec;
+    const auto size = de.file_size(sec);
+    meta.bytes = sec ? 0 : static_cast<std::uint64_t>(size);
+    const auto mtime = de.last_write_time(sec);
+    meta.mtime_ns =
+        sec ? 0 : static_cast<std::int64_t>(mtime.time_since_epoch().count());
     persisted_[key] = std::move(meta);
   }
 }
@@ -465,6 +471,8 @@ void IndexManager::PersistToDisk(
   // install (a refresh that finished after this build released the
   // lock) cannot roll the published image back to an older stamp.
   std::error_code ec;
+  bool published = false;
+  std::vector<std::string> doomed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = persisted_.find(key);
@@ -477,14 +485,52 @@ void IndexManager::PersistToDisk(
     } else {
       std::filesystem::rename(tmp, path, ec);
       if (!ec) {
-        persisted_[key] = PersistedMeta{path, catalog_stamp, content_hash,
-                                        index->size(), /*stamp_local=*/true};
+        PersistedMeta meta{path, catalog_stamp, content_hash, index->size(),
+                           /*stamp_local=*/true};
+        std::error_code sec;
+        const auto size = std::filesystem::file_size(path, sec);
+        meta.bytes = sec ? 0 : static_cast<std::uint64_t>(size);
+        const auto mtime = std::filesystem::last_write_time(path, sec);
+        meta.mtime_ns = sec ? 0 : static_cast<std::int64_t>(
+                                      mtime.time_since_epoch().count());
+        persisted_[key] = std::move(meta);
         ++counters_.disk_writes;
-        return;
+        published = true;
+        SweepPersistBudgetLocked(key, &doomed);
       }
     }
   }
-  std::filesystem::remove(tmp, ec);
+  for (const auto& victim : doomed) {
+    std::filesystem::remove(victim, ec);
+  }
+  if (!published) std::filesystem::remove(tmp, ec);
+}
+
+void IndexManager::SweepPersistBudgetLocked(const IndexKey& just_written,
+                                            std::vector<std::string>* doomed) {
+  if (options_.persist_budget_bytes == 0) return;
+  std::uint64_t total = 0;
+  for (const auto& [key, meta] : persisted_) {
+    (void)key;
+    total += meta.bytes;
+  }
+  while (total > options_.persist_budget_bytes) {
+    auto victim = persisted_.end();
+    for (auto it = persisted_.begin(); it != persisted_.end(); ++it) {
+      if (it->first == just_written) continue;
+      if (victim == persisted_.end() ||
+          it->second.mtime_ns < victim->second.mtime_ns) {
+        victim = it;
+      }
+    }
+    // Never reclaim the image that triggered the sweep: an over-budget
+    // singleton would otherwise write-then-delete itself forever.
+    if (victim == persisted_.end()) return;
+    total -= victim->second.bytes;
+    doomed->push_back(victim->second.path);
+    persisted_.erase(victim);
+    ++counters_.disk_gc;
+  }
 }
 
 void IndexManager::DropPersisted(const IndexKey& key) {
@@ -559,6 +605,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     const IndexKey& key, std::uint64_t* built_version) {
   std::unique_lock<std::mutex> lock(mu_);
   bool counted_miss = false;
+  std::string doomed_image;
   for (;;) {
     auto it = entries_.find(key);
     if (it == entries_.end()) break;
@@ -618,6 +665,17 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     resident_bytes_ -= entry->bytes;
     entries_.erase(it);
     ++counters_.invalidations;
+    // A this-process image stamped before the destructive change can
+    // never validate again (the content hash now disagrees); reclaim it
+    // instead of leaving a dead file for the next startup scan to carry.
+    // Scanned images keep their benefit of the doubt until load time.
+    auto pit = persisted_.find(key);
+    if (pit != persisted_.end() && pit->second.stamp_local &&
+        pit->second.catalog_stamp != catalog_->Version(key.table)) {
+      doomed_image = pit->second.path;
+      persisted_.erase(pit);
+      ++counters_.disk_gc;
+    }
     CheckAccountingLocked();
     break;
   }
@@ -634,6 +692,10 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
   ++builds_in_flight_;
   const bool try_disk = HasPersistedLocked(key);
   lock.unlock();
+  if (!doomed_image.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(doomed_image, ec);
+  }
 
   std::uint64_t version = 0, hash = 0;
   std::uint64_t* hash_out = options_.persist_dir.empty() ? nullptr : &hash;
@@ -736,6 +798,7 @@ void IndexManager::EnableAsyncBuilds(TaskRunner* background_runner) {
 
 Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
     const IndexKey& key) {
+  std::string doomed_image;
   {
     std::unique_lock<std::mutex> lock(mu_);
     const bool async =
@@ -799,10 +862,19 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
         return AsyncIndex{nullptr, 0, true};
       } else {
         // Stale destructively: drop and fall through to scheduling a
-        // full background rebuild.
+        // full background rebuild. A this-process image stamped before
+        // the change is permanently stale — reclaim it (same reasoning
+        // as the blocking path's invalidation).
         resident_bytes_ -= entry->bytes;
         entries_.erase(it);
         ++counters_.invalidations;
+        auto pit = persisted_.find(key);
+        if (pit != persisted_.end() && pit->second.stamp_local &&
+            pit->second.catalog_stamp != catalog_->Version(key.table)) {
+          doomed_image = pit->second.path;
+          persisted_.erase(pit);
+          ++counters_.disk_gc;
+        }
         CheckAccountingLocked();
       }
     }
@@ -840,8 +912,17 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
         FinishInstallLocked(key, entry, std::move(built), version,
                             nullptr, InstallSource::kBuild);
       });
+      lock.unlock();
+      if (!doomed_image.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(doomed_image, ec);
+      }
       return AsyncIndex{nullptr, 0, true};
     }
+  }
+  if (!doomed_image.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(doomed_image, ec);
   }
   // Async disabled, or a persisted image is available: preserve the
   // blocking single-flight behavior (which itself prefers disk to build).

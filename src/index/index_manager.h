@@ -83,6 +83,11 @@ struct IndexManagerOptions {
   /// table, or whose file is truncated/corrupt, is rejected and the
   /// lookup falls back to a clean rebuild. Never serves stale data.
   std::string persist_dir;
+  /// Total bytes of persisted images kept in persist_dir before the GC
+  /// sweep reclaims the oldest (by file modification time). 0 = no
+  /// budget (images accumulate until destructively invalidated). The
+  /// image just written is never reclaimed by its own write-through.
+  std::size_t persist_budget_bytes = 0;
   /// Total bytes of resident indexes before LRU eviction kicks in. The
   /// most recently built index is never evicted by its own insertion.
   std::size_t memory_budget_bytes = 256ull << 20;
@@ -141,6 +146,10 @@ class IndexManager {
     /// Persisted images rejected at load time: identity/stamp/content
     /// mismatch against the live table, or a truncated/corrupt file.
     std::uint64_t disk_rejects = 0;
+    /// Persisted images deleted by GC: a destructive table change proved
+    /// the image permanently stale, or the size-budget sweep reclaimed
+    /// the oldest images to fit persist_budget_bytes.
+    std::uint64_t disk_gc = 0;
     std::size_t resident_count = 0;
     std::size_t resident_bytes = 0;
   };
@@ -245,6 +254,11 @@ class IndexManager {
     /// may ever be compared against live catalog versions — a scanned
     /// stamp from a previous run is just provenance.
     bool stamp_local = false;
+    /// On-disk footprint and age, for the size-budget GC sweep (oldest
+    /// modification time reclaimed first). Filled by the startup scan
+    /// and refreshed on every write-through.
+    std::uint64_t bytes = 0;
+    std::int64_t mtime_ns = 0;
   };
 
   /// How a finished index reached its entry; selects the stats counter
@@ -301,6 +315,14 @@ class IndexManager {
 
   /// Forgets (and deletes) a rejected/stale persisted image.
   void DropPersisted(const IndexKey& key);
+
+  /// Reclaims the oldest persisted images (by modification time) until
+  /// the on-disk footprint fits persist_budget_bytes, never touching
+  /// `just_written`. Victim paths go into `doomed` for the caller to
+  /// unlink after releasing mu_ (file IO never runs under the manager
+  /// lock). No-op when the budget is 0. Caller holds mu_.
+  void SweepPersistBudgetLocked(const IndexKey& just_written,
+                                std::vector<std::string>* doomed);
 
   bool HasPersistedLocked(const IndexKey& key) const {
     return persisted_.find(key) != persisted_.end();

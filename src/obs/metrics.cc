@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <thread>
+
+namespace cre {
+
+namespace {
+
+/// Relaxed CAS add for atomic<double> (no fetch_add for doubles in C++17).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t ShardForThisThread() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         Histogram::kShards;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `name{k="v",...}` — the shared JSON map key / Prometheus series id.
+std::string SeriesId(const std::string& name, const MetricLabels& labels,
+                     const std::string& extra_label = "",
+                     const std::string& extra_value = "") {
+  if (labels.empty() && extra_label.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += kv.first + "=\"" + kv.second + "\"";
+  }
+  if (!extra_label.empty()) {
+    if (!first) out += ",";
+    out += extra_label + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// ---- Histogram ----
+
+std::size_t Histogram::BucketIndex(double v) {
+  if (!(v >= kMinValue)) return 0;  // underflow (and NaN)
+  // log2(v / kMinValue) scaled to sub-octave buckets.
+  const double octaves = std::log2(v / kMinValue);
+  const double idx = octaves * static_cast<double>(kBucketsPerOctave);
+  if (idx >= static_cast<double>(kBucketsPerOctave * kOctaves)) {
+    return kNumBuckets - 1;  // overflow
+  }
+  return 1 + static_cast<std::size_t>(idx);
+}
+
+void Histogram::Observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  Shard& s = shards_[ShardForThisThread()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&s.sum, v);
+  AtomicMax(&s.max, v);
+  s.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kNumBuckets, 0);
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const double m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::size_t HistogramSnapshot::num_buckets() { return Histogram::kNumBuckets; }
+
+double HistogramSnapshot::BucketUpperBound(std::size_t i) {
+  if (i == 0) return Histogram::kMinValue;
+  if (i >= Histogram::kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return Histogram::kMinValue *
+         std::pow(2.0, static_cast<double>(i) /
+                           static_cast<double>(Histogram::kBucketsPerOctave));
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double lo = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      double hi = BucketUpperBound(i);
+      if (std::isinf(hi)) hi = max > lo ? max : lo;
+      // Linear interpolation within the winning bucket.
+      const double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+      double v = lo + (hi - lo) * (frac < 0 ? 0 : frac > 1 ? 1 : frac);
+      return v > max && max > 0 ? max : v;
+    }
+  }
+  return max;
+}
+
+// ---- MetricsRegistry ----
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InstrumentKey key{name, labels};
+  auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return it->second;
+  counters_.push_back(std::unique_ptr<Counter>(new Counter(&enabled_)));
+  Counter* c = counters_.back().get();
+  counter_index_.emplace(std::move(key), c);
+  return c;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InstrumentKey key{name, labels};
+  auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return it->second;
+  gauges_.push_back(std::unique_ptr<Gauge>(new Gauge(&enabled_)));
+  Gauge* g = gauges_.back().get();
+  gauge_index_.emplace(std::move(key), g);
+  return g;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InstrumentKey key{name, labels};
+  auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) return it->second;
+  histograms_.push_back(std::unique_ptr<Histogram>(new Histogram(&enabled_)));
+  Histogram* h = histograms_.back().get();
+  histogram_index_.emplace(std::move(key), h);
+  return h;
+}
+
+void MetricsRegistry::AddCollector(std::function<void(Emitter*)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  if (!enabled()) return out;
+  std::vector<std::function<void(Emitter*)>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& kv : counter_index_) {
+      out.counters.push_back(
+          {kv.first.first, kv.first.second, kv.second->value()});
+    }
+    for (const auto& kv : gauge_index_) {
+      out.gauges.push_back(
+          {kv.first.first, kv.first.second, kv.second->value()});
+    }
+    for (const auto& kv : histogram_index_) {
+      out.histograms.push_back(
+          {kv.first.first, kv.first.second, kv.second->Snapshot()});
+    }
+    collectors = collectors_;
+  }
+  // Collectors run outside mu_ so they may touch the registry themselves
+  // (and so a slow subsystem lock never blocks instrument registration).
+  Emitter emitter(&out);
+  for (const auto& c : collectors) c(&emitter);
+  return out;
+}
+
+// ---- export formats ----
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value_json) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\": " + value_json;
+  };
+  out += "\"counters\": {";
+  for (const auto& c : counters) {
+    append(SeriesId(c.name, c.labels), std::to_string(c.value));
+  }
+  out += "}, ";
+  first = true;
+  out += "\"gauges\": {";
+  for (const auto& g : gauges) {
+    append(SeriesId(g.name, g.labels), FormatDouble(g.value));
+  }
+  out += "}, ";
+  first = true;
+  out += "\"histograms\": {";
+  for (const auto& h : histograms) {
+    std::string v = "{";
+    v += "\"count\": " + std::to_string(h.hist.count);
+    v += ", \"sum\": " + FormatDouble(h.hist.sum);
+    v += ", \"max\": " + FormatDouble(h.hist.max);
+    v += ", \"p50\": " + FormatDouble(h.hist.Percentile(0.50));
+    v += ", \"p90\": " + FormatDouble(h.hist.Percentile(0.90));
+    v += ", \"p99\": " + FormatDouble(h.hist.Percentile(0.99));
+    v += "}";
+    append(SeriesId(h.name, h.labels), v);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& c : counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += SeriesId(c.name, c.labels) + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += SeriesId(g.name, g.labels) + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    // Cumulative `le` buckets; stop at the last populated bucket, then +Inf.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < h.hist.buckets.size(); ++i) {
+      if (h.hist.buckets[i] != 0) last = i;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= last && i < h.hist.buckets.size(); ++i) {
+      cum += h.hist.buckets[i];
+      out += SeriesId(h.name + "_bucket", h.labels, "le",
+                      FormatDouble(HistogramSnapshot::BucketUpperBound(i))) +
+             " " + std::to_string(cum) + "\n";
+    }
+    out += SeriesId(h.name + "_bucket", h.labels, "le", "+Inf") + " " +
+           std::to_string(h.hist.count) + "\n";
+    out += SeriesId(h.name + "_sum", h.labels) + " " +
+           FormatDouble(h.hist.sum) + "\n";
+    out += SeriesId(h.name + "_count", h.labels) + " " +
+           std::to_string(h.hist.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cre

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace cre {
+
+namespace {
+
+std::string FormatMillis(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
+}
+
+void RenderSpan(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += span.name;
+  *out += "  ";
+  *out += span.end_seconds < 0 ? "(open)" : FormatMillis(span.DurationSeconds());
+  if (!span.attrs.empty()) {
+    *out += " {";
+    bool first = true;
+    for (const auto& kv : span.attrs) {
+      if (!first) *out += ", ";
+      first = false;
+      *out += kv.first + "=" + kv.second;
+    }
+    *out += "}";
+  }
+  *out += "\n";
+  for (const auto& child : span.children) {
+    RenderSpan(*child, depth + 1, out);
+  }
+}
+
+void RenderCompact(const TraceSpan& span, std::string* out) {
+  *out += span.name;
+  *out += "=";
+  *out += span.end_seconds < 0 ? "open" : FormatMillis(span.DurationSeconds());
+  if (!span.children.empty()) {
+    *out += "[";
+    bool first = true;
+    for (const auto& child : span.children) {
+      if (!first) *out += ",";
+      first = false;
+      RenderCompact(*child, out);
+    }
+    *out += "]";
+  }
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace(std::uint64_t query_id, std::string label)
+    : query_id_(query_id), label_(std::move(label)) {
+  root_.name = "query:" + label_;
+  root_.begin_seconds = 0;
+}
+
+TraceSpan* QueryTrace::Begin(TraceSpan* parent, const std::string& name) {
+  const double now = epoch_.Seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan* target = parent != nullptr ? parent : &root_;
+  target->children.push_back(std::make_unique<TraceSpan>());
+  TraceSpan* span = target->children.back().get();
+  span->name = name;
+  span->begin_seconds = now;
+  return span;
+}
+
+void QueryTrace::End(TraceSpan* span) {
+  const double now = epoch_.Seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span->end_seconds < 0) span->end_seconds = now;
+}
+
+void QueryTrace::Annotate(TraceSpan* span, const std::string& key,
+                          const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  span->attrs.emplace_back(key, value);
+}
+
+void QueryTrace::Finish() {
+  const double now = epoch_.Seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (root_.end_seconds < 0) root_.end_seconds = now;
+}
+
+double QueryTrace::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return root_.end_seconds < 0 ? epoch_.Seconds() : root_.end_seconds;
+}
+
+std::string QueryTrace::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  RenderSpan(root_, 0, &out);
+  return out;
+}
+
+std::string QueryTrace::ToCompactString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  RenderCompact(root_, &out);
+  return out;
+}
+
+void TraceRing::Push(std::shared_ptr<const QueryTrace> trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::shared_ptr<const QueryTrace>>(traces_.rbegin(),
+                                                        traces_.rend());
+}
+
+}  // namespace cre

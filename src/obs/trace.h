@@ -1,0 +1,120 @@
+#ifndef CRE_OBS_TRACE_H_
+#define CRE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/timer.h"
+
+namespace cre {
+
+/// One timed phase of a query: name, begin/end relative to the trace
+/// epoch, string attributes, children. Spans form a tree rooted at the
+/// query itself ("query:execute" → "optimize", "pipeline:Sort", ...).
+/// Nodes are owned by their parent; the QueryTrace owns the root.
+struct TraceSpan {
+  std::string name;
+  double begin_seconds = 0;  ///< offset from the trace epoch
+  double end_seconds = -1;   ///< -1 while the span is open
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+
+  double DurationSeconds() const {
+    return end_seconds < 0 ? -1 : end_seconds - begin_seconds;
+  }
+};
+
+/// The span tree for one query. Begin/End/Annotate are mutex-guarded so
+/// driver-thread and engine-thread call sites stay TSan-clean; tracing is
+/// sampled (ObsOptions::trace_sample_every), so queries that are not
+/// sampled carry a null QueryTrace* and every call site degrades to a
+/// branch. Span pointers remain valid for the trace's lifetime.
+class QueryTrace {
+ public:
+  QueryTrace(std::uint64_t query_id, std::string label);
+
+  std::uint64_t query_id() const { return query_id_; }
+  const std::string& label() const { return label_; }
+
+  /// Opens a child span under `parent` (nullptr → under the root).
+  TraceSpan* Begin(TraceSpan* parent, const std::string& name);
+  /// Closes `span` at now. No-op if already closed.
+  void End(TraceSpan* span);
+  void Annotate(TraceSpan* span, const std::string& key,
+                const std::string& value);
+  /// Closes the root span; call once when the query finishes.
+  void Finish();
+
+  TraceSpan* root() { return &root_; }
+  /// Total seconds from trace start to Finish (or to now if unfinished).
+  double TotalSeconds() const;
+
+  /// Indented multi-line rendering of the span tree:
+  ///   query:execute  12.345ms
+  ///     optimize  0.210ms
+  ///     pipeline:Sort  9.100ms {rows=5000}
+  std::string ToString() const;
+  /// Single-line rendering for the slow-query log:
+  ///   query:execute=12.345ms[optimize=0.210ms,pipeline:Sort=9.100ms]
+  std::string ToCompactString() const;
+
+ private:
+  std::uint64_t query_id_;
+  std::string label_;
+  Timer epoch_;
+  mutable std::mutex mu_;
+  TraceSpan root_;
+};
+
+/// RAII span: begins on construction, ends on destruction. Null-trace
+/// tolerant — all members no-op when the query is not sampled.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, TraceSpan* parent, const std::string& name)
+      : trace_(trace) {
+    if (trace_) span_ = trace_->Begin(parent, name);
+  }
+  ~ScopedSpan() {
+    if (trace_ && span_) trace_->End(span_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// The opened span (nullptr when not sampled) — pass as the parent of
+  /// nested spans.
+  TraceSpan* span() const { return span_; }
+  void Annotate(const std::string& key, const std::string& value) {
+    if (trace_ && span_) trace_->Annotate(span_, key, value);
+  }
+
+ private:
+  QueryTrace* trace_;
+  TraceSpan* span_ = nullptr;
+};
+
+/// Bounded ring of recently finished query traces, newest first in
+/// Snapshot(). Shared ownership so a snapshot stays valid while new
+/// queries push older traces out.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {}
+
+  void Push(std::shared_ptr<const QueryTrace> trace);
+  std::vector<std::shared_ptr<const QueryTrace>> Snapshot() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const QueryTrace>> traces_;
+};
+
+}  // namespace cre
+
+#endif  // CRE_OBS_TRACE_H_

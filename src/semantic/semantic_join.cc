@@ -38,6 +38,22 @@ const char* SemanticJoinStrategyName(SemanticJoinStrategy s) {
   return "?";
 }
 
+const char* IndexResidencyName(IndexResidency r) {
+  switch (r) {
+    case IndexResidency::kAbsent:
+      return "absent";
+    case IndexResidency::kOnDisk:
+      return "on-disk";
+    case IndexResidency::kRefreshable:
+      return "refreshable";
+    case IndexResidency::kBuilding:
+      return "building";
+    case IndexResidency::kResident:
+      return "resident";
+  }
+  return "?";
+}
+
 SemanticJoinOperator::SemanticJoinOperator(OperatorPtr left, OperatorPtr right,
                                            std::string left_key,
                                            std::string right_key,

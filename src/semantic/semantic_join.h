@@ -63,6 +63,8 @@ enum class IndexResidency {
   kResident,
 };
 
+const char* IndexResidencyName(IndexResidency r);
+
 struct SemanticJoinOptions {
   float threshold = 0.9f;
   SemanticJoinStrategy strategy = SemanticJoinStrategy::kBruteForce;

@@ -12,4 +12,10 @@ Result<std::string> ExplainSql(Engine* engine, const std::string& statement) {
   return engine->Explain(plan);
 }
 
+Result<std::string> ExplainAnalyzeSql(Engine* engine,
+                                      const std::string& statement) {
+  CRE_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(statement));
+  return engine->ExplainAnalyze(plan);
+}
+
 }  // namespace cre::sql

@@ -14,6 +14,12 @@ Result<TablePtr> ExecuteSql(Engine* engine, const std::string& statement);
 /// Parses and explains (optimized plan text with annotations).
 Result<std::string> ExplainSql(Engine* engine, const std::string& statement);
 
+/// Parses, executes, and renders the measured plan (EXPLAIN ANALYZE):
+/// per-node wall time / rows / dop, scheduling waits, index residency
+/// transitions, and the query's trace.
+Result<std::string> ExplainAnalyzeSql(Engine* engine,
+                                      const std::string& statement);
+
 }  // namespace cre::sql
 
 #endif  // CRE_SQL_SQL_H_

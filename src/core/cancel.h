@@ -2,25 +2,120 @@
 #define CRE_CORE_CANCEL_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <memory>
+
+#include "core/status.h"
 
 namespace cre {
 
-/// Shared cooperative-cancellation flag. The caller keeps one handle and
-/// may flip it from any thread; a query's drivers poll it at morsel and
-/// segment boundaries and unwind with Status::Cancelled. Cancellation is
-/// cooperative — in-flight batches finish, then the query stops claiming
-/// work. Lives in core so the exec-layer morsel scheduler can poll it
-/// without depending on the engine's QueryContext.
+/// Why a cancellation token was tripped. Hot poll sites only look at the
+/// boolean; the cause is read once at the engine boundary to pick between
+/// kCancelled and kDeadlineExceeded.
+enum class StopCause : int {
+  kNone = 0,
+  kCancelled = 1,
+  kDeadline = 2,
+};
+
+/// Shared cooperative-cancellation token, optionally armed with a deadline.
+/// The caller keeps one handle and may flip it from any thread; a query's
+/// drivers poll it at morsel and segment boundaries and unwind with
+/// Status::Cancelled. Cancellation is cooperative — in-flight batches
+/// finish, then the query stops claiming work. Lives in core so the
+/// exec-layer morsel scheduler can poll it without depending on the
+/// engine's QueryContext.
+///
+/// Deadlines: SetDeadline() arms the token; the engine's reaper thread
+/// calls ExpireDeadline() when the wall clock passes it, which trips the
+/// same atomic bool every existing poll site already watches — deep loops
+/// (HNSW build, IVF scans, k-means) enforce timeouts without ever touching
+/// a clock. CheckStop() additionally compares the clock directly, so
+/// driver-level polls catch pre-expired deadlines even before the reaper
+/// runs.
 class CancelFlag {
  public:
-  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  void Cancel() {
+    // First cause wins; a deadline expiry racing a user cancel keeps
+    // whichever landed first.
+    int expected = static_cast<int>(StopCause::kNone);
+    cause_.compare_exchange_strong(expected,
+                                   static_cast<int>(StopCause::kCancelled),
+                                   std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
   bool cancelled() const {
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// Arms (or re-arms) the deadline, given as nanoseconds on the
+  /// steady_clock epoch. 0 means "no deadline".
+  void SetDeadline(std::int64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+
+  /// Convenience: arm the deadline `timeout_seconds` from now.
+  void SetTimeout(double timeout_seconds) {
+    SetDeadline(NowNs() + static_cast<std::int64_t>(timeout_seconds * 1e9));
+  }
+
+  std::int64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Trips the token because the deadline passed. Called by the reaper
+  /// (or by CheckStop on a precise poll).
+  void ExpireDeadline() {
+    int expected = static_cast<int>(StopCause::kNone);
+    cause_.compare_exchange_strong(expected,
+                                   static_cast<int>(StopCause::kDeadline),
+                                   std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  StopCause cause() const {
+    return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
+  }
+
+  bool deadline_exceeded() const {
+    return cancelled() && cause() == StopCause::kDeadline;
+  }
+
+  /// Seconds until the deadline (negative if already past); returns +inf
+  /// semantics via a large positive value when no deadline is armed.
+  double SlackSeconds() const {
+    std::int64_t d = deadline_ns();
+    if (d == 0) return 1e18;
+    return static_cast<double>(d - NowNs()) * 1e-9;
+  }
+
+  /// Precise poll: checks the flag AND the clock. Returns OK, or the
+  /// status a query should unwind with. Driver-level call sites use this;
+  /// deep loops keep polling cancelled() (one atomic load).
+  Status CheckStop() {
+    if (!cancelled()) {
+      std::int64_t d = deadline_ns();
+      if (d != 0 && NowNs() >= d) ExpireDeadline();
+    }
+    if (!cancelled()) return Status::OK();
+    if (cause() == StopCause::kDeadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Cancelled("query cancelled by caller");
+  }
+
+  static std::int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<int> cause_{static_cast<int>(StopCause::kNone)};
+  std::atomic<std::int64_t> deadline_ns_{0};
 };
 
 using CancelFlagPtr = std::shared_ptr<CancelFlag>;

@@ -1,0 +1,120 @@
+#include "core/fault_injection.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace cre {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("CRE_FAULTS");
+  if (env != nullptr && env[0] != '\0') ParseEnv(env);
+}
+
+const std::vector<std::string>& FaultInjector::SiteCatalogue() {
+  // Every CRE_INJECT_FAULT / CRE_RETURN_IF_FAULT site in the engine.
+  // Chaos sweeps iterate this list; add new sites here when wiring them.
+  static const std::vector<std::string>* kSites = new std::vector<std::string>{
+      "persist.open",          // index image tmp-file creation
+      "persist.write",         // index image serialization/flush
+      "persist.rename",        // atomic tmp -> final rename
+      "load.open",             // persisted image open at lookup
+      "load.read",             // persisted image parse/validate
+      "index.build.embed",     // embed batch during cold index build
+      "index.build.construct", // index structure construction
+      "index.refresh.append",  // incremental refresh append step
+      "embed.query",           // query-side embed batch
+      "governor.charge",       // allocation charge points
+      "hashjoin.build",        // hash-join build-side materialization
+  };
+  return *kSites;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmedSite armed;
+  armed.spec = std::move(spec);
+  sites_[site] = std::move(armed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  if (sites_.empty()) enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+Status FaultInjector::Check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  ArmedSite& armed = it->second;
+  std::uint64_t hit = armed.hit_count++;
+  if (armed.spent) return Status::OK();
+  if (hit < armed.spec.after_hits) return Status::OK();
+  if (armed.spec.probability < 1.0) {
+    // xorshift64*: deterministic per-process sequence, no global RNG.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    double draw = static_cast<double>((rng_state_ * 2685821657736338717ull) >>
+                                      11) /
+                  9007199254740992.0;  // 2^53
+    if (draw >= armed.spec.probability) return Status::OK();
+  }
+  if (!armed.spec.persistent) armed.spent = true;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  std::string msg = armed.spec.message.empty()
+                        ? ("injected fault at " + site)
+                        : armed.spec.message;
+  return Status(armed.spec.code, std::move(msg));
+}
+
+void FaultInjector::ParseEnv(const char* env) {
+  std::stringstream entries(env);
+  std::string entry;
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty()) continue;
+    std::stringstream fields(entry);
+    std::string site;
+    if (!std::getline(fields, site, ':') || site.empty()) continue;
+    FaultSpec spec;
+    std::string field;
+    while (std::getline(fields, field, ':')) {
+      if (field.rfind("p=", 0) == 0) {
+        spec.probability = std::atof(field.c_str() + 2);
+      } else if (field.rfind("n=", 0) == 0) {
+        long n = std::atol(field.c_str() + 2);
+        spec.after_hits = n > 0 ? static_cast<std::uint64_t>(n - 1) : 0;
+      } else if (field == "persistent") {
+        spec.persistent = true;
+      } else if (field.rfind("code=", 0) == 0) {
+        std::string code = field.substr(5);
+        if (code == "io") spec.code = StatusCode::kIoError;
+        else if (code == "internal") spec.code = StatusCode::kInternal;
+        else if (code == "resource") spec.code = StatusCode::kResourceExhausted;
+        else if (code == "cancelled") spec.code = StatusCode::kCancelled;
+      }
+    }
+    Arm(site, spec);
+  }
+}
+
+}  // namespace cre

@@ -1,0 +1,103 @@
+#ifndef CRE_CORE_FAULT_INJECTION_H_
+#define CRE_CORE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace cre {
+
+/// Trigger description for one fault site. A fault fires either
+/// probabilistically (`probability` in (0,1]) or deterministically on the
+/// nth hit (`after_hits` == n-1 skips before firing). `persistent` keeps
+/// firing after the first trigger; one-shot specs disarm themselves.
+struct FaultSpec {
+  double probability = 1.0;
+  std::uint64_t after_hits = 0;
+  bool persistent = false;
+  StatusCode code = StatusCode::kIoError;
+  std::string message;
+};
+
+/// Site-keyed fault-injection harness for chaos testing. Production code
+/// sprinkles `CRE_INJECT_FAULT("persist.write")` at failure points; when
+/// the harness is disabled (the default) each call is one relaxed atomic
+/// load and a predictable branch. Tests (or the `CRE_FAULTS` env var)
+/// arm sites to return injected Status errors and assert the engine
+/// degrades cleanly.
+///
+/// Env format: CRE_FAULTS="site[:p=0.5][:n=3][:persistent][:code=io],site2"
+/// where p is a probability, n an nth-hit trigger (1-based), and code one
+/// of io|internal|resource|cancelled.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms `site`. Overwrites any existing spec for the site.
+  void Arm(const std::string& site, FaultSpec spec);
+  /// Disarms one site.
+  void Disarm(const std::string& site);
+  /// Disarms everything and zeroes hit counters.
+  void Reset();
+
+  /// Probe from production code: returns OK unless `site` is armed and
+  /// its trigger fires. Never called on the fast path when disabled —
+  /// use the CRE_INJECT_FAULT macro, which checks enabled() first.
+  Status Check(const std::string& site);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Total faults fired since the last Reset().
+  std::uint64_t fired_total() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Hits observed at a site (armed sites only).
+  std::uint64_t hits(const std::string& site) const;
+
+  /// The compiled-in catalogue of every site the engine can fault. Chaos
+  /// sweeps iterate this so a new site cannot silently escape coverage.
+  static const std::vector<std::string>& SiteCatalogue();
+
+ private:
+  FaultInjector();
+
+  struct ArmedSite {
+    FaultSpec spec;
+    std::uint64_t hit_count = 0;
+    bool spent = false;  // one-shot already fired
+  };
+
+  void ParseEnv(const char* env);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> fired_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedSite> sites_;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+/// Fault probe: evaluates to a Status to be checked at the call site.
+/// Disabled harness => one relaxed load, no map lookup, no lock.
+#define CRE_INJECT_FAULT(site)                            \
+  (::cre::FaultInjector::Global().enabled()               \
+       ? ::cre::FaultInjector::Global().Check(site)       \
+       : ::cre::Status::OK())
+
+/// Convenience: returns from the enclosing function when the site fires.
+#define CRE_RETURN_IF_FAULT(site)                         \
+  do {                                                    \
+    if (::cre::FaultInjector::Global().enabled()) {       \
+      ::cre::Status _fst =                                \
+          ::cre::FaultInjector::Global().Check(site);     \
+      if (!_fst.ok()) return _fst;                        \
+    }                                                     \
+  } while (false)
+
+}  // namespace cre
+
+#endif  // CRE_CORE_FAULT_INJECTION_H_

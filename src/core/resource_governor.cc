@@ -1,0 +1,106 @@
+#include "core/resource_governor.h"
+
+#include <string>
+
+#include "core/fault_injection.h"
+
+namespace cre {
+namespace {
+
+std::string BreachMessage(const char* what, std::size_t requested,
+                          std::size_t charged, std::size_t limit,
+                          const char* scope) {
+  std::string msg = "memory budget exceeded (";
+  msg += scope;
+  msg += ") charging ";
+  msg += std::to_string(requested);
+  msg += " bytes for ";
+  msg += what;
+  msg += ": ";
+  msg += std::to_string(charged);
+  msg += " of ";
+  msg += std::to_string(limit);
+  msg += " bytes already charged";
+  return msg;
+}
+
+void UpdatePeak(std::atomic<std::size_t>* peak, std::size_t now) {
+  std::size_t prev = peak->load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak->compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Status ResourceGovernor::Charge(std::size_t bytes, const char* what) {
+  if (bytes == 0) return Status::OK();
+  CRE_RETURN_IF_FAULT("governor.charge");
+  std::size_t prev = charged_.fetch_add(bytes, std::memory_order_relaxed);
+  std::size_t now = prev + bytes;
+  std::size_t limit = options_.engine_memory_bytes;
+  if (limit != 0 && now > limit) {
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+    breaches_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        BreachMessage(what, bytes, prev, limit, "engine"));
+  }
+  UpdatePeak(&peak_, now);
+  return Status::OK();
+}
+
+void ResourceGovernor::Release(std::size_t bytes) {
+  if (bytes == 0) return;
+  std::size_t prev = charged_.load(std::memory_order_relaxed);
+  std::size_t take;
+  do {
+    take = prev < bytes ? prev : bytes;
+  } while (!charged_.compare_exchange_weak(prev, prev - take,
+                                           std::memory_order_relaxed));
+}
+
+QueryBudget::~QueryBudget() {
+  // A query that unwound mid-plan may still hold charges pinned in
+  // operator state that was already torn down without releasing; return
+  // the remainder to the engine-wide pool.
+  std::size_t rest = charged_.load(std::memory_order_relaxed);
+  if (rest != 0 && governor_ != nullptr) governor_->Release(rest);
+}
+
+Status QueryBudget::Charge(std::size_t bytes, const char* what) {
+  if (bytes == 0) return Status::OK();
+  if (governor_ == nullptr) {
+    // With a governor the engine-wide Charge below probes the fault
+    // site; probe here only when that path is skipped.
+    CRE_RETURN_IF_FAULT("governor.charge");
+  }
+  std::size_t prev = charged_.fetch_add(bytes, std::memory_order_relaxed);
+  std::size_t now = prev + bytes;
+  if (limit_bytes_ != 0 && now > limit_bytes_) {
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        BreachMessage(what, bytes, prev, limit_bytes_, "query"));
+  }
+  if (governor_ != nullptr) {
+    Status st = governor_->Charge(bytes, what);
+    if (!st.ok()) {
+      charged_.fetch_sub(bytes, std::memory_order_relaxed);
+      return st;
+    }
+  }
+  UpdatePeak(&peak_, now);
+  return Status::OK();
+}
+
+void QueryBudget::Release(std::size_t bytes) {
+  if (bytes == 0) return;
+  std::size_t prev = charged_.load(std::memory_order_relaxed);
+  std::size_t take;
+  do {
+    take = prev < bytes ? prev : bytes;
+  } while (!charged_.compare_exchange_weak(prev, prev - take,
+                                           std::memory_order_relaxed));
+  if (take != 0 && governor_ != nullptr) governor_->Release(take);
+}
+
+}  // namespace cre

@@ -29,6 +29,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

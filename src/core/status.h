@@ -22,6 +22,8 @@ enum class StatusCode {
   kResourceExhausted,
   kAborted,
   kCancelled,
+  kDeadlineExceeded,
+  kIoError,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -71,6 +73,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -88,6 +96,13 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -31,8 +31,15 @@ Engine::Engine(EngineOptions options) : options_(options) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
-  scheduler_ = std::make_unique<QueryScheduler>(pool_.get());
+  scheduler_ =
+      std::make_unique<QueryScheduler>(pool_.get(), options_.admission);
   background_group_ = scheduler_->Admit(QueryPriority::kBackground);
+  governor_ = std::make_unique<ResourceGovernor>(options_.governor);
+  reaper_ = std::make_unique<DeadlineReaper>();
+  // Index builds charge their transient embed matrices against the
+  // engine-wide accountant (resident index bytes are already bounded by
+  // the manager's own LRU budget).
+  options_.index.governor = governor_.get();
   // Cold managed HNSW builds requested synchronously (GetOrBuild from a
   // driver thread) fan their canonical batched construction out through
   // the background group: group-scoped Wait keeps concurrent queries'
@@ -79,10 +86,35 @@ void Engine::RegisterCollectors() {
     e->Counter("cre_index_disk_writes_total", {}, s.disk_writes);
     e->Counter("cre_index_disk_rejects_total", {}, s.disk_rejects);
     e->Counter("cre_index_disk_gc_total", {}, s.disk_gc);
+    e->Counter("cre_index_disk_retry_total", {}, s.disk_retries);
     e->Gauge("cre_index_resident_count", {},
              static_cast<double>(s.resident_count));
     e->Gauge("cre_index_resident_bytes", {},
              static_cast<double>(s.resident_bytes));
+
+    // Admission control.
+    const AdmissionStats adm = scheduler_->admission_stats();
+    for (int c = 0; c < 3; ++c) {
+      const char* cls = QueryPriorityName(static_cast<QueryPriority>(c));
+      e->Counter("cre_admission_admitted_total", {{"class", cls}},
+                 adm.admitted[static_cast<std::size_t>(c)]);
+      e->Counter("cre_admission_shed_total", {{"class", cls}},
+                 adm.shed[static_cast<std::size_t>(c)]);
+    }
+    e->Gauge("cre_admission_active_queries", {},
+             static_cast<double>(adm.active_admitted));
+
+    // Deadlines.
+    e->Counter("cre_deadline_expired_total", {}, reaper_->expired_total());
+    e->Gauge("cre_deadline_watched", {},
+             static_cast<double>(reaper_->watched()));
+
+    // Resource governor.
+    e->Gauge("cre_governor_charged_bytes", {},
+             static_cast<double>(governor_->charged_bytes()));
+    e->Gauge("cre_governor_peak_bytes", {},
+             static_cast<double>(governor_->peak_bytes()));
+    e->Counter("cre_governor_breaches_total", {}, governor_->breaches());
 
     // Embedding caches (every registered model wrapped in the LRU
     // decorator).
@@ -141,10 +173,46 @@ Engine::~Engine() {
   pool_.reset();
 }
 
-QueryContext Engine::MakeContext(const QueryOptions& query,
-                                 StatsCollector* stats) {
-  return QueryContext(catalog_.Snapshot(), scheduler_->Admit(query.priority),
-                      query.cancel, stats);
+Result<QueryContext> Engine::MakeContext(const QueryOptions& query,
+                                         StatsCollector* stats) {
+  // Bounded admission first: a shed query never pins a snapshot, arms a
+  // deadline, or reserves budget. With max_active_queries == 0 TryAdmit
+  // never sheds (pre-admission behavior).
+  auto admitted = scheduler_->TryAdmit(query.priority);
+  if (!admitted.ok()) {
+    if (metrics_->enabled()) {
+      metrics_->counter("cre_queries_total", {{"status", "shed"}})
+          ->Increment();
+    }
+    return admitted.status();
+  }
+
+  // Deadline: the caller's timeout, else the engine default. The token is
+  // the caller's handle when one was passed (so external Cancel() and the
+  // deadline share one flag); otherwise the engine creates one so the
+  // reaper has something to trip.
+  const double timeout = query.timeout_seconds > 0
+                             ? query.timeout_seconds
+                             : options_.default_query_timeout_seconds;
+  CancelFlagPtr cancel = query.cancel;
+  if (timeout > 0) {
+    if (cancel == nullptr) cancel = std::make_shared<CancelFlag>();
+    cancel->SetTimeout(timeout);
+    reaper_->Watch(cancel);
+  }
+
+  QueryContext ctx(catalog_.Snapshot(), std::move(admitted).ValueUnsafe(),
+                   std::move(cancel), stats);
+
+  // Memory budget: attached only when some ceiling exists, so the
+  // unlimited default keeps every charge site a null check.
+  const std::size_t per_query = query.memory_budget_bytes != 0
+                                    ? query.memory_budget_bytes
+                                    : options_.governor.per_query_memory_bytes;
+  if (per_query != 0 || options_.governor.engine_memory_bytes != 0) {
+    ctx.set_budget(std::make_shared<QueryBudget>(governor_.get(), per_query));
+  }
+  return ctx;
 }
 
 OptimizerOptions Engine::EffectiveOptimizerOptions() const {
@@ -306,7 +374,7 @@ Result<OperatorPtr> Engine::LowerNodeOver(QueryContext* ctx,
                            detectors_.Get(node.table_name));
       return OperatorPtr(std::make_unique<DetectionScanOperator>(
           binding.store, binding.detector, node.predicate,
-          /*images_per_batch=*/256, ctx->runner()));
+          /*images_per_batch=*/256, ctx->runner(), ctx->cancel_flag()));
     }
     case PlanKind::kFilter:
       return OperatorPtr(std::make_unique<FilterOperator>(
@@ -371,6 +439,12 @@ Result<OperatorPtr> Engine::LowerNodeOver(QueryContext* ctx,
             } else if (ready.build_in_flight) {
               options.strategy = SemanticJoinStrategy::kBruteForce;
             }
+          } else if (lookup.status().IsResourceExhausted()) {
+            // Governor breach inside the managed build: a per-execution
+            // local index build would chase the same memory that just ran
+            // out, so degrade this query to brute force instead — slower,
+            // same answer.
+            options.strategy = SemanticJoinStrategy::kBruteForce;
           }
         }
       }
@@ -467,8 +541,16 @@ void Engine::FinishQuery(QueryContext* ctx, const char* kind, double seconds,
       metrics_->counter("cre_tasks_dispatched_total")
           ->Increment(sched.tasks_dispatched);
     }
-    const char* outcome =
-        status.ok() ? "ok" : (status.IsCancelled() ? "cancelled" : "error");
+    const char* outcome = "error";
+    if (status.ok()) {
+      outcome = "ok";
+    } else if (status.IsDeadlineExceeded()) {
+      outcome = "deadline";
+    } else if (status.IsCancelled()) {
+      outcome = "cancelled";
+    } else if (status.IsResourceExhausted()) {
+      outcome = "resource_exhausted";
+    }
     metrics_->counter("cre_queries_total", {{"status", outcome}})->Increment();
     if (status.ok()) {
       metrics_->counter("cre_query_rows_total")->Increment(rows);
@@ -516,6 +598,14 @@ Result<TablePtr> Engine::RunTracked(QueryContext* ctx, const PlanPtr& plan,
     if (r.ok()) rows = r.ValueUnsafe()->num_rows();
     return r;
   }();
+  // Deep poll sites only watch the token's boolean and report kCancelled;
+  // when the token actually tripped on its deadline, surface the precise
+  // code at the engine boundary.
+  if (!result.ok() && result.status().IsCancelled() &&
+      ctx->cancel_flag() != nullptr &&
+      ctx->cancel_flag()->deadline_exceeded()) {
+    result = Status::DeadlineExceeded("query deadline exceeded");
+  }
   FinishQuery(ctx, kind, timer.Seconds(), result.status(), rows,
               std::move(trace));
   return result;
@@ -527,7 +617,7 @@ Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan) {
 
 Result<TablePtr> Engine::ExecuteUnoptimized(const PlanPtr& plan,
                                             const QueryOptions& query) {
-  QueryContext ctx = MakeContext(query, /*stats=*/nullptr);
+  CRE_ASSIGN_OR_RETURN(QueryContext ctx, MakeContext(query, /*stats=*/nullptr));
   return RunTracked(&ctx, plan, /*optimize=*/false, "unoptimized");
 }
 
@@ -537,7 +627,7 @@ Result<TablePtr> Engine::Execute(const PlanPtr& plan) {
 
 Result<TablePtr> Engine::Execute(const PlanPtr& plan,
                                  const QueryOptions& query) {
-  QueryContext ctx = MakeContext(query, /*stats=*/nullptr);
+  CRE_ASSIGN_OR_RETURN(QueryContext ctx, MakeContext(query, /*stats=*/nullptr));
   return RunTracked(&ctx, plan, /*optimize=*/true, "execute");
 }
 
@@ -549,7 +639,7 @@ Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(
     const PlanPtr& plan, const QueryOptions& query) {
   AnalyzedResult out;
   out.stats = std::make_shared<StatsCollector>();
-  QueryContext ctx = MakeContext(query, out.stats.get());
+  CRE_ASSIGN_OR_RETURN(QueryContext ctx, MakeContext(query, out.stats.get()));
 
   Timer timer;
   auto result = RunTracked(&ctx, plan, /*optimize=*/true, "stats");
@@ -673,7 +763,7 @@ Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan) {
 Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
                                            const QueryOptions& query) {
   StatsCollector stats;
-  QueryContext ctx = MakeContext(query, &stats);
+  CRE_ASSIGN_OR_RETURN(QueryContext ctx, MakeContext(query, &stats));
   std::shared_ptr<QueryTrace> trace =
       AdmitForObs(&ctx, "explain_analyze", /*force_trace=*/true);
 
@@ -704,6 +794,10 @@ Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
     ctx.set_trace_parent(nullptr);
     return r;
   }();
+  if (!result.ok() && result.status().IsCancelled() &&
+      ctx.cancel_flag() != nullptr && ctx.cancel_flag()->deadline_exceeded()) {
+    result = Status::DeadlineExceeded("query deadline exceeded");
+  }
   const double total_seconds = timer.Seconds();
   const std::size_t rows =
       result.ok() ? result.ValueUnsafe()->num_rows() : 0;
@@ -729,6 +823,23 @@ Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
                 static_cast<unsigned long long>(sched.tasks_dispatched),
                 sched.queue_wait_seconds * 1e3, sched.admission_seconds * 1e3);
   out += sched_line;
+
+  if (ctx.cancel_flag() != nullptr && ctx.cancel_flag()->deadline_ns() != 0) {
+    char deadline_line[96];
+    std::snprintf(deadline_line, sizeof(deadline_line),
+                  "deadline: slack at finish=%.3fms\n",
+                  ctx.cancel_flag()->SlackSeconds() * 1e3);
+    out += deadline_line;
+  }
+  if (ctx.budget() != nullptr) {
+    char governor_line[160];
+    std::snprintf(governor_line, sizeof(governor_line),
+                  "governor: query peak=%zu bytes (limit=%zu), "
+                  "engine charged=%zu bytes\n",
+                  ctx.budget()->peak_bytes(), ctx.budget()->limit_bytes(),
+                  governor_->charged_bytes());
+    out += governor_line;
+  }
 
   if (!index_keys.empty()) {
     out += "index residency:\n";

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/resource_governor.h"
 #include "core/thread_pool.h"
 #include "embed/model_registry.h"
 #include "engine/query_context.h"
@@ -58,6 +59,18 @@ struct EngineOptions {
   IndexManagerOptions index;
   /// Engine telemetry: metrics registry, tracing, slow-query log.
   ObsOptions obs;
+  /// Default per-query deadline, seconds from admission, applied when
+  /// QueryOptions::timeout_seconds is 0. 0 = queries run unbounded.
+  double default_query_timeout_seconds = 0;
+  /// Tracked-memory ceilings (engine-wide and default per-query) enforced
+  /// by the resource governor at the big allocation points: hash-join
+  /// builds, sort runs, aggregation state, index-build embed matrices,
+  /// query embed batches. Breach unwinds with kResourceExhausted through
+  /// the normal Status path — never std::bad_alloc.
+  ResourceGovernorOptions governor;
+  /// Bounded admission: cap on concurrently active user queries, with
+  /// per-priority-class load shedding (see AdmissionOptions).
+  AdmissionOptions admission;
 };
 
 /// The context-rich analytical engine: a catalog of relational tables, a
@@ -96,6 +109,14 @@ class Engine {
   /// is gated by options().index.enabled).
   IndexManager* index_manager() { return index_manager_.get(); }
   const IndexManager* index_manager() const { return index_manager_.get(); }
+
+  /// Engine-wide memory accountant (never null; limits of 0 = unlimited).
+  ResourceGovernor* governor() { return governor_.get(); }
+  const ResourceGovernor* governor() const { return governor_.get(); }
+  /// Deadline enforcement thread (never null; idle until a query with a
+  /// timeout is admitted).
+  DeadlineReaper* reaper() { return reaper_.get(); }
+  const DeadlineReaper* reaper() const { return reaper_.get(); }
 
   /// The engine-wide metrics registry (never null). Snapshot() exports
   /// the unified namespace — engine-owned latency histograms and query
@@ -198,9 +219,12 @@ class Engine {
 
  private:
   Result<OperatorPtr> LowerImpl(QueryContext* ctx, const PlanNode& node);
-  /// Admits one query: pins the catalog snapshot and joins the scheduler
-  /// at `query.priority`.
-  QueryContext MakeContext(const QueryOptions& query, StatsCollector* stats);
+  /// Admits one query: pins the catalog snapshot, joins the scheduler at
+  /// `query.priority` under the bounded-admission policy (may shed with
+  /// kResourceExhausted), arms the deadline token, and attaches the
+  /// query's memory budget.
+  Result<QueryContext> MakeContext(const QueryOptions& query,
+                                   StatsCollector* stats);
   /// Registers the pull-style metric collectors (scheduler, index
   /// manager, embed caches, kernel dispatch) on metrics_.
   void RegisterCollectors();
@@ -240,6 +264,11 @@ class Engine {
   std::unique_ptr<IndexManager> index_manager_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<TraceRing> traces_;
+  /// Engine-wide memory accounting; IndexManager and per-query budgets
+  /// charge against it (safe at destruction: ~Engine drains pool_ first,
+  /// so no build task outlives the governor).
+  std::unique_ptr<ResourceGovernor> governor_;
+  std::unique_ptr<DeadlineReaper> reaper_;
   std::atomic<std::uint64_t> next_query_id_{0};
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/fault_injection.h"
 #include "core/timer.h"
 #include "exec/aggregate.h"
 #include "exec/filter.h"
@@ -117,8 +118,8 @@ Result<ParallelPlanDriver::JoinStates> ParallelPlanDriver::BuildJoinStates(
     if (op->kind != PlanKind::kJoin) continue;
     CRE_ASSIGN_OR_RETURN(TablePtr build, Run(*op->children[1]));
     CRE_ASSIGN_OR_RETURN(std::shared_ptr<HashJoinTable> table,
-                         HashJoinTable::Build(std::move(build),
-                                              op->right_key));
+                         HashJoinTable::Build(std::move(build), op->right_key,
+                                              ctx_->budget_handle()));
     joins.emplace(op, std::move(table));
   }
   return joins;
@@ -135,6 +136,15 @@ Result<ParallelPlanDriver::SelectStates> ParallelPlanDriver::BuildSelectStates(
     span.Annotate("model", op->model_name);
     span.Annotate("queries",
                   std::to_string(op->queries.empty() ? 1 : op->queries.size()));
+    CRE_RETURN_NOT_OK(CRE_INJECT_FAULT("embed.query"));
+    // The shared matrix outlives this scope (every per-morsel operator
+    // instance holds it), so charge without a scoped release; the query
+    // budget returns the remainder when the query finishes.
+    if (ctx_->budget() != nullptr) {
+      const std::size_t bytes = (op->queries.empty() ? 1 : op->queries.size()) *
+                                model->dim() * sizeof(float);
+      CRE_RETURN_NOT_OK(ctx_->budget()->Charge(bytes, "query embed matrix"));
+    }
     auto matrix = std::make_shared<std::vector<float>>();
     if (op->queries.empty()) {
       matrix->resize(model->dim());
@@ -216,7 +226,7 @@ Result<TablePtr> ParallelPlanDriver::RunSort(const PlanNode& sort,
   SortPhaseTimings timings;
   CRE_ASSIGN_OR_RETURN(
       TablePtr out, SortTable(input, sort.sort_key, sort.sort_ascending,
-                              runner_, limit_hint, &timings));
+                              runner_, limit_hint, &timings, ctx_->budget()));
   span.Annotate("rows", std::to_string(out->num_rows()));
   span.Annotate("runs", std::to_string(timings.runs));
   span.Annotate("local_sort_ms",
@@ -357,6 +367,20 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
                                          : runner_->num_threads() * 4));
   const std::size_t per_chunk = (num_morsels + chunks - 1) / chunks;
   const std::size_t num_chunks = (num_morsels + per_chunk - 1) / per_chunk;
+
+  // Charge the accumulation's private state: every chunk keeps its own
+  // hash (or radix-partitioned) aggregation state, sized by the group
+  // cardinality estimate; plans without an estimate fall back to the
+  // input row count (a keyed aggregate can never exceed it).
+  ScopedCharge agg_charge;
+  if (ctx_->budget() != nullptr) {
+    const std::size_t est_groups =
+        agg.est_rows >= 0 ? static_cast<std::size_t>(agg.est_rows) : n;
+    const std::size_t state_bytes = est_groups * num_chunks * 64;
+    CRE_RETURN_NOT_OK(
+        ctx_->budget()->Charge(state_bytes, "aggregation state"));
+    agg_charge = ScopedCharge(ctx_->budget_handle(), state_bytes);
+  }
 
   // Drives chunk `c`'s morsel chains into `consume`, polling the
   // cancellation flag between morsels.

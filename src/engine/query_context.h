@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/cancel.h"
+#include "core/resource_governor.h"
 #include "core/result.h"
 #include "engine/scheduler.h"
 #include "exec/stats.h"
@@ -19,6 +20,14 @@ struct QueryOptions {
   /// Optional external cancellation handle (create one, keep it, pass it
   /// here; Cancel() from any thread to abandon the query).
   CancelFlagPtr cancel;
+  /// Per-query deadline, seconds from admission. 0 falls back to
+  /// EngineOptions::default_query_timeout_seconds (0 there = no deadline).
+  /// On expiry the query unwinds with kDeadlineExceeded.
+  double timeout_seconds = 0;
+  /// Per-query tracked-memory ceiling in bytes; 0 falls back to
+  /// ResourceGovernorOptions::per_query_memory_bytes (0 there = no
+  /// per-query ceiling). Breach unwinds with kResourceExhausted.
+  std::size_t memory_budget_bytes = 0;
 };
 
 /// Everything one in-flight query needs, created by the engine at
@@ -56,12 +65,22 @@ class QueryContext {
   StatsCollector* stats() const { return stats_; }
 
   bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
-  /// OK, or Status::Cancelled once the flag is set — the drivers' poll.
+  /// OK, or Status::Cancelled / Status::DeadlineExceeded once the token
+  /// trips — the drivers' poll. Precise: also compares the clock against
+  /// the armed deadline, so driver-level polls catch pre-expired
+  /// deadlines before the reaper does.
   Status CheckCancelled() const {
-    if (cancelled()) return Status::Cancelled("query cancelled by caller");
-    return Status::OK();
+    if (cancel_ == nullptr) return Status::OK();
+    return cancel_->CheckStop();
   }
   const CancelFlag* cancel_flag() const { return cancel_.get(); }
+  const CancelFlagPtr& cancel_handle() const { return cancel_; }
+
+  /// The query's memory budget (null when no governor is configured —
+  /// charges are skipped entirely).
+  QueryBudget* budget() const { return budget_.get(); }
+  const QueryBudgetPtr& budget_handle() const { return budget_; }
+  void set_budget(QueryBudgetPtr budget) { budget_ = std::move(budget); }
 
   SchedulingCounters scheduling() const { return group_->counters(); }
   QueryPriority priority() const { return group_->priority(); }
@@ -83,6 +102,7 @@ class QueryContext {
   std::shared_ptr<const Catalog> snapshot_;
   std::shared_ptr<QueryScheduler::Group> group_;
   CancelFlagPtr cancel_;
+  QueryBudgetPtr budget_;
   StatsCollector* stats_;
   QueryTrace* trace_ = nullptr;
   TraceSpan* trace_parent_ = nullptr;

@@ -36,6 +36,9 @@ struct QueryScheduler::GroupState {
 
   const QueryPriority priority;
   const Clock::time_point admitted;
+  /// True for TryAdmit'd query groups, which count toward the admission
+  /// bound; infrastructure groups (Admit) do not.
+  bool counts_as_query = false;
 
   // Guarded by the scheduler's mu_.
   std::deque<PendingTask> queue;
@@ -45,21 +48,65 @@ struct QueryScheduler::GroupState {
   SchedulingCounters counters;
 };
 
-QueryScheduler::QueryScheduler(ThreadPool* pool) : pool_(pool) {}
+QueryScheduler::QueryScheduler(ThreadPool* pool, AdmissionOptions admission)
+    : pool_(pool), admission_(admission) {}
 
 QueryScheduler::~QueryScheduler() = default;
 
+std::shared_ptr<QueryScheduler::Group> QueryScheduler::MakeGroup(
+    QueryPriority priority, bool counts_as_query) {
+  auto state = std::make_shared<GroupState>(priority);
+  state->counts_as_query = counts_as_query;
+  // Group's constructor is private; expose it to make_shared via new.
+  std::shared_ptr<Group> group(new Group(this, std::move(state)));
+  return group;
+}
+
 std::shared_ptr<QueryScheduler::Group> QueryScheduler::Admit(
     QueryPriority priority) {
-  auto state = std::make_shared<GroupState>(priority);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++active_groups_;
   }
-  // Group's constructor is private; expose it to make_shared via new.
-  auto* scheduler = this;
-  std::shared_ptr<Group> group(new Group(scheduler, std::move(state)));
-  return group;
+  return MakeGroup(priority, /*counts_as_query=*/false);
+}
+
+Result<std::shared_ptr<QueryScheduler::Group>> QueryScheduler::TryAdmit(
+    QueryPriority priority) {
+  const std::size_t cls = static_cast<std::size_t>(priority);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t limit = admission_.max_active_queries;
+    if (limit != 0 && priority != QueryPriority::kHigh) {
+      // Background work gets half the admission headroom so it cannot
+      // crowd out interactive queries; high priority is never shed.
+      const std::size_t class_limit =
+          priority == QueryPriority::kBackground
+              ? (limit / 2 == 0 ? 1 : limit / 2)
+              : limit;
+      if (active_admitted_ >= class_limit) {
+        ++shed_total_[cls];
+        return Status::ResourceExhausted(
+            std::string("admission queue full: ") +
+            std::to_string(active_admitted_) + " active queries, " +
+            QueryPriorityName(priority) + "-class limit " +
+            std::to_string(class_limit));
+      }
+    }
+    ++active_groups_;
+    ++active_admitted_;
+    ++admitted_total_[cls];
+  }
+  return MakeGroup(priority, /*counts_as_query=*/true);
+}
+
+AdmissionStats QueryScheduler::admission_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats stats;
+  stats.admitted = admitted_total_;
+  stats.shed = shed_total_;
+  stats.active_admitted = active_admitted_;
+  return stats;
 }
 
 std::size_t QueryScheduler::active_queries() const {
@@ -124,6 +171,7 @@ QueryScheduler::Group::~Group() {
   Wait();
   std::lock_guard<std::mutex> lock(scheduler_->mu_);
   --scheduler_->active_groups_;
+  if (state_->counts_as_query) --scheduler_->active_admitted_;
 }
 
 void QueryScheduler::Group::Submit(std::function<void()> task) {
@@ -161,6 +209,64 @@ QueryPriority QueryScheduler::Group::priority() const {
 SchedulingCounters QueryScheduler::Group::counters() const {
   std::lock_guard<std::mutex> lock(scheduler_->mu_);
   return state_->counters;
+}
+
+DeadlineReaper::~DeadlineReaper() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DeadlineReaper::Watch(const CancelFlagPtr& flag) {
+  if (flag == nullptr || flag->deadline_ns() == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.push(Entry{flag->deadline_ns(), flag});
+    if (!started_) {
+      started_ = true;
+      thread_ = std::thread([this] { Run(); });
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t DeadlineReaper::watched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+void DeadlineReaper::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
+      continue;
+    }
+    const std::int64_t now = CancelFlag::NowNs();
+    const Entry& next = heap_.top();
+    if (next.due_ns > now) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(next.due_ns - now));
+      continue;
+    }
+    Entry due = heap_.top();
+    heap_.pop();
+    if (CancelFlagPtr flag = due.flag.lock()) {
+      // Re-check against the token's current deadline: SetDeadline may
+      // have pushed it out after registration.
+      const std::int64_t d = flag->deadline_ns();
+      if (d != 0 && d <= now) {
+        if (!flag->cancelled()) {
+          flag->ExpireDeadline();
+          expired_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (d != 0) {
+        heap_.push(Entry{d, due.flag});
+      }
+    }
+  }
 }
 
 }  // namespace cre

@@ -9,7 +9,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
 
+#include "core/cancel.h"
+#include "core/result.h"
 #include "core/thread_pool.h"
 
 namespace cre {
@@ -37,6 +42,23 @@ struct SchedulingCounters {
   double admission_seconds = 0;
 };
 
+/// Bounded-admission policy. With `max_active_queries` == 0 admission is
+/// unlimited (pre-admission behavior, the default). Otherwise TryAdmit
+/// sheds by priority class: high-priority queries are never shed, normal
+/// queries shed once `max_active_queries` query groups are active, and
+/// background queries shed at half that (so background load cannot crowd
+/// out interactive admission headroom).
+struct AdmissionOptions {
+  std::size_t max_active_queries = 0;
+};
+
+/// Cumulative per-class admission outcomes plus the current load signal.
+struct AdmissionStats {
+  std::array<std::uint64_t, 3> admitted{{0, 0, 0}};
+  std::array<std::uint64_t, 3> shed{{0, 0, 0}};
+  std::size_t active_admitted = 0;
+};
+
 /// Fair multi-query task scheduler over one shared ThreadPool — the
 /// serving-layer analogue of the morsel scheduler's intra-query dispatch
 /// (Leis et al.'s multi-query scheduling model). Each admitted query gets
@@ -60,16 +82,27 @@ class QueryScheduler {
  public:
   class Group;
 
-  explicit QueryScheduler(ThreadPool* pool);
+  explicit QueryScheduler(ThreadPool* pool, AdmissionOptions admission = {});
   ~QueryScheduler();
 
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  /// Admits a query (or a background activity) and returns its task
-  /// group. Groups are independent: destroying one (after Wait) does not
-  /// affect others. The scheduler must outlive every group.
+  /// Admits infrastructure work (e.g. the engine's permanent background
+  /// build group) and returns its task group. Never sheds and does not
+  /// count toward the admission bound. Groups are independent: destroying
+  /// one (after Wait) does not affect others. The scheduler must outlive
+  /// every group.
   std::shared_ptr<Group> Admit(QueryPriority priority = QueryPriority::kNormal);
+
+  /// Admits a user query under the bounded-admission policy. Returns
+  /// kResourceExhausted (the query was shed) when the class's admission
+  /// bound is reached; high-priority queries are never shed.
+  Result<std::shared_ptr<Group>> TryAdmit(
+      QueryPriority priority = QueryPriority::kNormal);
+
+  AdmissionStats admission_stats() const;
+  const AdmissionOptions& admission_options() const { return admission_; }
 
   /// Groups admitted and not yet destroyed (the serving load signal shown
   /// by EXPLAIN).
@@ -92,7 +125,11 @@ class QueryScheduler {
                      std::shared_ptr<GroupState>* state,
                      std::chrono::steady_clock::time_point* enqueued);
 
+  std::shared_ptr<Group> MakeGroup(QueryPriority priority,
+                                   bool counts_as_query);
+
   ThreadPool* pool_;
+  AdmissionOptions admission_;
   mutable std::mutex mu_;
   /// Ready rings, one per priority class: groups with pending tasks, each
   /// present at most once; pumps pop the front group, run one of its
@@ -100,6 +137,10 @@ class QueryScheduler {
   std::array<std::deque<std::shared_ptr<GroupState>>, 3> ready_;
   std::size_t active_groups_ = 0;
   std::size_t pending_tasks_ = 0;
+  /// Admission accounting (TryAdmit'd query groups only).
+  std::size_t active_admitted_ = 0;
+  std::array<std::uint64_t, 3> admitted_total_{{0, 0, 0}};
+  std::array<std::uint64_t, 3> shed_total_{{0, 0, 0}};
 };
 
 /// One admitted query's task surface. Thread-safe; typically driven by
@@ -125,6 +166,51 @@ class QueryScheduler::Group : public TaskRunner {
 
   QueryScheduler* scheduler_;
   std::shared_ptr<GroupState> state_;
+};
+
+/// Engine-owned deadline enforcement: one lazily-started thread watches a
+/// min-heap of (deadline, token) and trips each token's cancel flag when
+/// the wall clock passes its deadline. Every polling site the engine
+/// already has — morsel loops, HNSW build, IVF/PQ scans, k-means,
+/// semantic-join probes — thereby enforces timeouts without touching a
+/// clock. Tokens are held weakly: a query that finishes first simply
+/// drops off the heap.
+class DeadlineReaper {
+ public:
+  DeadlineReaper() = default;
+  ~DeadlineReaper();
+
+  DeadlineReaper(const DeadlineReaper&) = delete;
+  DeadlineReaper& operator=(const DeadlineReaper&) = delete;
+
+  /// Registers a token whose deadline (already armed via SetDeadline) the
+  /// reaper should enforce. Tokens without a deadline are ignored.
+  void Watch(const CancelFlagPtr& flag);
+
+  /// Tokens expired by the reaper since construction.
+  std::uint64_t expired_total() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  /// Tokens currently under watch (approximate; expired/dead entries are
+  /// pruned lazily).
+  std::size_t watched() const;
+
+ private:
+  struct Entry {
+    std::int64_t due_ns;
+    std::weak_ptr<CancelFlag> flag;
+    bool operator>(const Entry& other) const { return due_ns > other.due_ns; }
+  };
+
+  void Run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  bool started_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+  std::atomic<std::uint64_t> expired_{0};
 };
 
 }  // namespace cre

@@ -2,15 +2,28 @@
 
 #include <set>
 
+#include "core/fault_injection.h"
+
 namespace cre {
 
 Result<std::shared_ptr<HashJoinTable>> HashJoinTable::Build(
-    TablePtr build, const std::string& key) {
+    TablePtr build, const std::string& key, QueryBudgetPtr budget) {
+  CRE_RETURN_IF_FAULT("hashjoin.build");
   auto out = std::make_shared<HashJoinTable>();
   out->build_ = std::move(build);
   CRE_ASSIGN_OR_RETURN(std::size_t key_idx,
                        out->build_->schema().RequireField(key));
   const Column& col = out->build_->column(key_idx);
+  if (budget != nullptr) {
+    // Materialized side = the pinned table plus the hash index (bucket
+    // array + one node per row; ~32 bytes/entry is a fair estimate for
+    // libstdc++'s unordered_multimap before string keys).
+    std::size_t bytes =
+        out->build_->MemoryBytes() + out->build_->num_rows() * 32;
+    Status st = budget->Charge(bytes, "hash-join build side");
+    if (!st.ok()) return st;
+    out->charge_ = ScopedCharge(budget, bytes);
+  }
   switch (col.type()) {
     case DataType::kInt64:
     case DataType::kDate: {

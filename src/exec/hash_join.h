@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/resource_governor.h"
 #include "exec/operator.h"
 
 namespace cre {
@@ -19,9 +20,12 @@ namespace cre {
 class HashJoinTable {
  public:
   /// Materializes the index over `build`'s `key` column
-  /// (int64/date/string).
-  static Result<std::shared_ptr<HashJoinTable>> Build(TablePtr build,
-                                                      const std::string& key);
+  /// (int64/date/string). With a non-null `budget`, the estimated bytes
+  /// of the materialized side (table + hash index) are charged before
+  /// building; a breach returns kResourceExhausted and the charge is
+  /// released when the table is destroyed.
+  static Result<std::shared_ptr<HashJoinTable>> Build(
+      TablePtr build, const std::string& key, QueryBudgetPtr budget = nullptr);
 
   const TablePtr& table() const { return build_; }
   std::size_t num_rows() const { return build_->num_rows(); }
@@ -36,6 +40,7 @@ class HashJoinTable {
   std::unordered_multimap<std::int64_t, std::uint32_t> int_index_;
   std::unordered_multimap<std::string, std::uint32_t> str_index_;
   bool key_is_string_ = false;
+  ScopedCharge charge_;  ///< governor charge for the materialized side
 };
 
 /// Inner equi-join: builds a hash table on the right input (assumed the

@@ -319,11 +319,36 @@ Result<TablePtr> SortTyped(const TablePtr& input, const std::vector<T>& keys,
 
 }  // namespace
 
+namespace {
+
+/// Releases a raw-pointer budget charge when the sort call unwinds. The
+/// budget outlives the call (the driver's QueryContext holds it), so a
+/// raw pointer is safe for this function-scoped charge.
+struct SortChargeGuard {
+  QueryBudget* budget = nullptr;
+  std::size_t bytes = 0;
+  ~SortChargeGuard() {
+    if (budget != nullptr && bytes != 0) budget->Release(bytes);
+  }
+};
+
+}  // namespace
+
 Result<TablePtr> SortTable(const TablePtr& input, const std::string& key,
                            bool ascending, TaskRunner* pool,
                            std::size_t limit_hint,
-                           SortPhaseTimings* timings) {
+                           SortPhaseTimings* timings, QueryBudget* budget) {
   CRE_ASSIGN_OR_RETURN(std::size_t key_idx, input->schema().RequireField(key));
+  SortChargeGuard charge;
+  if (budget != nullptr) {
+    // Transient sort state: gathered output (~input bytes) plus two
+    // row-index arrays (runs + merged permutation).
+    std::size_t bytes = input->MemoryBytes() +
+                        input->num_rows() * 2 * sizeof(std::uint32_t);
+    CRE_RETURN_NOT_OK(budget->Charge(bytes, "sort runs"));
+    charge.budget = budget;
+    charge.bytes = bytes;
+  }
   const Column& col = input->column(key_idx);
   switch (col.type()) {
     case DataType::kInt64:

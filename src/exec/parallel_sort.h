@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/resource_governor.h"
 #include "core/result.h"
 #include "core/thread_pool.h"
 #include "storage/table.h"
@@ -38,10 +39,16 @@ struct SortPhaseTimings {
 /// the merge stops after emitting that many rows, turning O(n log n) into
 /// O(n log k) top-k work. The returned table then holds at most
 /// `limit_hint` rows.
+///
+/// With a non-null `budget` the transient sort state (row-index runs plus
+/// the gathered output, ~input bytes + 2 indices/row) is charged for the
+/// duration of the call; a breach returns kResourceExhausted before any
+/// run is sorted.
 Result<TablePtr> SortTable(const TablePtr& input, const std::string& key,
                            bool ascending, TaskRunner* pool,
                            std::size_t limit_hint = 0,
-                           SortPhaseTimings* timings = nullptr);
+                           SortPhaseTimings* timings = nullptr,
+                           QueryBudget* budget = nullptr);
 
 }  // namespace cre
 

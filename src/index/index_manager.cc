@@ -4,12 +4,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "core/fault_injection.h"
 #include "core/logging.h"
 #include "vecsim/hnsw_index.h"
 #include "vecsim/index_io.h"
@@ -340,9 +343,29 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::BuildIndex(
       postings[it->second].push_back(static_cast<std::uint32_t>(i));
     }
   }
+  // The transient embed matrix is the build's allocation spike; charge it
+  // against the engine-wide governor before allocating. A breach fails
+  // the build with kResourceExhausted and the semantic strategies fall
+  // back to brute force — never std::bad_alloc.
+  const std::size_t matrix_bytes = distinct.size() * dim * sizeof(float);
+  struct GovernorGuard {
+    ResourceGovernor* governor = nullptr;
+    std::size_t bytes = 0;
+    ~GovernorGuard() {
+      if (governor != nullptr) governor->Release(bytes);
+    }
+  } guard;
+  if (options_.governor != nullptr) {
+    CRE_RETURN_NOT_OK(
+        options_.governor->Charge(matrix_bytes, "index build embed matrix"));
+    guard.governor = options_.governor;
+    guard.bytes = matrix_bytes;
+  }
+  CRE_RETURN_IF_FAULT("index.build.embed");
   std::vector<float> matrix(distinct.size() * dim);
   model->EmbedBatch(distinct, matrix.data());
 
+  CRE_RETURN_IF_FAULT("index.build.construct");
   // Background builds execute on a pool worker; fanning construction out
   // over the pool from there would make a worker block in Wait (deadlock
   // on small pools), so they build serially inside their one task.
@@ -399,6 +422,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::RefreshIndex(
   if (wrapper == nullptr) {
     return Status::Internal("managed index family does not support cloning");
   }
+  CRE_RETURN_IF_FAULT("index.refresh.append");
   CRE_RETURN_NOT_OK(wrapper->AppendRows(words, chain.prefix_rows, *model));
   *new_version = chain.to_version;
   if (content_hash != nullptr) *content_hash = ColumnContentHash(words);
@@ -440,10 +464,9 @@ void IndexManager::ScanPersistDir() {
   }
 }
 
-void IndexManager::PersistToDisk(
+Status IndexManager::PersistToDiskOnce(
     const IndexKey& key, const std::shared_ptr<const VectorIndex>& index,
     std::uint64_t catalog_stamp, std::uint64_t content_hash) {
-  if (options_.persist_dir.empty() || index == nullptr) return;
   static std::atomic<std::uint64_t> tmp_seq{0};
   const std::string path = PersistPathFor(key);
   // Unique across threads (counter) AND across processes sharing one
@@ -453,17 +476,26 @@ void IndexManager::PersistToDisk(
   const std::string tmp = path + ".tmp" + std::to_string(::getpid()) + "_" +
                           std::to_string(tmp_seq.fetch_add(1));
   {
+    CRE_RETURN_IF_FAULT("persist.open");
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return;
-    Status s = WriteImageHeader(out, key, catalog_stamp, content_hash,
-                                index->size());
+    if (!out.is_open()) {
+      return Status::IoError("cannot create index image tmp file: " + tmp);
+    }
+    Status s = CRE_INJECT_FAULT("persist.write");
+    if (s.ok()) {
+      s = WriteImageHeader(out, key, catalog_stamp, content_hash,
+                           index->size());
+    }
     if (s.ok()) s = index->Save(out);
     out.flush();
-    if (!s.ok() || !out.good()) {
+    if (s.ok() && !out.good()) {
+      s = Status::IoError("short write persisting index image: " + tmp);
+    }
+    if (!s.ok()) {
       out.close();
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
-      return;
+      return s;
     }
   }
   // Atomic publish: readers only ever see a complete image. The rename
@@ -472,6 +504,7 @@ void IndexManager::PersistToDisk(
   // lock) cannot roll the published image back to an older stamp.
   std::error_code ec;
   bool published = false;
+  Status rename_status;
   std::vector<std::string> doomed;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -481,10 +514,19 @@ void IndexManager::PersistToDisk(
     // run never outranks a fresh write.
     if (it != persisted_.end() && it->second.stamp_local &&
         it->second.catalog_stamp > catalog_stamp) {
-      // A newer image is already published; discard ours.
+      // A newer image is already published; discard ours (a success: the
+      // key is persisted, just by someone fresher).
     } else {
-      std::filesystem::rename(tmp, path, ec);
-      if (!ec) {
+      Status fault = CRE_INJECT_FAULT("persist.rename");
+      if (fault.ok()) {
+        std::filesystem::rename(tmp, path, ec);
+      }
+      if (!fault.ok() || ec) {
+        rename_status =
+            fault.ok() ? Status::IoError("cannot publish index image: " +
+                                         path + " (" + ec.message() + ")")
+                       : fault;
+      } else {
         PersistedMeta meta{path, catalog_stamp, content_hash, index->size(),
                            /*stamp_local=*/true};
         std::error_code sec;
@@ -504,6 +546,62 @@ void IndexManager::PersistToDisk(
     std::filesystem::remove(victim, ec);
   }
   if (!published) std::filesystem::remove(tmp, ec);
+  return rename_status;
+}
+
+void IndexManager::PersistToDisk(
+    const IndexKey& key, const std::shared_ptr<const VectorIndex>& index,
+    std::uint64_t catalog_stamp, std::uint64_t content_hash) {
+  if (options_.persist_dir.empty() || index == nullptr) return;
+  const int attempts =
+      options_.persist_retry_attempts < 1 ? 1 : options_.persist_retry_attempts;
+  double backoff_ms = options_.persist_retry_backoff_ms;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Transient write failure (fd pressure, a racing unlink, a slow
+      // filesystem): back off exponentially, then try a fresh tmp file.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.disk_retries;
+      }
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms *= 2;
+      }
+    }
+    Status s = PersistToDiskOnce(key, index, catalog_stamp, content_hash);
+    if (s.ok()) return;
+  }
+  // Attempts exhausted: the image is simply not persisted this round —
+  // resident serving is unaffected, and the next install tries again.
+}
+
+void IndexManager::SchedulePersist(const IndexKey& key,
+                                   std::shared_ptr<const VectorIndex> index,
+                                   std::uint64_t catalog_stamp,
+                                   std::uint64_t content_hash) {
+  if (options_.persist_dir.empty() || index == nullptr) return;
+  TaskRunner* runner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runner = background_runner_;
+    // The pending write counts like a build so WaitForBuilds covers it:
+    // a waiter may destroy the manager the moment the count drops, so
+    // the task must decrement as its very last manager touch.
+    if (runner != nullptr) ++builds_in_flight_;
+  }
+  if (runner == nullptr) {
+    PersistToDisk(key, index, catalog_stamp, content_hash);
+    return;
+  }
+  runner->Submit([this, key, index = std::move(index), catalog_stamp,
+                  content_hash] {
+    PersistToDisk(key, index, catalog_stamp, content_hash);
+    std::lock_guard<std::mutex> lock(mu_);
+    --builds_in_flight_;
+    cv_.notify_all();
+  });
 }
 
 void IndexManager::SweepPersistBudgetLocked(const IndexKey& just_written,
@@ -559,10 +657,12 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::LoadFromDisk(
     }
     path = it->second.path;
   }
+  CRE_RETURN_IF_FAULT("load.open");
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("persisted image unreadable: " + path);
   }
+  CRE_RETURN_IF_FAULT("load.read");
   IndexKey file_key;
   std::uint64_t saved_stamp = 0, saved_hash = 0, saved_rows = 0;
   CRE_RETURN_NOT_OK(
@@ -655,7 +755,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
       if (ok) {
         std::shared_ptr<const VectorIndex> index = entry->index;
         lock.unlock();
-        PersistToDisk(key, index, version, hash);
+        SchedulePersist(key, index, version, hash);
         return index;
       }
       continue;  // chain broke mid-flight: fall back to a full rebuild
@@ -737,7 +837,9 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
   std::shared_ptr<const VectorIndex> index = entry->index;
   lock.unlock();
   if (source == InstallSource::kBuild) {
-    PersistToDisk(key, index, version, hash);
+    // Background write-through when a runner is wired: file I/O comes off
+    // the first query's latency (ROADMAP "persistence hygiene").
+    SchedulePersist(key, index, version, hash);
   }
   return index;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/hash.h"
+#include "core/resource_governor.h"
 #include "core/result.h"
 #include "embed/model_registry.h"
 #include "semantic/semantic_join.h"
@@ -91,6 +92,17 @@ struct IndexManagerOptions {
   /// Total bytes of resident indexes before LRU eviction kicks in. The
   /// most recently built index is never evicted by its own insertion.
   std::size_t memory_budget_bytes = 256ull << 20;
+  /// Engine-wide memory accountant (may be null). Builds charge the
+  /// transient embed matrix against it before allocating; a breach fails
+  /// the build with kResourceExhausted — the semantic strategies then
+  /// degrade to the brute-force fallback instead of dying.
+  ResourceGovernor* governor = nullptr;
+  /// Bounded retry for transient persisted-image write failures: total
+  /// attempts per image (>= 1) with exponential backoff starting at
+  /// `persist_retry_backoff_ms` (doubling per retry). Retries are counted
+  /// in Stats::disk_retries / cre_index_disk_retry_total.
+  int persist_retry_attempts = 3;
+  double persist_retry_backoff_ms = 1.0;
   /// Build parameters for the index families the manager constructs.
   LshOptions lsh;
   IvfOptions ivf;
@@ -150,6 +162,10 @@ class IndexManager {
     /// the image permanently stale, or the size-budget sweep reclaimed
     /// the oldest images to fit persist_budget_bytes.
     std::uint64_t disk_gc = 0;
+    /// Write-through attempts retried after a transient failure (each
+    /// backed off exponentially; an image that exhausts its attempts is
+    /// simply not persisted — resident serving is unaffected).
+    std::uint64_t disk_retries = 0;
     std::size_t resident_count = 0;
     std::size_t resident_bytes = 0;
   };
@@ -302,12 +318,30 @@ class IndexManager {
                            std::uint64_t version, std::uint64_t* built_version,
                            InstallSource source);
 
-  /// Write-through of a ready index image (tmp + atomic rename), then
+  /// Write-through of a ready index image (tmp + atomic rename), with
+  /// bounded retry + exponential backoff on transient failures, then
   /// records it in persisted_. No-op when persist_dir is empty. No locks
   /// held during file IO.
   void PersistToDisk(const IndexKey& key,
                      const std::shared_ptr<const VectorIndex>& index,
                      std::uint64_t catalog_stamp, std::uint64_t content_hash);
+
+  /// One write-through attempt (the body PersistToDisk retries around).
+  /// Returns OK on publish AND on deliberate discard (a newer image beat
+  /// us); errors are transient I/O failures worth retrying.
+  Status PersistToDiskOnce(const IndexKey& key,
+                           const std::shared_ptr<const VectorIndex>& index,
+                           std::uint64_t catalog_stamp,
+                           std::uint64_t content_hash);
+
+  /// Queues PersistToDisk on the background runner when one is wired
+  /// (write-through off the query's latency), falling back to inline.
+  /// The pending write counts in builds_in_flight_ so WaitForBuilds
+  /// covers it — nothing may touch the manager after the count drops.
+  void SchedulePersist(const IndexKey& key,
+                       std::shared_ptr<const VectorIndex> index,
+                       std::uint64_t catalog_stamp,
+                       std::uint64_t content_hash);
 
   /// Scans persist_dir for image headers at construction. Unreadable or
   /// foreign files are ignored.

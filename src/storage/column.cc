@@ -208,6 +208,29 @@ Status Column::AppendColumn(const Column& other) {
   return Status::OK();
 }
 
+std::size_t Column::MemoryBytes() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return i64_.capacity() * sizeof(std::int64_t);
+    case DataType::kFloat64:
+      return f64_.capacity() * sizeof(double);
+    case DataType::kBool:
+      return bools_.capacity();
+    case DataType::kString: {
+      std::size_t bytes = strings_.capacity() * sizeof(std::string);
+      for (const auto& s : strings_) {
+        // SSO strings hold their payload inline in sizeof(std::string).
+        if (s.size() >= sizeof(std::string)) bytes += s.capacity();
+      }
+      return bytes;
+    }
+    case DataType::kFloatVector:
+      return vec_.flat.capacity() * sizeof(float);
+  }
+  return 0;
+}
+
 void Column::Reserve(std::size_t n) {
   switch (type_) {
     case DataType::kInt64:

@@ -107,6 +107,11 @@ class Column {
 
   void Reserve(std::size_t n);
 
+  /// Estimated heap bytes held by this column's payload (string bytes
+  /// included). Used by the resource governor to charge materialized
+  /// state; an estimate, not an allocator measurement.
+  std::size_t MemoryBytes() const;
+
  private:
   DataType type_;
   std::vector<std::int64_t> i64_;       // kInt64, kDate

@@ -77,6 +77,12 @@ void Table::Reserve(std::size_t n) {
   for (auto& c : columns_) c.Reserve(n);
 }
 
+std::size_t Table::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.MemoryBytes();
+  return bytes;
+}
+
 std::string Table::ToString(std::size_t max_rows) const {
   std::ostringstream os;
   os << "[" << schema_.ToString() << "] " << num_rows() << " rows\n";

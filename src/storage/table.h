@@ -62,6 +62,9 @@ class Table {
 
   void Reserve(std::size_t n);
 
+  /// Estimated heap bytes across all columns (see Column::MemoryBytes).
+  std::size_t MemoryBytes() const;
+
   /// Pretty-prints up to `max_rows` rows (for examples and debugging).
   std::string ToString(std::size_t max_rows = 20) const;
 

@@ -11,10 +11,12 @@ DetectionScanOperator::DetectionScanOperator(const ImageStore* store,
                                              const ObjectDetector* detector,
                                              ExprPtr predicate,
                                              std::size_t images_per_batch,
-                                             TaskRunner* pool)
+                                             TaskRunner* pool,
+                                             const CancelFlag* cancel)
     : store_(store),
       detector_(detector),
       pool_(pool),
+      cancel_(cancel),
       predicate_(std::move(predicate)),
       images_per_batch_(images_per_batch),
       schema_(ObjectDetector::DetectionSchema()) {}
@@ -50,6 +52,9 @@ Status DetectionScanOperator::Open() {
 
 Result<TablePtr> DetectionScanOperator::Next() {
   for (;;) {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::Cancelled("detect scan cancelled");
+    }
     if (offset_ >= qualifying_.size()) return TablePtr(nullptr);
     const std::size_t end =
         std::min(qualifying_.size(), offset_ + images_per_batch_);
@@ -67,6 +72,10 @@ Result<TablePtr> DetectionScanOperator::Next() {
         pool_->Submit([this, p, begin, stop, &parts] {
           auto shard = Table::Make(schema_);
           for (std::size_t i = begin; i < stop; ++i) {
+            // Inference dominates per-image cost, so stop between images
+            // rather than waiting out the shard; partial shards are
+            // discarded with the cancelled status below.
+            if (cancel_ != nullptr && cancel_->cancelled()) break;
             detector_->DetectInto(store_->image(qualifying_[i]),
                                   shard.get());
           }
@@ -74,11 +83,17 @@ Result<TablePtr> DetectionScanOperator::Next() {
         });
       }
       pool_->Wait();
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        return Status::Cancelled("detect scan cancelled");
+      }
       for (const auto& part : parts) {
         CRE_RETURN_NOT_OK(out->AppendTable(*part));
       }
     } else {
       for (std::size_t i = offset_; i < end; ++i) {
+        if (cancel_ != nullptr && cancel_->cancelled()) {
+          return Status::Cancelled("detect scan cancelled");
+        }
         detector_->DetectInto(store_->image(qualifying_[i]), out.get());
       }
     }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "core/cancel.h"
 #include "core/result.h"
 #include "core/thread_pool.h"
 #include "exec/operator.h"
@@ -30,10 +31,14 @@ namespace cre {
 /// thread).
 class DetectionScanOperator : public PhysicalOperator {
  public:
+  /// `cancel` (optional) is polled between batches and between images
+  /// inside each inference shard, so a cancel or deadline expiry stops a
+  /// detect scan without waiting out the whole 256-image batch.
   DetectionScanOperator(const ImageStore* store, const ObjectDetector* detector,
                         ExprPtr predicate = nullptr,
                         std::size_t images_per_batch = 256,
-                        TaskRunner* pool = nullptr);
+                        TaskRunner* pool = nullptr,
+                        const CancelFlag* cancel = nullptr);
 
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
@@ -47,6 +52,7 @@ class DetectionScanOperator : public PhysicalOperator {
   const ImageStore* store_;
   const ObjectDetector* detector_;
   TaskRunner* pool_;
+  const CancelFlag* cancel_;
   ExprPtr predicate_;
   ExprPtr metadata_predicate_;  ///< pre-inference terms (split at Open)
   ExprPtr post_predicate_;      ///< post-inference terms

@@ -1,0 +1,331 @@
+// Self-tuning fast-path figure: what the parameterized plan cache saves
+// and what mid-query index adoption hides.
+//
+// Three sections:
+//   planning    - per-query planning wall on the cached engine, split by
+//                 path: optimizer wall per miss vs lookup+rebind wall per
+//                 hit, and the resulting overhead share (the number the
+//                 CI gate asserts on). Clients send the same plan shapes
+//                 with per-query literals, so every hit exercises the
+//                 rebind path, not just pointer sharing.
+//   cached /    - QPS and p50/p99 for 1/2/4/8 concurrent clients over a
+//   uncached      parameterized relational mix, cache-enabled engine vs
+//                 cache-disabled engine on identical tables.
+//   adoption    - timeline of a cold index-backed semantic select stream
+//                 with async builds: per-query latency, the adoption
+//                 counter, and index residency as the background IVF
+//                 build completes and the scan swaps onto it mid-query.
+//
+// Scaling knobs: CRE_PLANCACHE_ROWS (base table rows),
+// CRE_PLANCACHE_QUERIES (queries per client).
+//
+// CI hooks:
+//   --json <path>                      machine-readable report;
+//   --assert-cached-overhead-pct <x>   exit nonzero when the per-hit
+//                                      lookup+rebind wall exceeds x% of
+//                                      the per-miss optimizer wall — the
+//                                      gate for "a cache hit effectively
+//                                      skips the optimizer".
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/rng.h"
+#include "datagen/vocabulary.h"
+#include "embed/structured_model.h"
+#include "engine/engine.h"
+#include "index/index_manager.h"
+#include "plan/plan_node.h"
+
+namespace cre {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[i];
+}
+
+struct RunResult {
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// `clients` threads each run `queries_per_client` queries produced by
+/// `make_plan(client, query)` — per-query literals keep the rebind path
+/// hot — all released together; latencies pool across clients.
+RunResult RunClients(
+    Engine* engine, std::size_t clients, std::size_t queries_per_client,
+    const std::function<PlanPtr(std::size_t, std::size_t)>& make_plan) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool go = false;
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return go; });
+      }
+      latencies[c].reserve(queries_per_client);
+      for (std::size_t q = 0; q < queries_per_client; ++q) {
+        const PlanPtr plan = make_plan(c, q);
+        const Clock::time_point start = Clock::now();
+        auto r = engine->Execute(plan);
+        r.status().Check();
+        latencies[c].push_back(
+            std::chrono::duration<double>(Clock::now() - start).count());
+      }
+    });
+  }
+  const Clock::time_point wall_start = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  RunResult out;
+  out.wall_seconds = wall;
+  out.qps = static_cast<double>(all.size()) / wall;
+  out.p50_ms = Percentile(all, 0.50) * 1e3;
+  out.p99_ms = Percentile(all, 0.99) * 1e3;
+  return out;
+}
+
+std::string StringFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return "";
+}
+
+TablePtr MakeTable(const std::vector<std::string>& words, std::size_t n) {
+  auto t = Table::Make(Schema({{"id", DataType::kInt64, 0},
+                               {"word", DataType::kString, 0},
+                               {"num", DataType::kFloat64, 0},
+                               {"flag", DataType::kInt64, 0}}));
+  t->Reserve(n);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    t->column(0).AppendInt64(static_cast<std::int64_t>(rng.Uniform(1000)));
+    t->column(1).AppendString(words[rng.Uniform(words.size())]);
+    t->column(2).AppendFloat64(static_cast<double>(rng.Uniform(100000)));
+    t->column(3).AppendInt64(static_cast<std::int64_t>(rng.Uniform(16)));
+  }
+  return t;
+}
+
+/// The parameterized relational mix: three fixed shapes whose literals
+/// vary per query. Same fingerprints every time; fresh parameters.
+PlanPtr MixPlan(std::size_t client, std::size_t query) {
+  const std::size_t pick = (client + query) % 3;
+  const double lit = static_cast<double>((client * 31 + query * 7) % 100) *
+                     1000.0;
+  switch (pick) {
+    case 0:
+      return PlanNode::Aggregate(
+          PlanNode::Filter(PlanNode::Scan("items"), Gt(Col("num"), Lit(lit))),
+          {"flag"},
+          {{AggKind::kCount, "", "n"}, {AggKind::kSum, "num", "total"}});
+    case 1:
+      return PlanNode::Join(
+          PlanNode::Filter(PlanNode::Scan("items"), Le(Col("num"), Lit(lit))),
+          PlanNode::Scan("dims"), "id", "id");
+    default:
+      return PlanNode::Limit(
+          PlanNode::Sort(PlanNode::Filter(PlanNode::Scan("items"),
+                                          Gt(Col("num"), Lit(lit))),
+                         "num", false),
+          100);
+  }
+}
+
+}  // namespace
+}  // namespace cre
+
+int main(int argc, char** argv) {
+  using namespace cre;
+  bench::JsonReport json("fig_plan_cache",
+                         bench::JsonPathFromArgs(argc, argv));
+  const std::size_t rows = bench::EnvSize("CRE_PLANCACHE_ROWS", 30000);
+  const std::size_t queries = bench::EnvSize("CRE_PLANCACHE_QUERIES", 24);
+  const std::vector<std::size_t> client_counts = {1, 2, 4, 8};
+
+  VocabularyOptions vo;
+  vo.num_groups = 24;
+  vo.words_per_group = 4;
+  vo.num_singletons = 40;
+  vo.seed = 99;
+  auto groups = GenerateVocabulary(vo);
+  SynonymStructuredModel::Options mo;
+  mo.subword_noise = false;
+  auto model = std::make_shared<SynonymStructuredModel>(groups, mo);
+  auto words = AllWords(groups);
+
+  const TablePtr items = MakeTable(words, rows);
+  const TablePtr dims = MakeTable(words, rows / 20);
+  auto make_engine = [&](bool cache_on) {
+    EngineOptions eo;
+    eo.num_threads = 0;  // hardware concurrency
+    eo.plan_cache.enabled = cache_on;
+    auto e = std::make_unique<Engine>(eo);
+    e->catalog().Put("items", items);
+    e->catalog().Put("dims", dims);
+    e->models().Put("m", model);
+    return e;
+  };
+  auto cached = make_engine(true);
+  auto uncached = make_engine(false);
+
+  bench::PrintHeader(
+      "fig_plan_cache: planning overhead + cached vs uncached serving\n"
+      "engine dop=" +
+      std::to_string(cached->pool()->num_threads()) + ", rows=" +
+      std::to_string(rows) + ", queries/client=" + std::to_string(queries));
+
+  // --- cached vs uncached serving at 1/2/4/8 clients -------------------
+  std::printf("%-10s %8s %10s %10s %12s %12s\n", "engine", "clients",
+              "wall [s]", "QPS", "p50 [ms]", "p99 [ms]");
+  auto report = [&](const char* section, std::size_t clients,
+                    const RunResult& r) {
+    std::printf("%-10s %8zu %10.3f %10.1f %12.3f %12.3f\n", section, clients,
+                r.wall_seconds, r.qps, r.p50_ms, r.p99_ms);
+    json.Add(section, {{"clients", static_cast<double>(clients)},
+                       {"wall_seconds", r.wall_seconds},
+                       {"qps", r.qps},
+                       {"p50_ms", r.p50_ms},
+                       {"p99_ms", r.p99_ms}});
+  };
+  for (const std::size_t clients : client_counts) {
+    report("cached", clients,
+           RunClients(cached.get(), clients, queries, MixPlan));
+    report("uncached", clients,
+           RunClients(uncached.get(), clients, queries, MixPlan));
+  }
+
+  // --- planning-path split on the cached engine ------------------------
+  // Stats accumulate optimizer wall over misses and lookup+rebind wall
+  // over hits; their per-query ratio is the planning share a hit pays.
+  const PlanCache::Stats stats = cached->plan_cache()->stats();
+  const double per_miss_ms =
+      stats.misses > 0
+          ? stats.planning_seconds / static_cast<double>(stats.misses) * 1e3
+          : 0.0;
+  const double per_hit_ms =
+      stats.hits > 0
+          ? stats.lookup_seconds / static_cast<double>(stats.hits) * 1e3
+          : 0.0;
+  const double overhead_pct =
+      per_miss_ms > 0 ? per_hit_ms / per_miss_ms * 100.0 : 0.0;
+  std::printf(
+      "\nplan cache: %llu hits, %llu misses, %llu invalidations, "
+      "%llu evictions, %zu entries\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.invalidations),
+      static_cast<unsigned long long>(stats.evictions), stats.entries);
+  std::printf(
+      "planning wall: %.4f ms per miss (optimizer) vs %.4f ms per hit "
+      "(lookup+rebind) -> %.2f%% overhead share\n",
+      per_miss_ms, per_hit_ms, overhead_pct);
+  json.Add("planning", {{"hits", static_cast<double>(stats.hits)},
+                        {"misses", static_cast<double>(stats.misses)},
+                        {"per_miss_ms", per_miss_ms},
+                        {"per_hit_ms", per_hit_ms},
+                        {"overhead_pct", overhead_pct}});
+
+  // --- adoption timeline -----------------------------------------------
+  // A cold stream of identical pinned-IVF selects with async builds: the
+  // first queries scan brute-force while the build runs at background
+  // priority; a query in flight when the build lands swaps its remaining
+  // morsels onto the index (cre_index_adoptions_total ticks).
+  {
+    EngineOptions eo;
+    // Pinned dop + morsel geometry: the adoptive fallback needs multiple
+    // morsel waves per query, independent of the runner's core count.
+    eo.num_threads = 4;
+    eo.morsel_rows = 512;
+    eo.tuning.enabled = false;
+    eo.optimizer.allow_approximate_similarity = true;
+    eo.index.async_builds = true;
+    Engine sem(eo);
+    sem.catalog().Put("items", items);
+    sem.models().Put("m", model);
+    auto sem_plan = [&] {
+      PlanPtr s = PlanNode::SemanticSelect(PlanNode::Scan("items"), "word",
+                                           words[0], "m", 0.85f);
+      s->strategy = SemanticJoinStrategy::kIvf;
+      s->strategy_pinned = true;
+      return s;
+    };
+    const IndexKey key{"items", "word", "m", SemanticJoinStrategy::kIvf};
+    std::printf("\nadoption timeline (cold -> adopted -> warm):\n");
+    std::printf("%8s %12s %10s %10s\n", "query", "latency[ms]", "adoptions",
+                "resident");
+    for (std::size_t q = 0; q < 8; ++q) {
+      const Clock::time_point start = Clock::now();
+      auto r = sem.ExecuteUnoptimized(sem_plan());
+      r.status().Check();
+      const double ms =
+          std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
+      const bool resident = sem.index_manager()->IsResident(key);
+      std::printf("%8zu %12.3f %10llu %10s\n", q, ms,
+                  static_cast<unsigned long long>(sem.index_adoptions()),
+                  resident ? "yes" : "no");
+      json.Add("adoption", {{"query", static_cast<double>(q)},
+                            {"latency_ms", ms},
+                            {"adoptions",
+                             static_cast<double>(sem.index_adoptions())},
+                            {"resident", resident ? 1.0 : 0.0}});
+    }
+  }
+
+  json.SetEngineMetrics(cached->metrics()->Snapshot().ToJson());
+
+  // --- CI gate ---------------------------------------------------------
+  const std::string gate =
+      StringFlag(argc, argv, "--assert-cached-overhead-pct");
+  if (!gate.empty()) {
+    const double budget_pct = std::strtod(gate.c_str(), nullptr);
+    std::printf("\ncached planning overhead %.2f%% (budget %.2f%%)\n",
+                overhead_pct, budget_pct);
+    if (stats.hits == 0 || stats.misses == 0 ||
+        overhead_pct > budget_pct) {
+      std::fprintf(stderr,
+                   "FAIL: cached planning overhead %.2f%% exceeds budget "
+                   "%.2f%% (hits=%llu misses=%llu)\n",
+                   overhead_pct, budget_pct,
+                   static_cast<unsigned long long>(stats.hits),
+                   static_cast<unsigned long long>(stats.misses));
+      json.Write();
+      return 1;
+    }
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -56,6 +56,12 @@ Engine::Engine(EngineOptions options) : options_(options) {
   metrics_ = std::make_unique<MetricsRegistry>(options_.obs.metrics_enabled);
   traces_ = std::make_unique<TraceRing>(
       std::max<std::size_t>(1, options_.obs.trace_ring_capacity));
+  plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache);
+  KnobBaselines baselines;
+  baselines.morsel_rows = options_.morsel_rows;
+  baselines.radix_agg_min_groups = options_.optimizer.radix_agg_min_groups;
+  baselines.index_reuse_horizon = options_.optimizer.index_reuse_horizon;
+  knob_tuner_ = std::make_unique<KnobTuner>(options_.tuning, baselines);
   RegisterCollectors();
 }
 
@@ -91,6 +97,7 @@ void Engine::RegisterCollectors() {
              static_cast<double>(s.resident_count));
     e->Gauge("cre_index_resident_bytes", {},
              static_cast<double>(s.resident_bytes));
+    e->Counter("cre_index_adoptions_total", {}, index_adoptions());
 
     // Admission control.
     const AdmissionStats adm = scheduler_->admission_stats();
@@ -115,6 +122,34 @@ void Engine::RegisterCollectors() {
     e->Gauge("cre_governor_peak_bytes", {},
              static_cast<double>(governor_->peak_bytes()));
     e->Counter("cre_governor_breaches_total", {}, governor_->breaches());
+    // Calibrated charge estimates the governor uses at the big
+    // allocation sites (0 until the site has been observed).
+    const FootprintCalibrator* fp = knob_tuner_->footprints();
+    for (int site = 0; site < kNumFootprintSites; ++site) {
+      e->Gauge("cre_governor_bytes_per_row",
+               {{"site", FootprintSiteName(static_cast<FootprintSite>(site))}},
+               fp->bytes_per_row(static_cast<FootprintSite>(site)));
+    }
+
+    // Plan cache.
+    const PlanCache::Stats pc = plan_cache_->stats();
+    e->Counter("cre_plan_cache_hits_total", {}, pc.hits);
+    e->Counter("cre_plan_cache_misses_total", {}, pc.misses);
+    e->Counter("cre_plan_cache_invalidations_total", {}, pc.invalidations);
+    e->Counter("cre_plan_cache_evictions_total", {}, pc.evictions);
+    e->Counter("cre_plan_cache_uncacheable_total", {}, pc.uncacheable);
+    e->Counter("cre_plan_cache_single_flight_waits_total", {},
+               pc.single_flight_waits);
+    e->Gauge("cre_plan_cache_entries", {}, static_cast<double>(pc.entries));
+
+    // Knob tuner: the currently published execution knobs.
+    const KnobTuner::Snapshot kt = knob_tuner_->snapshot();
+    e->Gauge("cre_scheduler_morsel_rows", {},
+             static_cast<double>(kt.morsel_rows));
+    e->Gauge("cre_knob_radix_agg_min_groups", {},
+             static_cast<double>(kt.radix_agg_min_groups));
+    e->Gauge("cre_knob_index_reuse_horizon", {}, kt.index_reuse_horizon);
+    e->Counter("cre_knob_refits_total", {}, kt.refits);
 
     // Embedding caches (every registered model wrapped in the LRU
     // decorator).
@@ -220,6 +255,12 @@ OptimizerOptions Engine::EffectiveOptimizerOptions() const {
   if (options.degree_of_parallelism == 0) {
     options.degree_of_parallelism = pool_->num_threads();
   }
+  if (knob_tuner_ != nullptr) {
+    // Feedback-calibrated knobs override the configured baselines (they
+    // equal the baselines until the tuner has published a refit).
+    options.radix_agg_min_groups = knob_tuner_->radix_agg_min_groups();
+    options.index_reuse_horizon = knob_tuner_->index_reuse_horizon();
+  }
   if (options_.index.async_builds &&
       options.background_build_discount >= 1.0) {
     // Backgrounded builds cost the query stream pool cycles, not
@@ -275,6 +316,83 @@ Optimizer Engine::MakeOptimizerFor(QueryContext* ctx) const {
                    std::move(executor), std::move(residency));
 }
 
+std::string Engine::KnobSignature() const {
+  const OptimizerOptions o = EffectiveOptimizerOptions();
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%d%d%d%d%d%d%d|%zu|%zu|%zu|%.9g|%.9g",
+                o.enable_filter_pushdown, o.enable_join_reorder,
+                o.enable_data_induced_predicates, o.enable_index_selection,
+                o.enable_column_pruning, o.allow_approximate_similarity,
+                options_.index.enabled, o.dip_max_inducing_rows,
+                o.degree_of_parallelism, o.radix_agg_min_groups,
+                o.index_reuse_horizon, o.background_build_discount);
+  return buf;
+}
+
+PlanCache::VersionProbe Engine::PlanCacheVersionProbe(
+    QueryContext* ctx) const {
+  if (ctx != nullptr) {
+    const Catalog* snapshot = &ctx->snapshot();
+    return [snapshot](const std::string& table) {
+      return snapshot->Version(table);
+    };
+  }
+  const Catalog* live = &catalog_;
+  return [live](const std::string& table) { return live->Version(table); };
+}
+
+PlanCache::AbsentProbe Engine::PlanCacheAbsentProbe() const {
+  if (!options_.index.enabled) {
+    // Manager off: every candidate is permanently "absent"; the class
+    // can never flip, so residency never invalidates.
+    return [](const PlanCache::IndexCandidate&) { return true; };
+  }
+  IndexManager* manager = index_manager_.get();
+  return [manager](const PlanCache::IndexCandidate& c) {
+    return manager->Residency({c.table, c.column, c.model, c.strategy}) ==
+           IndexResidency::kAbsent;
+  };
+}
+
+Result<PlanPtr> Engine::OptimizePlan(QueryContext* ctx, const PlanPtr& plan,
+                                     QueryTrace* trace, std::string* origin) {
+  ScopedSpan span(trace, nullptr, "optimize");
+  auto annotate = [&](const std::string& o) {
+    span.Annotate("plan", o);
+    if (origin != nullptr) *origin = o;
+  };
+  if (!options_.plan_cache.enabled) {
+    Optimizer optimizer = MakeOptimizerFor(ctx);
+    CRE_ASSIGN_OR_RETURN(PlanPtr physical, optimizer.Optimize(plan));
+    annotate("optimized");
+    return physical;
+  }
+  const PlanCache::Shape shape =
+      PlanCache::Normalize(*plan, KnobSignature());
+  const PlanCache::VersionProbe version = PlanCacheVersionProbe(ctx);
+  const PlanCache::AbsentProbe absent = PlanCacheAbsentProbe();
+  PlanCache::Lookup lookup =
+      plan_cache_->AcquireOrPlan(shape, version, absent);
+  if (lookup.plan != nullptr) {
+    annotate("cached(stamp=" + std::to_string(lookup.stamp) + ")");
+    return std::move(lookup.plan);
+  }
+  Timer timer;
+  Optimizer optimizer = MakeOptimizerFor(ctx);
+  Result<PlanPtr> optimized = optimizer.Optimize(plan);
+  if (!optimized.ok()) {
+    if (lookup.ticket) plan_cache_->Abort(shape);
+    return optimized.status();
+  }
+  // Ticketed misses install for the waiters; ambiguous-rebind misses
+  // refresh the entry with their own binding.
+  plan_cache_->Install(shape, optimized.ValueUnsafe(), timer.Seconds(),
+                       version, absent);
+  annotate("optimized");
+  return optimized;
+}
+
 Result<OperatorPtr> Engine::Lower(QueryContext* ctx, const PlanNode& node) {
   CRE_ASSIGN_OR_RETURN(OperatorPtr op, LowerImpl(ctx, node));
   if (ctx->stats() != nullptr) {
@@ -297,7 +415,8 @@ Result<OperatorPtr> Engine::LowerImpl(QueryContext* ctx,
     CRE_ASSIGN_OR_RETURN(OperatorPtr input, Lower(ctx, *sort.children[0]));
     OperatorPtr sorted = std::make_unique<SortOperator>(
         std::move(input), sort.sort_key, sort.sort_ascending, ctx->runner(),
-        /*limit_hint=*/node.limit);
+        /*limit_hint=*/node.limit, ctx->budget_handle(),
+        knob_tuner_->footprints());
     if (ctx->stats() != nullptr) {
       sorted = std::make_unique<InstrumentedOperator>(
           std::move(sorted), ctx->stats()->SlotFor(&sort, sorted->name()));
@@ -316,7 +435,11 @@ Result<OperatorPtr> Engine::LowerImpl(QueryContext* ctx,
 }
 
 Result<OperatorPtr> Engine::TryLowerIndexSelect(QueryContext* ctx,
-                                                const PlanNode& node) {
+                                                const PlanNode& node,
+                                                bool* build_in_flight,
+                                                std::size_t min_row_id,
+                                                bool exact_verify) {
+  if (build_in_flight != nullptr) *build_in_flight = false;
   if (!node.IndexBackedSelect() || !options_.index.enabled) {
     return OperatorPtr();
   }
@@ -345,11 +468,14 @@ Result<OperatorPtr> Engine::TryLowerIndexSelect(QueryContext* ctx,
     span.Annotate("outcome", "index");
     return OperatorPtr(std::make_unique<SemanticIndexSelectOperator>(
         std::move(vt.table), node.column, node.query, std::move(model),
-        node.threshold, std::move(ready.index)));
+        node.threshold, std::move(ready.index), min_row_id, exact_verify));
   }
   // Build in flight (the background task will serve future queries), or
   // the ready index was built against a different version than this
-  // query's snapshot: serve this query via the scanning fallback.
+  // query's snapshot: serve this query via the scanning fallback. The
+  // in-flight signal lets the parallel driver keep polling and adopt the
+  // index for its remaining morsels the moment the build lands.
+  if (build_in_flight != nullptr) *build_in_flight = ready.build_in_flight;
   span.Annotate("outcome", ready.build_in_flight ? "build-in-flight"
                                                  : "version-mismatch");
   return OperatorPtr();
@@ -461,13 +587,15 @@ Result<OperatorPtr> Engine::LowerNodeOver(QueryContext* ctx,
     }
     case PlanKind::kAggregate:
       return OperatorPtr(std::make_unique<AggregateOperator>(
-          std::move(children[0]), node.group_keys, node.aggs));
+          std::move(children[0]), node.group_keys, node.aggs,
+          ctx->budget_handle(), knob_tuner_->footprints()));
     case PlanKind::kSort:
       // The operator sorts via SortTable; a single-thread pool (the
       // serial engine) degrades to the classic serial sort, identically.
       return OperatorPtr(std::make_unique<SortOperator>(
           std::move(children[0]), node.sort_key, node.sort_ascending,
-          ctx->runner()));
+          ctx->runner(), /*limit_hint=*/0, ctx->budget_handle(),
+          knob_tuner_->footprints()));
     case PlanKind::kLimit:
       return OperatorPtr(std::make_unique<LimitOperator>(
           std::move(children[0]), node.limit));
@@ -504,7 +632,9 @@ Result<TablePtr> Engine::RunPhysical(QueryContext* ctx, const PlanPtr& plan) {
     }
     return out;
   }
-  ParallelPlanDriver driver(this, ctx, options_.morsel_rows);
+  // Morsel granularity is a tuned knob: the tuner aims each morsel task
+  // at options().tuning.morsel_target_seconds of observed work.
+  ParallelPlanDriver driver(this, ctx, knob_tuner_->morsel_rows());
   return driver.Run(*plan);
 }
 
@@ -560,6 +690,13 @@ void Engine::FinishQuery(QueryContext* ctx, const char* kind, double seconds,
     trace->Finish();
     traces_->Push(trace);
   }
+  // Feed the tuner the manager's cumulative reuse rate (lookups per
+  // distinct key) — the measured form of index_reuse_horizon.
+  if (options_.index.enabled) {
+    const IndexManager::Stats reuse = index_manager_->stats();
+    knob_tuner_->ObserveIndexReuse(reuse.hits + reuse.misses,
+                                   reuse.distinct_lookup_keys);
+  }
   const double slow = options_.obs.slow_query_seconds;
   if (slow > 0 && seconds >= slow) {
     if (metrics_->enabled()) {
@@ -587,9 +724,8 @@ Result<TablePtr> Engine::RunTracked(QueryContext* ctx, const PlanPtr& plan,
   Result<TablePtr> result = [&]() -> Result<TablePtr> {
     PlanPtr physical = plan;
     if (optimize) {
-      ScopedSpan span(trace.get(), nullptr, "optimize");
-      Optimizer optimizer = MakeOptimizerFor(ctx);
-      CRE_ASSIGN_OR_RETURN(physical, optimizer.Optimize(plan));
+      CRE_ASSIGN_OR_RETURN(
+          physical, OptimizePlan(ctx, plan, trace.get(), /*origin=*/nullptr));
     }
     ScopedSpan span(trace.get(), nullptr, "execute");
     ctx->set_trace_parent(span.span());
@@ -663,15 +799,28 @@ Result<Engine::AnalyzedResult> Engine::ExecuteWithStats(
 Result<std::string> Engine::Explain(const PlanPtr& plan) {
   Optimizer optimizer = MakeOptimizer();
   CRE_ASSIGN_OR_RETURN(PlanPtr optimized, optimizer.Optimize(plan));
+  // Whether an Execute of this plan right now would skip the optimizer:
+  // a read-only probe (EXPLAIN itself never populates the cache — it
+  // plans against the live catalog, not an admitted snapshot).
+  std::string plan_origin = "optimized";
+  if (options_.plan_cache.enabled) {
+    const PlanCache::Shape shape =
+        PlanCache::Normalize(*plan, KnobSignature());
+    std::uint64_t stamp = 0;
+    if (plan_cache_->Peek(shape, PlanCacheVersionProbe(nullptr),
+                          PlanCacheAbsentProbe(), &stamp)) {
+      plan_origin = "cached(stamp=" + std::to_string(stamp) + ")";
+    }
+  }
   // Append the parallel driver's routing (per-pipeline degree of
   // parallelism and scheduling mode) plus the serving-layer state the
   // query would be admitted into.
   const std::size_t dop = pool_ == nullptr ? 1 : pool_->num_threads();
   const IndexManager::Stats index_stats = index_manager_->stats();
   std::string out =
-      optimized->ToString() + "\n" +
+      optimized->ToString() + "plan: " + plan_origin + "\n\n" +
       DescribePipelines(*optimized, dop,
-                        options_.optimizer.radix_agg_min_groups);
+                        knob_tuner_->radix_agg_min_groups());
   // The engine's own permanent background group is not a query.
   const std::size_t active = scheduler_->active_queries() - 1;
   out += "serving: scheduler dop=" + std::to_string(dop) +
@@ -768,11 +917,9 @@ Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
       AdmitForObs(&ctx, "explain_analyze", /*force_trace=*/true);
 
   PlanPtr optimized;
-  {
-    ScopedSpan span(trace.get(), nullptr, "optimize");
-    Optimizer optimizer = MakeOptimizerFor(&ctx);
-    CRE_ASSIGN_OR_RETURN(optimized, optimizer.Optimize(plan));
-  }
+  std::string plan_origin;
+  CRE_ASSIGN_OR_RETURN(optimized,
+                       OptimizePlan(&ctx, plan, trace.get(), &plan_origin));
 
   // Residency of every managed index the plan consults, probed before and
   // after execution — the rendering shows the transition the execution
@@ -812,6 +959,7 @@ Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
                 "EXPLAIN ANALYZE  wall=%.3fms rows=%zu dop=%zu\n",
                 total_seconds * 1e3, rows, dop);
   out += head;
+  out += "plan: " + plan_origin + "\n";
   RenderAnalyzedNode(*optimized, 0, stats, dop, &out);
 
   const SchedulingCounters sched = ctx.scheduling();
@@ -857,7 +1005,7 @@ Result<std::string> Engine::ExplainAnalyze(const PlanPtr& plan,
   }
 
   out += DescribePipelines(*optimized, dop,
-                           options_.optimizer.radix_agg_min_groups);
+                           knob_tuner_->radix_agg_min_groups());
   out += "trace:\n" + trace->ToString();
   return out;
 }

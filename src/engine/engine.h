@@ -17,7 +17,9 @@
 #include "index/index_manager.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/knob_tuner.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
 #include "plan/plan_node.h"
 #include "semantic/semantic_select.h"
 #include "storage/catalog.h"
@@ -71,6 +73,14 @@ struct EngineOptions {
   /// Bounded admission: cap on concurrently active user queries, with
   /// per-priority-class load shedding (see AdmissionOptions).
   AdmissionOptions admission;
+  /// Parameterized plan cache: repeat plan shapes skip the optimizer and
+  /// rebind literals into the cached optimized plan (stamp- and
+  /// residency-validated at every lookup).
+  PlanCacheOptions plan_cache;
+  /// Feedback calibration: refit morsel size, the radix-aggregation
+  /// crossover, the index reuse horizon, and the governor's bytes/row
+  /// charge estimates from observed execution.
+  KnobTunerOptions tuning;
 };
 
 /// The context-rich analytical engine: a catalog of relational tables, a
@@ -126,6 +136,24 @@ class Engine {
   const MetricsRegistry* metrics() const { return metrics_.get(); }
   /// Ring of recently finished query traces (sampled per ObsOptions).
   TraceRing* traces() { return traces_.get(); }
+
+  /// The parameterized plan cache (never null; gated by
+  /// options().plan_cache.enabled).
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+  const PlanCache* plan_cache() const { return plan_cache_.get(); }
+  /// The feedback knob tuner (never null; returns configured baselines
+  /// while options().tuning.enabled is false).
+  KnobTuner* knob_tuner() { return knob_tuner_.get(); }
+  const KnobTuner* knob_tuner() const { return knob_tuner_.get(); }
+
+  /// Mid-query index adoptions: fallback scans that swapped their
+  /// remaining morsels onto a freshly completed background index build.
+  void RecordIndexAdoption() {
+    index_adoptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t index_adoptions() const {
+    return index_adoptions_.load(std::memory_order_relaxed);
+  }
 
   const EngineOptions& options() const { return options_; }
   void set_optimizer_options(const OptimizerOptions& o) {
@@ -207,8 +235,19 @@ class Engine {
   /// use the scanning brute-force fallback instead — because a
   /// background build is still in flight, or the resident index was
   /// built against a different table version than this query's snapshot.
+  ///
+  /// `build_in_flight` (optional) reports whether a background build for
+  /// this node's index was running at probe time — the parallel driver's
+  /// mid-query adoption signal. `min_row_id` restricts the operator to
+  /// rows >= that id (the rows an adopting driver has not yet scanned);
+  /// `exact_verify` re-scores index candidates with exact brute-force
+  /// dots so approximate probes (e.g. IVF-PQ's quantized distances)
+  /// cannot admit rows the scanning fallback would reject.
   Result<OperatorPtr> TryLowerIndexSelect(QueryContext* ctx,
-                                          const PlanNode& node);
+                                          const PlanNode& node,
+                                          bool* build_in_flight = nullptr,
+                                          std::size_t min_row_id = 0,
+                                          bool exact_verify = false);
 
   /// An optimizer bound to this engine's catalog/models/detectors, with
   /// subplan execution enabled for data-induced predicates and the cost
@@ -240,6 +279,22 @@ class Engine {
   /// Shared optimize → execute path with tracing + telemetry around it.
   Result<TablePtr> RunTracked(QueryContext* ctx, const PlanPtr& plan,
                               bool optimize, const char* kind);
+  /// The planning front door shared by Execute and EXPLAIN ANALYZE:
+  /// plan-cache lookup (when enabled) with single-flight population,
+  /// falling back to a full optimizer pass. `origin` (optional) receives
+  /// "cached(stamp=N)" or "optimized" for EXPLAIN-style annotation; the
+  /// same string is annotated onto `trace`'s optimize span.
+  Result<PlanPtr> OptimizePlan(QueryContext* ctx, const PlanPtr& plan,
+                               QueryTrace* trace, std::string* origin);
+  /// Serialized effective optimizer knobs — part of every plan-cache key,
+  /// so a knob refit (or reconfiguration) re-plans instead of serving a
+  /// plan chosen under different costs.
+  std::string KnobSignature() const;
+  /// Plan-cache freshness probes: table stamps against `ctx`'s pinned
+  /// snapshot (or the live catalog when ctx is null, for EXPLAIN), and
+  /// managed-index absent-class against the IndexManager.
+  PlanCache::VersionProbe PlanCacheVersionProbe(QueryContext* ctx) const;
+  PlanCache::AbsentProbe PlanCacheAbsentProbe() const;
   /// Per-query optimizer over ctx's pinned snapshot.
   Optimizer MakeOptimizerFor(QueryContext* ctx) const;
   /// Engine-level optimizer options with the pool's dop and the async
@@ -269,6 +324,9 @@ class Engine {
   /// so no build task outlives the governor).
   std::unique_ptr<ResourceGovernor> governor_;
   std::unique_ptr<DeadlineReaper> reaper_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<KnobTuner> knob_tuner_;
+  std::atomic<std::uint64_t> index_adoptions_{0};
   std::atomic<std::uint64_t> next_query_id_{0};
 };
 

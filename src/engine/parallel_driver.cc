@@ -1,5 +1,6 @@
 #include "engine/parallel_driver.h"
 
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +14,28 @@
 #include "exec/scan.h"
 
 namespace cre {
+
+namespace {
+
+std::mutex g_adoption_hook_mu;
+std::function<void(std::size_t)> g_adoption_hook;
+
+void CallAdoptionHook(std::size_t first_morsel) {
+  std::function<void(std::size_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(g_adoption_hook_mu);
+    hook = g_adoption_hook;
+  }
+  if (hook) hook(first_morsel);
+}
+
+}  // namespace
+
+void ParallelPlanDriver::SetAdoptionWaveHookForTesting(
+    std::function<void(std::size_t)> hook) {
+  std::lock_guard<std::mutex> lock(g_adoption_hook_mu);
+  g_adoption_hook = std::move(hook);
+}
 
 ParallelPlanDriver::ParallelPlanDriver(Engine* engine, QueryContext* ctx,
                                        std::size_t morsel_rows)
@@ -63,17 +86,19 @@ Result<TablePtr> ParallelPlanDriver::MaterializeSource(
       // thread. Otherwise (background build in flight, or a version
       // mismatch against the snapshot) the brute-force fallback runs as
       // a scanning segment through the morsel scheduler — a cold query
-      // is served parallel and never blocks on the build.
-      CRE_ASSIGN_OR_RETURN(OperatorPtr op,
-                           engine_->TryLowerIndexSelect(ctx_, source));
+      // is served parallel and never blocks on the build. When the miss
+      // was specifically an in-flight background build, the fallback
+      // polls between morsel waves and adopts the index mid-query once
+      // the build lands.
+      bool build_in_flight = false;
+      CRE_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          engine_->TryLowerIndexSelect(ctx_, source, &build_in_flight));
       if (op != nullptr) {
         op = Instrument(&source, std::move(op));
         return ExecuteToTable(op.get());
       }
-      PipelineSegment fallback;
-      fallback.source = source.children[0].get();
-      fallback.ops.push_back(&source);
-      return RunSegment(fallback);
+      return RunFallbackWithAdoption(source, build_in_flight);
     }
     case PlanKind::kSemanticGroupBy: {
       // Materialize the input in parallel, then run the (order-sensitive)
@@ -117,9 +142,11 @@ Result<ParallelPlanDriver::JoinStates> ParallelPlanDriver::BuildJoinStates(
   for (const PlanNode* op : segment.ops) {
     if (op->kind != PlanKind::kJoin) continue;
     CRE_ASSIGN_OR_RETURN(TablePtr build, Run(*op->children[1]));
-    CRE_ASSIGN_OR_RETURN(std::shared_ptr<HashJoinTable> table,
-                         HashJoinTable::Build(std::move(build), op->right_key,
-                                              ctx_->budget_handle()));
+    CRE_ASSIGN_OR_RETURN(
+        std::shared_ptr<HashJoinTable> table,
+        HashJoinTable::Build(std::move(build), op->right_key,
+                             ctx_->budget_handle(),
+                             engine_->knob_tuner()->footprints()));
     joins.emplace(op, std::move(table));
   }
   return joins;
@@ -209,12 +236,121 @@ Result<TablePtr> ParallelPlanDriver::RunSegment(
   options.morsel_rows = morsel_rows_;
   options.pool = runner_;
   options.cancel = ctx_->cancel_flag();
+  options.on_morsel = [this](std::size_t rows, double seconds) {
+    engine_->knob_tuner()->ObserveMorsel(rows, seconds);
+  };
   return MorselParallelMap(
       base,
       [&](std::size_t, const TablePtr& slice) {
         return BuildChain(segment, slice, joins, selects);
       },
       options);
+}
+
+Result<TablePtr> ParallelPlanDriver::RunFallbackWithAdoption(
+    const PlanNode& source, bool build_in_flight) {
+  PipelineSegment fallback;
+  fallback.source = source.children[0].get();
+  fallback.ops.push_back(&source);
+  if (!build_in_flight) return RunSegment(fallback);
+
+  CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
+  SpanScope span(this, "pipeline:adaptive-select");
+  CRE_ASSIGN_OR_RETURN(TablePtr base, MaterializeSource(*fallback.source));
+  const std::size_t n = base->num_rows();
+  const std::size_t num_morsels = (n + morsel_rows_ - 1) / morsel_rows_;
+  if (num_morsels <= 1) return RunSegment(fallback);
+
+  CRE_ASSIGN_OR_RETURN(SelectStates selects, BuildSelectStates(fallback));
+  MorselOptions options;
+  options.morsel_rows = morsel_rows_;
+  options.pool = runner_;
+  options.cancel = ctx_->cancel_flag();
+  options.on_morsel = [this](std::size_t rows, double seconds) {
+    engine_->knob_tuner()->ObserveMorsel(rows, seconds);
+  };
+
+  // Brute-force the input in waves of ~2 morsels per worker. Between
+  // waves (pipeline-segment boundaries — no per-morsel pipeline is in
+  // flight), re-probe the index: once the background build has landed,
+  // the remaining rows are served by one index range search restricted to
+  // row ids past the already-scanned prefix. Exact re-verification inside
+  // the index operator keeps the adopted tail byte-identical to the
+  // brute-force result, and prefix-then-tail concatenation preserves the
+  // global row order.
+  const std::size_t workers =
+      runner_ != nullptr ? std::max<std::size_t>(1, runner_->num_threads())
+                         : 1;
+  const std::size_t wave_morsels = std::max<std::size_t>(1, workers * 2);
+  const JoinStates no_joins;
+  TablePtr out;
+  std::size_t adopted_at_row = 0;
+  bool adopted = false;
+  std::size_t m = 0;
+  while (m < num_morsels) {
+    CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
+    CallAdoptionHook(m);
+    if (m > 0) {
+      // The first wave never polls: the probe above just reported the
+      // build in flight.
+      bool still_building = false;
+      CRE_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          engine_->TryLowerIndexSelect(ctx_, source, &still_building,
+                                       /*min_row_id=*/m * morsel_rows_,
+                                       /*exact_verify=*/true));
+      if (op != nullptr) {
+        op = Instrument(&source, std::move(op));
+        CRE_ASSIGN_OR_RETURN(TablePtr tail, ExecuteToTable(op.get()));
+        if (out == nullptr) out = Table::Make(tail->schema());
+        CRE_RETURN_NOT_OK(out->AppendTable(*tail));
+        adopted = true;
+        adopted_at_row = m * morsel_rows_;
+        engine_->RecordIndexAdoption();
+        break;
+      }
+      if (!still_building) {
+        // The build failed or was evicted; no point polling again. Run
+        // the rest as one plain brute-force map.
+        TablePtr rest = base->Slice(m * morsel_rows_, n - m * morsel_rows_);
+        CRE_ASSIGN_OR_RETURN(
+            TablePtr part,
+            MorselParallelMap(
+                rest,
+                [&](std::size_t, const TablePtr& slice) {
+                  return BuildChain(fallback, slice, no_joins, selects);
+                },
+                options));
+        if (out == nullptr) out = Table::Make(part->schema());
+        CRE_RETURN_NOT_OK(out->AppendTable(*part));
+        break;
+      }
+    }
+    const std::size_t wave_end = std::min(num_morsels, m + wave_morsels);
+    TablePtr wave_base =
+        base->Slice(m * morsel_rows_, (wave_end - m) * morsel_rows_);
+    CRE_ASSIGN_OR_RETURN(
+        TablePtr part,
+        MorselParallelMap(
+            wave_base,
+            [&](std::size_t, const TablePtr& slice) {
+              return BuildChain(fallback, slice, no_joins, selects);
+            },
+            options));
+    if (out == nullptr) out = Table::Make(part->schema());
+    CRE_RETURN_NOT_OK(out->AppendTable(*part));
+    m = wave_end;
+  }
+  span.Annotate("adopted", adopted ? "true" : "false");
+  if (adopted) {
+    span.Annotate("adopted_at_row", std::to_string(adopted_at_row));
+    if (trace_ != nullptr && span_parent_ != nullptr) {
+      trace_->Annotate(span_parent_, "index_adoption",
+                       "row " + std::to_string(adopted_at_row) + "/" +
+                           std::to_string(n));
+    }
+  }
+  return out;
 }
 
 Result<TablePtr> ParallelPlanDriver::RunSort(const PlanNode& sort,
@@ -225,8 +361,10 @@ Result<TablePtr> ParallelPlanDriver::RunSort(const PlanNode& sort,
   SpanScope span(this, "sort:" + sort.sort_key);
   SortPhaseTimings timings;
   CRE_ASSIGN_OR_RETURN(
-      TablePtr out, SortTable(input, sort.sort_key, sort.sort_ascending,
-                              runner_, limit_hint, &timings, ctx_->budget()));
+      TablePtr out,
+      SortTable(input, sort.sort_key, sort.sort_ascending, runner_,
+                limit_hint, &timings, ctx_->budget(),
+                engine_->knob_tuner()->footprints()));
   span.Annotate("rows", std::to_string(out->num_rows()));
   span.Annotate("runs", std::to_string(timings.runs));
   span.Annotate("local_sort_ms",
@@ -318,15 +456,25 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   const Schema input_schema = prototype->output_schema();
 
   const std::size_t n = base->num_rows();
-  const std::size_t num_morsels = (n + morsel_rows_ - 1) / morsel_rows_;
+  // Layout decisions (parallel-vs-serial, chunk boundaries) use the
+  // engine's configured morsel baseline, NOT the tuned morsel size: the
+  // chunk row-ranges determine the group-merge insertion order, and a
+  // mid-stream tuner refit must never change result row order. The tuned
+  // size only affects slicing granularity inside a chunk, where morsels
+  // run sequentially in row order.
+  const std::size_t layout_rows =
+      std::max<std::size_t>(1, engine_->options().morsel_rows);
+  const std::size_t num_morsels = (n + layout_rows - 1) / layout_rows;
   const bool parallel =
       num_morsels > 1 && runner_ != nullptr && runner_->num_threads() > 1;
   // High estimated group cardinality flips accumulation to the two-phase
   // radix scheme: the serial whole-map merge would otherwise dominate.
   // Unoptimized plans carry no estimate (est_rows < 0); then a threshold
-  // of 0 explicitly forces the radix form for keyed aggregates.
+  // of 0 explicitly forces the radix form for keyed aggregates. The
+  // threshold comes from the knob tuner, which re-fits it from observed
+  // accumulate/merge timings (falling back to the configured baseline).
   const std::size_t radix_threshold =
-      engine_->options().optimizer.radix_agg_min_groups;
+      engine_->knob_tuner()->radix_agg_min_groups();
   const bool use_radix =
       parallel && !agg.group_keys.empty() &&
       (agg.est_rows >= 0
@@ -371,27 +519,35 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
   // Charge the accumulation's private state: every chunk keeps its own
   // hash (or radix-partitioned) aggregation state, sized by the group
   // cardinality estimate; plans without an estimate fall back to the
-  // input row count (a keyed aggregate can never exceed it).
+  // input row count (a keyed aggregate can never exceed it). The
+  // calibrator replaces the static 64 bytes/group prior with the
+  // observed bytes/group of past aggregations.
   ScopedCharge agg_charge;
   if (ctx_->budget() != nullptr) {
     const std::size_t est_groups =
         agg.est_rows >= 0 ? static_cast<std::size_t>(agg.est_rows) : n;
-    const std::size_t state_bytes = est_groups * num_chunks * 64;
+    const std::size_t per_chunk_bytes =
+        engine_->knob_tuner()->footprints()->EstimateBytes(
+            FootprintSite::kAggState, est_groups, est_groups * 64);
+    const std::size_t state_bytes = per_chunk_bytes * num_chunks;
     CRE_RETURN_NOT_OK(
         ctx_->budget()->Charge(state_bytes, "aggregation state"));
     agg_charge = ScopedCharge(ctx_->budget_handle(), state_bytes);
   }
 
   // Drives chunk `c`'s morsel chains into `consume`, polling the
-  // cancellation flag between morsels.
+  // cancellation flag between morsels. Chunk boundaries are fixed by the
+  // layout baseline; within the chunk, rows stream in order in slices of
+  // the tuned morsel size.
   auto run_chunk = [&](std::size_t c,
                        const std::function<Status(const Table&)>& consume)
       -> Status {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(num_morsels, begin + per_chunk);
-    for (std::size_t m = begin; m < end; ++m) {
+    const std::size_t begin_row = c * per_chunk * layout_rows;
+    const std::size_t end_row =
+        std::min(n, begin_row + per_chunk * layout_rows);
+    for (std::size_t r = begin_row; r < end_row; r += morsel_rows_) {
       CRE_RETURN_NOT_OK(ctx_->CheckCancelled());
-      TablePtr slice = base->Slice(m * morsel_rows_, morsel_rows_);
+      TablePtr slice = base->Slice(r, std::min(morsel_rows_, end_row - r));
       CRE_ASSIGN_OR_RETURN(OperatorPtr chain,
                            BuildChain(segment, slice, joins, selects));
       CRE_RETURN_NOT_OK(chain->Open());
@@ -429,6 +585,19 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
     accumulate_seconds = accumulate_timer.Seconds();
 
+    // Measure the accumulated state before the merge consumes it: the
+    // observed bytes/group calibrates future aggregation-state charges.
+    std::size_t state_groups = 0;
+    std::size_t state_bytes = 0;
+    for (const auto& partial : partials) {
+      state_groups += partial.num_groups();
+      state_bytes += partial.MemoryBytes();
+    }
+    if (state_groups > 0) {
+      engine_->knob_tuner()->footprints()->Observe(FootprintSite::kAggState,
+                                                   state_groups, state_bytes);
+    }
+
     Timer merge_timer;
     GroupedAggregationState total;
     CRE_RETURN_NOT_OK(total.Init(input_schema, agg.group_keys, agg.aggs));
@@ -458,6 +627,19 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     for (const Status& status : statuses) CRE_RETURN_NOT_OK(status);
     accumulate_seconds = accumulate_timer.Seconds();
     partitions_used = partials.front().num_partitions();
+
+    std::size_t state_groups = 0;
+    std::size_t state_bytes = 0;
+    for (auto& partial : partials) {
+      for (std::size_t p = 0; p < partial.num_partitions(); ++p) {
+        state_groups += partial.partition(p).num_groups();
+        state_bytes += partial.partition(p).MemoryBytes();
+      }
+    }
+    if (state_groups > 0) {
+      engine_->knob_tuner()->footprints()->Observe(FootprintSite::kAggState,
+                                                   state_groups, state_bytes);
+    }
 
     // Phase 2: all occurrences of a group share a partition index, so
     // partitions merge and finalize independently — one task each, no
@@ -489,6 +671,11 @@ Result<TablePtr> ParallelPlanDriver::RunAggregate(const PlanNode& agg) {
     }
     merge_seconds = merge_timer.Seconds();
   }
+
+  // Feed the tuner's radix-threshold fit: which accumulation mode ran,
+  // over how many rows/groups, and how the time split between phases.
+  engine_->knob_tuner()->ObserveAggregate(use_radix, n, out->num_rows(),
+                                          accumulate_seconds, merge_seconds);
 
   if (trace_ != nullptr && span_parent_ != nullptr) {
     trace_->Annotate(span_parent_, "agg_mode", use_radix ? "radix" : "hash");

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/resource_governor.h"
+#include "exec/footprint.h"
 #include "exec/operator.h"
 
 namespace cre {
@@ -52,6 +54,11 @@ class GroupedAggregationState {
 
   const Schema& output_schema() const { return schema_; }
   std::size_t num_groups() const { return groups_.size(); }
+
+  /// Measured heap footprint of the accumulation state (hash buckets, key
+  /// strings, per-group accumulator vectors). O(groups) walk — call at
+  /// barriers (finalize, governor re-charge), not per row.
+  std::size_t MemoryBytes() const;
 
  private:
   struct GroupState {
@@ -107,10 +114,17 @@ class RadixAggregationState {
 
 /// Hash group-by with streaming accumulation; emits one batch of group
 /// results at end of input. Group keys may be int64/date/string/bool.
+/// With a non-null `budget`, the growing accumulation state is charged
+/// against the governor batch by batch (estimated from the group count,
+/// calibrated by `calibrator` when given) and released on destruction, so
+/// serial-path aggregates are accounted the same way driver-level ones
+/// are.
 class AggregateOperator : public PhysicalOperator {
  public:
   AggregateOperator(OperatorPtr child, std::vector<std::string> group_keys,
-                    std::vector<AggSpec> aggs);
+                    std::vector<AggSpec> aggs, QueryBudgetPtr budget = nullptr,
+                    FootprintCalibrator* calibrator = nullptr);
+  ~AggregateOperator() override;
 
   const Schema& output_schema() const override {
     return state_.output_schema();
@@ -124,6 +138,9 @@ class AggregateOperator : public PhysicalOperator {
   std::vector<std::string> group_keys_;
   std::vector<AggSpec> aggs_;
   GroupedAggregationState state_;
+  QueryBudgetPtr budget_;
+  FootprintCalibrator* calibrator_;
+  std::size_t charged_ = 0;  ///< governor bytes currently held
   bool done_ = false;
 };
 

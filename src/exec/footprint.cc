@@ -1,0 +1,57 @@
+#include "exec/footprint.h"
+
+#include <algorithm>
+
+namespace cre {
+
+const char* FootprintSiteName(FootprintSite site) {
+  switch (site) {
+    case FootprintSite::kHashJoinBuild:
+      return "hash_join_build";
+    case FootprintSite::kSortRuns:
+      return "sort_runs";
+    case FootprintSite::kAggState:
+      return "agg_state";
+  }
+  return "unknown";
+}
+
+std::size_t FootprintCalibrator::EstimateBytes(
+    FootprintSite site, std::size_t rows, std::size_t static_estimate) const {
+  const int i = static_cast<int>(site);
+  if (rows == 0 ||
+      samples_[i].load(std::memory_order_relaxed) < min_samples_) {
+    return static_estimate;
+  }
+  const double bpr = bytes_per_row_[i].load(std::memory_order_relaxed);
+  if (bpr <= 0) return static_estimate;
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(bpr * static_cast<double>(rows)));
+}
+
+void FootprintCalibrator::Observe(FootprintSite site, std::size_t rows,
+                                  std::size_t bytes) {
+  if (rows == 0) return;
+  const int i = static_cast<int>(site);
+  const double sample = static_cast<double>(bytes) / static_cast<double>(rows);
+  double cur = bytes_per_row_[i].load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = cur <= 0 ? sample : cur + alpha_ * (sample - cur);
+    if (bytes_per_row_[i].compare_exchange_weak(cur, next,
+                                                std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  samples_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+double FootprintCalibrator::bytes_per_row(FootprintSite site) const {
+  return bytes_per_row_[static_cast<int>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FootprintCalibrator::samples(FootprintSite site) const {
+  return samples_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+}  // namespace cre

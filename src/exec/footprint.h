@@ -1,0 +1,60 @@
+#ifndef CRE_EXEC_FOOTPRINT_H_
+#define CRE_EXEC_FOOTPRINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cre {
+
+/// Governor charge sites whose static pre-allocation estimates the
+/// calibrator replaces with observed bytes/row.
+enum class FootprintSite : int {
+  kHashJoinBuild = 0,  ///< materialized build side + hash index
+  kSortRuns = 1,       ///< gathered output + row-index runs
+  kAggState = 2,       ///< per-chunk grouped aggregation state
+};
+inline constexpr int kNumFootprintSites = 3;
+
+const char* FootprintSiteName(FootprintSite site);
+
+/// Running bytes/row calibration for the governor's big charge sites.
+/// The static estimates (hash-join ~32 bytes/entry, sort ~2 indices/row,
+/// aggregation ~64 bytes/group) are honest priors but never adapt to the
+/// actual schema widths and key sizes of a workload; this records the
+/// observed footprint of each completed operator as a bytes/row EWMA and
+/// serves it back to future charges, so repeat traffic is charged what it
+/// actually allocates.
+///
+/// Thread-safe and lock-free: estimates are relaxed atomic loads, and
+/// observations fold in via a CAS loop — operators on any worker thread
+/// may observe concurrently. Until `min_samples` observations exist for a
+/// site, EstimateBytes returns the caller's static estimate unchanged.
+class FootprintCalibrator {
+ public:
+  explicit FootprintCalibrator(double ewma_alpha = 0.2,
+                               std::uint64_t min_samples = 3)
+      : alpha_(ewma_alpha), min_samples_(min_samples) {}
+
+  /// Charge-time estimate for `rows` at `site`; `static_estimate` is the
+  /// caller's uncalibrated fallback (also returned for rows == 0).
+  std::size_t EstimateBytes(FootprintSite site, std::size_t rows,
+                            std::size_t static_estimate) const;
+
+  /// Records one completed operator's actual footprint.
+  void Observe(FootprintSite site, std::size_t rows, std::size_t bytes);
+
+  /// Current bytes/row EWMA for a site (0 until observed).
+  double bytes_per_row(FootprintSite site) const;
+  std::uint64_t samples(FootprintSite site) const;
+
+ private:
+  double alpha_;
+  std::uint64_t min_samples_;
+  std::atomic<double> bytes_per_row_[kNumFootprintSites] = {};
+  std::atomic<std::uint64_t> samples_[kNumFootprintSites] = {};
+};
+
+}  // namespace cre
+
+#endif  // CRE_EXEC_FOOTPRINT_H_

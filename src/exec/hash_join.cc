@@ -7,19 +7,26 @@
 namespace cre {
 
 Result<std::shared_ptr<HashJoinTable>> HashJoinTable::Build(
-    TablePtr build, const std::string& key, QueryBudgetPtr budget) {
+    TablePtr build, const std::string& key, QueryBudgetPtr budget,
+    FootprintCalibrator* calibrator) {
   CRE_RETURN_IF_FAULT("hashjoin.build");
   auto out = std::make_shared<HashJoinTable>();
   out->build_ = std::move(build);
   CRE_ASSIGN_OR_RETURN(std::size_t key_idx,
                        out->build_->schema().RequireField(key));
   const Column& col = out->build_->column(key_idx);
+  const std::size_t rows = out->build_->num_rows();
   if (budget != nullptr) {
     // Materialized side = the pinned table plus the hash index (bucket
     // array + one node per row; ~32 bytes/entry is a fair estimate for
-    // libstdc++'s unordered_multimap before string keys).
-    std::size_t bytes =
-        out->build_->MemoryBytes() + out->build_->num_rows() * 32;
+    // libstdc++'s unordered_multimap before string keys). A calibrator
+    // replaces the whole estimate with the observed bytes/row of past
+    // builds once enough of them have been seen.
+    std::size_t bytes = out->build_->MemoryBytes() + rows * 32;
+    if (calibrator != nullptr) {
+      bytes = calibrator->EstimateBytes(FootprintSite::kHashJoinBuild, rows,
+                                        bytes);
+    }
     Status st = budget->Charge(bytes, "hash-join build side");
     if (!st.ok()) return st;
     out->charge_ = ScopedCharge(budget, bytes);
@@ -33,7 +40,7 @@ Result<std::shared_ptr<HashJoinTable>> HashJoinTable::Build(
         out->int_index_.emplace(data[i], static_cast<std::uint32_t>(i));
       }
       out->key_is_string_ = false;
-      return out;
+      break;
     }
     case DataType::kString: {
       const auto& data = col.strings();
@@ -42,12 +49,32 @@ Result<std::shared_ptr<HashJoinTable>> HashJoinTable::Build(
         out->str_index_.emplace(data[i], static_cast<std::uint32_t>(i));
       }
       out->key_is_string_ = true;
-      return out;
+      break;
     }
     default:
       return Status::TypeError("hash join key must be int64/date/string, got " +
                                std::string(DataTypeName(col.type())));
   }
+  if (calibrator != nullptr && rows > 0) {
+    // Actual footprint: the pinned table plus the built index's node and
+    // bucket storage (libstdc++ node = key + row id + next pointer +
+    // cached hash; string keys add the SSO footprint and any heap
+    // spill).
+    std::size_t index_bytes = 0;
+    if (out->key_is_string_) {
+      for (const auto& kv : out->str_index_) {
+        const std::string& k = kv.first;
+        index_bytes += 56 + (k.capacity() > 15 ? k.capacity() : 0);
+      }
+      index_bytes += out->str_index_.bucket_count() * sizeof(void*);
+    } else {
+      index_bytes = out->int_index_.size() * 40 +
+                    out->int_index_.bucket_count() * sizeof(void*);
+    }
+    calibrator->Observe(FootprintSite::kHashJoinBuild, rows,
+                        out->build_->MemoryBytes() + index_bytes);
+  }
+  return out;
 }
 
 Status HashJoinTable::Probe(const Column& key,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/resource_governor.h"
+#include "exec/footprint.h"
 #include "exec/operator.h"
 
 namespace cre {
@@ -23,9 +24,13 @@ class HashJoinTable {
   /// (int64/date/string). With a non-null `budget`, the estimated bytes
   /// of the materialized side (table + hash index) are charged before
   /// building; a breach returns kResourceExhausted and the charge is
-  /// released when the table is destroyed.
+  /// released when the table is destroyed. With a non-null `calibrator`,
+  /// the charge uses the observed bytes/row of past builds instead of the
+  /// static ~32 bytes/entry prior, and this build's actual footprint is
+  /// folded back in afterwards.
   static Result<std::shared_ptr<HashJoinTable>> Build(
-      TablePtr build, const std::string& key, QueryBudgetPtr budget = nullptr);
+      TablePtr build, const std::string& key, QueryBudgetPtr budget = nullptr,
+      FootprintCalibrator* calibrator = nullptr);
 
   const TablePtr& table() const { return build_; }
   std::size_t num_rows() const { return build_->num_rows(); }

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <vector>
 
+#include "core/timer.h"
+
 namespace cre {
 
 Result<TablePtr> MorselParallelMap(const TablePtr& table,
@@ -18,8 +20,13 @@ Result<TablePtr> MorselParallelMap(const TablePtr& table,
     if (options.cancel != nullptr && options.cancel->cancelled()) {
       return Status::Cancelled("query cancelled before morsel execution");
     }
+    Timer timer;
     CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(0, table));
-    return ExecuteToTable(pipeline.get());
+    Result<TablePtr> out = ExecuteToTable(pipeline.get());
+    if (out.ok() && options.on_morsel && n > 0) {
+      options.on_morsel(n, timer.Seconds());
+    }
+    return out;
   }
 
   // Each task writes only its own slot, so no lock is needed.
@@ -35,10 +42,15 @@ Result<TablePtr> MorselParallelMap(const TablePtr& table,
             continue;
           }
           TablePtr slice = table->Slice(m * morsel, morsel);
+          Timer timer;
+          const std::size_t slice_rows = slice->num_rows();
           results[m] = [&]() -> Result<TablePtr> {
             CRE_ASSIGN_OR_RETURN(OperatorPtr pipeline, build(m, slice));
             return ExecuteToTable(pipeline.get());
           }();
+          if (results[m].ok() && options.on_morsel && slice_rows > 0) {
+            options.on_morsel(slice_rows, timer.Seconds());
+          }
         }
       },
       /*min_chunk=*/1);

@@ -336,37 +336,56 @@ struct SortChargeGuard {
 
 Result<TablePtr> SortTable(const TablePtr& input, const std::string& key,
                            bool ascending, TaskRunner* pool,
-                           std::size_t limit_hint,
-                           SortPhaseTimings* timings, QueryBudget* budget) {
+                           std::size_t limit_hint, SortPhaseTimings* timings,
+                           QueryBudget* budget,
+                           FootprintCalibrator* calibrator) {
   CRE_ASSIGN_OR_RETURN(std::size_t key_idx, input->schema().RequireField(key));
+  const std::size_t rows = input->num_rows();
   SortChargeGuard charge;
   if (budget != nullptr) {
     // Transient sort state: gathered output (~input bytes) plus two
-    // row-index arrays (runs + merged permutation).
-    std::size_t bytes = input->MemoryBytes() +
-                        input->num_rows() * 2 * sizeof(std::uint32_t);
+    // row-index arrays (runs + merged permutation). A calibrator swaps in
+    // the observed bytes/row of past sorts once it has seen enough.
+    std::size_t bytes =
+        input->MemoryBytes() + rows * 2 * sizeof(std::uint32_t);
+    if (calibrator != nullptr) {
+      bytes = calibrator->EstimateBytes(FootprintSite::kSortRuns, rows, bytes);
+    }
     CRE_RETURN_NOT_OK(budget->Charge(bytes, "sort runs"));
     charge.budget = budget;
     charge.bytes = bytes;
   }
   const Column& col = input->column(key_idx);
+  Result<TablePtr> result = Status::TypeError("cannot sort on vector column");
   switch (col.type()) {
     case DataType::kInt64:
     case DataType::kDate:
-      return SortTyped(input, col.i64(), ascending, pool, limit_hint,
-                       timings);
+      result = SortTyped(input, col.i64(), ascending, pool, limit_hint,
+                         timings);
+      break;
     case DataType::kFloat64:
-      return SortTyped(input, col.f64(), ascending, pool, limit_hint,
-                       timings);
+      result = SortTyped(input, col.f64(), ascending, pool, limit_hint,
+                         timings);
+      break;
     case DataType::kString:
-      return SortTyped(input, col.strings(), ascending, pool, limit_hint,
-                       timings);
+      result = SortTyped(input, col.strings(), ascending, pool, limit_hint,
+                         timings);
+      break;
     case DataType::kBool:
-      return SortTyped(input, col.bools(), ascending, pool, limit_hint,
-                       timings);
+      result = SortTyped(input, col.bools(), ascending, pool, limit_hint,
+                         timings);
+      break;
     default:
-      return Status::TypeError("cannot sort on vector column");
+      return result.status();
   }
+  if (result.ok() && calibrator != nullptr && rows > 0) {
+    // Actual transient footprint: the gathered output plus the row-index
+    // arrays the runs and merge used.
+    calibrator->Observe(FootprintSite::kSortRuns, rows,
+                        result.ValueUnsafe()->MemoryBytes() +
+                            rows * 2 * sizeof(std::uint32_t));
+  }
+  return result;
 }
 
 }  // namespace cre

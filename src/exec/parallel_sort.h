@@ -6,6 +6,7 @@
 #include "core/resource_governor.h"
 #include "core/result.h"
 #include "core/thread_pool.h"
+#include "exec/footprint.h"
 #include "storage/table.h"
 
 namespace cre {
@@ -43,12 +44,15 @@ struct SortPhaseTimings {
 /// With a non-null `budget` the transient sort state (row-index runs plus
 /// the gathered output, ~input bytes + 2 indices/row) is charged for the
 /// duration of the call; a breach returns kResourceExhausted before any
-/// run is sorted.
+/// run is sorted. A non-null `calibrator` replaces that static estimate
+/// with the observed bytes/row of past sorts and folds this sort's actual
+/// footprint back in.
 Result<TablePtr> SortTable(const TablePtr& input, const std::string& key,
                            bool ascending, TaskRunner* pool,
                            std::size_t limit_hint = 0,
                            SortPhaseTimings* timings = nullptr,
-                           QueryBudget* budget = nullptr);
+                           QueryBudget* budget = nullptr,
+                           FootprintCalibrator* calibrator = nullptr);
 
 }  // namespace cre
 

@@ -10,7 +10,8 @@ Result<TablePtr> SortOperator::Next() {
   if (done_) return TablePtr(nullptr);
   done_ = true;
   CRE_ASSIGN_OR_RETURN(TablePtr all, CollectAll(child_.get()));
-  return SortTable(all, key_, ascending_, pool_, limit_hint_);
+  return SortTable(all, key_, ascending_, pool_, limit_hint_,
+                   /*timings=*/nullptr, budget_.get(), calibrator_);
 }
 
 Result<TablePtr> LimitOperator::Next() {

@@ -4,7 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "core/resource_governor.h"
 #include "core/thread_pool.h"
+#include "exec/footprint.h"
 #include "exec/operator.h"
 
 namespace cre {
@@ -15,16 +17,23 @@ namespace cre {
 /// range-partitioned k-way loser-tree merge; without one it is the classic
 /// serial sort. Either way the output permutation is the stable-sort
 /// order. A non-zero `limit_hint` (Sort feeding a LIMIT) switches to
-/// top-k: only the first `limit_hint` rows are produced.
+/// top-k: only the first `limit_hint` rows are produced. With a non-null
+/// `budget` the transient sort state is charged against the governor for
+/// the duration of the sort (calibrated by `calibrator` when given), so
+/// serial-path sorts are accounted the same way driver-level ones are.
 class SortOperator : public PhysicalOperator {
  public:
   SortOperator(OperatorPtr child, std::string key, bool ascending = true,
-               TaskRunner* pool = nullptr, std::size_t limit_hint = 0)
+               TaskRunner* pool = nullptr, std::size_t limit_hint = 0,
+               QueryBudgetPtr budget = nullptr,
+               FootprintCalibrator* calibrator = nullptr)
       : child_(std::move(child)),
         key_(std::move(key)),
         ascending_(ascending),
         pool_(pool),
-        limit_hint_(limit_hint) {}
+        limit_hint_(limit_hint),
+        budget_(std::move(budget)),
+        calibrator_(calibrator) {}
 
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -39,6 +48,8 @@ class SortOperator : public PhysicalOperator {
   bool ascending_;
   TaskRunner* pool_;
   std::size_t limit_hint_;
+  QueryBudgetPtr budget_;
+  FootprintCalibrator* calibrator_;
   bool done_ = false;
 };
 

@@ -704,6 +704,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::LoadFromDisk(
 Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     const IndexKey& key, std::uint64_t* built_version) {
   std::unique_lock<std::mutex> lock(mu_);
+  lookup_keys_.insert(key);
   bool counted_miss = false;
   std::string doomed_image;
   for (;;) {
@@ -903,6 +904,7 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
   std::string doomed_image;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    lookup_keys_.insert(key);
     const bool async =
         background_runner_ != nullptr && options_.async_builds;
     auto it = entries_.find(key);
@@ -1167,6 +1169,7 @@ IndexManager::Stats IndexManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = counters_;
   s.resident_bytes = resident_bytes_;
+  s.distinct_lookup_keys = lookup_keys_.size();
   s.resident_count = 0;
   for (const auto& [key, entry] : entries_) {
     (void)key;

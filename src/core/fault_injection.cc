@@ -35,7 +35,7 @@ const std::vector<std::string>& FaultInjector::SiteCatalogue() {
 }
 
 void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ArmedSite armed;
   armed.spec = std::move(spec);
   sites_[site] = std::move(armed);
@@ -43,26 +43,26 @@ void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sites_.erase(site);
   if (sites_.empty()) enabled_.store(false, std::memory_order_relaxed);
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sites_.clear();
   fired_.store(0, std::memory_order_relaxed);
   enabled_.store(false, std::memory_order_relaxed);
 }
 
 std::uint64_t FaultInjector::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hit_count;
 }
 
 Status FaultInjector::Check(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();
   ArmedSite& armed = it->second;

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
 
 namespace cre {
@@ -76,9 +76,9 @@ class FaultInjector {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> fired_{0};
-  mutable std::mutex mu_;
-  std::map<std::string, ArmedSite> sites_;
-  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  mutable Mutex mu_;
+  std::map<std::string, ArmedSite> sites_ CRE_GUARDED_BY(mu_);
+  std::uint64_t rng_state_ CRE_GUARDED_BY(mu_) = 0x9e3779b97f4a7c15ull;
 };
 
 /// Fault probe: evaluates to a Status to be checked at the call site.

@@ -14,33 +14,35 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++outstanding_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit while-loop (not a lambda predicate): guarded reads stay in
+  // this annotated scope.
+  while (outstanding_ != 0) done_cv_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_cv_.Wait(lock);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -50,8 +52,8 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--outstanding_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--outstanding_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -2,13 +2,13 @@
 #define CRE_CORE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
 
 namespace cre {
 
@@ -76,12 +76,12 @@ class ThreadPool : public TaskRunner {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  std::size_t outstanding_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ CRE_GUARDED_BY(mu_);
+  CondVar task_cv_;
+  CondVar done_cv_;
+  std::size_t outstanding_ CRE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CRE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cre

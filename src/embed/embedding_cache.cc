@@ -12,7 +12,7 @@ void CachingEmbeddingModel::EmbedBatch(const std::vector<std::string>& texts,
   std::unordered_map<std::string, std::size_t> miss_index;
   std::vector<std::size_t> row_to_miss(texts.size(), kNoMiss);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < texts.size(); ++i) {
       auto it = map_.find(texts[i]);
       if (it != map_.end()) {
@@ -41,7 +41,7 @@ void CachingEmbeddingModel::EmbedBatch(const std::vector<std::string>& texts,
                 d * sizeof(float));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   misses_ += miss_texts.size();
   for (std::size_t m = 0; m < miss_texts.size(); ++m) {
     if (map_.count(miss_texts[m])) continue;  // raced: keep theirs
@@ -59,7 +59,7 @@ void CachingEmbeddingModel::EmbedBatch(const std::vector<std::string>& texts,
 void CachingEmbeddingModel::Embed(std::string_view text, float* out) const {
   const std::string key(text);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++hits_;
@@ -73,7 +73,7 @@ void CachingEmbeddingModel::Embed(std::string_view text, float* out) const {
   inner_->Embed(text, vec.data());
   std::memcpy(out, vec.data(), dim() * sizeof(float));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++misses_;
   auto it = map_.find(key);
   if (it != map_.end()) return;  // raced with another thread: keep theirs

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/mutex.h"
 #include "embed/model_registry.h"
 
 namespace cre {
@@ -44,15 +44,15 @@ class CachingEmbeddingModel : public EmbeddingModel {
   }
 
   std::size_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hits_;
   }
   std::size_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return misses_;
   }
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return map_.size();
   }
 
@@ -64,11 +64,12 @@ class CachingEmbeddingModel : public EmbeddingModel {
 
   EmbeddingModelPtr inner_;
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  mutable std::list<Entry> lru_;  ///< front = most recent
-  mutable std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable Mutex mu_;
+  mutable std::list<Entry> lru_ CRE_GUARDED_BY(mu_);  ///< front = most recent
+  mutable std::unordered_map<std::string, std::list<Entry>::iterator>
+      map_ CRE_GUARDED_BY(mu_);
+  mutable std::size_t hits_ CRE_GUARDED_BY(mu_) = 0;
+  mutable std::size_t misses_ CRE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cre

@@ -16,7 +16,7 @@ float EmbeddingModel::Similarity(std::string_view a, std::string_view b) const {
 
 Status ModelRegistry::Register(const std::string& name,
                                EmbeddingModelPtr model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (models_.count(name)) {
     return Status::AlreadyExists("model '" + name + "' already registered");
   }
@@ -25,12 +25,12 @@ Status ModelRegistry::Register(const std::string& name,
 }
 
 void ModelRegistry::Put(const std::string& name, EmbeddingModelPtr model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   models_[name] = std::move(model);
 }
 
 Result<EmbeddingModelPtr> ModelRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' not in registry");
@@ -39,12 +39,12 @@ Result<EmbeddingModelPtr> ModelRegistry::Get(const std::string& name) const {
 }
 
 bool ModelRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return models_.count(name) > 0;
 }
 
 std::vector<std::string> ModelRegistry::ListModels() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, _] : models_) names.push_back(name);

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/result.h"
 #include "embed/embedding_model.h"
 
@@ -28,8 +28,8 @@ class ModelRegistry {
   std::vector<std::string> ListModels() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, EmbeddingModelPtr> models_;
+  mutable Mutex mu_;
+  std::map<std::string, EmbeddingModelPtr> models_ CRE_GUARDED_BY(mu_);
 };
 
 }  // namespace cre

@@ -40,11 +40,12 @@ struct QueryScheduler::GroupState {
   /// bound; infrastructure groups (Admit) do not.
   bool counts_as_query = false;
 
-  // Guarded by the scheduler's mu_.
+  // Guarded by the scheduler's mu_ (not annotated: the owning
+  // scheduler's capability is not nameable from this struct).
   std::deque<PendingTask> queue;
   bool in_ready_ring = false;
   std::size_t outstanding = 0;  ///< submitted and not yet finished
-  std::condition_variable done_cv;
+  CondVar done_cv;
   SchedulingCounters counters;
 };
 
@@ -65,7 +66,7 @@ std::shared_ptr<QueryScheduler::Group> QueryScheduler::MakeGroup(
 std::shared_ptr<QueryScheduler::Group> QueryScheduler::Admit(
     QueryPriority priority) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++active_groups_;
   }
   return MakeGroup(priority, /*counts_as_query=*/false);
@@ -75,7 +76,7 @@ Result<std::shared_ptr<QueryScheduler::Group>> QueryScheduler::TryAdmit(
     QueryPriority priority) {
   const std::size_t cls = static_cast<std::size_t>(priority);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const std::size_t limit = admission_.max_active_queries;
     if (limit != 0 && priority != QueryPriority::kHigh) {
       // Background work gets half the admission headroom so it cannot
@@ -101,7 +102,7 @@ Result<std::shared_ptr<QueryScheduler::Group>> QueryScheduler::TryAdmit(
 }
 
 AdmissionStats QueryScheduler::admission_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AdmissionStats stats;
   stats.admitted = admitted_total_;
   stats.shed = shed_total_;
@@ -110,12 +111,12 @@ AdmissionStats QueryScheduler::admission_stats() const {
 }
 
 std::size_t QueryScheduler::active_queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_groups_;
 }
 
 std::size_t QueryScheduler::pending_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_tasks_;
 }
 
@@ -149,7 +150,7 @@ void QueryScheduler::Pump() {
   std::shared_ptr<GroupState> state;
   Clock::time_point enqueued;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!PopNextLocked(&task, &state, &enqueued)) return;
     const double wait = SecondsSince(enqueued);
     state->counters.queue_wait_seconds += wait;
@@ -160,8 +161,8 @@ void QueryScheduler::Pump() {
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--state->outstanding == 0) state->done_cv.notify_all();
+    MutexLock lock(mu_);
+    if (--state->outstanding == 0) state->done_cv.NotifyAll();
   }
 }
 
@@ -169,14 +170,14 @@ QueryScheduler::Group::~Group() {
   // Defensive: a well-behaved driver has already waited at its barriers,
   // but never let queued tasks outlive their query's stack frames.
   Wait();
-  std::lock_guard<std::mutex> lock(scheduler_->mu_);
+  MutexLock lock(scheduler_->mu_);
   --scheduler_->active_groups_;
   if (state_->counts_as_query) --scheduler_->active_admitted_;
 }
 
 void QueryScheduler::Group::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(scheduler_->mu_);
+    MutexLock lock(scheduler_->mu_);
     state_->queue.push_back({std::move(task), Clock::now()});
     ++state_->outstanding;
     ++state_->counters.tasks_submitted;
@@ -194,8 +195,8 @@ void QueryScheduler::Group::Submit(std::function<void()> task) {
 }
 
 void QueryScheduler::Group::Wait() {
-  std::unique_lock<std::mutex> lock(scheduler_->mu_);
-  state_->done_cv.wait(lock, [this] { return state_->outstanding == 0; });
+  MutexLock lock(scheduler_->mu_);
+  while (state_->outstanding != 0) state_->done_cv.Wait(lock);
 }
 
 std::size_t QueryScheduler::Group::num_threads() const {
@@ -207,48 +208,54 @@ QueryPriority QueryScheduler::Group::priority() const {
 }
 
 SchedulingCounters QueryScheduler::Group::counters() const {
-  std::lock_guard<std::mutex> lock(scheduler_->mu_);
+  MutexLock lock(scheduler_->mu_);
   return state_->counters;
 }
 
 DeadlineReaper::~DeadlineReaper() {
+  // cre-lint: allow(raw-thread): join target moved out of thread_ so the
+  // join happens outside mu_ (joining under the lock would deadlock with
+  // Run(), which needs mu_ to observe stop_).
+  std::thread watcher;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    watcher = std::move(thread_);
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  cv_.NotifyAll();
+  if (watcher.joinable()) watcher.join();
 }
 
 void DeadlineReaper::Watch(const CancelFlagPtr& flag) {
   if (flag == nullptr || flag->deadline_ns() == 0) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     heap_.push(Entry{flag->deadline_ns(), flag});
     if (!started_) {
       started_ = true;
+      // cre-lint: allow(raw-thread): see the member declaration.
       thread_ = std::thread([this] { Run(); });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 std::size_t DeadlineReaper::watched() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return heap_.size();
 }
 
 void DeadlineReaper::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     if (heap_.empty()) {
-      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
+      while (!stop_ && heap_.empty()) cv_.Wait(lock);
       continue;
     }
     const std::int64_t now = CancelFlag::NowNs();
     const Entry& next = heap_.top();
     if (next.due_ns > now) {
-      cv_.wait_for(lock, std::chrono::nanoseconds(next.due_ns - now));
+      (void)cv_.WaitFor(lock, std::chrono::nanoseconds(next.due_ns - now));
       continue;
     }
     Entry due = heap_.top();

@@ -3,17 +3,16 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "core/cancel.h"
+#include "core/mutex.h"
 #include "core/result.h"
 #include "core/thread_pool.h"
 
@@ -119,28 +118,30 @@ class QueryScheduler {
   /// according to the fairness policy above.
   void Pump();
   /// Pops the next task to run (strict priority, round-robin in class).
-  /// Caller holds mu_. Returns false when every queue is empty (a stale
-  /// pump racing a faster sibling).
+  /// Returns false when every queue is empty (a stale pump racing a
+  /// faster sibling).
   bool PopNextLocked(std::function<void()>* task,
                      std::shared_ptr<GroupState>* state,
-                     std::chrono::steady_clock::time_point* enqueued);
+                     std::chrono::steady_clock::time_point* enqueued)
+      CRE_REQUIRES(mu_);
 
   std::shared_ptr<Group> MakeGroup(QueryPriority priority,
                                    bool counts_as_query);
 
   ThreadPool* pool_;
   AdmissionOptions admission_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Ready rings, one per priority class: groups with pending tasks, each
   /// present at most once; pumps pop the front group, run one of its
   /// tasks, and re-append it while tasks remain.
-  std::array<std::deque<std::shared_ptr<GroupState>>, 3> ready_;
-  std::size_t active_groups_ = 0;
-  std::size_t pending_tasks_ = 0;
+  std::array<std::deque<std::shared_ptr<GroupState>>, 3> ready_
+      CRE_GUARDED_BY(mu_);
+  std::size_t active_groups_ CRE_GUARDED_BY(mu_) = 0;
+  std::size_t pending_tasks_ CRE_GUARDED_BY(mu_) = 0;
   /// Admission accounting (TryAdmit'd query groups only).
-  std::size_t active_admitted_ = 0;
-  std::array<std::uint64_t, 3> admitted_total_{{0, 0, 0}};
-  std::array<std::uint64_t, 3> shed_total_{{0, 0, 0}};
+  std::size_t active_admitted_ CRE_GUARDED_BY(mu_) = 0;
+  std::array<std::uint64_t, 3> admitted_total_ CRE_GUARDED_BY(mu_){{0, 0, 0}};
+  std::array<std::uint64_t, 3> shed_total_ CRE_GUARDED_BY(mu_){{0, 0, 0}};
 };
 
 /// One admitted query's task surface. Thread-safe; typically driven by
@@ -204,12 +205,18 @@ class DeadlineReaper {
 
   void Run();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  bool started_ = false;
-  bool stop_ = false;
-  std::thread thread_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_
+      CRE_GUARDED_BY(mu_);
+  bool started_ CRE_GUARDED_BY(mu_) = false;
+  bool stop_ CRE_GUARDED_BY(mu_) = false;
+  /// Dedicated watcher thread, started under mu_ on the first Watch and
+  /// joined in the destructor.
+  // cre-lint: allow(raw-thread): the reaper owns one long-lived watcher
+  // thread by design; pooling it would deadlock deadline delivery behind
+  // the very queries it must expire.
+  std::thread thread_ CRE_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> expired_{0};
 };
 

@@ -26,7 +26,7 @@ Result<TablePtr> InstrumentedOperator::Next() {
 }
 
 std::string StatsCollector::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   char line[256];
   std::snprintf(line, sizeof(line), "%-52s %10s %8s %12s %12s\n", "operator",

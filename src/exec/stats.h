@@ -4,11 +4,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/mutex.h"
 #include "exec/operator.h"
 
 namespace cre {
@@ -49,7 +49,7 @@ struct OperatorStats {
 class StatsCollector {
  public:
   OperatorStats* AddSlot(std::string name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return AddSlotLocked(std::move(name));
   }
 
@@ -65,7 +65,7 @@ class StatsCollector {
   /// ids, so EXPLAIN ANALYZE and the benches can report the breakdown.
   OperatorStats* SlotFor(const void* key, int phase,
                          const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = by_key_.find({key, phase});
     if (it != by_key_.end()) return it->second;
     OperatorStats* slot = AddSlotLocked(name);
@@ -76,7 +76,7 @@ class StatsCollector {
   /// The phase-0 slot registered for `key`, or nullptr when the node was
   /// never keyed (EXPLAIN ANALYZE looks plan nodes up by identity).
   OperatorStats* FindSlot(const void* key, int phase = 0) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = by_key_.find({key, phase});
     return it == by_key_.end() ? nullptr : it->second;
   }
@@ -86,7 +86,7 @@ class StatsCollector {
   /// breaker-internal stages recorded by the parallel driver.
   std::vector<std::pair<int, OperatorStats*>> PhasesFor(
       const void* key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::pair<int, OperatorStats*>> out;
     for (auto it = by_key_.lower_bound({key, 0});
          it != by_key_.end() && it->first.first == key; ++it) {
@@ -103,16 +103,17 @@ class StatsCollector {
   }
 
  private:
-  OperatorStats* AddSlotLocked(std::string name) {
+  OperatorStats* AddSlotLocked(std::string name) CRE_REQUIRES(mu_) {
     slots_.push_back(std::make_unique<OperatorStats>());
     OperatorStats* slot = slots_.back().get();
     slot->name = std::move(name);
     return slot;
   }
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<OperatorStats>> slots_;
-  std::map<std::pair<const void*, int>, OperatorStats*> by_key_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<OperatorStats>> slots_ CRE_GUARDED_BY(mu_);
+  std::map<std::pair<const void*, int>, OperatorStats*> by_key_
+      CRE_GUARDED_BY(mu_);
 };
 
 /// Decorator measuring a child operator's Open/Next time and output rows.

@@ -507,7 +507,7 @@ Status IndexManager::PersistToDiskOnce(
   Status rename_status;
   std::vector<std::string> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = persisted_.find(key);
     // Only a stamp written by THIS process is comparable (catalog
     // stamps restart with the process); a scanned image from a previous
@@ -561,7 +561,7 @@ void IndexManager::PersistToDisk(
       // Transient write failure (fd pressure, a racing unlink, a slow
       // filesystem): back off exponentially, then try a fresh tmp file.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++counters_.disk_retries;
       }
       if (backoff_ms > 0) {
@@ -584,7 +584,7 @@ void IndexManager::SchedulePersist(const IndexKey& key,
   if (options_.persist_dir.empty() || index == nullptr) return;
   TaskRunner* runner = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     runner = background_runner_;
     // The pending write counts like a build so WaitForBuilds covers it:
     // a waiter may destroy the manager the moment the count drops, so
@@ -598,9 +598,9 @@ void IndexManager::SchedulePersist(const IndexKey& key,
   runner->Submit([this, key, index = std::move(index), catalog_stamp,
                   content_hash] {
     PersistToDisk(key, index, catalog_stamp, content_hash);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --builds_in_flight_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   });
 }
 
@@ -634,7 +634,7 @@ void IndexManager::SweepPersistBudgetLocked(const IndexKey& just_written,
 void IndexManager::DropPersisted(const IndexKey& key) {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = persisted_.find(key);
     if (it == persisted_.end()) return;
     path = it->second.path;
@@ -650,7 +650,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::LoadFromDisk(
     std::uint64_t* content_hash) const {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = persisted_.find(key);
     if (it == persisted_.end()) {
       return Status::NotFound("no persisted image for " + key.ToString());
@@ -703,7 +703,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::LoadFromDisk(
 
 Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     const IndexKey& key, std::uint64_t* built_version) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lookup_keys_.insert(key);
   bool counted_miss = false;
   std::string doomed_image;
@@ -714,7 +714,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     if (entry->building) {
       // Single-flight: someone else is building this key; wait for the
       // outcome rather than duplicating the work.
-      cv_.wait(lock, [&] { return !entry->building; });
+      while (entry->building) cv_.Wait(lock);
       continue;  // re-find: the entry may have been replaced or removed
     }
     if (entry->table_version == catalog_->Version(key.table)) {
@@ -741,7 +741,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
       const std::uint64_t old_version = entry->table_version;
       entry->building = true;
       ++builds_in_flight_;
-      lock.unlock();
+      lock.Unlock();
       std::uint64_t version = 0, hash = 0;
       // The content hash only feeds the persisted-image header; skip the
       // O(column) hashing pass entirely when persistence is off.
@@ -749,13 +749,13 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
           options_.persist_dir.empty() ? nullptr : &hash;
       auto refreshed =
           RefreshIndex(key, old_index, old_version, &version, hash_out);
-      lock.lock();
+      lock.Lock();
       const bool ok = refreshed.ok();
       FinishInstallLocked(key, entry, std::move(refreshed), version,
                           built_version, InstallSource::kRefresh);
       if (ok) {
         std::shared_ptr<const VectorIndex> index = entry->index;
-        lock.unlock();
+        lock.Unlock();
         SchedulePersist(key, index, version, hash);
         return index;
       }
@@ -792,7 +792,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
   entries_[key] = entry;
   ++builds_in_flight_;
   const bool try_disk = HasPersistedLocked(key);
-  lock.unlock();
+  lock.Unlock();
   if (!doomed_image.empty()) {
     std::error_code ec;
     std::filesystem::remove(doomed_image, ec);
@@ -820,7 +820,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     built = BuildIndex(key, &version, hash_out);
   }
 
-  lock.lock();
+  lock.Lock();
   const Status status = built.ok() ? Status::OK() : built.status();
   FinishInstallLocked(key, entry, std::move(built), version,
                       built_version, source);
@@ -836,7 +836,7 @@ Result<std::shared_ptr<const VectorIndex>> IndexManager::GetOrBuild(
     }
   }
   std::shared_ptr<const VectorIndex> index = entry->index;
-  lock.unlock();
+  lock.Unlock();
   if (source == InstallSource::kBuild) {
     // Background write-through when a runner is wired: file I/O comes off
     // the first query's latency (ROADMAP "persistence hygiene").
@@ -864,7 +864,7 @@ void IndexManager::FinishInstallLocked(
       resident_bytes_ -= entry->bytes;
       entries_.erase(it);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     CheckAccountingLocked();
     return;
   }
@@ -890,12 +890,12 @@ void IndexManager::FinishInstallLocked(
       break;
   }
   EvictForBudgetLocked(entry.get());
-  cv_.notify_all();
+  cv_.NotifyAll();
   CheckAccountingLocked();
 }
 
 void IndexManager::EnableAsyncBuilds(TaskRunner* background_runner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   background_runner_ = background_runner;
 }
 
@@ -903,7 +903,7 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
     const IndexKey& key) {
   std::string doomed_image;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lookup_keys_.insert(key);
     const bool async =
         background_runner_ != nullptr && options_.async_builds;
@@ -959,7 +959,7 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
               if (refreshed.ok()) {
                 PersistToDisk(key, refreshed.ValueUnsafe(), version, hash);
               }
-              std::lock_guard<std::mutex> inner_lock(mu_);
+              MutexLock inner_lock(mu_);
               FinishInstallLocked(key, entry, std::move(refreshed), version,
                                   nullptr, InstallSource::kRefresh);
             });
@@ -1012,11 +1012,11 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
         if (built.ok()) {
           PersistToDisk(key, built.ValueUnsafe(), version, hash);
         }
-        std::lock_guard<std::mutex> inner_lock(mu_);
+        MutexLock inner_lock(mu_);
         FinishInstallLocked(key, entry, std::move(built), version,
                             nullptr, InstallSource::kBuild);
       });
-      lock.unlock();
+      lock.Unlock();
       if (!doomed_image.empty()) {
         std::error_code ec;
         std::filesystem::remove(doomed_image, ec);
@@ -1037,8 +1037,8 @@ Result<IndexManager::AsyncIndex> IndexManager::GetOrBuildAsync(
 }
 
 void IndexManager::WaitForBuilds() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return builds_in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (builds_in_flight_ != 0) cv_.Wait(lock);
 }
 
 void IndexManager::EvictForBudgetLocked(const Entry* keep) {
@@ -1094,7 +1094,7 @@ bool IndexManager::PersistedPlausibleLocked(const IndexKey& key) const {
 }
 
 IndexResidency IndexManager::Residency(const IndexKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second->building) return IndexResidency::kBuilding;
@@ -1124,7 +1124,7 @@ IndexResidency IndexManager::Residency(const IndexKey& key) const {
 void IndexManager::InvalidateTable(const std::string& table) {
   std::vector<std::string> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->first.table == table && !it->second->building) {
         resident_bytes_ -= it->second->bytes;
@@ -1153,7 +1153,7 @@ void IndexManager::InvalidateTable(const std::string& table) {
 }
 
 void IndexManager::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second->building) {
       ++it;
@@ -1166,7 +1166,7 @@ void IndexManager::Clear() {
 }
 
 IndexManager::Stats IndexManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s = counters_;
   s.resident_bytes = resident_bytes_;
   s.distinct_lookup_keys = lookup_keys_.size();

@@ -1,16 +1,15 @@
 #ifndef CRE_INDEX_INDEX_MANAGER_H_
 #define CRE_INDEX_INDEX_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/hash.h"
+#include "core/mutex.h"
 #include "core/resource_governor.h"
 #include "core/result.h"
 #include "embed/model_registry.h"
@@ -321,7 +320,7 @@ class IndexManager {
   void FinishInstallLocked(const IndexKey& key, const EntryPtr& entry,
                            Result<std::shared_ptr<const VectorIndex>>&& built,
                            std::uint64_t version, std::uint64_t* built_version,
-                           InstallSource source);
+                           InstallSource source) CRE_REQUIRES(mu_);
 
   /// Write-through of a ready index image (tmp + atomic rename), with
   /// bounded retry + exponential backoff on transient failures, then
@@ -361,9 +360,10 @@ class IndexManager {
   /// unlink after releasing mu_ (file IO never runs under the manager
   /// lock). No-op when the budget is 0. Caller holds mu_.
   void SweepPersistBudgetLocked(const IndexKey& just_written,
-                                std::vector<std::string>* doomed);
+                                std::vector<std::string>* doomed)
+      CRE_REQUIRES(mu_);
 
-  bool HasPersistedLocked(const IndexKey& key) const {
+  bool HasPersistedLocked(const IndexKey& key) const CRE_REQUIRES(mu_) {
     return persisted_.find(key) != persisted_.end();
   }
 
@@ -380,7 +380,7 @@ class IndexManager {
   /// Gates the async path's synchronous warm start: a stale image must
   /// not lure a serving-path lookup into a blocking rebuild. Caller
   /// holds mu_.
-  bool PersistedPlausibleLocked(const IndexKey& key) const;
+  bool PersistedPlausibleLocked(const IndexKey& key) const CRE_REQUIRES(mu_);
 
   std::string PersistPathFor(const IndexKey& key) const;
 
@@ -388,27 +388,30 @@ class IndexManager {
   /// entry's recorded bytes (placeholders count 0). Catches the class of
   /// accounting drift where an entry's footprint changes without the
   /// aggregate following. Caller holds mu_. No-op in release builds.
-  void CheckAccountingLocked() const;
+  void CheckAccountingLocked() const CRE_REQUIRES(mu_);
 
   /// Evicts least-recently-used ready entries (never `keep`) until the
   /// budget holds. Caller holds mu_.
-  void EvictForBudgetLocked(const Entry* keep);
+  void EvictForBudgetLocked(const Entry* keep) CRE_REQUIRES(mu_);
 
   const Catalog* catalog_;
   const ModelRegistry* models_;
   IndexManagerOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<IndexKey, EntryPtr, IndexKeyHash> entries_;
-  std::unordered_map<IndexKey, PersistedMeta, IndexKeyHash> persisted_;
-  std::uint64_t tick_ = 0;
-  std::size_t resident_bytes_ = 0;
-  std::size_t builds_in_flight_ = 0;
-  TaskRunner* background_runner_ = nullptr;
-  Stats counters_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<IndexKey, EntryPtr, IndexKeyHash> entries_
+      CRE_GUARDED_BY(mu_);
+  std::unordered_map<IndexKey, PersistedMeta, IndexKeyHash> persisted_
+      CRE_GUARDED_BY(mu_);
+  std::uint64_t tick_ CRE_GUARDED_BY(mu_) = 0;
+  std::size_t resident_bytes_ CRE_GUARDED_BY(mu_) = 0;
+  std::size_t builds_in_flight_ CRE_GUARDED_BY(mu_) = 0;
+  TaskRunner* background_runner_ CRE_GUARDED_BY(mu_) = nullptr;
+  Stats counters_ CRE_GUARDED_BY(mu_);
   /// Every key ever looked up, for Stats::distinct_lookup_keys.
-  std::unordered_set<IndexKey, IndexKeyHash> lookup_keys_;
+  std::unordered_set<IndexKey, IndexKeyHash> lookup_keys_
+      CRE_GUARDED_BY(mu_);
 };
 
 }  // namespace cre

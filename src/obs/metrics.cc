@@ -169,7 +169,7 @@ double HistogramSnapshot::Percentile(double q) const {
 
 Counter* MetricsRegistry::counter(const std::string& name,
                                   MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InstrumentKey key{name, labels};
   auto it = counter_index_.find(key);
   if (it != counter_index_.end()) return it->second;
@@ -180,7 +180,7 @@ Counter* MetricsRegistry::counter(const std::string& name,
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InstrumentKey key{name, labels};
   auto it = gauge_index_.find(key);
   if (it != gauge_index_.end()) return it->second;
@@ -192,7 +192,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InstrumentKey key{name, labels};
   auto it = histogram_index_.find(key);
   if (it != histogram_index_.end()) return it->second;
@@ -203,7 +203,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
 }
 
 void MetricsRegistry::AddCollector(std::function<void(Emitter*)> collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.push_back(std::move(collector));
 }
 
@@ -212,7 +212,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   if (!enabled()) return out;
   std::vector<std::function<void(Emitter*)>> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& kv : counter_index_) {
       out.counters.push_back(
           {kv.first.first, kv.first.second, kv.second->value()});

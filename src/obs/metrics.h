@@ -7,10 +7,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.h"
 
 namespace cre {
 
@@ -206,14 +207,14 @@ class MetricsRegistry {
   using InstrumentKey = std::pair<std::string, MetricLabels>;
 
   std::atomic<bool> enabled_;
-  mutable std::mutex mu_;
-  std::deque<std::unique_ptr<Counter>> counters_;
-  std::deque<std::unique_ptr<Gauge>> gauges_;
-  std::deque<std::unique_ptr<Histogram>> histograms_;
-  std::map<InstrumentKey, Counter*> counter_index_;
-  std::map<InstrumentKey, Gauge*> gauge_index_;
-  std::map<InstrumentKey, Histogram*> histogram_index_;
-  std::vector<std::function<void(Emitter*)>> collectors_;
+  mutable Mutex mu_;
+  std::deque<std::unique_ptr<Counter>> counters_ CRE_GUARDED_BY(mu_);
+  std::deque<std::unique_ptr<Gauge>> gauges_ CRE_GUARDED_BY(mu_);
+  std::deque<std::unique_ptr<Histogram>> histograms_ CRE_GUARDED_BY(mu_);
+  std::map<InstrumentKey, Counter*> counter_index_ CRE_GUARDED_BY(mu_);
+  std::map<InstrumentKey, Gauge*> gauge_index_ CRE_GUARDED_BY(mu_);
+  std::map<InstrumentKey, Histogram*> histogram_index_ CRE_GUARDED_BY(mu_);
+  std::vector<std::function<void(Emitter*)>> collectors_ CRE_GUARDED_BY(mu_);
 };
 
 }  // namespace cre

@@ -59,7 +59,7 @@ QueryTrace::QueryTrace(std::uint64_t query_id, std::string label)
 
 TraceSpan* QueryTrace::Begin(TraceSpan* parent, const std::string& name) {
   const double now = epoch_.Seconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TraceSpan* target = parent != nullptr ? parent : &root_;
   target->children.push_back(std::make_unique<TraceSpan>());
   TraceSpan* span = target->children.back().get();
@@ -70,49 +70,49 @@ TraceSpan* QueryTrace::Begin(TraceSpan* parent, const std::string& name) {
 
 void QueryTrace::End(TraceSpan* span) {
   const double now = epoch_.Seconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (span->end_seconds < 0) span->end_seconds = now;
 }
 
 void QueryTrace::Annotate(TraceSpan* span, const std::string& key,
                           const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   span->attrs.emplace_back(key, value);
 }
 
 void QueryTrace::Finish() {
   const double now = epoch_.Seconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (root_.end_seconds < 0) root_.end_seconds = now;
 }
 
 double QueryTrace::TotalSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return root_.end_seconds < 0 ? epoch_.Seconds() : root_.end_seconds;
 }
 
 std::string QueryTrace::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   RenderSpan(root_, 0, &out);
   return out;
 }
 
 std::string QueryTrace::ToCompactString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   RenderCompact(root_, &out);
   return out;
 }
 
 void TraceRing::Push(std::shared_ptr<const QueryTrace> trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   traces_.push_back(std::move(trace));
   while (traces_.size() > capacity_) traces_.pop_front();
 }
 
 std::vector<std::shared_ptr<const QueryTrace>> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<std::shared_ptr<const QueryTrace>>(traces_.rbegin(),
                                                         traces_.rend());
 }

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/timer.h"
 
 namespace cre {
@@ -67,8 +67,11 @@ class QueryTrace {
   std::uint64_t query_id_;
   std::string label_;
   Timer epoch_;
-  mutable std::mutex mu_;
-  TraceSpan root_;
+  mutable Mutex mu_;
+  /// Span-tree mutations go through Begin/End/Annotate under mu_; root()
+  /// hands out the root pointer, deref'd by callers only via those entry
+  /// points (or after Finish, when the tree is quiescent).
+  TraceSpan root_ CRE_GUARDED_BY(mu_);
 };
 
 /// RAII span: begins on construction, ends on destruction. Null-trace
@@ -111,8 +114,8 @@ class TraceRing {
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<std::shared_ptr<const QueryTrace>> traces_;
+  mutable Mutex mu_;
+  std::deque<std::shared_ptr<const QueryTrace>> traces_ CRE_GUARDED_BY(mu_);
 };
 
 }  // namespace cre

@@ -32,7 +32,7 @@ void KnobTuner::PublishLocked(std::atomic<T>* knob, T current, T candidate) {
 
 void KnobTuner::ObserveMorsel(std::size_t rows, double seconds) {
   if (!options_.enabled || rows == 0 || seconds <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   morsel_row_seconds_ = Ewma(morsel_row_seconds_,
                              seconds / static_cast<double>(rows),
                              options_.ewma_alpha);
@@ -53,7 +53,7 @@ void KnobTuner::ObserveAggregate(bool radix, std::size_t input_rows,
                                  double accumulate_seconds,
                                  double merge_seconds) {
   if (!options_.enabled || input_rows == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (radix) {
     radix_accum_per_row_ =
         Ewma(radix_accum_per_row_,
@@ -109,7 +109,7 @@ void KnobTuner::ObserveIndexReuse(std::uint64_t lookups,
       lookups < options_.min_samples) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double fit =
       static_cast<double>(lookups) / static_cast<double>(distinct_keys);
   const double candidate = std::min(
@@ -139,7 +139,7 @@ KnobTuner::Snapshot KnobTuner::snapshot() const {
   out.radix_agg_min_groups = radix_agg_min_groups();
   out.index_reuse_horizon = index_reuse_horizon();
   out.refits = refits_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.morsel_samples = morsel_samples_;
   out.morsel_row_seconds = morsel_row_seconds_;
   return out;

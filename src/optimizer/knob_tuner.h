@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
+#include "core/mutex.h"
 #include "exec/footprint.h"
 
 namespace cre {
@@ -113,22 +113,26 @@ class KnobTuner {
 
  private:
   /// Publishes `candidate` into `knob` iff it clears the hysteresis band
-  /// around the current effective value. Caller holds mu_.
+  /// around the current effective value.
   template <typename T>
-  void PublishLocked(std::atomic<T>* knob, T current, T candidate);
+  void PublishLocked(std::atomic<T>* knob, T current, T candidate)
+      CRE_REQUIRES(mu_);
 
   KnobTunerOptions options_;
   KnobBaselines baselines_;
   FootprintCalibrator footprints_;
 
-  mutable std::mutex mu_;  // guards the EWMA fitting state below
-  double morsel_row_seconds_ = 0;
-  std::uint64_t morsel_samples_ = 0;
-  double hash_merge_per_group_ = 0;   ///< hash mode: merge s / group
-  std::uint64_t hash_samples_ = 0;
-  double hash_accum_per_row_ = 0;     ///< hash mode: accumulate s / row
-  double radix_accum_per_row_ = 0;    ///< radix mode: accumulate s / row
-  std::uint64_t radix_samples_ = 0;
+  mutable Mutex mu_;  // guards the EWMA fitting state below
+  double morsel_row_seconds_ CRE_GUARDED_BY(mu_) = 0;
+  std::uint64_t morsel_samples_ CRE_GUARDED_BY(mu_) = 0;
+  /// hash mode: merge s / group
+  double hash_merge_per_group_ CRE_GUARDED_BY(mu_) = 0;
+  std::uint64_t hash_samples_ CRE_GUARDED_BY(mu_) = 0;
+  /// hash mode: accumulate s / row
+  double hash_accum_per_row_ CRE_GUARDED_BY(mu_) = 0;
+  /// radix mode: accumulate s / row
+  double radix_accum_per_row_ CRE_GUARDED_BY(mu_) = 0;
+  std::uint64_t radix_samples_ CRE_GUARDED_BY(mu_) = 0;
 
   // Published knobs (atomics read from any thread).
   std::atomic<std::size_t> tuned_morsel_rows_;

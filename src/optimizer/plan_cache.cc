@@ -390,7 +390,7 @@ PlanCache::Lookup PlanCache::AcquireOrPlan(const Shape& shape,
   Lookup out;
   EntryPtr entry;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bool counted_wait = false;
     for (;;) {
       auto it = entries_.find(shape.fingerprint);
@@ -407,7 +407,7 @@ PlanCache::Lookup PlanCache::AcquireOrPlan(const Shape& shape,
           counted_wait = true;
           ++stats_.single_flight_waits;
         }
-        cv_.wait(lock);
+        cv_.Wait(lock);
         continue;
       }
       if (!ValidLocked(*it->second, version, absent)) {
@@ -426,7 +426,7 @@ PlanCache::Lookup PlanCache::AcquireOrPlan(const Shape& shape,
       RebindPlan(entry->plan, entry->value_params, shape.value_params,
                  entry->query_params, shape.query_params);
   const double elapsed = SecondsSince(start);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.lookup_seconds += elapsed;
   if (rebound == nullptr) {
     // Duplicate literal values diverged between the cached and looking
@@ -462,13 +462,13 @@ void PlanCache::Install(const Shape& shape, const PlanPtr& optimized,
   const bool cacheable =
       optimized != nullptr && optimized_multi <= shape.multi_selects;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.planning_seconds += planning_seconds;
   auto it = entries_.find(shape.fingerprint);
   if (!cacheable) {
     ++stats_.uncacheable;
     if (it != entries_.end() && it->second->planning) entries_.erase(it);
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
   EntryPtr entry;
@@ -490,19 +490,19 @@ void PlanCache::Install(const Shape& shape, const PlanPtr& optimized,
   entry->lru_tick = ++tick_;
   entry->planning = false;
   EvictLocked(entry.get());
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void PlanCache::Abort(const Shape& shape) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(shape.fingerprint);
   if (it != entries_.end() && it->second->planning) entries_.erase(it);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool PlanCache::Peek(const Shape& shape, const VersionProbe& version,
                      const AbsentProbe& absent, std::uint64_t* stamp) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(shape.fingerprint);
   if (it == entries_.end() || it->second->planning) return false;
   if (!ValidLocked(*it->second, version, absent)) return false;
@@ -511,7 +511,7 @@ bool PlanCache::Peek(const Shape& shape, const VersionProbe& version,
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats out = stats_;
   out.entries = 0;
   for (const auto& [fp, entry] : entries_) {

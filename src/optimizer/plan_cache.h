@@ -1,15 +1,14 @@
 #ifndef CRE_OPTIMIZER_PLAN_CACHE_H_
 #define CRE_OPTIMIZER_PLAN_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/mutex.h"
 #include "plan/plan_node.h"
 #include "semantic/semantic_join.h"
 #include "types/value.h"
@@ -163,19 +162,18 @@ class PlanCache {
   };
   using EntryPtr = std::shared_ptr<Entry>;
 
-  /// Stamp/residency validation of an installed entry. Caller holds mu_.
+  /// Stamp/residency validation of an installed entry.
   bool ValidLocked(const Entry& entry, const VersionProbe& version,
-                   const AbsentProbe& absent) const;
+                   const AbsentProbe& absent) const CRE_REQUIRES(mu_);
   /// Evicts LRU installed entries beyond capacity (never `keep`).
-  /// Caller holds mu_.
-  void EvictLocked(const Entry* keep);
+  void EvictLocked(const Entry* keep) CRE_REQUIRES(mu_);
 
   PlanCacheOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, EntryPtr> entries_;
-  std::uint64_t tick_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<std::string, EntryPtr> entries_ CRE_GUARDED_BY(mu_);
+  std::uint64_t tick_ CRE_GUARDED_BY(mu_) = 0;
+  Stats stats_ CRE_GUARDED_BY(mu_);
 };
 
 /// Rebinds the cached plan `plan` (old parameters `old_values` /

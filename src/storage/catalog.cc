@@ -3,7 +3,7 @@
 namespace cre {
 
 Status Catalog::Register(const std::string& name, TablePtr table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
@@ -13,7 +13,7 @@ Status Catalog::Register(const std::string& name, TablePtr table) {
 }
 
 void Catalog::Put(const std::string& name, TablePtr table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_[name] = std::move(table);
   versions_[name] = ++version_counter_;
   // Destructive: nothing guarantees the old rows survive as a prefix, so
@@ -30,7 +30,7 @@ Result<TablePtr> Catalog::Append(const std::string& name, const Table& rows) {
     TablePtr old;
     std::uint64_t from = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = tables_.find(name);
       if (it == tables_.end()) {
         return Status::NotFound("table '" + name + "' not in catalog");
@@ -44,7 +44,7 @@ Result<TablePtr> Catalog::Append(const std::string& name, const Table& rows) {
     CRE_RETURN_NOT_OK(merged->AppendTable(*old));
     CRE_RETURN_NOT_OK(merged->AppendTable(rows));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tables_.find(name);
     if (it == tables_.end()) {
       return Status::NotFound("table '" + name + "' dropped during append");
@@ -65,7 +65,7 @@ Result<TablePtr> Catalog::Append(const std::string& name, const Table& rows) {
 
 Result<Catalog::AppendChain> Catalog::AppendedSince(
     const std::string& name, std::uint64_t since_version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(name);
   if (table_it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not in catalog");
@@ -105,7 +105,7 @@ Result<Catalog::AppendChain> Catalog::AppendedSince(
 }
 
 Result<TablePtr> Catalog::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not in catalog");
@@ -114,12 +114,12 @@ Result<TablePtr> Catalog::Get(const std::string& name) const {
 }
 
 bool Catalog::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.count(name) > 0;
 }
 
 Status Catalog::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!tables_.erase(name)) {
     return Status::NotFound("table '" + name + "' not in catalog");
   }
@@ -129,14 +129,14 @@ Status Catalog::Drop(const std::string& name) {
 }
 
 std::uint64_t Catalog::Version(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = versions_.find(name);
   return it == versions_.end() ? 0 : it->second;
 }
 
 Result<Catalog::VersionedTable> Catalog::GetVersioned(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not in catalog");
@@ -146,7 +146,10 @@ Result<Catalog::VersionedTable> Catalog::GetVersioned(
 
 std::shared_ptr<const Catalog> Catalog::Snapshot() const {
   auto snapshot = std::make_shared<Catalog>();
-  std::lock_guard<std::mutex> lock(mu_);
+  // The fresh snapshot is not yet shared, but its fields are guarded by
+  // its own mu_; take both locks so the copy is provably disciplined.
+  MutexLock snapshot_lock(snapshot->mu_);
+  MutexLock lock(mu_);
   snapshot->tables_ = tables_;
   snapshot->versions_ = versions_;
   snapshot->deltas_ = deltas_;
@@ -155,7 +158,7 @@ std::shared_ptr<const Catalog> Catalog::Snapshot() const {
 }
 
 std::vector<std::string> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/result.h"
 #include "storage/table.h"
 
@@ -104,11 +104,11 @@ class Catalog {
   /// chain is treated as destructive (a rebuild amortizes better anyway).
   static constexpr std::size_t kMaxDeltaHistory = 64;
 
-  mutable std::mutex mu_;
-  std::map<std::string, TablePtr> tables_;
-  std::map<std::string, std::uint64_t> versions_;
-  std::map<std::string, std::vector<AppendDelta>> deltas_;
-  std::uint64_t version_counter_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, TablePtr> tables_ CRE_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> versions_ CRE_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<AppendDelta>> deltas_ CRE_GUARDED_BY(mu_);
+  std::uint64_t version_counter_ CRE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cre

@@ -98,8 +98,16 @@ class StatsCollector {
   /// Per-operator rows/time rendering (EXPLAIN ANALYZE output).
   std::string ToString() const;
 
-  const std::vector<std::unique_ptr<OperatorStats>>& slots() const {
-    return slots_;
+  /// Registered slots in creation order, copied under the lock. Slot
+  /// pointers stay valid for the collector's lifetime (slots are never
+  /// removed); the counters themselves are atomics, so reading them while
+  /// an execution is still running is safe, just racy.
+  std::vector<OperatorStats*> slots() const {
+    MutexLock lock(mu_);
+    std::vector<OperatorStats*> out;
+    out.reserve(slots_.size());
+    for (const auto& slot : slots_) out.push_back(slot.get());
+    return out;
   }
 
  private:

@@ -11,9 +11,10 @@
 namespace cre {
 
 /// Holds either a value of type T or an error Status. The engine's public
-/// APIs return Result<T> instead of throwing exceptions.
+/// APIs return Result<T> instead of throwing exceptions. [[nodiscard]]: a
+/// dropped Result is a dropped error — see the note on Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversion from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

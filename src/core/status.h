@@ -30,8 +30,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error outcome. Cheap to copy in the OK case (no allocation);
-/// error states carry a code and a message.
-class Status {
+/// error states carry a code and a message. [[nodiscard]] on the class makes
+/// silently dropping a returned Status a compile warning (an error in CI):
+/// handle it, propagate it with CRE_RETURN_NOT_OK, or write `(void)` with a
+/// comment saying why dropping is safe.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -14,6 +14,8 @@ struct Concept {
 };
 
 const std::vector<Concept>& ConceptCatalog() {
+  // cre-lint: allow(naked-new): intentionally leaked function-local static
+  // (never destroyed, so no shutdown-order hazard for late readers).
   static const std::vector<Concept>* kConcepts = new std::vector<Concept>{
       {"jacket", "clothes", {"blazer", "parka", "windbreaker", "coat", "anorak"}},
       {"shoes", "clothes", {"sneakers", "boots", "loafers", "sandals", "trainers"}},
@@ -36,6 +38,7 @@ const std::vector<Concept>& ConceptCatalog() {
 }
 
 const std::vector<const char*>& GenericObjects() {
+  // cre-lint: allow(naked-new): intentionally leaked function-local static.
   static const std::vector<const char*>* kObjects =
       new std::vector<const char*>{
           "person", "tree",   "car",    "window", "grass",

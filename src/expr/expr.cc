@@ -5,62 +5,62 @@
 namespace cre {
 
 ExprPtr Expr::Column(std::string name) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kColumnRef;
   e->column_name_ = std::move(name);
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::Literal(Value v) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kLiteral;
   e->literal_ = std::move(v);
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kCompare;
   e->compare_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kArith;
   e->arith_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::MakeAnd(ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kAnd;
   e->children_ = {std::move(lhs), std::move(rhs)};
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::MakeOr(ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kOr;
   e->children_ = {std::move(lhs), std::move(rhs)};
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::MakeNot(ExprPtr child) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kNot;
   e->children_ = {std::move(child)};
-  return ExprPtr(e);
+  return e;
 }
 
 ExprPtr Expr::StrContains(ExprPtr haystack, std::string needle) {
-  auto* e = new Expr();
+  std::shared_ptr<Expr> e(new Expr());
   e->kind_ = ExprKind::kStrContains;
   e->column_name_ = std::move(needle);
   e->children_ = {std::move(haystack)};
-  return ExprPtr(e);
+  return e;
 }
 
 void Expr::CollectColumns(std::set<std::string>* out) const {

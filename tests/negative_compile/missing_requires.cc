@@ -1,0 +1,31 @@
+/// Negative-compile case: calling a CRE_REQUIRES(mu_) helper without
+/// holding mu_ must be rejected by Clang's thread-safety analysis. See
+/// unguarded_field_access.cc for how the paired tests are wired.
+
+#include "core/mutex.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Publish() {
+#ifdef CRE_NEGCOMPILE_FIX
+    cre::MutexLock lock(mu_);
+#endif
+    PublishLocked();  // REQUIRES(mu_): must not compile without the lock
+  }
+
+ private:
+  void PublishLocked() CRE_REQUIRES(mu_) { ++published_; }
+
+  cre::Mutex mu_;
+  long published_ CRE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Publish();
+  return 0;
+}

@@ -1,0 +1,32 @@
+/// Negative-compile case: writing a CRE_GUARDED_BY field without holding
+/// its mutex must be rejected by Clang's thread-safety analysis. The CMake
+/// test compiles this file with -Werror=thread-safety and asserts failure;
+/// the companion _fixed test compiles it with -DCRE_NEGCOMPILE_FIX and
+/// asserts success, proving the failure is the violation and not some
+/// unrelated breakage.
+
+#include "core/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+#ifdef CRE_NEGCOMPILE_FIX
+    cre::MutexLock lock(mu_);
+#endif
+    ++value_;  // unguarded write: must not compile without the lock
+  }
+
+ private:
+  cre::Mutex mu_;
+  long value_ CRE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}
